@@ -1,0 +1,78 @@
+"""CLAIM-4 bench: incremental rendering keeps the tool responsive.
+
+The paper: "the incremental rendering of flex-offers … allows executing
+actions when a flex-offer rendering is in progress (rendering does not freeze
+the tool)".  The bench compares the latency until the *first* chunk of the
+basic view is available against a monolithic render of the whole scene, and
+sweeps the chunk size (the responsiveness/throughput knob).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.render.incremental import IncrementalRenderer, monolithic_render_time, time_to_first_chunk
+from repro.views.basic import BasicView
+
+
+@pytest.fixture(scope="module")
+def big_scene(large_offer_scenario):
+    view = BasicView(large_offer_scenario.flex_offers, large_offer_scenario.grid)
+    return view.scene()
+
+
+def test_claim4_first_chunk_latency(benchmark, big_scene):
+    """Latency to the first visible chunk vs a full monolithic render."""
+    first = benchmark(lambda: time_to_first_chunk(big_scene, chunk_size=100))
+    full = monolithic_render_time(big_scene)
+    record(
+        benchmark,
+        {
+            "scene_nodes": big_scene.count_nodes(),
+            "time_to_first_chunk_ms": round(first * 1000, 2),
+            "monolithic_render_ms": round(full * 1000, 2),
+            "speedup_to_first_pixel": round(full / first, 1) if first > 0 else float("inf"),
+            "paper_claim": "rendering does not freeze the tool",
+        },
+        "CLAIM-4: incremental rendering",
+    )
+    assert first <= full * 1.2 + 0.05
+
+
+def test_claim4_chunk_size_sweep(benchmark, big_scene):
+    """Ablation: smaller chunks give faster first feedback but more chunks overall."""
+    def sweep():
+        rows = {}
+        for chunk_size in (50, 200, 1000):
+            renderer = IncrementalRenderer(chunk_size=chunk_size, emit_documents=False)
+            chunks = list(renderer.render(big_scene))
+            rows[chunk_size] = {
+                "chunks": len(chunks),
+                "first_chunk_ms": round(chunks[0].elapsed_seconds * 1000, 3),
+                "total_ms": round(chunks[-1].elapsed_seconds * 1000, 3),
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        benchmark,
+        {f"chunk_size_{size}": str(values) for size, values in rows.items()},
+        "CLAIM-4: chunk-size sweep",
+    )
+    assert rows[50]["chunks"] > rows[1000]["chunks"]
+
+
+def test_claim4_interleaved_work(benchmark, big_scene):
+    """Actions can run between chunks: count how many interleaved steps fit during a render."""
+    def interleave():
+        renderer = IncrementalRenderer(chunk_size=100, emit_documents=False)
+        interleaved_actions = 0
+        for chunk in renderer.render(big_scene):
+            # The "action" the analyst performs while rendering is in progress.
+            interleaved_actions += 1
+        return interleaved_actions
+
+    actions = benchmark(interleave)
+    record(benchmark, {"interleaved_actions": actions}, "CLAIM-4: interleaved work")
+    assert actions >= 1

@@ -1,0 +1,82 @@
+"""CLAIM-1 / CLAIM-2 bench: scalability of the basic view vs the profile view.
+
+The paper states that the basic view is "used to show a large numbers of
+flex-offers" while the profile view "is effective for a smaller flex-offer set
+with less than few thousands of flex-offers".  The bench sweeps the on-screen
+offer count and times both views, so the report shows the crossover: the
+basic view stays cheap (few scene nodes per offer) while the profile view's
+cost grows with the number of profile slices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.datagen.scenarios import scenario_with_offer_count
+from repro.views.basic import BasicView
+from repro.views.profile_view import ProfileView
+
+#: On-screen flex-offer counts swept by the claim benchmarks.
+SWEEP = (100, 500, 1000, 2000)
+
+_CACHE: dict[int, object] = {}
+
+
+def _scenario(target: int):
+    if target not in _CACHE:
+        _CACHE[target] = scenario_with_offer_count(target, seed=13)
+    return _CACHE[target]
+
+
+@pytest.mark.parametrize("target", SWEEP)
+def test_claim1_basic_view_scales(benchmark, target):
+    """CLAIM-1: the basic view handles large flex-offer sets."""
+    scenario = _scenario(target)
+    offers = scenario.flex_offers
+
+    def build():
+        view = BasicView(offers, scenario.grid)
+        return view, view.to_svg()
+
+    view, svg = benchmark.pedantic(build, rounds=3, iterations=1)
+    nodes = view.scene().count_nodes()
+    record(
+        benchmark,
+        {
+            "offer_count": len(offers),
+            "scene_nodes": nodes,
+            "nodes_per_offer": round(nodes / max(len(offers), 1), 1),
+            "svg_kib": round(len(svg) / 1024, 1),
+        },
+        f"CLAIM-1: basic view @ {len(offers)} offers",
+    )
+    assert nodes / max(len(offers), 1) < 6  # a handful of marks per offer
+
+
+@pytest.mark.parametrize("target", SWEEP)
+def test_claim2_profile_view_density(benchmark, target):
+    """CLAIM-2: the profile view is effective only below a few thousand offers."""
+    scenario = _scenario(target)
+    offers = scenario.flex_offers
+
+    def build():
+        view = ProfileView(offers, scenario.grid)
+        return view, view.to_svg()
+
+    view, svg = benchmark.pedantic(build, rounds=1, iterations=1)
+    nodes = view.scene().count_nodes()
+    record(
+        benchmark,
+        {
+            "offer_count": len(offers),
+            "scene_nodes": nodes,
+            "nodes_per_offer": round(nodes / max(len(offers), 1), 1),
+            "svg_kib": round(len(svg) / 1024, 1),
+        },
+        f"CLAIM-2: profile view @ {len(offers)} offers",
+    )
+    # The profile view is strictly denser than the basic view — the structural
+    # reason the paper limits it to smaller sets.
+    basic_nodes = BasicView(offers, scenario.grid).scene().count_nodes()
+    assert nodes > basic_nodes

@@ -1,0 +1,64 @@
+"""Extension benches: the paper's announced enhancements.
+
+Two extensions the paper names explicitly are implemented and benchmarked
+here: the **integrated pivot view** ("the basic and the detailed views will be
+integrated into the pivot view, where the flex-offer aggregation will be
+applied to produce inputs for the flex-offer visualization on swimlanes") and
+the **monitoring platform** ("alerts about expected shortages or
+over-capacities and an option to drill down data to find out a reason behind
+this").
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+from repro.monitoring.platform import MonitoringPlatform
+from repro.views.integrated_pivot import IntegratedPivotOptions, IntegratedPivotView
+
+
+def test_ext_integrated_pivot_view(benchmark, paper_scenario):
+    """The announced pivot enhancement: aggregated basic-view swimlanes."""
+    def build():
+        view = IntegratedPivotView(paper_scenario.flex_offers, paper_scenario.grid)
+        return view, view.to_svg()
+
+    view, svg = benchmark.pedantic(build, rounds=3, iterations=1)
+    lanes = view.lane_offers()
+    raw = IntegratedPivotView(
+        paper_scenario.flex_offers,
+        paper_scenario.grid,
+        options=IntegratedPivotOptions(aggregate_lanes=False),
+    ).lane_offers()
+    record(
+        benchmark,
+        {
+            "swimlanes": len(lanes),
+            "objects_per_lane_aggregated": {member: len(offers) for member, offers in sorted(lanes.items())},
+            "objects_per_lane_raw": {member: len(offers) for member, offers in sorted(raw.items())},
+            "svg_bytes": len(svg),
+            "paper_claim": "basic view integrated into the pivot view via per-lane aggregation",
+        },
+        "Extension: integrated pivot view",
+    )
+    assert sum(len(offers) for offers in lanes.values()) <= sum(len(offers) for offers in raw.values())
+
+
+def test_ext_monitoring_scan(benchmark, paper_scenario):
+    """The future-work alerting platform: scan + drill-down."""
+    platform = MonitoringPlatform(paper_scenario)
+
+    report = benchmark(lambda: platform.scan(per_region=True))
+    worst = report.worst()
+    drill_down_offers = len(platform.offers_for(worst)) if worst else 0
+    record(
+        benchmark,
+        {
+            "alerts": len(report),
+            "critical": len(report.by_severity(report.alerts[0].severity.__class__.CRITICAL)) if report.alerts else 0,
+            "worst_alert": worst.describe() if worst else "none",
+            "drill_down_offers": drill_down_offers,
+            "paper_claim": "alerts about expected shortages/over-capacities with drill-down",
+        },
+        "Extension: monitoring scan",
+    )
+    assert len(report) >= 1

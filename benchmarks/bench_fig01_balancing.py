@@ -1,0 +1,75 @@
+"""FIG-1 bench: loads before vs after MIRABEL balancing.
+
+The paper's Figure 1 contrasts RES production against non-flexible and
+flexible demand before/after the system balances the grid.  The bench times
+one full planning cycle and reports the quantities the figure conveys: how
+much flexible energy sits inside the RES surplus before and after planning,
+the absorption ratio, and the residual imbalance.  An ablation compares the
+aggregate-then-schedule pipeline against scheduling the raw offers.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+from repro.enterprise.planning import PlanningConfig, run_planning_cycle
+from repro.scheduling.greedy import GreedyScheduler
+from repro.views.dashboard import BalanceView
+
+
+def _overlap(scenario, plan, load):
+    return BalanceView(scenario.res_production, scenario.base_demand, load, scenario.grid).overlap_energy()
+
+
+def test_fig01_balancing_before_after(benchmark, paper_scenario):
+    """Regenerate Figure 1: run the planning cycle and compare before/after overlap."""
+    plan = benchmark.pedantic(
+        lambda: run_planning_cycle(paper_scenario, scheduler=GreedyScheduler()),
+        rounds=3,
+        iterations=1,
+    )
+    before = _overlap(paper_scenario, plan, plan.unplanned_load)
+    after = _overlap(paper_scenario, plan, plan.planned_load)
+    record(
+        benchmark,
+        {
+            "res_energy_kwh": round(paper_scenario.res_production.total(), 1),
+            "non_flexible_demand_kwh": round(paper_scenario.base_demand.total(), 1),
+            "flexible_energy_before_kwh": round(plan.unplanned_load.total(), 1),
+            "flexible_energy_after_kwh": round(plan.planned_load.total(), 1),
+            "overlap_before_kwh": round(before, 1),
+            "overlap_after_kwh": round(after, 1),
+            "overlap_improvement_factor": round(after / before, 2) if before else float("inf"),
+            "absorption_ratio": round(plan.balance_report.absorption_ratio, 3),
+            "imbalance_energy_kwh": round(plan.balance_report.imbalance_energy, 1),
+            "paper_claim": "after balancing, flexible demand moves under the RES production curve",
+        },
+        "Figure 1: before vs after balancing",
+    )
+    assert after >= before
+
+
+def test_fig01_ablation_aggregation_in_the_loop(benchmark, paper_scenario):
+    """Ablation: planning with aggregation must schedule far fewer objects."""
+    with_aggregation = run_planning_cycle(
+        paper_scenario, scheduler=GreedyScheduler(), config=PlanningConfig(use_aggregation=True)
+    )
+    without = benchmark.pedantic(
+        lambda: run_planning_cycle(
+            paper_scenario, scheduler=GreedyScheduler(), config=PlanningConfig(use_aggregation=False)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        benchmark,
+        {
+            "objects_with_aggregation": with_aggregation.pipeline.scheduled_object_count,
+            "objects_without_aggregation": without.pipeline.scheduled_object_count,
+            "runtime_with_aggregation_s": round(with_aggregation.pipeline.runtime_seconds, 3),
+            "runtime_without_aggregation_s": round(without.pipeline.runtime_seconds, 3),
+            "absorption_with_aggregation": round(with_aggregation.balance_report.absorption_ratio, 3),
+            "absorption_without_aggregation": round(without.balance_report.absorption_ratio, 3),
+        },
+        "Figure 1 ablation: aggregate-then-schedule",
+    )
+    assert with_aggregation.pipeline.scheduled_object_count < without.pipeline.scheduled_object_count

@@ -1,0 +1,29 @@
+"""FIG-2 bench: the structural elements of a single flex-offer.
+
+Figure 2 annotates one flex-offer with its profile, start-time flexibility,
+energy flexibility, acceptance/assignment times and the scheduled amounts.
+The bench times the regeneration of that figure (profile view of one offer
+plus the deadline markers) and reports the structural quantities shown.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+from repro.app.figures import figure_2
+
+
+def test_fig02_flex_offer_structure(benchmark, paper_scenario):
+    artifact = benchmark.pedantic(lambda: figure_2(paper_scenario), rounds=5, iterations=1)
+    summary = dict(artifact.summary)
+    summary.pop("detail_lines", None)
+    record(
+        benchmark,
+        {
+            **summary,
+            "svg_bytes": len(artifact.svg),
+            "paper_claim": "profile, time flexibility, energy flexibility, deadlines and schedule are all visible",
+        },
+        "Figure 2: structural elements of a flex-offer",
+    )
+    assert artifact.summary["time_flexibility_slots"] > 0
+    assert artifact.summary["max_total_energy"] > artifact.summary["min_total_energy"] - 1e-9

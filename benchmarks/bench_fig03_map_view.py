@@ -1,0 +1,49 @@
+"""FIG-3 bench: the map view of flex-offers.
+
+Figure 3 shows flex-offer counts (by state) as bar glyphs per geographical
+region.  The bench times building and serialising the map view and reports
+the per-region counts — the "rows" of the figure.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+from repro.views.map_view import MapView, MapViewOptions
+
+
+def test_fig03_map_view_regions(benchmark, paper_scenario):
+    def build() -> tuple[MapView, str]:
+        view = MapView(paper_scenario.flex_offers, paper_scenario.geography, paper_scenario.grid)
+        return view, view.to_svg()
+
+    view, svg = benchmark.pedantic(build, rounds=5, iterations=1)
+    counts = view.state_counts()
+    per_region = {region: int(sum(values.values())) for region, values in sorted(counts.items())}
+    record(
+        benchmark,
+        {
+            **{f"offers_{region}": value for region, value in per_region.items()},
+            "regions_shown": len(view.place_anchors()),
+            "svg_bytes": len(svg),
+            "paper_claim": "per-region bar glyphs of flex-offer counts on a map of Denmark",
+        },
+        "Figure 3: map view",
+    )
+    assert len(view.place_anchors()) == 5
+    assert sum(per_region.values()) > 0
+
+
+def test_fig03_map_view_city_drilldown(benchmark, paper_scenario):
+    """City-level drill-down of the same view (the Section-3 geographic hierarchy)."""
+    def build() -> str:
+        view = MapView(
+            paper_scenario.flex_offers,
+            paper_scenario.geography,
+            paper_scenario.grid,
+            options=MapViewOptions(level="city"),
+        )
+        return view.to_svg()
+
+    svg = benchmark.pedantic(build, rounds=3, iterations=1)
+    record(benchmark, {"svg_bytes": len(svg), "level": "city"}, "Figure 3: city drill-down")
+    assert "state-bar" in svg

@@ -1,0 +1,42 @@
+"""FIG-4 bench: the schematic (grid-topology) view.
+
+Figure 4 shows the electrical grid structure with, at every node, a pie of
+the accepted/assigned/rejected shares of the flex-offers below it.  The bench
+times the view construction and reports the share distribution of the busiest
+node — the quantity the figure's pies encode (the paper's mock shows
+31% / 43% / 26%).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+from repro.views.schematic import SchematicView
+
+
+def test_fig04_schematic_view(benchmark, paper_scenario):
+    def build() -> tuple[SchematicView, str]:
+        view = SchematicView(paper_scenario.flex_offers, paper_scenario.topology, paper_scenario.grid)
+        return view, view.to_svg()
+
+    view, svg = benchmark.pedantic(build, rounds=5, iterations=1)
+    shares = view.state_shares()
+    busiest = max(shares, key=lambda node: sum(shares[node].values()))
+    busiest_total = sum(shares[busiest].values())
+    percentages = {
+        state: round(100.0 * value / busiest_total)
+        for state, value in sorted(shares[busiest].items())
+    }
+    record(
+        benchmark,
+        {
+            "nodes_with_offers": len(shares),
+            "busiest_node": busiest,
+            "busiest_node_offers": int(busiest_total),
+            **{f"busiest_{state}_pct": value for state, value in percentages.items()},
+            "svg_bytes": len(svg),
+            "paper_claim": "per-node accepted/assigned/rejected pies (paper mock: 31%/43%/26%)",
+        },
+        "Figure 4: schematic view",
+    )
+    assert busiest_total > 0
+    assert abs(sum(percentages.values()) - 100) <= 2  # rounding slack

@@ -1,0 +1,87 @@
+"""FIG-5 bench: the pivot view with the prosumer hierarchy and the MDX window.
+
+Figure 5 shows swimlanes per prosumer-hierarchy member over time plus a
+manual MDX query window.  The bench times the pivot query + view rendering,
+reports the per-member row totals, and checks that the drill-down path of the
+prosumer hierarchy (All prosumers -> role -> prosumer type) works.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+from repro.views.pivot_view import PivotView, PivotViewOptions
+
+
+def test_fig05_pivot_view(benchmark, paper_scenario):
+    def build():
+        view = PivotView(
+            paper_scenario.flex_offers,
+            paper_scenario.grid,
+            options=PivotViewOptions(
+                row_dimension="Prosumer",
+                row_level="prosumer_type",
+                column_dimension="Time",
+                column_level="hour",
+                measure="scheduled_energy",
+            ),
+        )
+        return view, view.pivot_table(), view.to_svg()
+
+    view, table, svg = benchmark.pedantic(build, rounds=5, iterations=1)
+    row_totals = dict(zip(table.row_members, (round(v, 1) for v in table.row_totals("scheduled_energy"))))
+    record(
+        benchmark,
+        {
+            **{f"scheduled_energy_{member}": value for member, value in row_totals.items()},
+            "time_columns": len(table.column_members),
+            "svg_bytes": len(svg),
+            "paper_claim": "swimlanes per prosumer-hierarchy member with an MDX query window",
+        },
+        "Figure 5: pivot view",
+    )
+    assert table.row_members
+    assert "MDX query window" in svg
+
+
+def test_fig05_mdx_query_window(benchmark, paper_scenario):
+    """The manual MDX query of the Figure 5 window, timed end to end."""
+    view = PivotView(paper_scenario.flex_offers, paper_scenario.grid)
+    query = (
+        "SELECT {[Measures].[flex_offer_count], [Measures].[scheduled_energy]} ON COLUMNS, "
+        "{[Prosumer].[prosumer_type].Members} ON ROWS FROM [FlexOffers] "
+        "WHERE ([State].[state].[assigned])"
+    )
+    table = benchmark(lambda: view.run_mdx(query))
+    record(
+        benchmark,
+        {
+            "rows": list(map(str, table.row_members)),
+            "columns": list(map(str, table.column_members)),
+            "assigned_offer_total": int(sum(row[0] for row in table.values["value"])),
+        },
+        "Figure 5: MDX query",
+    )
+    assert table.column_members == ["flex_offer_count", "scheduled_energy"]
+
+
+def test_fig05_drilldown_hierarchy(benchmark, paper_scenario):
+    """Drill the prosumer hierarchy all the way down, re-aggregating at each level."""
+    def drill():
+        view = PivotView(
+            paper_scenario.flex_offers,
+            paper_scenario.grid,
+            options=PivotViewOptions(row_dimension="Prosumer", row_level="all"),
+        )
+        levels = [view.options.row_level]
+        while True:
+            deeper = view.drill_down()
+            if deeper is view:
+                break
+            view = deeper
+            levels.append(view.options.row_level)
+            view.pivot_table()
+        return levels
+
+    levels = benchmark.pedantic(drill, rounds=3, iterations=1)
+    record(benchmark, {"drill_path": " > ".join(levels)}, "Figure 5: drill-down path")
+    assert levels == ["all", "role", "prosumer_type"]

@@ -1,0 +1,56 @@
+"""FIG-6 bench: the dashboard view over a selected time interval.
+
+Figure 6 summarises the flex-offer data for 2012-02-01 12:00-13:15: a pie of
+the accepted/assigned/rejected shares (31%/43%/26% in the paper's mock) and a
+stacked per-15-minute bar chart of the same counts.  The bench regenerates
+that window and reports the measured shares next to the paper's.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+from repro.views.dashboard import DashboardOptions, DashboardView
+
+#: The shares shown in the paper's mock dashboard.
+PAPER_SHARES = {"accepted": 31, "assigned": 43, "rejected": 26}
+
+
+def test_fig06_dashboard_window(benchmark, paper_scenario):
+    origin = paper_scenario.grid.origin
+    options = DashboardOptions(
+        interval_start=origin.replace(hour=12, minute=0),
+        interval_end=origin.replace(hour=13, minute=15),
+        bucket_slots=1,
+    )
+
+    def build():
+        view = DashboardView(paper_scenario.flex_offers, paper_scenario.grid, options=options)
+        return view, view.to_svg()
+
+    view, svg = benchmark.pedantic(build, rounds=5, iterations=1)
+    shares = {state: round(value) for state, value in view.state_percentages().items()}
+    record(
+        benchmark,
+        {
+            "interval": "2012-02-01 12:00 .. 13:15",
+            "offers_in_interval": len(view.offers),
+            **{f"measured_{state}_pct": value for state, value in shares.items()},
+            **{f"paper_{state}_pct": value for state, value in PAPER_SHARES.items()},
+            "svg_bytes": len(svg),
+        },
+        "Figure 6: dashboard view",
+    )
+    # Shape check: all three states appear and percentages sum to ~100.
+    assert abs(sum(shares.values()) - 100) <= 2 or sum(shares.values()) == 0
+    assert len(view.offers) > 0
+
+
+def test_fig06_dashboard_full_day(benchmark, paper_scenario):
+    """The same dashboard over the whole day (the default summary view)."""
+    def build():
+        view = DashboardView(paper_scenario.flex_offers, paper_scenario.grid)
+        return view.state_totals()
+
+    totals = benchmark.pedantic(build, rounds=5, iterations=1)
+    record(benchmark, {f"total_{state}": value for state, value in totals.items()}, "Figure 6: full day")
+    assert sum(totals.values()) > 0

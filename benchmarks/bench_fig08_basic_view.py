@@ -1,0 +1,88 @@
+"""FIG-8 bench: the basic view of a large flex-offer set.
+
+Figure 8 shows the basic view: lane-stacked boxes with time-flexibility
+rectangles, scheduled-start lines, aggregated/non-aggregated colours and a
+rectangle selection.  The bench times view construction + SVG serialisation
+on ~1500 flex-offers and ablates the lane-packing strategy (greedy first-fit
+vs one offer per lane).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+from repro.views.basic import BasicView, BasicViewOptions
+from repro.views.lanes import LaneStrategy, lane_count
+from repro.views.selection import SelectionModel, SelectionRectangle
+
+
+def test_fig08_basic_view_render(benchmark, large_offer_scenario):
+    offers = large_offer_scenario.flex_offers
+
+    def build():
+        view = BasicView(offers, large_offer_scenario.grid)
+        return view, view.to_svg()
+
+    view, svg = benchmark.pedantic(build, rounds=3, iterations=1)
+    record(
+        benchmark,
+        {
+            "offer_count": len(offers),
+            "lane_count": lane_count(view.lane_assignment),
+            "scene_nodes": view.scene().count_nodes(),
+            "svg_bytes": len(svg),
+            "paper_claim": "the basic view shows a large number of flex-offers at once",
+        },
+        "Figure 8: basic view",
+    )
+    assert lane_count(view.lane_assignment) < len(offers)
+
+
+def test_fig08_rectangle_selection(benchmark, large_offer_scenario):
+    """The rectangle-selection interaction drawn in Figure 8."""
+    offers = large_offer_scenario.flex_offers
+    view = BasicView(offers, large_offer_scenario.grid)
+    area = view.options.plot_area
+    rectangle = SelectionRectangle(
+        area.left + area.width * 0.25,
+        area.top + area.height * 0.2,
+        area.left + area.width * 0.6,
+        area.top + area.height * 0.7,
+    )
+
+    def select():
+        model = SelectionModel(offers)
+        return model.select_rectangle(view, rectangle)
+
+    selected = benchmark(select)
+    record(
+        benchmark,
+        {"offer_count": len(offers), "selected_by_rectangle": len(selected)},
+        "Figure 8: rectangle selection",
+    )
+    assert 0 < len(selected) < len(offers)
+
+
+def test_fig08_lane_packing_ablation(benchmark, large_offer_scenario):
+    """Ablation: greedy first-fit packing vs one lane per offer (vertical space)."""
+    offers = large_offer_scenario.flex_offers
+
+    def build_packed():
+        view = BasicView(offers, large_offer_scenario.grid, options=BasicViewOptions(lane_strategy=LaneStrategy.FIRST_FIT))
+        return lane_count(view.lane_assignment)
+
+    packed_lanes = benchmark.pedantic(build_packed, rounds=3, iterations=1)
+    naive_view = BasicView(
+        offers, large_offer_scenario.grid, options=BasicViewOptions(lane_strategy=LaneStrategy.ONE_PER_LANE)
+    )
+    naive_lanes = lane_count(naive_view.lane_assignment)
+    record(
+        benchmark,
+        {
+            "offer_count": len(offers),
+            "lanes_first_fit": packed_lanes,
+            "lanes_one_per_offer": naive_lanes,
+            "vertical_space_saving": round(naive_lanes / packed_lanes, 1),
+        },
+        "Figure 8 ablation: lane packing",
+    )
+    assert packed_lanes < naive_lanes

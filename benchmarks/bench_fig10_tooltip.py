@@ -1,0 +1,74 @@
+"""FIG-10 bench: on-the-fly information about a pointed flex-offer.
+
+Figure 10 shows the hover interaction: yellow marker lines for the
+creation/acceptance/assignment times and red dashed links from an aggregate
+to its constituents.  The bench times the hover pipeline (hit-test -> detail
+record -> overlay nodes) on the basic view of an aggregated offer set.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+from repro.aggregation.aggregate import aggregate
+from repro.aggregation.parameters import AggregationParameters
+from repro.render.scene import Line
+from repro.views.basic import BasicView
+from repro.views.tooltip import describe, overlay
+
+
+def test_fig10_hover_pipeline(benchmark, paper_scenario):
+    result = aggregate(
+        paper_scenario.flex_offers,
+        AggregationParameters(est_tolerance_slots=6, time_flexibility_tolerance_slots=6),
+    )
+    aggregate_offer = max(result.aggregates, key=lambda offer: len(offer.constituent_ids))
+    # Show the pointed aggregate together with the raw offers so its provenance
+    # links can point at the constituents' lanes (the Figure 10 situation).
+    view = BasicView(list(paper_scenario.flex_offers) + [aggregate_offer], paper_scenario.grid)
+    scene = view.scene()
+    area = view.options.plot_area
+    scale = view._time_scale(area)
+
+    def hover():
+        details = describe(aggregate_offer, paper_scenario.grid)
+        nodes = overlay(
+            aggregate_offer,
+            scale,
+            area,
+            lane_assignment=view.lane_assignment,
+            lane_height=view._lane_height(area),
+        )
+        return details, nodes
+
+    details, nodes = benchmark(hover)
+    markers = [n for n in nodes.walk() if isinstance(n, Line) and n.css_class == "time-marker"]
+    links = [n for n in nodes.walk() if isinstance(n, Line) and n.css_class == "provenance-link"]
+    record(
+        benchmark,
+        {
+            "hovered_offer": aggregate_offer.id,
+            "constituents": len(aggregate_offer.constituent_ids),
+            "time_markers_drawn": len(markers),
+            "provenance_links_drawn": len(links),
+            "detail_lines": len(details.lines()),
+            "scene_nodes": scene.count_nodes(),
+            "paper_claim": "yellow creation/acceptance/assignment markers + red dashed provenance links",
+        },
+        "Figure 10: on-the-fly information",
+    )
+    assert len(links) == len(aggregate_offer.constituent_ids)
+    assert 1 <= len(markers) <= 3
+
+
+def test_fig10_hit_test(benchmark, paper_scenario):
+    """The pointer query itself: which flex-offer is under a pixel."""
+    view = BasicView(paper_scenario.flex_offers, paper_scenario.grid)
+    scene = view.scene()
+    from repro.render.scene import Rect
+
+    box = next(node for node in scene.walk() if isinstance(node, Rect) and "profile-box" in node.css_class)
+    x, y = box.x + box.width / 2, box.y + box.height / 2
+
+    offer_id = benchmark(lambda: view.offer_at(x, y))
+    record(benchmark, {"probed_pixel": f"({x:.0f}, {y:.0f})", "offer_under_pointer": offer_id}, "Figure 10: hit test")
+    assert offer_id is not None

@@ -1,0 +1,88 @@
+"""FIG-11 / CLAIM-3 bench: the aggregation tools and their parameter sweep.
+
+Figure 11 shows the aggregation panel; the accompanying claim is that
+aggregation "reduces the count of flex-offers shown on a screen" with
+interactively tunable parameters.  The bench times aggregation of ~1500
+offers, sweeps the EST tolerance (the interactive tuning) and reports the
+reduction-vs-flexibility-loss trade-off, plus the disaggregation round trip.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+from repro.aggregation.aggregate import aggregate
+from repro.aggregation.disaggregate import disaggregate
+from repro.aggregation.metrics import evaluate
+from repro.aggregation.parameters import AggregationParameters
+from repro.views.aggregation_panel import AggregationPanel
+
+
+def test_fig11_aggregation_reduction(benchmark, large_offer_scenario):
+    offers = large_offer_scenario.flex_offers
+    parameters = AggregationParameters(est_tolerance_slots=8, time_flexibility_tolerance_slots=8)
+
+    result = benchmark(lambda: aggregate(offers, parameters))
+    metrics = evaluate(offers, result)
+    record(
+        benchmark,
+        {
+            "offers_before": metrics.original_count,
+            "offers_after": metrics.aggregated_count,
+            "reduction_ratio": round(metrics.reduction_ratio, 2),
+            "time_flexibility_loss_pct": round(100 * metrics.time_flexibility_loss_ratio, 1),
+            "energy_preserved": round(metrics.aggregated_energy / metrics.original_energy, 6),
+            "paper_claim": "aggregation reduces the count of flex-offers shown on screen",
+        },
+        "Figure 11: aggregation reduction",
+    )
+    assert metrics.reduction_ratio > 1.0
+    assert abs(metrics.aggregated_energy - metrics.original_energy) < 1e-6 * metrics.original_energy
+
+
+def test_fig11_parameter_sweep(benchmark, large_offer_scenario):
+    """CLAIM-3: the interactive tuning — larger tolerances aggregate more but lose flexibility."""
+    panel = AggregationPanel(large_offer_scenario.flex_offers, large_offer_scenario.grid)
+    tolerances = [1, 2, 4, 8, 16, 32]
+
+    points = benchmark.pedantic(
+        lambda: panel.sweep(est_tolerances=tolerances, time_flexibility_tolerances=[4]),
+        rounds=1,
+        iterations=1,
+    )
+    table = {
+        f"est_tol_{point.parameters.est_tolerance_slots:02d}": (
+            f"{point.metrics.aggregated_count} offers, x{point.metrics.reduction_ratio:.1f}, "
+            f"flex loss {100 * point.metrics.time_flexibility_loss_ratio:.0f}%"
+        )
+        for point in points
+    }
+    record(benchmark, {"offers_before": len(large_offer_scenario.flex_offers), **table}, "Figure 11: tolerance sweep")
+    counts = [point.metrics.aggregated_count for point in points]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_fig11_disaggregation_roundtrip(benchmark, paper_scenario):
+    """Disaggregation of a scheduled aggregate back to feasible individual assignments."""
+    result = aggregate(
+        paper_scenario.flex_offers,
+        AggregationParameters(est_tolerance_slots=8, time_flexibility_tolerance_slots=8),
+    )
+    scheduled = [offer.with_default_schedule() for offer in result.aggregates]
+
+    def roundtrip():
+        assignments = []
+        for offer in scheduled:
+            assignments.extend(disaggregate(offer, result.constituents_of(offer.id)))
+        return assignments
+
+    assignments = benchmark(roundtrip)
+    record(
+        benchmark,
+        {
+            "aggregates_scheduled": len(scheduled),
+            "individual_assignments": len(assignments),
+            "all_feasible": all(a.schedule is not None for a in assignments),
+        },
+        "Figure 11: disaggregation round trip",
+    )
+    assert len(assignments) == sum(len(offer.constituent_ids) for offer in scheduled)

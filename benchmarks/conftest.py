@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures (or backs one of its
+qualitative performance claims) and records the headline numbers in
+``benchmark.extra_info`` so they appear in the pytest-benchmark report.  Run
+with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to also see the
+printed rows).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.scenarios import Scenario, ScenarioConfig, generate_scenario
+
+
+@pytest.fixture(scope="session")
+def paper_scenario() -> Scenario:
+    """The default one-day scenario used by the figure benchmarks (~300 flex-offers)."""
+    return generate_scenario(ScenarioConfig(prosumer_count=200, seed=42))
+
+
+@pytest.fixture(scope="session")
+def large_offer_scenario() -> Scenario:
+    """A larger scenario (~1500 flex-offers) for the basic-view and aggregation benches."""
+    return generate_scenario(ScenarioConfig(prosumer_count=1000, seed=43))
+
+
+def record(benchmark, summary: dict, label: str) -> None:
+    """Attach ``summary`` to the benchmark report and print it for -s runs."""
+    for key, value in summary.items():
+        benchmark.extra_info[key] = value
+    print(f"\n[{label}]")
+    for key, value in summary.items():
+        print(f"  {key:<38} {value}")

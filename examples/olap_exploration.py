@@ -1,0 +1,98 @@
+"""OLAP exploration of flex-offer data (the Section 3 requirements in action).
+
+Run with::
+
+    python examples/olap_exploration.py
+
+The script answers the paper's example analysis question — "retrieve counts of
+accepted flex-offers in the west of Denmark for a period, grouped by cities and
+energy type" — and then walks the pivot view through drill-down, an MDX query,
+the map view and the schematic view.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.datagen import ScenarioConfig, generate_scenario
+from repro.olap import FlexOfferCube, GroupBy, MemberFilter, pivot
+from repro.views import MapView, MapViewOptions, PivotView, PivotViewOptions, SchematicView
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+#: Regions considered "west Denmark" in the synthetic geography.
+WEST_DENMARK = ("North Jutland", "Central Jutland", "Southern Denmark")
+
+
+def main() -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    scenario = generate_scenario(ScenarioConfig(prosumer_count=300, seed=23))
+    cube = FlexOfferCube(scenario.flex_offers, scenario.grid, topology=scenario.topology)
+
+    # The paper's example query: counts of accepted flex-offers in west Denmark,
+    # grouped by city and energy type.
+    cell_set = cube.aggregate(
+        group_by=[GroupBy("Geography", "city"), GroupBy("EnergyType", "energy_type")],
+        measures=["accepted_count", "flex_offer_count", "balancing_potential"],
+        filters=[MemberFilter("Geography", "region", WEST_DENMARK)],
+    )
+    print("accepted flex-offers in west Denmark, by city and energy type:")
+    for cell in cell_set.cells:
+        city, energy_type = cell.coordinates
+        print(
+            f"  {city:<12} {energy_type:<8} accepted={cell.values['accepted_count']:>4.0f} "
+            f"of {cell.values['flex_offer_count']:>4.0f}  balancing potential "
+            f"{cell.values['balancing_potential']:.2f}"
+        )
+
+    # A pivot table: prosumer types x hours, measure = scheduled energy.
+    table = pivot(
+        cube,
+        rows=GroupBy("Prosumer", "prosumer_type"),
+        columns=GroupBy("Time", "hour"),
+        measures=["scheduled_energy"],
+    )
+    print("\nscheduled energy by prosumer type and hour:")
+    print(table.to_text("scheduled_energy", cell_width=8))
+
+    # The pivot view with drill-down (Figure 5) and a manual MDX query.
+    view = PivotView(
+        scenario.flex_offers,
+        scenario.grid,
+        options=PivotViewOptions(row_dimension="Prosumer", row_level="role", measure="flex_offer_count"),
+    )
+    view.save_svg(str(OUTPUT_DIR / "olap_pivot_roles.svg"))
+    drilled = view.drill_down()
+    drilled.save_svg(str(OUTPUT_DIR / "olap_pivot_prosumer_types.svg"))
+    print(f"\npivot drill-down: {view.options.row_level} -> {drilled.options.row_level}")
+
+    mdx = (
+        "SELECT {[Measures].[flex_offer_count], [Measures].[scheduled_energy]} ON COLUMNS, "
+        "{[Appliance].[appliance_type].Members} ON ROWS "
+        "FROM [FlexOffers] "
+        "WHERE ([State].[state].[assigned])"
+    )
+    result = view.run_mdx(mdx)
+    print("\nMDX query result (assigned offers by appliance type):")
+    print(result.to_text("value", cell_width=18))
+
+    # Map and schematic views (Figures 3 and 4).
+    MapView(scenario.flex_offers, scenario.geography, scenario.grid).save_svg(
+        str(OUTPUT_DIR / "olap_map_regions.svg")
+    )
+    MapView(
+        scenario.flex_offers,
+        scenario.geography,
+        scenario.grid,
+        options=MapViewOptions(level="city"),
+    ).save_svg(str(OUTPUT_DIR / "olap_map_cities.svg"))
+    schematic = SchematicView(scenario.flex_offers, scenario.topology, scenario.grid)
+    schematic.save_svg(str(OUTPUT_DIR / "olap_schematic.svg"))
+    node = next(iter(schematic.state_shares()))
+    downstream = schematic.offers_under_node(node)
+    print(f"\n{len(downstream)} flex-offers are served below grid node {node!r}")
+    print(f"figures written to {OUTPUT_DIR}/")
+
+
+if __name__ == "__main__":
+    main()

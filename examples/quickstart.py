@@ -1,0 +1,73 @@
+"""Quickstart: generate a scenario, open the framework, render the two detail views.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script mirrors the walk-through of Section 4 of the paper: connect to the
+(synthetic) warehouse, choose a legal entity and a time interval, load its
+flex-offers into a new tab, look at the basic and profile views, hover an
+offer for its details, and draw a selection rectangle.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.datagen import ScenarioConfig, generate_scenario
+from repro.views import (
+    SelectionRectangle,
+    ViewKind,
+    VisualAnalysisFramework,
+)
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def main() -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    # 1. Generate a synthetic one-day scenario and open the analysis framework
+    #    (this stands in for connecting to the MIRABEL DW, Figure 7).
+    scenario = generate_scenario(ScenarioConfig(prosumer_count=120, seed=7))
+    framework = VisualAnalysisFramework(scenario)
+    print("warehouse tables:", framework.loading.warehouse_summary()["row_counts"])
+
+    # 2. Choose a legal entity and load its flex-offers into a new tab.
+    entity = framework.loading.available_entities()[0]
+    entity_tab = framework.open_tab_for_entity(entity["entity_id"])
+    print(f"loaded {len(entity_tab.offers)} flex-offers of entity {entity['name']}")
+
+    # 3. Load everything into a second tab and render the basic view (Figure 8).
+    tab = framework.open_tab_for_all()
+    basic = tab.view()
+    basic_path = OUTPUT_DIR / "quickstart_basic.svg"
+    basic.save_svg(str(basic_path))
+    print(f"basic view: {len(tab.offers)} offers -> {basic_path}")
+
+    # 4. Switch the same tab to the profile view (Figure 9).
+    tab.switch_view(ViewKind.PROFILE)
+    profile_path = OUTPUT_DIR / "quickstart_profile.svg"
+    tab.view().save_svg(str(profile_path))
+    print(f"profile view -> {profile_path}")
+
+    # 5. Hover one flex-offer: the on-the-fly details of Figure 10.
+    details = tab.details_of(tab.offers[0].id)
+    print("\non-the-fly details:")
+    for line in details.lines():
+        print("  " + line)
+
+    # 6. Draw a selection rectangle on the basic view and extract the selection
+    #    to its own tab (the Section 4 interaction).
+    tab.switch_view(ViewKind.BASIC)
+    view = tab.view()
+    rectangle = SelectionRectangle(x1=200, y1=80, x2=500, y2=300)
+    tab.selection.select_rectangle(view, rectangle)
+    selection_tab = tab.extract_selection()
+    framework.tabs.append(selection_tab)
+    print(f"\nrectangle selection picked {len(selection_tab.offers)} offers")
+    print("open tabs:", framework.tab_titles)
+
+
+if __name__ == "__main__":
+    main()

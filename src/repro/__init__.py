@@ -1,0 +1,26 @@
+"""repro: reproduction of "Visualizing Complex Energy Planning Objects With Inherent
+Flexibilities" (Šikšnys & Kaulakienė, EDBT/ICDT Workshops 2013).
+
+The package provides:
+
+* ``repro.flexoffer`` — the flex-offer data model (profiles, flexibilities,
+  lifecycle, schedules) and flexibility measures,
+* ``repro.timeseries`` — the regular time-series substrate,
+* ``repro.datagen`` — synthetic prosumers, geography, grid topology, RES and
+  demand profiles, and full scenarios,
+* ``repro.warehouse`` — the in-memory MIRABEL DW substitute,
+* ``repro.olap`` — dimensions, cube, measures, pivot tables and an MDX subset,
+* ``repro.aggregation`` / ``repro.scheduling`` / ``repro.forecasting`` — the
+  MIRABEL processing components the tool integrates,
+* ``repro.enterprise`` — the planning-and-control loop,
+* ``repro.render`` — the headless rendering substrate (scene graph, SVG, ASCII),
+* ``repro.views`` — the paper's views (basic, profile, map, schematic, pivot,
+  dashboard, aggregation tools, loading workflow, framework facade), and
+* ``repro.app`` — figure regeneration plus the ``flexviz`` CLI.
+"""
+
+from repro.errors import ReproError
+
+__version__ = "0.1.0"
+
+__all__ = ["ReproError", "__version__"]

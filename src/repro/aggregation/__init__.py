@@ -1,0 +1,21 @@
+"""Flex-offer aggregation and disaggregation (MIRABEL-style, start-alignment scheme)."""
+
+from repro.aggregation.aggregate import AggregationResult, aggregate, aggregate_group
+from repro.aggregation.disaggregate import disaggregate, disaggregation_error
+from repro.aggregation.grouping import group_key, group_offers, reduction_ratio
+from repro.aggregation.metrics import AggregationMetrics, evaluate
+from repro.aggregation.parameters import AggregationParameters
+
+__all__ = [
+    "AggregationParameters",
+    "group_offers",
+    "group_key",
+    "reduction_ratio",
+    "aggregate",
+    "aggregate_group",
+    "AggregationResult",
+    "disaggregate",
+    "disaggregation_error",
+    "AggregationMetrics",
+    "evaluate",
+]

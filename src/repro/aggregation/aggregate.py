@@ -1,0 +1,137 @@
+"""N-to-1 aggregation of flex-offer groups.
+
+The aggregation follows the *start-alignment* scheme of the MIRABEL
+aggregation component: every constituent keeps a fixed offset relative to the
+group anchor (the smallest earliest start), per-slot energy bounds are summed,
+and the aggregate's time flexibility is the minimum flexibility of the group —
+so any feasible schedule of the aggregate can always be disaggregated into
+feasible schedules of the constituents.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.aggregation.grouping import group_offers
+from repro.aggregation.parameters import AggregationParameters
+from repro.errors import AggregationError
+from repro.flexoffer.model import Direction, FlexOffer, ProfileSlice
+
+
+def _common_attribute(values: Iterable[str]) -> str:
+    """Return the shared attribute value or ``"mixed"`` when the group disagrees."""
+    unique = {value for value in values}
+    if len(unique) == 1:
+        return next(iter(unique))
+    return "mixed"
+
+
+def aggregate_group(group: Sequence[FlexOffer], aggregate_id: int) -> FlexOffer:
+    """Aggregate one group of flex-offers into a single aggregate flex-offer.
+
+    Raises :class:`~repro.errors.AggregationError` for empty groups or groups
+    mixing consumption with production.
+    """
+    if not group:
+        raise AggregationError("cannot aggregate an empty group")
+    directions = {offer.direction for offer in group}
+    if len(directions) > 1:
+        raise AggregationError("cannot aggregate consumption and production offers together")
+    direction: Direction = next(iter(directions))
+
+    if len(group) == 1:
+        only = group[0]
+        # A singleton aggregate is just the offer itself; keep it unchanged.
+        return only
+
+    anchor = min(offer.earliest_start_slot for offer in group)
+    offsets = [offer.earliest_start_slot - anchor for offer in group]
+    length = max(
+        offset + offer.profile_duration_slots for offset, offer in zip(offsets, group)
+    )
+
+    min_energy = [0.0] * length
+    max_energy = [0.0] * length
+    for offset, offer in zip(offsets, group):
+        position = offset
+        for piece in offer.profile:
+            share_min = piece.min_energy / piece.duration_slots
+            share_max = piece.max_energy / piece.duration_slots
+            for extra in range(piece.duration_slots):
+                min_energy[position + extra] += share_min
+                max_energy[position + extra] += share_max
+            position += piece.duration_slots
+
+    profile = tuple(
+        ProfileSlice(min_energy=min_energy[index], max_energy=max_energy[index])
+        for index in range(length)
+    )
+    time_flexibility = min(offer.time_flexibility_slots for offer in group)
+
+    return FlexOffer(
+        id=aggregate_id,
+        prosumer_id=0,
+        profile=profile,
+        earliest_start_slot=anchor,
+        latest_start_slot=anchor + time_flexibility,
+        creation_time=min(offer.creation_time for offer in group),
+        acceptance_deadline=min(offer.acceptance_deadline for offer in group),
+        assignment_deadline=min(offer.assignment_deadline for offer in group),
+        direction=direction,
+        region=_common_attribute(offer.region for offer in group),
+        city=_common_attribute(offer.city for offer in group),
+        district=_common_attribute(offer.district for offer in group),
+        grid_node=_common_attribute(offer.grid_node for offer in group),
+        energy_type=_common_attribute(offer.energy_type for offer in group),
+        prosumer_type=_common_attribute(offer.prosumer_type for offer in group),
+        appliance_type=_common_attribute(offer.appliance_type for offer in group),
+        price_per_kwh=sum(offer.price_per_kwh for offer in group) / len(group),
+        is_aggregate=True,
+        constituent_ids=tuple(offer.id for offer in group),
+    )
+
+
+class AggregationResult:
+    """Outcome of aggregating a set of flex-offers.
+
+    Keeps both the resulting offer list (aggregates plus untouched singletons)
+    and the provenance mapping needed by disaggregation and by the tooltip
+    view (Figure 10's dashed links from an aggregate to its constituents).
+    """
+
+    def __init__(self) -> None:
+        self.offers: list[FlexOffer] = []
+        self.constituents: dict[int, list[FlexOffer]] = {}
+
+    @property
+    def aggregates(self) -> list[FlexOffer]:
+        """Only the offers that are true aggregates (more than one constituent)."""
+        return [offer for offer in self.offers if offer.is_aggregate]
+
+    def constituents_of(self, aggregate_id: int) -> list[FlexOffer]:
+        """The original offers folded into aggregate ``aggregate_id`` (empty if none)."""
+        return self.constituents.get(aggregate_id, [])
+
+
+def aggregate(
+    offers: Sequence[FlexOffer],
+    parameters: AggregationParameters | None = None,
+    id_offset: int = 1_000_000,
+) -> AggregationResult:
+    """Group and aggregate ``offers``.
+
+    Aggregate ids are allocated from ``id_offset`` upwards so they never clash
+    with the ids of raw offers loaded from the warehouse.
+    """
+    parameters = parameters or AggregationParameters()
+    result = AggregationResult()
+    next_id = id_offset
+    for group in group_offers(offers, parameters):
+        if len(group) == 1:
+            result.offers.append(group[0])
+            continue
+        combined = aggregate_group(group, next_id)
+        result.offers.append(combined)
+        result.constituents[combined.id] = list(group)
+        next_id += 1
+    return result

@@ -1,0 +1,110 @@
+"""Disaggregation: distributing an aggregate's schedule back to its constituents.
+
+After the scheduler fixes a start time and per-slot energy amounts for an
+aggregate flex-offer, the enterprise must send *flex-offer assignments* to the
+individual prosumers (Section 2 of the paper).  Start-alignment aggregation
+makes this sound: shifting the aggregate by ``delta`` slots shifts every
+constituent by the same ``delta`` (which is within each constituent's
+flexibility because the aggregate kept only the minimum flexibility), and the
+per-slot energy surplus above the group minimum is shared proportionally to
+each constituent's slack in that slot.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import DisaggregationError
+from repro.flexoffer.model import FlexOffer, Schedule
+
+
+def _per_slot_bounds(offer: FlexOffer) -> tuple[list[float], list[float]]:
+    """Per-slot (min, max) energy of ``offer`` spread over slice durations."""
+    minimums: list[float] = []
+    maximums: list[float] = []
+    for piece in offer.profile:
+        for _ in range(piece.duration_slots):
+            minimums.append(piece.min_energy / piece.duration_slots)
+            maximums.append(piece.max_energy / piece.duration_slots)
+    return minimums, maximums
+
+
+def disaggregate(
+    aggregate_offer: FlexOffer,
+    constituents: Sequence[FlexOffer],
+    schedule: Schedule | None = None,
+) -> list[FlexOffer]:
+    """Disaggregate ``aggregate_offer``'s schedule onto its constituents.
+
+    Parameters
+    ----------
+    aggregate_offer:
+        The aggregate produced by :func:`repro.aggregation.aggregate.aggregate_group`.
+    constituents:
+        The original flex-offers that were folded into the aggregate.
+    schedule:
+        The schedule to distribute; defaults to ``aggregate_offer.schedule``.
+
+    Returns the constituents with their state set to *assigned* and a feasible
+    schedule attached.  Raises :class:`DisaggregationError` when the aggregate
+    has no schedule or the constituents do not match its provenance.
+    """
+    schedule = schedule if schedule is not None else aggregate_offer.schedule
+    if schedule is None:
+        raise DisaggregationError(f"aggregate {aggregate_offer.id} has no schedule to disaggregate")
+    expected = set(aggregate_offer.constituent_ids)
+    provided = {offer.id for offer in constituents}
+    if expected and expected != provided:
+        raise DisaggregationError(
+            f"constituents {sorted(provided)} do not match aggregate provenance {sorted(expected)}"
+        )
+
+    delta = schedule.start_slot - aggregate_offer.earliest_start_slot
+    anchor = aggregate_offer.earliest_start_slot
+
+    # Aggregate per-slot scheduled amount and bounds (its slices are 1 slot wide).
+    agg_min, agg_max = _per_slot_bounds(aggregate_offer)
+    agg_scheduled = list(schedule.energy_per_slice)
+    if len(agg_scheduled) != len(agg_min):
+        raise DisaggregationError("schedule length does not match the aggregate profile")
+
+    # Per-slot fraction of the available band that the scheduler used.
+    fractions = []
+    for low, high, value in zip(agg_min, agg_max, agg_scheduled):
+        band = high - low
+        fractions.append((value - low) / band if band > 1e-12 else 0.0)
+
+    assigned: list[FlexOffer] = []
+    for offer in constituents:
+        offset = offer.earliest_start_slot - anchor
+        start = offer.earliest_start_slot + delta
+        piece_amounts: list[float] = []
+        position = offset
+        for piece in offer.profile:
+            amount = 0.0
+            for extra in range(piece.duration_slots):
+                slot_index = position + extra
+                fraction = fractions[slot_index] if 0 <= slot_index < len(fractions) else 0.0
+                low = piece.min_energy / piece.duration_slots
+                high = piece.max_energy / piece.duration_slots
+                amount += low + fraction * (high - low)
+            position += piece.duration_slots
+            # Guard against floating point drift outside the slice band.
+            amount = min(max(amount, piece.min_energy), piece.max_energy)
+            piece_amounts.append(amount)
+        assigned.append(offer.assign(Schedule(start_slot=start, energy_per_slice=tuple(piece_amounts))))
+    return assigned
+
+
+def disaggregation_error(
+    aggregate_offer: FlexOffer, assigned_constituents: Sequence[FlexOffer]
+) -> float:
+    """Absolute energy difference between the aggregate schedule and the distributed schedules.
+
+    Exactly zero would mean lossless disaggregation; small positive values stem
+    from clamping constituent slices to their bounds.
+    """
+    if aggregate_offer.schedule is None:
+        raise DisaggregationError("aggregate has no schedule")
+    distributed = sum(offer.scheduled_energy for offer in assigned_constituents)
+    return abs(aggregate_offer.schedule.total_energy - distributed)

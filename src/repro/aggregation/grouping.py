@@ -1,0 +1,71 @@
+"""Grid-based grouping of flex-offers prior to aggregation.
+
+Offers may only be aggregated together when they are "similar enough" that the
+aggregate loses little flexibility.  The grid-based grouping of the MIRABEL
+aggregation component bins offers by earliest start time and time flexibility
+(window widths given by :class:`~repro.aggregation.parameters.AggregationParameters`);
+each non-empty bin becomes one candidate group, optionally chopped into chunks
+of ``max_group_size``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.aggregation.parameters import AggregationParameters
+from repro.flexoffer.model import FlexOffer
+
+#: A grouping key: (EST bin, TFT bin, direction or "").
+GroupKey = tuple[int, int, str]
+
+
+def group_key(offer: FlexOffer, parameters: AggregationParameters) -> GroupKey:
+    """The grouping-grid cell an offer falls into."""
+    est_bin = offer.earliest_start_slot // parameters.est_tolerance_slots
+    tft_bin = offer.time_flexibility_slots // parameters.time_flexibility_tolerance_slots
+    direction = offer.direction.value if parameters.separate_directions else ""
+    return est_bin, tft_bin, direction
+
+
+def group_offers(
+    offers: Sequence[FlexOffer], parameters: AggregationParameters | None = None
+) -> list[list[FlexOffer]]:
+    """Partition ``offers`` into aggregation groups.
+
+    Offers that are already aggregates are kept alone in their own group so
+    that repeated aggregation never nests provenance more than one level deep
+    (matching the tool, which distinguishes only aggregated vs non-aggregated
+    offers by colour).
+    """
+    parameters = parameters or AggregationParameters()
+    bins: dict[GroupKey, list[FlexOffer]] = {}
+    singletons: list[list[FlexOffer]] = []
+    for offer in offers:
+        if offer.is_aggregate:
+            singletons.append([offer])
+            continue
+        bins.setdefault(group_key(offer, parameters), []).append(offer)
+
+    groups: list[list[FlexOffer]] = []
+    for key in sorted(bins):
+        members = bins[key]
+        if parameters.max_group_size and len(members) > parameters.max_group_size:
+            for start in range(0, len(members), parameters.max_group_size):
+                groups.append(members[start : start + parameters.max_group_size])
+        else:
+            groups.append(members)
+    groups.extend(singletons)
+    return groups
+
+
+def reduction_ratio(original_count: int, aggregated_count: int) -> float:
+    """How strongly aggregation reduced the number of on-screen objects.
+
+    1.0 means no reduction; e.g. 4.0 means four times fewer objects.  Returns
+    0.0 when there was nothing to aggregate.
+    """
+    if original_count == 0:
+        return 0.0
+    if aggregated_count == 0:
+        return float(original_count)
+    return original_count / aggregated_count

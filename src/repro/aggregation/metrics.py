@@ -1,0 +1,68 @@
+"""Quality metrics of an aggregation run.
+
+The aggregation panel of the tool (Figure 11) lets the analyst tune the
+grouping tolerances interactively; these metrics quantify the trade-off the
+panel exposes: stronger aggregation shows fewer objects on screen but loses
+time flexibility (the aggregate keeps only its group's minimum flexibility).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.aggregation.aggregate import AggregationResult
+from repro.flexoffer.model import FlexOffer
+
+
+@dataclass(frozen=True)
+class AggregationMetrics:
+    """Summary of one aggregation run."""
+
+    original_count: int
+    aggregated_count: int
+    aggregate_count: int
+    reduction_ratio: float
+    original_time_flexibility_slots: int
+    retained_time_flexibility_slots: int
+    time_flexibility_loss_ratio: float
+    original_energy: float
+    aggregated_energy: float
+
+
+def evaluate(original: Sequence[FlexOffer], result: AggregationResult) -> AggregationMetrics:
+    """Compute the aggregation metrics for ``result`` produced from ``original``.
+
+    Retained time flexibility counts, for every original offer, the flexibility
+    of the object that now represents it on screen (the aggregate's flexibility
+    for folded offers, its own for untouched ones).
+    """
+    original_count = len(original)
+    aggregated_count = len(result.offers)
+    original_flex = sum(offer.time_flexibility_slots for offer in original)
+
+    retained_flex = 0
+    for offer in result.offers:
+        if offer.is_aggregate:
+            retained_flex += offer.time_flexibility_slots * len(offer.constituent_ids)
+        else:
+            retained_flex += offer.time_flexibility_slots
+
+    original_energy = float(sum(offer.max_total_energy for offer in original))
+    aggregated_energy = float(sum(offer.max_total_energy for offer in result.offers))
+
+    loss_ratio = 0.0
+    if original_flex > 0:
+        loss_ratio = max(0.0, 1.0 - retained_flex / original_flex)
+
+    return AggregationMetrics(
+        original_count=original_count,
+        aggregated_count=aggregated_count,
+        aggregate_count=len(result.aggregates),
+        reduction_ratio=(original_count / aggregated_count) if aggregated_count else 0.0,
+        original_time_flexibility_slots=original_flex,
+        retained_time_flexibility_slots=retained_flex,
+        time_flexibility_loss_ratio=loss_ratio,
+        original_energy=original_energy,
+        aggregated_energy=aggregated_energy,
+    )

@@ -1,0 +1,50 @@
+"""Aggregation parameters.
+
+The visualization tool "allows interactive tuning values of the aggregation
+parameters" (Section 4).  Following the MIRABEL aggregation work (Šikšnys,
+Khalefa, Pedersen: *Aggregating and Disaggregating Flexibility Objects*,
+SSDBM 2012), flex-offers are grouped before aggregation by similarity of their
+**earliest start time (EST)** and their **time flexibility (TFT)**; the two
+tolerances below are the widths of the grouping grid in those dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AggregationError
+
+
+@dataclass(frozen=True)
+class AggregationParameters:
+    """Parameters of grid-based flex-offer grouping and aggregation.
+
+    Parameters
+    ----------
+    est_tolerance_slots:
+        Offers whose earliest start slots fall into the same window of this
+        width may be aggregated together.  Larger values aggregate more
+        aggressively but shift constituents further from their preferred start.
+    time_flexibility_tolerance_slots:
+        Offers whose start-time flexibilities fall into the same window of this
+        width may be aggregated together.  Larger values lose more time
+        flexibility (the aggregate keeps only the group's minimum flexibility).
+    max_group_size:
+        Upper bound on how many offers one aggregate may contain (0 = unlimited).
+    separate_directions:
+        Whether consumption and production offers are always kept apart
+        (they are in MIRABEL, since they balance opposite sides of the grid).
+    """
+
+    est_tolerance_slots: int = 4
+    time_flexibility_tolerance_slots: int = 4
+    max_group_size: int = 0
+    separate_directions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.est_tolerance_slots < 1:
+            raise AggregationError("est_tolerance_slots must be >= 1")
+        if self.time_flexibility_tolerance_slots < 1:
+            raise AggregationError("time_flexibility_tolerance_slots must be >= 1")
+        if self.max_group_size < 0:
+            raise AggregationError("max_group_size must be >= 0")

@@ -1,0 +1,10 @@
+"""Application layer: figure regeneration and the ``flexviz`` command-line interface."""
+
+from repro.app.figures import (
+    FIGURE_BUILDERS,
+    FigureArtifact,
+    default_scenario,
+    generate_all_figures,
+)
+
+__all__ = ["FigureArtifact", "FIGURE_BUILDERS", "default_scenario", "generate_all_figures"]

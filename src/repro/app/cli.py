@@ -1,0 +1,159 @@
+"""Command-line interface of the reproduction (``flexviz``).
+
+Sub-commands:
+
+* ``flexviz figures --out <dir>`` — regenerate every paper figure as SVG.
+* ``flexviz render --view basic --out basic.svg`` — render one view of a
+  freshly generated scenario.
+* ``flexviz warehouse --out <dir>`` — generate a scenario and persist its
+  star schema as CSV files.
+* ``flexviz plan`` — run one enterprise planning cycle and print the report.
+* ``flexviz mdx "<query>"`` — run an MDX-like query against a scenario cube
+  and print the resulting table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.app.figures import default_scenario, generate_all_figures
+from repro.datagen.scenarios import ScenarioConfig, generate_scenario
+from repro.enterprise.planning import run_planning_cycle
+from repro.olap.cube import FlexOfferCube
+from repro.olap.mdx import execute as execute_mdx
+from repro.scheduling.evaluation import compare, report
+from repro.scheduling.greedy import EarliestStartScheduler, GreedyScheduler
+from repro.scheduling.problem import BalancingProblem, make_target
+from repro.views.basic import BasicView
+from repro.views.dashboard import DashboardView
+from repro.views.map_view import MapView
+from repro.views.pivot_view import PivotView
+from repro.views.profile_view import ProfileView
+from repro.views.schematic import SchematicView
+from repro.warehouse.loader import load_scenario
+from repro.warehouse.persistence import save_schema
+
+_VIEW_NAMES = ("basic", "profile", "map", "schematic", "pivot", "dashboard")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flexviz",
+        description="Flex-offer visual analysis framework (EDBT/ICDT 2013 reproduction)",
+    )
+    parser.add_argument("--prosumers", type=int, default=200, help="scenario size (default 200)")
+    parser.add_argument("--seed", type=int, default=42, help="scenario random seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figures = subparsers.add_parser("figures", help="regenerate every paper figure as SVG")
+    figures.add_argument("--out", default="figures", help="output directory")
+
+    render = subparsers.add_parser("render", help="render one view to SVG")
+    render.add_argument("--view", choices=_VIEW_NAMES, default="basic")
+    render.add_argument("--out", default="view.svg", help="output SVG path")
+    render.add_argument("--ascii", action="store_true", help="print an ASCII rendering instead")
+
+    warehouse = subparsers.add_parser("warehouse", help="persist a scenario's star schema as CSV")
+    warehouse.add_argument("--out", default="warehouse", help="output directory")
+
+    subparsers.add_parser("plan", help="run one planning cycle and print the report")
+
+    mdx = subparsers.add_parser("mdx", help="run an MDX-like query against a scenario cube")
+    mdx.add_argument("query", help="the MDX query text")
+    return parser
+
+
+def _make_scenario(args: argparse.Namespace):
+    return generate_scenario(ScenarioConfig(prosumer_count=args.prosumers, seed=args.seed))
+
+
+def _command_figures(args: argparse.Namespace) -> int:
+    scenario = _make_scenario(args)
+    artifacts = generate_all_figures(scenario, directory=args.out)
+    for artifact in artifacts:
+        print(f"{artifact.figure_id:<24} {artifact.title}")
+    print(f"wrote {len(artifacts)} figures to {args.out}/")
+    return 0
+
+
+def _command_render(args: argparse.Namespace) -> int:
+    scenario = _make_scenario(args)
+    if args.view == "basic":
+        view = BasicView(scenario.flex_offers, scenario.grid)
+    elif args.view == "profile":
+        view = ProfileView(scenario.flex_offers[:100], scenario.grid)
+    elif args.view == "map":
+        view = MapView(scenario.flex_offers, scenario.geography, scenario.grid)
+    elif args.view == "schematic":
+        view = SchematicView(scenario.flex_offers, scenario.topology, scenario.grid)
+    elif args.view == "pivot":
+        view = PivotView(scenario.flex_offers, scenario.grid)
+    else:
+        view = DashboardView(scenario.flex_offers, scenario.grid)
+    if args.ascii:
+        print(view.to_ascii(columns=110))
+        return 0
+    view.save_svg(args.out)
+    print(f"wrote {args.view} view ({len(scenario.flex_offers)} flex-offers) to {args.out}")
+    return 0
+
+
+def _command_warehouse(args: argparse.Namespace) -> int:
+    scenario = _make_scenario(args)
+    schema = load_scenario(scenario)
+    written = save_schema(schema, args.out)
+    for path in written:
+        print(path)
+    print(f"wrote {len(written)} tables to {args.out}/")
+    return 0
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    scenario = _make_scenario(args)
+    target = make_target(scenario.res_production, scenario.base_demand)
+    problem = BalancingProblem(offers=list(scenario.flex_offers), target=target, grid=scenario.grid)
+    baseline = report(EarliestStartScheduler().schedule(problem))
+    plan = run_planning_cycle(scenario, scheduler=GreedyScheduler())
+    print(compare([baseline, plan.balance_report]))
+    print()
+    print(f"spot trades           : {len(plan.trades)}")
+    print(f"trade cost            : {plan.trade_cost_eur:10.2f} EUR")
+    print(f"imbalance cost        : {plan.imbalance_cost_eur:10.2f} EUR")
+    print(f"plan deviation        : {plan.settlement.total_absolute_deviation:10.2f} kWh")
+    return 0
+
+
+def _command_mdx(args: argparse.Namespace) -> int:
+    scenario = _make_scenario(args)
+    cube = FlexOfferCube(scenario.flex_offers, scenario.grid, topology=scenario.topology)
+    table = execute_mdx(cube, args.query)
+    print(json.dumps(
+        {
+            "rows": [str(member) for member in table.row_members],
+            "columns": [str(member) for member in table.column_members],
+            "values": table.values["value"],
+        },
+        indent=2,
+    ))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    commands = {
+        "figures": _command_figures,
+        "render": _command_render,
+        "warehouse": _command_warehouse,
+        "plan": _command_plan,
+        "mdx": _command_mdx,
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

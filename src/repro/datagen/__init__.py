@@ -1,0 +1,55 @@
+"""Synthetic data generation: geography, grid topology, prosumers, flex-offers, scenarios."""
+
+from repro.datagen.appliances import ARCHETYPES, ApplianceArchetype, archetype_by_name, sample_archetype
+from repro.datagen.demand import base_demand_for_prosumer, spot_prices, total_base_demand
+from repro.datagen.flexoffers import (
+    FlexOfferGenerationConfig,
+    generate_flex_offer,
+    generate_flex_offers,
+)
+from repro.datagen.geography import City, District, Geography, Region, generate_geography
+from repro.datagen.grid import GridLine, GridNode, GridTopology, NodeKind, generate_grid
+from repro.datagen.prosumers import Prosumer, ProsumerType, generate_prosumers, prosumers_by_type
+from repro.datagen.res import solar_production, total_res_production, wind_production
+from repro.datagen.scenarios import (
+    Scenario,
+    ScenarioConfig,
+    generate_scenario,
+    scenario_with_offer_count,
+    small_scenario,
+)
+
+__all__ = [
+    "ARCHETYPES",
+    "ApplianceArchetype",
+    "archetype_by_name",
+    "sample_archetype",
+    "base_demand_for_prosumer",
+    "total_base_demand",
+    "spot_prices",
+    "FlexOfferGenerationConfig",
+    "generate_flex_offer",
+    "generate_flex_offers",
+    "Geography",
+    "Region",
+    "City",
+    "District",
+    "generate_geography",
+    "GridTopology",
+    "GridNode",
+    "GridLine",
+    "NodeKind",
+    "generate_grid",
+    "Prosumer",
+    "ProsumerType",
+    "generate_prosumers",
+    "prosumers_by_type",
+    "solar_production",
+    "wind_production",
+    "total_res_production",
+    "Scenario",
+    "ScenarioConfig",
+    "generate_scenario",
+    "small_scenario",
+    "scenario_with_offer_count",
+]

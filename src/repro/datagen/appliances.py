@@ -1,0 +1,145 @@
+"""Appliance archetypes used to synthesise realistic flex-offers.
+
+The MIRABEL pilot derives flex-offers from real appliances (electric vehicles,
+heat pumps, wet appliances, industrial batch processes, micro generation).  No
+pilot data is available, so each archetype here captures the published rough
+characteristics of its appliance class — profile length, per-slice energy
+bounds, how far the start can be shifted, and at which hours prosumers tend to
+issue the offers — expressed in the slot units of a 15-minute grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flexoffer.model import Direction
+
+
+@dataclass(frozen=True)
+class ApplianceArchetype:
+    """Statistical template from which individual flex-offers are drawn.
+
+    Energy values are kWh per 15-minute slot; durations and flexibilities are
+    numbers of slots.
+    """
+
+    name: str
+    energy_type: str
+    direction: Direction
+    #: (low, high) of the uniform distribution of profile length in slots.
+    duration_slots_range: tuple[int, int]
+    #: (low, high) of the uniform distribution of the per-slice minimum energy.
+    slice_min_energy_range: tuple[float, float]
+    #: Multiplier applied to the minimum to obtain the slice maximum (>= 1).
+    energy_band_factor_range: tuple[float, float]
+    #: (low, high) of the uniform distribution of start-time flexibility in slots.
+    time_flexibility_range: tuple[int, int]
+    #: Hours of the day (0-23) at which offers of this type typically start being available.
+    preferred_start_hours: tuple[int, ...]
+    #: Relative frequency of this appliance among the prosumer population.
+    popularity: float
+
+
+#: The appliance mix used by the synthetic scenarios.  Popularities are
+#: normalised at sampling time, so they only need to be relative weights.
+ARCHETYPES: tuple[ApplianceArchetype, ...] = (
+    ApplianceArchetype(
+        name="electric_vehicle",
+        energy_type="grid",
+        direction=Direction.CONSUMPTION,
+        duration_slots_range=(8, 16),          # 2-4 hours of charging
+        slice_min_energy_range=(0.6, 1.2),     # ~2.5-5 kW charger
+        energy_band_factor_range=(1.2, 1.8),
+        time_flexibility_range=(8, 32),        # can shift 2-8 hours overnight
+        preferred_start_hours=(18, 19, 20, 21, 22, 23, 0, 1),
+        popularity=3.0,
+    ),
+    ApplianceArchetype(
+        name="heat_pump",
+        energy_type="grid",
+        direction=Direction.CONSUMPTION,
+        duration_slots_range=(4, 8),
+        slice_min_energy_range=(0.3, 0.8),
+        energy_band_factor_range=(1.3, 2.0),
+        time_flexibility_range=(2, 12),
+        preferred_start_hours=(5, 6, 7, 8, 13, 14, 15, 16),
+        popularity=2.5,
+    ),
+    ApplianceArchetype(
+        name="dishwasher",
+        energy_type="grid",
+        direction=Direction.CONSUMPTION,
+        duration_slots_range=(4, 6),
+        slice_min_energy_range=(0.2, 0.4),
+        energy_band_factor_range=(1.0, 1.2),
+        time_flexibility_range=(4, 24),
+        preferred_start_hours=(19, 20, 21, 22),
+        popularity=2.0,
+    ),
+    ApplianceArchetype(
+        name="washing_machine",
+        energy_type="grid",
+        direction=Direction.CONSUMPTION,
+        duration_slots_range=(4, 8),
+        slice_min_energy_range=(0.15, 0.5),
+        energy_band_factor_range=(1.0, 1.3),
+        time_flexibility_range=(4, 20),
+        preferred_start_hours=(7, 8, 9, 17, 18, 19),
+        popularity=2.0,
+    ),
+    ApplianceArchetype(
+        name="industrial_batch",
+        energy_type="grid",
+        direction=Direction.CONSUMPTION,
+        duration_slots_range=(12, 32),
+        slice_min_energy_range=(5.0, 20.0),
+        energy_band_factor_range=(1.1, 1.5),
+        time_flexibility_range=(4, 16),
+        preferred_start_hours=(6, 7, 8, 9, 10),
+        popularity=0.6,
+    ),
+    ApplianceArchetype(
+        name="micro_chp",
+        energy_type="chp",
+        direction=Direction.PRODUCTION,
+        duration_slots_range=(6, 16),
+        slice_min_energy_range=(0.5, 2.0),
+        energy_band_factor_range=(1.1, 1.6),
+        time_flexibility_range=(2, 10),
+        preferred_start_hours=(6, 7, 8, 17, 18, 19),
+        popularity=0.8,
+    ),
+    ApplianceArchetype(
+        name="hydro_pump_storage",
+        energy_type="hydro",
+        direction=Direction.PRODUCTION,
+        duration_slots_range=(8, 24),
+        slice_min_energy_range=(10.0, 40.0),
+        energy_band_factor_range=(1.2, 2.0),
+        time_flexibility_range=(4, 24),
+        preferred_start_hours=(0, 1, 2, 3, 11, 12, 13),
+        popularity=0.2,
+    ),
+)
+
+
+def archetype_by_name(name: str) -> ApplianceArchetype:
+    """Return the archetype called ``name``.
+
+    Raises ``KeyError`` when the name is unknown; callers that want a soft
+    failure should catch it.
+    """
+    for archetype in ARCHETYPES:
+        if archetype.name == name:
+            return archetype
+    raise KeyError(name)
+
+
+def sample_archetype(rng: np.random.Generator, allowed: tuple[ApplianceArchetype, ...] = ARCHETYPES) -> ApplianceArchetype:
+    """Draw one archetype according to the popularity weights."""
+    weights = np.array([a.popularity for a in allowed], dtype=float)
+    weights = weights / weights.sum()
+    index = int(rng.choice(len(allowed), p=weights))
+    return allowed[index]

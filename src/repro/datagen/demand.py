@@ -1,0 +1,90 @@
+"""Synthetic non-flexible (base) demand profiles.
+
+The non-flexible demand in Figure 1 is the load the enterprise cannot shift:
+lighting, cooking, electronics, always-on industry.  The generator produces the
+classic double-peak diurnal shape (morning and evening peaks, night valley)
+scaled by the prosumer population, plus small stochastic noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.prosumers import Prosumer
+from repro.timeseries.grid import TimeGrid
+from repro.timeseries.series import TimeSeries
+
+
+def _diurnal_shape(hour: np.ndarray) -> np.ndarray:
+    """Relative demand level per hour-of-day (dimensionless, mean ~1)."""
+    morning_peak = 0.7 * np.exp(-((hour - 7.5) ** 2) / (2 * 1.5**2))
+    evening_peak = 1.0 * np.exp(-((hour - 18.5) ** 2) / (2 * 2.0**2))
+    base = 0.55
+    return base + morning_peak + evening_peak
+
+
+def base_demand_for_prosumer(
+    prosumer: Prosumer,
+    grid: TimeGrid,
+    start_slot: int,
+    length: int,
+    seed: int | None = None,
+) -> TimeSeries:
+    """Base (non-flexible) demand of one prosumer, kWh per slot."""
+    rng = np.random.default_rng(prosumer.id if seed is None else seed)
+    hours = np.empty(length)
+    for index in range(length):
+        instant = grid.to_datetime(start_slot + index)
+        hours[index] = instant.hour + instant.minute / 60.0
+    shape = _diurnal_shape(hours)
+    noise = rng.normal(1.0, 0.08, size=length).clip(0.5, 1.5)
+    values = prosumer.base_load_kwh_per_slot * shape * noise
+    return TimeSeries(grid, start_slot, values, name=f"base-{prosumer.id}", unit="kWh")
+
+
+def total_base_demand(
+    prosumers: list[Prosumer],
+    grid: TimeGrid,
+    start_slot: int,
+    length: int,
+    seed: int = 31,
+) -> TimeSeries:
+    """Total base demand of the whole population, kWh per slot.
+
+    For efficiency the population total is computed directly from the summed
+    base-load scale rather than by adding one series per prosumer; statistical
+    noise is applied once at the aggregate level.
+    """
+    rng = np.random.default_rng(seed)
+    total_scale = float(sum(p.base_load_kwh_per_slot for p in prosumers))
+    hours = np.empty(length)
+    for index in range(length):
+        instant = grid.to_datetime(start_slot + index)
+        hours[index] = instant.hour + instant.minute / 60.0
+    shape = _diurnal_shape(hours)
+    noise = rng.normal(1.0, 0.03, size=length).clip(0.8, 1.2)
+    values = total_scale * shape * noise
+    return TimeSeries(grid, start_slot, values, name="non-flexible demand", unit="kWh")
+
+
+def spot_prices(
+    grid: TimeGrid,
+    start_slot: int,
+    length: int,
+    mean_price: float = 45.0,
+    seed: int = 32,
+) -> TimeSeries:
+    """Synthetic day-ahead spot prices (EUR/MWh) following the demand shape.
+
+    Prices correlate with the diurnal demand shape and carry moderate noise —
+    enough for the enterprise pipeline's market interactions to be meaningful.
+    """
+    rng = np.random.default_rng(seed)
+    hours = np.empty(length)
+    for index in range(length):
+        instant = grid.to_datetime(start_slot + index)
+        hours[index] = instant.hour + instant.minute / 60.0
+    shape = _diurnal_shape(hours)
+    noise = rng.normal(0.0, 4.0, size=length)
+    values = mean_price * shape / shape.mean() + noise
+    return TimeSeries(grid, start_slot, values.clip(0.0), name="spot price", unit="EUR/MWh")

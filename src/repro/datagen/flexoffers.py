@@ -1,0 +1,149 @@
+"""Synthetic flex-offer generation from the prosumer population.
+
+Every flex-offer is drawn from one of the prosumer's appliance archetypes:
+the profile length, per-slice energy bounds, start-time flexibility and the
+preferred issuing hour all follow the archetype's distributions.  Deadlines are
+derived backwards from the earliest start time, matching the ordering shown in
+the paper's Figure 2 (creation < acceptance < assignment < earliest start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import timedelta
+
+import numpy as np
+
+from repro.datagen.appliances import ApplianceArchetype
+from repro.datagen.prosumers import Prosumer
+from repro.errors import DataGenerationError
+from repro.flexoffer.model import FlexOffer, ProfileSlice
+from repro.timeseries.grid import TimeGrid
+
+
+@dataclass(frozen=True)
+class FlexOfferGenerationConfig:
+    """Parameters controlling synthetic flex-offer generation."""
+
+    #: First slot of the planning horizon offers may start in.
+    horizon_start_slot: int = 0
+    #: Length of the planning horizon in slots.
+    horizon_slots: int = 96
+    #: Mean number of flex-offers issued per prosumer over the horizon.
+    offers_per_prosumer: float = 1.5
+    #: How many slots before the earliest start the offer is created, on average.
+    lead_time_slots: int = 16
+    #: Random seed.
+    seed: int = 41
+
+
+def _sample_profile(rng: np.random.Generator, archetype: ApplianceArchetype) -> tuple[ProfileSlice, ...]:
+    low, high = archetype.duration_slots_range
+    duration = int(rng.integers(low, high + 1))
+    slices = []
+    for _ in range(duration):
+        min_energy = float(rng.uniform(*archetype.slice_min_energy_range))
+        band = float(rng.uniform(*archetype.energy_band_factor_range))
+        slices.append(ProfileSlice(min_energy=min_energy, max_energy=min_energy * band))
+    return tuple(slices)
+
+
+def _sample_earliest_start(
+    rng: np.random.Generator,
+    archetype: ApplianceArchetype,
+    grid: TimeGrid,
+    config: FlexOfferGenerationConfig,
+) -> int:
+    """Pick an earliest-start slot near one of the archetype's preferred hours."""
+    horizon_end = config.horizon_start_slot + config.horizon_slots
+    slots_per_hour = max(round(3600 / grid.resolution.total_seconds()), 1)
+    for _ in range(16):
+        day_offset = int(rng.integers(0, max(config.horizon_slots // grid.slots_per_day(), 1) + 1))
+        hour = int(rng.choice(archetype.preferred_start_hours))
+        jitter = int(rng.integers(0, slots_per_hour))
+        candidate = (
+            config.horizon_start_slot
+            + day_offset * grid.slots_per_day()
+            + hour * slots_per_hour
+            + jitter
+        )
+        if config.horizon_start_slot <= candidate < horizon_end:
+            return candidate
+    # Fall back to a uniform draw when the preferred hours never fit the horizon.
+    return int(rng.integers(config.horizon_start_slot, horizon_end))
+
+
+def generate_flex_offer(
+    offer_id: int,
+    prosumer: Prosumer,
+    archetype: ApplianceArchetype,
+    grid: TimeGrid,
+    config: FlexOfferGenerationConfig,
+    rng: np.random.Generator,
+) -> FlexOffer:
+    """Generate one flex-offer for ``prosumer`` from ``archetype``."""
+    profile = _sample_profile(rng, archetype)
+    earliest_start = _sample_earliest_start(rng, archetype, grid, config)
+    flex_low, flex_high = archetype.time_flexibility_range
+    time_flex = int(rng.integers(flex_low, flex_high + 1))
+    latest_start = earliest_start + time_flex
+
+    earliest_start_time = grid.to_datetime(earliest_start)
+    lead = max(int(rng.normal(config.lead_time_slots, config.lead_time_slots / 4)), 2)
+    creation_time = earliest_start_time - lead * grid.resolution
+    acceptance_deadline = earliest_start_time - timedelta(
+        seconds=0.5 * lead * grid.resolution.total_seconds()
+    )
+    assignment_deadline = earliest_start_time - timedelta(
+        seconds=0.25 * lead * grid.resolution.total_seconds()
+    )
+
+    return FlexOffer(
+        id=offer_id,
+        prosumer_id=prosumer.id,
+        profile=profile,
+        earliest_start_slot=earliest_start,
+        latest_start_slot=latest_start,
+        creation_time=creation_time,
+        acceptance_deadline=acceptance_deadline,
+        assignment_deadline=assignment_deadline,
+        direction=archetype.direction,
+        region=prosumer.region,
+        city=prosumer.city,
+        district=prosumer.district,
+        grid_node=prosumer.grid_node,
+        energy_type=archetype.energy_type,
+        prosumer_type=prosumer.type.value,
+        appliance_type=archetype.name,
+        price_per_kwh=float(rng.uniform(0.04, 0.12)),
+    )
+
+
+def generate_flex_offers(
+    prosumers: list[Prosumer],
+    grid: TimeGrid,
+    config: FlexOfferGenerationConfig | None = None,
+) -> list[FlexOffer]:
+    """Generate flex-offers for the whole prosumer population.
+
+    The number of offers per prosumer is Poisson-distributed around
+    ``config.offers_per_prosumer``; archetypes are drawn from the appliances
+    the prosumer owns, weighted by archetype popularity.
+    """
+    if not prosumers:
+        raise DataGenerationError("cannot generate flex-offers for an empty population")
+    config = config or FlexOfferGenerationConfig()
+    rng = np.random.default_rng(config.seed)
+    offers: list[FlexOffer] = []
+    offer_id = 1
+    for prosumer in prosumers:
+        if not prosumer.appliances:
+            continue
+        count = int(rng.poisson(config.offers_per_prosumer))
+        weights = np.array([a.popularity for a in prosumer.appliances], dtype=float)
+        weights = weights / weights.sum()
+        for _ in range(count):
+            archetype = prosumer.appliances[int(rng.choice(len(prosumer.appliances), p=weights))]
+            offers.append(generate_flex_offer(offer_id, prosumer, archetype, grid, config, rng))
+            offer_id += 1
+    return offers

@@ -1,0 +1,150 @@
+"""Synthetic geography: a Denmark-like hierarchy of regions, cities and districts.
+
+The paper's map view (Figure 3) and the spatial-geographical OLAP dimension
+need places with coordinates and a containment hierarchy
+(country > region > city > district).  Real MIRABEL pilot geography is not
+available, so this module synthesises a fixed, deterministic geography whose
+names and rough layout resemble Denmark (the paper's running example region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DataGenerationError
+
+
+@dataclass(frozen=True)
+class District:
+    """Smallest spatial unit; prosumers are attached to districts."""
+
+    name: str
+    city: str
+    region: str
+    latitude: float
+    longitude: float
+
+
+@dataclass(frozen=True)
+class City:
+    """A city with coordinates and its districts."""
+
+    name: str
+    region: str
+    latitude: float
+    longitude: float
+    population_weight: float
+    districts: tuple[District, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A top-level region (e.g. "North Jutland")."""
+
+    name: str
+    cities: tuple[City, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class Geography:
+    """The complete synthetic geography."""
+
+    country: str
+    regions: tuple[Region, ...]
+
+    def all_cities(self) -> list[City]:
+        """All cities across all regions."""
+        return [city for region in self.regions for city in region.cities]
+
+    def all_districts(self) -> list[District]:
+        """All districts across all cities."""
+        return [district for city in self.all_cities() for district in city.districts]
+
+    def region_of_city(self, city_name: str) -> str:
+        """Return the region name containing ``city_name``."""
+        for region in self.regions:
+            for city in region.cities:
+                if city.name == city_name:
+                    return region.name
+        raise DataGenerationError(f"unknown city {city_name!r}")
+
+    def city(self, city_name: str) -> City:
+        """Return the :class:`City` named ``city_name``."""
+        for candidate in self.all_cities():
+            if candidate.name == city_name:
+                return candidate
+        raise DataGenerationError(f"unknown city {city_name!r}")
+
+
+#: Base layout: (region, [(city, lat, lon, population weight)]).  Coordinates are
+#: approximate and only used for relative placement on the map view.
+_LAYOUT: list[tuple[str, list[tuple[str, float, float, float]]]] = [
+    (
+        "North Jutland",
+        [("Aalborg", 57.05, 9.92, 0.9), ("Hjorring", 57.46, 9.98, 0.2), ("Frederikshavn", 57.44, 10.54, 0.2)],
+    ),
+    (
+        "Central Jutland",
+        [("Aarhus", 56.16, 10.20, 1.4), ("Randers", 56.46, 10.04, 0.3), ("Herning", 56.14, 8.97, 0.3)],
+    ),
+    (
+        "Southern Denmark",
+        [("Odense", 55.40, 10.40, 0.8), ("Esbjerg", 55.48, 8.45, 0.3), ("Kolding", 55.49, 9.47, 0.3)],
+    ),
+    (
+        "Zealand",
+        [("Roskilde", 55.64, 12.08, 0.4), ("Naestved", 55.23, 11.76, 0.2), ("Slagelse", 55.40, 11.35, 0.2)],
+    ),
+    (
+        "Capital",
+        [("Copenhagen", 55.68, 12.57, 2.5), ("Frederiksberg", 55.68, 12.53, 0.4), ("Helsingor", 56.03, 12.61, 0.3)],
+    ),
+]
+
+_DISTRICT_SUFFIXES = ["Centrum", "North", "South", "East", "West", "Harbour"]
+
+
+def generate_geography(districts_per_city: int = 4, seed: int = 7) -> Geography:
+    """Build the synthetic Denmark-like geography.
+
+    Parameters
+    ----------
+    districts_per_city:
+        How many districts to attach to each city (1..6).
+    seed:
+        Seed for the small random jitter applied to district coordinates.
+    """
+    if not 1 <= districts_per_city <= len(_DISTRICT_SUFFIXES):
+        raise DataGenerationError(
+            f"districts_per_city must be between 1 and {len(_DISTRICT_SUFFIXES)}"
+        )
+    rng = np.random.default_rng(seed)
+    regions = []
+    for region_name, cities in _LAYOUT:
+        built_cities = []
+        for city_name, lat, lon, weight in cities:
+            districts = []
+            for suffix in _DISTRICT_SUFFIXES[:districts_per_city]:
+                districts.append(
+                    District(
+                        name=f"{city_name} {suffix}",
+                        city=city_name,
+                        region=region_name,
+                        latitude=lat + float(rng.normal(0, 0.02)),
+                        longitude=lon + float(rng.normal(0, 0.03)),
+                    )
+                )
+            built_cities.append(
+                City(
+                    name=city_name,
+                    region=region_name,
+                    latitude=lat,
+                    longitude=lon,
+                    population_weight=weight,
+                    districts=tuple(districts),
+                )
+            )
+        regions.append(Region(name=region_name, cities=tuple(built_cities)))
+    return Geography(country="Denmark", regions=tuple(regions))

@@ -1,0 +1,161 @@
+"""Synthetic electricity-grid topology.
+
+The paper's schematic view (Figure 4) and the spatial-topological OLAP
+dimension group flex-offers by the electrical structure of the grid, e.g. "a
+particular 110 kV transmission line".  This module builds a deterministic
+synthetic transmission/distribution topology on top of the synthetic
+geography: one transmission substation per region, one distribution substation
+per city, one feeder per district, connected by lines with voltage levels.
+``networkx`` provides the graph substrate used for traversal and layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import networkx as nx
+
+from repro.datagen.geography import Geography
+from repro.errors import DataGenerationError
+
+
+class NodeKind(str, Enum):
+    """Role of a node in the grid topology."""
+
+    TRANSMISSION = "transmission"  # 400/150 kV substation (one per region)
+    DISTRIBUTION = "distribution"  # 60/10 kV substation (one per city)
+    FEEDER = "feeder"              # low-voltage feeder (one per district)
+
+
+@dataclass(frozen=True)
+class GridNode:
+    """A node of the synthetic grid, tied to a geographical place."""
+
+    name: str
+    kind: NodeKind
+    region: str
+    city: str
+    district: str
+    latitude: float
+    longitude: float
+
+
+@dataclass(frozen=True)
+class GridLine:
+    """A line (edge) of the synthetic grid."""
+
+    source: str
+    target: str
+    voltage_kv: float
+    capacity_mw: float
+
+
+@dataclass
+class GridTopology:
+    """The full synthetic topology plus its ``networkx`` graph."""
+
+    nodes: dict[str, GridNode]
+    lines: list[GridLine]
+    graph: nx.Graph
+
+    def feeder_for_district(self, district_name: str) -> GridNode:
+        """Return the feeder node serving ``district_name``."""
+        for node in self.nodes.values():
+            if node.kind is NodeKind.FEEDER and node.district == district_name:
+                return node
+        raise DataGenerationError(f"no feeder serves district {district_name!r}")
+
+    def nodes_of_kind(self, kind: NodeKind) -> list[GridNode]:
+        """All nodes of the given kind."""
+        return [node for node in self.nodes.values() if node.kind is kind]
+
+    def upstream_path(self, node_name: str, root: str) -> list[str]:
+        """Shortest path of node names from ``node_name`` up to ``root``."""
+        if node_name not in self.graph or root not in self.graph:
+            raise DataGenerationError("unknown grid node in upstream_path")
+        return nx.shortest_path(self.graph, node_name, root)
+
+
+def generate_grid(geography: Geography) -> GridTopology:
+    """Build the synthetic grid topology for ``geography``.
+
+    Structure: a national 400 kV ring connects the regional transmission
+    substations; each city's distribution substation hangs off its regional
+    substation via a 150 kV line; each district feeder hangs off its city's
+    substation via a 10 kV line.
+    """
+    nodes: dict[str, GridNode] = {}
+    lines: list[GridLine] = []
+    graph = nx.Graph()
+
+    transmission_names = []
+    for region in geography.regions:
+        if not region.cities:
+            continue
+        anchor = region.cities[0]
+        name = f"TX {region.name}"
+        node = GridNode(
+            name=name,
+            kind=NodeKind.TRANSMISSION,
+            region=region.name,
+            city=anchor.name,
+            district="",
+            latitude=anchor.latitude,
+            longitude=anchor.longitude,
+        )
+        nodes[name] = node
+        graph.add_node(name, kind=node.kind.value)
+        transmission_names.append(name)
+
+    # National ring between transmission substations.
+    for index, name in enumerate(transmission_names):
+        target = transmission_names[(index + 1) % len(transmission_names)]
+        if len(transmission_names) > 1 and name != target:
+            line = GridLine(source=name, target=target, voltage_kv=400.0, capacity_mw=1200.0)
+            lines.append(line)
+            graph.add_edge(name, target, voltage_kv=line.voltage_kv, capacity_mw=line.capacity_mw)
+
+    for region in geography.regions:
+        tx_name = f"TX {region.name}"
+        for city in region.cities:
+            dist_name = f"DS {city.name}"
+            dist_node = GridNode(
+                name=dist_name,
+                kind=NodeKind.DISTRIBUTION,
+                region=region.name,
+                city=city.name,
+                district="",
+                latitude=city.latitude,
+                longitude=city.longitude,
+            )
+            nodes[dist_name] = dist_node
+            graph.add_node(dist_name, kind=dist_node.kind.value)
+            line = GridLine(source=tx_name, target=dist_name, voltage_kv=150.0, capacity_mw=400.0)
+            lines.append(line)
+            graph.add_edge(tx_name, dist_name, voltage_kv=line.voltage_kv, capacity_mw=line.capacity_mw)
+
+            for district in city.districts:
+                feeder_name = f"F {district.name}"
+                feeder = GridNode(
+                    name=feeder_name,
+                    kind=NodeKind.FEEDER,
+                    region=region.name,
+                    city=city.name,
+                    district=district.name,
+                    latitude=district.latitude,
+                    longitude=district.longitude,
+                )
+                nodes[feeder_name] = feeder
+                graph.add_node(feeder_name, kind=feeder.kind.value)
+                feeder_line = GridLine(
+                    source=dist_name, target=feeder_name, voltage_kv=10.0, capacity_mw=20.0
+                )
+                lines.append(feeder_line)
+                graph.add_edge(
+                    dist_name,
+                    feeder_name,
+                    voltage_kv=feeder_line.voltage_kv,
+                    capacity_mw=feeder_line.capacity_mw,
+                )
+    return GridTopology(nodes=nodes, lines=lines, graph=graph)

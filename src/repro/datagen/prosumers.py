@@ -1,0 +1,139 @@
+"""Synthetic prosumer population.
+
+A *prosumer* is an entity that both consumes and produces energy (Section 1 of
+the paper).  Each prosumer is located in a district, fed by one grid feeder,
+owns a set of flexible appliances (archetypes) and has a base (non-flexible)
+load scale.  Prosumers are the "legal entities" the loading tab of the tool
+(Figure 7) lets the analyst choose between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.datagen.appliances import ARCHETYPES, ApplianceArchetype
+from repro.datagen.geography import District, Geography
+from repro.datagen.grid import GridTopology
+from repro.errors import DataGenerationError
+
+
+class ProsumerType(str, Enum):
+    """Classification used by the prosumer-type OLAP dimension."""
+
+    HOUSEHOLD = "household"
+    COMMERCIAL = "commercial"
+    SMALL_INDUSTRY = "small_industry"
+    POWER_PLANT = "power_plant"
+
+
+#: Which appliance archetypes each prosumer type may own.
+_ALLOWED_APPLIANCES: dict[ProsumerType, tuple[str, ...]] = {
+    ProsumerType.HOUSEHOLD: ("electric_vehicle", "heat_pump", "dishwasher", "washing_machine", "micro_chp"),
+    ProsumerType.COMMERCIAL: ("heat_pump", "electric_vehicle", "dishwasher"),
+    ProsumerType.SMALL_INDUSTRY: ("industrial_batch", "heat_pump", "micro_chp"),
+    ProsumerType.POWER_PLANT: ("hydro_pump_storage", "micro_chp"),
+}
+
+#: Relative frequency of prosumer types in the population.
+_TYPE_WEIGHTS: dict[ProsumerType, float] = {
+    ProsumerType.HOUSEHOLD: 0.80,
+    ProsumerType.COMMERCIAL: 0.12,
+    ProsumerType.SMALL_INDUSTRY: 0.06,
+    ProsumerType.POWER_PLANT: 0.02,
+}
+
+#: Mean base (non-flexible) load in kWh per 15-minute slot per prosumer type.
+_BASE_LOAD_KWH: dict[ProsumerType, float] = {
+    ProsumerType.HOUSEHOLD: 0.12,
+    ProsumerType.COMMERCIAL: 0.8,
+    ProsumerType.SMALL_INDUSTRY: 4.0,
+    ProsumerType.POWER_PLANT: 1.0,
+}
+
+
+@dataclass(frozen=True)
+class Prosumer:
+    """One synthetic prosumer (the unit the loading tab filters on)."""
+
+    id: int
+    name: str
+    type: ProsumerType
+    district: str
+    city: str
+    region: str
+    grid_node: str
+    appliances: tuple[ApplianceArchetype, ...]
+    base_load_kwh_per_slot: float
+
+    @property
+    def is_producer(self) -> bool:
+        """Whether the prosumer owns at least one producing appliance."""
+        return any(a.direction.value == "production" for a in self.appliances)
+
+
+def _district_weights(geography: Geography) -> tuple[list[District], np.ndarray]:
+    districts = geography.all_districts()
+    weights = []
+    for district in districts:
+        city = geography.city(district.city)
+        weights.append(city.population_weight / max(len(city.districts), 1))
+    array = np.asarray(weights, dtype=float)
+    return districts, array / array.sum()
+
+
+def generate_prosumers(
+    geography: Geography,
+    topology: GridTopology,
+    count: int,
+    seed: int = 11,
+) -> list[Prosumer]:
+    """Generate ``count`` prosumers placed across the geography.
+
+    Placement follows the city population weights; prosumer types follow the
+    population mix in ``_TYPE_WEIGHTS``; each prosumer owns one to three
+    appliances drawn from its allowed archetypes.
+    """
+    if count < 1:
+        raise DataGenerationError("prosumer count must be positive")
+    rng = np.random.default_rng(seed)
+    districts, weights = _district_weights(geography)
+    types = list(_TYPE_WEIGHTS)
+    type_probabilities = np.array([_TYPE_WEIGHTS[t] for t in types])
+    type_probabilities = type_probabilities / type_probabilities.sum()
+
+    archetypes_by_name = {archetype.name: archetype for archetype in ARCHETYPES}
+    prosumers: list[Prosumer] = []
+    for prosumer_id in range(1, count + 1):
+        district = districts[int(rng.choice(len(districts), p=weights))]
+        prosumer_type = types[int(rng.choice(len(types), p=type_probabilities))]
+        allowed_names = _ALLOWED_APPLIANCES[prosumer_type]
+        appliance_count = int(rng.integers(1, min(3, len(allowed_names)) + 1))
+        chosen_names = rng.choice(allowed_names, size=appliance_count, replace=False)
+        appliances = tuple(archetypes_by_name[name] for name in chosen_names)
+        feeder = topology.feeder_for_district(district.name)
+        base_load = _BASE_LOAD_KWH[prosumer_type] * float(rng.uniform(0.6, 1.6))
+        prosumers.append(
+            Prosumer(
+                id=prosumer_id,
+                name=f"{prosumer_type.value}-{prosumer_id:05d}",
+                type=prosumer_type,
+                district=district.name,
+                city=district.city,
+                region=district.region,
+                grid_node=feeder.name,
+                appliances=appliances,
+                base_load_kwh_per_slot=base_load,
+            )
+        )
+    return prosumers
+
+
+def prosumers_by_type(prosumers: list[Prosumer]) -> dict[ProsumerType, list[Prosumer]]:
+    """Group prosumers by their type."""
+    groups: dict[ProsumerType, list[Prosumer]] = {ptype: [] for ptype in ProsumerType}
+    for prosumer in prosumers:
+        groups[prosumer.type].append(prosumer)
+    return groups

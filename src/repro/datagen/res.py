@@ -1,0 +1,94 @@
+"""Synthetic renewable-energy-source (RES) supply profiles.
+
+Figure 1 of the paper contrasts intermittent RES production against flexible
+and non-flexible demand.  This module produces deterministic (seeded) wind and
+solar production series with the qualitative features that matter for the
+reproduction: solar follows a clear diurnal bell restricted to daylight hours,
+wind is smooth but irregular across days, and both scale with an installed
+capacity parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataGenerationError
+from repro.timeseries.grid import TimeGrid
+from repro.timeseries.series import TimeSeries
+
+
+def _hours_of_slots(grid: TimeGrid, start_slot: int, length: int) -> np.ndarray:
+    """Hour-of-day (fractional) for each slot in the requested range."""
+    hours = np.empty(length)
+    for index in range(length):
+        instant = grid.to_datetime(start_slot + index)
+        hours[index] = instant.hour + instant.minute / 60.0
+    return hours
+
+
+def solar_production(
+    grid: TimeGrid,
+    start_slot: int,
+    length: int,
+    capacity_kw: float = 2000.0,
+    cloudiness: float = 0.2,
+    seed: int = 21,
+) -> TimeSeries:
+    """Generate a solar production series (kWh per slot).
+
+    ``cloudiness`` in [0, 1] attenuates and roughens the clear-sky bell curve.
+    """
+    if not 0.0 <= cloudiness <= 1.0:
+        raise DataGenerationError("cloudiness must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    hours = _hours_of_slots(grid, start_slot, length)
+    # Clear-sky bell between 06:00 and 20:00 peaking at 13:00.
+    bell = np.clip(np.cos((hours - 13.0) / 7.0 * (np.pi / 2.0)), 0.0, None)
+    bell[(hours < 6.0) | (hours > 20.0)] = 0.0
+    clouds = 1.0 - cloudiness * rng.beta(2.0, 5.0, size=length)
+    power_kw = capacity_kw * bell * clouds
+    energy_kwh = power_kw * grid.hours_per_slot
+    return TimeSeries(grid, start_slot, energy_kwh, name="solar", unit="kWh")
+
+
+def wind_production(
+    grid: TimeGrid,
+    start_slot: int,
+    length: int,
+    capacity_kw: float = 5000.0,
+    mean_capacity_factor: float = 0.35,
+    seed: int = 22,
+) -> TimeSeries:
+    """Generate a wind production series (kWh per slot).
+
+    The capacity factor follows a mean-reverting random walk clipped to
+    [0, 1], giving multi-hour ramps rather than white noise.
+    """
+    if not 0.0 < mean_capacity_factor < 1.0:
+        raise DataGenerationError("mean_capacity_factor must lie in (0, 1)")
+    rng = np.random.default_rng(seed)
+    factor = np.empty(length)
+    level = mean_capacity_factor
+    for index in range(length):
+        level += 0.05 * (mean_capacity_factor - level) + float(rng.normal(0, 0.04))
+        level = min(max(level, 0.0), 1.0)
+        factor[index] = level
+    energy_kwh = capacity_kw * factor * grid.hours_per_slot
+    return TimeSeries(grid, start_slot, energy_kwh, name="wind", unit="kWh")
+
+
+def total_res_production(
+    grid: TimeGrid,
+    start_slot: int,
+    length: int,
+    solar_capacity_kw: float = 2000.0,
+    wind_capacity_kw: float = 5000.0,
+    seed: int = 23,
+) -> TimeSeries:
+    """Combined solar + wind production series."""
+    solar = solar_production(grid, start_slot, length, capacity_kw=solar_capacity_kw, seed=seed)
+    wind = wind_production(grid, start_slot, length, capacity_kw=wind_capacity_kw, seed=seed + 1)
+    total = solar + wind
+    total.name = "res production"
+    total.unit = "kWh"
+    return total

@@ -1,0 +1,193 @@
+"""End-to-end synthetic scenarios.
+
+A :class:`Scenario` bundles everything the rest of the library needs: the time
+grid, geography, grid topology, prosumer population, flex-offers, base demand,
+RES production and spot prices.  The default configuration produces a one-day,
+15-minute-resolution scenario comparable in structure to the datasets the
+paper's tool loads from the MIRABEL DW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.datagen.demand import spot_prices, total_base_demand
+from repro.datagen.flexoffers import FlexOfferGenerationConfig, generate_flex_offers
+from repro.datagen.geography import Geography, generate_geography
+from repro.datagen.grid import GridTopology, generate_grid
+from repro.datagen.prosumers import Prosumer, generate_prosumers
+from repro.datagen.res import total_res_production
+from repro.errors import DataGenerationError
+from repro.flexoffer.model import FlexOffer, FlexOfferState, Schedule
+from repro.timeseries.grid import TimeGrid
+from repro.timeseries.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Parameters of a synthetic scenario."""
+
+    prosumer_count: int = 200
+    horizon_slots: int = 96          # one day at 15-minute resolution
+    offers_per_prosumer: float = 1.5
+    districts_per_city: int = 4
+    #: Installed RES capacity; ``None`` scales it with the prosumer count so the
+    #: RES surplus stays comparable to the flexible demand (the regime Figure 1
+    #: illustrates) regardless of the scenario size.
+    solar_capacity_kw: float | None = None
+    wind_capacity_kw: float | None = None
+    #: Fraction of offers left in each lifecycle state when pre-assigning states.
+    accepted_fraction: float = 0.31
+    assigned_fraction: float = 0.43
+    rejected_fraction: float = 0.26
+    seed: int = 97
+
+
+@dataclass
+class Scenario:
+    """A complete synthetic MIRABEL-enterprise dataset."""
+
+    config: ScenarioConfig
+    grid: TimeGrid
+    geography: Geography
+    topology: GridTopology
+    prosumers: list[Prosumer]
+    flex_offers: list[FlexOffer]
+    base_demand: TimeSeries
+    res_production: TimeSeries
+    spot_prices: TimeSeries
+    horizon_start_slot: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def horizon_slots(self) -> range:
+        """Half-open slot range of the planning horizon."""
+        return range(self.horizon_start_slot, self.horizon_start_slot + self.config.horizon_slots)
+
+    def offers_of_prosumer(self, prosumer_id: int) -> list[FlexOffer]:
+        """All flex-offers issued by one prosumer (the Figure 7 loading filter)."""
+        return [offer for offer in self.flex_offers if offer.prosumer_id == prosumer_id]
+
+    def replace_offers(self, offers: list[FlexOffer]) -> "Scenario":
+        """Return a shallow copy of the scenario with a different offer list."""
+        clone = Scenario(
+            config=self.config,
+            grid=self.grid,
+            geography=self.geography,
+            topology=self.topology,
+            prosumers=self.prosumers,
+            flex_offers=list(offers),
+            base_demand=self.base_demand,
+            res_production=self.res_production,
+            spot_prices=self.spot_prices,
+            horizon_start_slot=self.horizon_start_slot,
+            extras=dict(self.extras),
+        )
+        return clone
+
+
+def _assign_states(
+    offers: list[FlexOffer], config: ScenarioConfig, rng: np.random.Generator
+) -> list[FlexOffer]:
+    """Pre-assign lifecycle states with roughly the paper's 31/43/26 mix.
+
+    Assigned offers receive a feasible schedule (random start inside the time
+    flexibility, random per-slice energy inside the bounds) so that detail
+    views have something to show before any scheduler runs.
+    """
+    fractions = np.array(
+        [config.accepted_fraction, config.assigned_fraction, config.rejected_fraction], dtype=float
+    )
+    if fractions.sum() > 1.0 + 1e-9:
+        raise DataGenerationError("state fractions must sum to at most 1.0")
+    result = []
+    for offer in offers:
+        draw = rng.random()
+        if draw < fractions[0]:
+            result.append(offer.accept())
+        elif draw < fractions[0] + fractions[1]:
+            start = int(rng.integers(offer.earliest_start_slot, offer.latest_start_slot + 1))
+            amounts = tuple(
+                float(rng.uniform(piece.min_energy, piece.max_energy)) for piece in offer.profile
+            )
+            result.append(offer.assign(Schedule(start_slot=start, energy_per_slice=amounts)))
+        elif draw < fractions.sum():
+            result.append(offer.reject())
+        else:
+            result.append(offer)
+    return result
+
+
+def generate_scenario(config: ScenarioConfig | None = None, grid: TimeGrid | None = None) -> Scenario:
+    """Generate a complete synthetic scenario.
+
+    The same ``config`` (including its seed) always yields the same scenario,
+    which keeps tests and benchmark figures reproducible.
+    """
+    config = config or ScenarioConfig()
+    grid = grid or TimeGrid()
+    rng = np.random.default_rng(config.seed)
+
+    geography = generate_geography(districts_per_city=config.districts_per_city, seed=config.seed)
+    topology = generate_grid(geography)
+    prosumers = generate_prosumers(geography, topology, config.prosumer_count, seed=config.seed + 1)
+
+    offer_config = FlexOfferGenerationConfig(
+        horizon_start_slot=0,
+        horizon_slots=config.horizon_slots,
+        offers_per_prosumer=config.offers_per_prosumer,
+        seed=config.seed + 2,
+    )
+    offers = generate_flex_offers(prosumers, grid, offer_config)
+    offers = _assign_states(offers, config, rng)
+
+    base_demand = total_base_demand(prosumers, grid, 0, config.horizon_slots, seed=config.seed + 3)
+    solar_capacity = (
+        config.solar_capacity_kw if config.solar_capacity_kw is not None else 2.0 * config.prosumer_count
+    )
+    wind_capacity = (
+        config.wind_capacity_kw if config.wind_capacity_kw is not None else 4.0 * config.prosumer_count
+    )
+    res = total_res_production(
+        grid,
+        0,
+        config.horizon_slots,
+        solar_capacity_kw=solar_capacity,
+        wind_capacity_kw=wind_capacity,
+        seed=config.seed + 4,
+    )
+    prices = spot_prices(grid, 0, config.horizon_slots, seed=config.seed + 5)
+
+    return Scenario(
+        config=config,
+        grid=grid,
+        geography=geography,
+        topology=topology,
+        prosumers=prosumers,
+        flex_offers=offers,
+        base_demand=base_demand,
+        res_production=res,
+        spot_prices=prices,
+    )
+
+
+def small_scenario(seed: int = 5) -> Scenario:
+    """A small scenario (fast to generate) used by tests and the quickstart."""
+    return generate_scenario(ScenarioConfig(prosumer_count=40, offers_per_prosumer=1.2, seed=seed))
+
+
+def scenario_with_offer_count(target_offers: int, seed: int = 13) -> Scenario:
+    """Generate a scenario with approximately ``target_offers`` flex-offers.
+
+    Used by the scalability benchmarks, which sweep the number of on-screen
+    flex-offers.  The prosumer count is chosen from the expected offers per
+    prosumer; the exact offer count therefore varies slightly around the target.
+    """
+    offers_per_prosumer = 1.5
+    prosumers = max(int(round(target_offers / offers_per_prosumer)), 1)
+    config = ScenarioConfig(
+        prosumer_count=prosumers, offers_per_prosumer=offers_per_prosumer, seed=seed
+    )
+    return generate_scenario(config)

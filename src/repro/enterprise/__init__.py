@@ -1,0 +1,22 @@
+"""MIRABEL enterprise pipeline: planning loop, spot market, settlement."""
+
+from repro.enterprise.market import MarketConfig, SpotMarket, Trade, TradeSide
+from repro.enterprise.planning import PlanningConfig, PlanningReport, run_planning_cycle
+from repro.enterprise.settlement import (
+    RealizationConfig,
+    SettlementResult,
+    simulate_realization,
+)
+
+__all__ = [
+    "SpotMarket",
+    "MarketConfig",
+    "Trade",
+    "TradeSide",
+    "PlanningConfig",
+    "PlanningReport",
+    "run_planning_cycle",
+    "RealizationConfig",
+    "SettlementResult",
+    "simulate_realization",
+]

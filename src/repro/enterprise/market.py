@@ -1,0 +1,91 @@
+"""Power-exchange market model (Nordpool-spot substitute).
+
+Section 2: for periods in which the balance cannot be met internally, the
+enterprise buys or sells energy on a power exchange at the spot price; if its
+customers then deviate from what was bought/sold, it pays an imbalance fee
+that is "substantially higher than a spot price".  This module models exactly
+those two cash flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import SchedulingError
+from repro.timeseries.series import TimeSeries
+
+
+class TradeSide(str, Enum):
+    """Whether the enterprise buys or sells on the exchange."""
+
+    BUY = "buy"
+    SELL = "sell"
+
+
+@dataclass(frozen=True)
+class Trade:
+    """One cleared spot-market trade for a single slot."""
+
+    slot: int
+    side: TradeSide
+    energy_kwh: float
+    price_eur_per_mwh: float
+
+    @property
+    def cost_eur(self) -> float:
+        """Signed cost: positive when the enterprise pays (buys), negative when it earns."""
+        sign = 1.0 if self.side is TradeSide.BUY else -1.0
+        return sign * self.energy_kwh / 1000.0 * self.price_eur_per_mwh
+
+
+@dataclass(frozen=True)
+class MarketConfig:
+    """Market parameters."""
+
+    #: Imbalance energy is charged at ``imbalance_multiplier`` times the spot price.
+    imbalance_multiplier: float = 2.5
+    #: Minimum trade size (kWh); smaller residuals are simply carried as imbalance.
+    minimum_trade_kwh: float = 1.0
+
+
+class SpotMarket:
+    """A simple pay-as-cleared spot market on a per-slot price series."""
+
+    def __init__(self, prices: TimeSeries, config: MarketConfig | None = None) -> None:
+        if len(prices) == 0:
+            raise SchedulingError("spot market needs a non-empty price series")
+        self.prices = prices
+        self.config = config or MarketConfig()
+
+    def price_at(self, slot: int) -> float:
+        """Spot price (EUR/MWh) at ``slot``; the nearest known price outside the series."""
+        if slot < self.prices.start_slot:
+            return float(self.prices.values[0])
+        if slot >= self.prices.end_slot:
+            return float(self.prices.values[-1])
+        return self.prices.value_at(slot)
+
+    def clear_residual(self, residual: TimeSeries) -> list[Trade]:
+        """Trade away a residual series (positive = deficit to buy, negative = surplus to sell)."""
+        trades: list[Trade] = []
+        for slot, value in residual.to_pairs():
+            energy = abs(value)
+            if energy < self.config.minimum_trade_kwh:
+                continue
+            side = TradeSide.BUY if value > 0 else TradeSide.SELL
+            trades.append(
+                Trade(slot=slot, side=side, energy_kwh=energy, price_eur_per_mwh=self.price_at(slot))
+            )
+        return trades
+
+    def trade_cost(self, trades: list[Trade]) -> float:
+        """Net cost (EUR) of a list of trades."""
+        return float(sum(trade.cost_eur for trade in trades))
+
+    def imbalance_cost(self, imbalance: TimeSeries) -> float:
+        """Fee (EUR) charged for the per-slot imbalance energy."""
+        cost = 0.0
+        for slot, value in imbalance.to_pairs():
+            cost += abs(value) / 1000.0 * self.price_at(slot) * self.config.imbalance_multiplier
+        return float(cost)

@@ -1,0 +1,171 @@
+"""The MIRABEL enterprise planning-and-control loop.
+
+Section 2 of the paper describes the activities this module reproduces end to
+end:
+
+1. collect flex-offers and meter readings from prosumers,
+2. aggregate the flex-offers,
+3. forecast demand and RES supply for the planning horizon,
+4. produce a balanced plan by scheduling the (aggregated) flex-offers,
+5. buy/sell the remaining residual on the power exchange,
+6. disaggregate the plan into flex-offer assignments, and
+7. settle: compare the physical realization against the plan and pay
+   imbalance fees for the deviations.
+
+The :class:`PlanningReport` returned by :func:`run_planning_cycle` carries all
+intermediate series, which the dashboard view and the Figure 1 reproduction
+render directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aggregation.parameters import AggregationParameters
+from repro.datagen.scenarios import Scenario
+from repro.enterprise.market import MarketConfig, SpotMarket, Trade
+from repro.enterprise.settlement import RealizationConfig, SettlementResult, simulate_realization
+from repro.flexoffer.model import FlexOffer, FlexOfferState
+from repro.forecasting.models import ForecastModel
+from repro.scheduling.evaluation import BalanceReport, report
+from repro.scheduling.greedy import GreedyScheduler
+from repro.scheduling.pipeline import PipelineResult, Scheduler, schedule_offers
+from repro.scheduling.problem import make_target
+from repro.timeseries.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class PlanningConfig:
+    """Configuration of one planning cycle."""
+
+    use_aggregation: bool = True
+    aggregation: AggregationParameters = AggregationParameters()
+    market: MarketConfig = MarketConfig()
+    realization: RealizationConfig = RealizationConfig()
+    #: Offers in these states are (re)planned; rejected offers are left alone.
+    plannable_states: tuple[FlexOfferState, ...] = (
+        FlexOfferState.OFFERED,
+        FlexOfferState.ACCEPTED,
+        FlexOfferState.ASSIGNED,
+    )
+
+
+@dataclass
+class PlanningReport:
+    """Everything one planning cycle produced."""
+
+    #: Individual flex-offers with their final assignments.
+    assigned_offers: list[FlexOffer]
+    #: Offers that were not planned (e.g. rejected ones), unchanged.
+    unplanned_offers: list[FlexOffer]
+    #: The balancing target (RES surplus after base demand).
+    target: TimeSeries
+    #: Flexible load before planning (earliest-start behaviour).
+    unplanned_load: TimeSeries
+    #: Flexible load after planning.
+    planned_load: TimeSeries
+    #: Residual traded on the spot market.
+    residual: TimeSeries
+    trades: list[Trade]
+    trade_cost_eur: float
+    imbalance_cost_eur: float
+    settlement: SettlementResult
+    balance_report: BalanceReport
+    pipeline: PipelineResult
+
+    @property
+    def all_offers(self) -> list[FlexOffer]:
+        """Planned and unplanned offers together (what the views visualise)."""
+        return self.assigned_offers + self.unplanned_offers
+
+
+def run_planning_cycle(
+    scenario: Scenario,
+    scheduler: Scheduler | None = None,
+    config: PlanningConfig | None = None,
+    demand_forecaster: ForecastModel | None = None,
+) -> PlanningReport:
+    """Run one full MIRABEL planning cycle over ``scenario``.
+
+    ``demand_forecaster`` is optional: when given, the non-flexible demand used
+    for the balancing target is the model's forecast fitted on the scenario's
+    demand series (exercising the forecasting substrate); otherwise the actual
+    series is used (a perfect forecast).
+    """
+    scheduler = scheduler or GreedyScheduler()
+    config = config or PlanningConfig()
+
+    plannable = [offer for offer in scenario.flex_offers if offer.state in config.plannable_states]
+    unplanned = [offer for offer in scenario.flex_offers if offer.state not in config.plannable_states]
+
+    base_demand = scenario.base_demand
+    if demand_forecaster is not None and len(scenario.base_demand) >= 8:
+        history_length = len(scenario.base_demand) // 2
+        history = scenario.base_demand.slice_slots(
+            scenario.base_demand.start_slot, scenario.base_demand.start_slot + history_length
+        )
+        forecast = demand_forecaster.fit(history).forecast(len(scenario.base_demand) - history_length)
+        base_demand = history.copy()
+        base_demand = TimeSeries(
+            scenario.grid,
+            scenario.base_demand.start_slot,
+            list(history.values) + list(forecast.values),
+            name="forecast demand",
+            unit=scenario.base_demand.unit,
+        )
+
+    target = make_target(scenario.res_production, base_demand)
+
+    # "Before" situation: flexible loads run at their earliest start.
+    before = [offer.with_default_schedule() for offer in plannable]
+    unplanned_load = TimeSeries.zeros(
+        scenario.grid, target.start_slot, len(target), name="flexible load (unplanned)", unit="kWh"
+    )
+    for offer in before:
+        series = offer.scheduled_series(scenario.grid)
+        if len(series):
+            unplanned_load = unplanned_load + series
+    unplanned_load = unplanned_load.slice_slots(target.start_slot, target.end_slot)
+    unplanned_load.name = "flexible load (unplanned)"
+
+    # Plan: aggregate → schedule → disaggregate.
+    pipeline_result = schedule_offers(
+        plannable,
+        target,
+        scenario.grid,
+        scheduler,
+        aggregation=config.aggregation,
+        use_aggregation=config.use_aggregation,
+    )
+    planned_load = pipeline_result.scheduled_load(scenario.grid, target)
+    planned_load.name = "flexible load (planned)"
+
+    # Market: trade away whatever the flexible load could not absorb.
+    residual = target - planned_load
+    residual.name = "residual"
+    market = SpotMarket(scenario.spot_prices, config.market)
+    trades = market.clear_residual(residual)
+    trade_cost = market.trade_cost(trades)
+
+    # Settlement: simulate the physical realization and pay imbalance fees.
+    settlement = simulate_realization(
+        pipeline_result.assigned_offers, scenario.grid, config.realization
+    )
+    imbalance_cost = market.imbalance_cost(settlement.deviation_series)
+
+    balance = report(pipeline_result.aggregate_solution, pipeline_result.scheduled_object_count)
+
+    return PlanningReport(
+        assigned_offers=pipeline_result.assigned_offers,
+        unplanned_offers=unplanned,
+        target=target,
+        unplanned_load=unplanned_load,
+        planned_load=planned_load,
+        residual=residual,
+        trades=trades,
+        trade_cost_eur=trade_cost,
+        imbalance_cost_eur=imbalance_cost,
+        settlement=settlement,
+        balance_report=balance,
+        pipeline=pipeline_result,
+    )

@@ -1,0 +1,107 @@
+"""Settlement: simulating the physical realization of a plan and its deviations.
+
+"Numbers differ if prosumers do not follow the plan" (Req. 2) — settlement is
+where those differences appear.  Given the assigned flex-offers, the simulator
+draws, per offer, whether the prosumer followed the schedule, started late, or
+consumed a different amount; the result feeds the *Plan Deviations* measure,
+the dashboard view and the enterprise's imbalance costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.flexoffer.model import FlexOffer, FlexOfferState, Schedule, total_scheduled_series
+from repro.olap.measures import MeasureContext
+from repro.timeseries.grid import TimeGrid
+from repro.timeseries.series import TimeSeries
+from repro.timeseries.statistics import plan_deviation
+
+
+@dataclass(frozen=True)
+class RealizationConfig:
+    """How prosumers deviate from their assignments."""
+
+    #: Probability an assignment is followed exactly.
+    compliance_probability: float = 0.85
+    #: Standard deviation of the multiplicative energy noise for non-compliant prosumers.
+    energy_noise_std: float = 0.15
+    #: Maximum number of slots a non-compliant prosumer starts late (uniform 0..n).
+    max_start_delay_slots: int = 2
+    seed: int = 17
+
+
+@dataclass
+class SettlementResult:
+    """Realized consumption and its deviation from the plan."""
+
+    realized_offers: list[FlexOffer]
+    planned_series: TimeSeries
+    realized_series: TimeSeries
+    deviation_series: TimeSeries
+    realized_energy_by_offer: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_absolute_deviation(self) -> float:
+        """Total absolute plan deviation in kWh."""
+        return self.deviation_series.absolute().total()
+
+    def measure_context(self) -> MeasureContext:
+        """Context for the OLAP *plan_deviation* measure."""
+        return MeasureContext(realized_energy=dict(self.realized_energy_by_offer))
+
+
+def simulate_realization(
+    assigned_offers: Sequence[FlexOffer],
+    grid: TimeGrid,
+    config: RealizationConfig | None = None,
+) -> SettlementResult:
+    """Simulate how prosumers physically realize their assignments."""
+    config = config or RealizationConfig()
+    rng = np.random.default_rng(config.seed)
+
+    realized_offers: list[FlexOffer] = []
+    realized_energy: dict[int, float] = {}
+    for offer in assigned_offers:
+        if offer.schedule is None or offer.state not in (
+            FlexOfferState.ASSIGNED,
+            FlexOfferState.EXECUTED,
+        ):
+            realized_offers.append(offer)
+            continue
+        if rng.random() < config.compliance_probability:
+            executed = offer.execute()
+            realized_offers.append(executed)
+            realized_energy[offer.id] = executed.scheduled_energy
+            continue
+        # Deviating prosumer: shift the start (bounded by its own flexibility)
+        # and rescale the energy (bounded by the profile bands).
+        delay = int(rng.integers(0, config.max_start_delay_slots + 1))
+        new_start = min(offer.schedule.start_slot + delay, offer.latest_start_slot)
+        factor = float(rng.normal(1.0, config.energy_noise_std))
+        amounts = []
+        for piece, planned in zip(offer.profile, offer.schedule.energy_per_slice):
+            amount = min(max(planned * factor, piece.min_energy), piece.max_energy)
+            amounts.append(amount)
+        realized_schedule = Schedule(start_slot=new_start, energy_per_slice=tuple(amounts))
+        executed = offer.assign(realized_schedule).execute()
+        realized_offers.append(executed)
+        realized_energy[offer.id] = executed.scheduled_energy
+
+    planned = total_scheduled_series(
+        [offer for offer in assigned_offers if offer.schedule is not None], grid, name="planned"
+    )
+    realized = total_scheduled_series(
+        [offer for offer in realized_offers if offer.schedule is not None], grid, name="realized"
+    )
+    deviation = plan_deviation(planned, realized)
+    return SettlementResult(
+        realized_offers=realized_offers,
+        planned_series=planned,
+        realized_series=realized,
+        deviation_series=deviation,
+        realized_energy_by_offer=realized_energy,
+    )

@@ -1,0 +1,81 @@
+"""Shared exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ValidationError(ReproError):
+    """Raised when a domain object is constructed with inconsistent data.
+
+    Examples: a flex-offer whose latest start time precedes its earliest start
+    time, a profile slice whose minimum energy exceeds its maximum energy, or a
+    schedule that does not fit inside the offered time flexibility.
+    """
+
+
+class TimeGridError(ReproError):
+    """Raised for operations on incompatible or malformed time grids."""
+
+
+class WarehouseError(ReproError):
+    """Raised by the data-warehouse substitute (schema/table/query layer)."""
+
+
+class UnknownColumnError(WarehouseError):
+    """Raised when a query references a column that does not exist."""
+
+
+class UnknownTableError(WarehouseError):
+    """Raised when a schema lookup references a table that does not exist."""
+
+
+class OlapError(ReproError):
+    """Raised by the OLAP engine (dimensions, cube, measures, MDX parser)."""
+
+
+class UnknownDimensionError(OlapError):
+    """Raised when a query references a dimension the cube does not have."""
+
+
+class UnknownMeasureError(OlapError):
+    """Raised when a query references a measure the cube does not have."""
+
+
+class MdxSyntaxError(OlapError):
+    """Raised when an MDX-like query string cannot be parsed."""
+
+
+class AggregationError(ReproError):
+    """Raised by flex-offer aggregation / disaggregation."""
+
+
+class DisaggregationError(AggregationError):
+    """Raised when an aggregated schedule cannot be disaggregated."""
+
+
+class SchedulingError(ReproError):
+    """Raised by the balancing schedulers."""
+
+
+class ForecastError(ReproError):
+    """Raised by the forecasting models."""
+
+
+class RenderError(ReproError):
+    """Raised by the rendering substrate (scene graph, scales, backends)."""
+
+
+class ViewError(ReproError):
+    """Raised by the visualization views (basic, profile, map, pivot, ...)."""
+
+
+class DataGenerationError(ReproError):
+    """Raised by the synthetic scenario generators."""

@@ -1,0 +1,61 @@
+"""Flex-offer data model, flexibility measures, validation and serialization."""
+
+from repro.flexoffer.flexibility import (
+    FlexibilityMeasures,
+    balancing_potential,
+    energy_flexibility,
+    flexibility_envelope,
+    measure,
+    time_flexibility_slots,
+)
+from repro.flexoffer.model import (
+    Direction,
+    FlexOffer,
+    FlexOfferState,
+    ProfileSlice,
+    Schedule,
+    count_by_state,
+    total_scheduled_series,
+)
+from repro.flexoffer.serialization import (
+    flex_offer_from_dict,
+    flex_offer_to_dict,
+    from_csv,
+    from_json,
+    to_csv,
+    to_json,
+)
+from repro.flexoffer.validation import (
+    IssueSeverity,
+    ValidationIssue,
+    errors_only,
+    is_valid,
+    validate_collection,
+)
+
+__all__ = [
+    "Direction",
+    "FlexOffer",
+    "FlexOfferState",
+    "ProfileSlice",
+    "Schedule",
+    "count_by_state",
+    "total_scheduled_series",
+    "FlexibilityMeasures",
+    "balancing_potential",
+    "energy_flexibility",
+    "flexibility_envelope",
+    "measure",
+    "time_flexibility_slots",
+    "flex_offer_to_dict",
+    "flex_offer_from_dict",
+    "to_json",
+    "from_json",
+    "to_csv",
+    "from_csv",
+    "IssueSeverity",
+    "ValidationIssue",
+    "validate_collection",
+    "errors_only",
+    "is_valid",
+]

@@ -1,0 +1,179 @@
+"""(De)serialization of flex-offers to plain dictionaries, JSON and CSV.
+
+The MIRABEL tool loads flex-offers from the MIRABEL DW (PostgreSQL); this
+reproduction's warehouse substitute and the examples exchange flex-offers as
+dictionaries / JSON lines / CSV rows instead.  Round-tripping is lossless for
+every field of :class:`~repro.flexoffer.model.FlexOffer`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from datetime import datetime
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ValidationError
+from repro.flexoffer.model import Direction, FlexOffer, FlexOfferState, ProfileSlice, Schedule
+
+_TIME_FORMAT = "%Y-%m-%dT%H:%M:%S"
+
+
+def _format_time(value: datetime) -> str:
+    return value.strftime(_TIME_FORMAT)
+
+
+def _parse_time(value: str) -> datetime:
+    return datetime.strptime(value, _TIME_FORMAT)
+
+
+def flex_offer_to_dict(offer: FlexOffer) -> dict[str, Any]:
+    """Convert a flex-offer into a JSON-serializable dictionary."""
+    payload: dict[str, Any] = {
+        "id": offer.id,
+        "prosumer_id": offer.prosumer_id,
+        "profile": [
+            {"min_energy": s.min_energy, "max_energy": s.max_energy, "duration_slots": s.duration_slots}
+            for s in offer.profile
+        ],
+        "earliest_start_slot": offer.earliest_start_slot,
+        "latest_start_slot": offer.latest_start_slot,
+        "creation_time": _format_time(offer.creation_time),
+        "acceptance_deadline": _format_time(offer.acceptance_deadline),
+        "assignment_deadline": _format_time(offer.assignment_deadline),
+        "direction": offer.direction.value,
+        "state": offer.state.value,
+        "region": offer.region,
+        "city": offer.city,
+        "district": offer.district,
+        "grid_node": offer.grid_node,
+        "energy_type": offer.energy_type,
+        "prosumer_type": offer.prosumer_type,
+        "appliance_type": offer.appliance_type,
+        "price_per_kwh": offer.price_per_kwh,
+        "is_aggregate": offer.is_aggregate,
+        "constituent_ids": list(offer.constituent_ids),
+    }
+    if offer.schedule is not None:
+        payload["schedule"] = {
+            "start_slot": offer.schedule.start_slot,
+            "energy_per_slice": list(offer.schedule.energy_per_slice),
+        }
+    return payload
+
+
+def flex_offer_from_dict(payload: dict[str, Any]) -> FlexOffer:
+    """Rebuild a flex-offer from :func:`flex_offer_to_dict` output."""
+    try:
+        schedule = None
+        if payload.get("schedule") is not None:
+            schedule = Schedule(
+                start_slot=int(payload["schedule"]["start_slot"]),
+                energy_per_slice=tuple(float(v) for v in payload["schedule"]["energy_per_slice"]),
+            )
+        return FlexOffer(
+            id=int(payload["id"]),
+            prosumer_id=int(payload["prosumer_id"]),
+            profile=tuple(
+                ProfileSlice(
+                    min_energy=float(s["min_energy"]),
+                    max_energy=float(s["max_energy"]),
+                    duration_slots=int(s.get("duration_slots", 1)),
+                )
+                for s in payload["profile"]
+            ),
+            earliest_start_slot=int(payload["earliest_start_slot"]),
+            latest_start_slot=int(payload["latest_start_slot"]),
+            creation_time=_parse_time(payload["creation_time"]),
+            acceptance_deadline=_parse_time(payload["acceptance_deadline"]),
+            assignment_deadline=_parse_time(payload["assignment_deadline"]),
+            direction=Direction(payload.get("direction", Direction.CONSUMPTION.value)),
+            state=FlexOfferState(payload.get("state", FlexOfferState.OFFERED.value)),
+            schedule=schedule,
+            region=payload.get("region", ""),
+            city=payload.get("city", ""),
+            district=payload.get("district", ""),
+            grid_node=payload.get("grid_node", ""),
+            energy_type=payload.get("energy_type", ""),
+            prosumer_type=payload.get("prosumer_type", ""),
+            appliance_type=payload.get("appliance_type", ""),
+            price_per_kwh=float(payload.get("price_per_kwh", 0.0)),
+            is_aggregate=bool(payload.get("is_aggregate", False)),
+            constituent_ids=tuple(int(i) for i in payload.get("constituent_ids", ())),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError(f"malformed flex-offer payload: {exc}") from exc
+
+
+def to_json(offers: Iterable[FlexOffer]) -> str:
+    """Serialize flex-offers to a JSON array string."""
+    return json.dumps([flex_offer_to_dict(offer) for offer in offers], indent=2)
+
+
+def from_json(text: str) -> list[FlexOffer]:
+    """Parse flex-offers from a JSON array string."""
+    try:
+        payloads = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"invalid flex-offer JSON: {exc}") from exc
+    if not isinstance(payloads, list):
+        raise ValidationError("flex-offer JSON must contain a list")
+    return [flex_offer_from_dict(payload) for payload in payloads]
+
+
+# ----------------------------------------------------------------------
+# CSV (one row per flex-offer; profile and schedule encoded as JSON cells)
+# ----------------------------------------------------------------------
+_CSV_FIELDS = [
+    "id",
+    "prosumer_id",
+    "earliest_start_slot",
+    "latest_start_slot",
+    "creation_time",
+    "acceptance_deadline",
+    "assignment_deadline",
+    "direction",
+    "state",
+    "region",
+    "city",
+    "district",
+    "grid_node",
+    "energy_type",
+    "prosumer_type",
+    "appliance_type",
+    "price_per_kwh",
+    "is_aggregate",
+    "constituent_ids",
+    "profile",
+    "schedule",
+]
+
+
+def to_csv(offers: Sequence[FlexOffer]) -> str:
+    """Serialize flex-offers to a CSV string (one row per offer)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_CSV_FIELDS)
+    writer.writeheader()
+    for offer in offers:
+        payload = flex_offer_to_dict(offer)
+        row = {key: payload.get(key, "") for key in _CSV_FIELDS}
+        row["profile"] = json.dumps(payload["profile"])
+        row["schedule"] = json.dumps(payload.get("schedule")) if payload.get("schedule") else ""
+        row["constituent_ids"] = json.dumps(payload["constituent_ids"])
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def from_csv(text: str) -> list[FlexOffer]:
+    """Parse flex-offers from :func:`to_csv` output."""
+    reader = csv.DictReader(io.StringIO(text))
+    offers = []
+    for row in reader:
+        payload: dict[str, Any] = dict(row)
+        payload["profile"] = json.loads(row["profile"])
+        payload["schedule"] = json.loads(row["schedule"]) if row.get("schedule") else None
+        payload["constituent_ids"] = json.loads(row["constituent_ids"]) if row.get("constituent_ids") else []
+        payload["is_aggregate"] = row.get("is_aggregate", "").strip().lower() in {"true", "1"}
+        offers.append(flex_offer_from_dict(payload))
+    return offers

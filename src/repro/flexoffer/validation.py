@@ -1,0 +1,100 @@
+"""Cross-cutting validation helpers for flex-offer collections.
+
+The :class:`~repro.flexoffer.model.FlexOffer` dataclass validates a single
+object on construction; the checks here validate *sets* of flex-offers the way
+the visualization tool does before loading them into a view: unique
+identifiers, deadline ordering relative to the planning horizon, and schedule
+consistency for assigned offers.  Each problem becomes a structured
+:class:`ValidationIssue` so that a UI (or a test) can show them all at once
+instead of stopping at the first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from repro.flexoffer.model import FlexOffer, FlexOfferState
+from repro.timeseries.grid import TimeGrid
+
+
+class IssueSeverity(str, Enum):
+    """Severity of a validation issue."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found while validating a flex-offer collection."""
+
+    offer_id: int
+    severity: IssueSeverity
+    message: str
+
+
+def validate_collection(offers: Sequence[FlexOffer], grid: TimeGrid) -> list[ValidationIssue]:
+    """Validate a collection of flex-offers and return every issue found.
+
+    Checks performed:
+
+    * duplicate flex-offer identifiers (error),
+    * acceptance deadline after the earliest possible start (warning — the
+      enterprise would have to answer after the load may already have begun),
+    * assignment deadline after the earliest possible start (error),
+    * assigned/executed offers without a schedule (error),
+    * offers whose constituent list names themselves (error).
+    """
+    issues: list[ValidationIssue] = []
+    seen_ids: set[int] = set()
+    for offer in offers:
+        if offer.id in seen_ids:
+            issues.append(
+                ValidationIssue(offer.id, IssueSeverity.ERROR, "duplicate flex-offer id")
+            )
+        seen_ids.add(offer.id)
+
+        earliest_start_time = grid.to_datetime(offer.earliest_start_slot)
+        if offer.acceptance_deadline > earliest_start_time:
+            issues.append(
+                ValidationIssue(
+                    offer.id,
+                    IssueSeverity.WARNING,
+                    "acceptance deadline falls after the earliest start time",
+                )
+            )
+        if offer.assignment_deadline > grid.to_datetime(offer.latest_start_slot):
+            issues.append(
+                ValidationIssue(
+                    offer.id,
+                    IssueSeverity.ERROR,
+                    "assignment deadline falls after the latest start time",
+                )
+            )
+        if offer.state in (FlexOfferState.ASSIGNED, FlexOfferState.EXECUTED) and offer.schedule is None:
+            issues.append(
+                ValidationIssue(
+                    offer.id,
+                    IssueSeverity.ERROR,
+                    f"state {offer.state.value} requires a schedule",
+                )
+            )
+        if offer.id in offer.constituent_ids:
+            issues.append(
+                ValidationIssue(
+                    offer.id, IssueSeverity.ERROR, "flex-offer lists itself as a constituent"
+                )
+            )
+    return issues
+
+
+def errors_only(issues: Sequence[ValidationIssue]) -> list[ValidationIssue]:
+    """Filter ``issues`` down to those with error severity."""
+    return [issue for issue in issues if issue.severity is IssueSeverity.ERROR]
+
+
+def is_valid(offers: Sequence[FlexOffer], grid: TimeGrid) -> bool:
+    """Whether the collection has no error-severity issues."""
+    return not errors_only(validate_collection(offers, grid))

@@ -1,0 +1,23 @@
+"""Forecasting substrate: persistence, moving average, seasonal naive, Holt-Winters."""
+
+from repro.forecasting.evaluation import ForecastAccuracy, backtest, compare_models
+from repro.forecasting.models import (
+    ForecastModel,
+    HoltWintersConfig,
+    HoltWintersForecast,
+    MovingAverageForecast,
+    PersistenceForecast,
+    SeasonalNaiveForecast,
+)
+
+__all__ = [
+    "ForecastModel",
+    "PersistenceForecast",
+    "MovingAverageForecast",
+    "SeasonalNaiveForecast",
+    "HoltWintersForecast",
+    "HoltWintersConfig",
+    "ForecastAccuracy",
+    "backtest",
+    "compare_models",
+]

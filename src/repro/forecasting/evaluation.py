@@ -1,0 +1,55 @@
+"""Backtesting of forecasting models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ForecastError
+from repro.forecasting.models import ForecastModel
+from repro.timeseries.series import TimeSeries
+from repro.timeseries.statistics import (
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    root_mean_squared_error,
+)
+
+
+@dataclass(frozen=True)
+class ForecastAccuracy:
+    """Accuracy of one model on one backtest split."""
+
+    model_name: str
+    horizon: int
+    mae: float
+    rmse: float
+    mape: float
+
+
+def backtest(
+    model: ForecastModel, series: TimeSeries, horizon: int, train_fraction: float = 0.75
+) -> ForecastAccuracy:
+    """Train on the first part of ``series`` and score on the following ``horizon`` slots."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ForecastError("train_fraction must lie in (0, 1)")
+    split = int(len(series) * train_fraction)
+    if split < 1 or split + 1 > len(series):
+        raise ForecastError("series is too short for the requested split")
+    horizon = min(horizon, len(series) - split)
+    train = series.slice_slots(series.start_slot, series.start_slot + split)
+    actual = series.slice_slots(series.start_slot + split, series.start_slot + split + horizon)
+    predicted = model.fit(train).forecast(horizon)
+    return ForecastAccuracy(
+        model_name=model.name,
+        horizon=horizon,
+        mae=mean_absolute_error(actual, predicted),
+        rmse=root_mean_squared_error(actual, predicted),
+        mape=mean_absolute_percentage_error(actual, predicted),
+    )
+
+
+def compare_models(
+    models: Sequence[ForecastModel], series: TimeSeries, horizon: int, train_fraction: float = 0.75
+) -> list[ForecastAccuracy]:
+    """Backtest several models on the same split and return their accuracies."""
+    return [backtest(model, series, horizon, train_fraction) for model in models]

@@ -1,0 +1,164 @@
+"""Demand/supply forecasting models.
+
+The MIRABEL EDMS includes a forecasting component (Fischer et al.) that
+predicts demand and supply for the planning horizon.  The reproduction
+implements the classical baseline family the pilot builds on: persistence,
+moving average, seasonal naive and additive Holt–Winters (triple exponential
+smoothing).  Every model follows the same two-phase protocol: ``fit`` on a
+historical :class:`~repro.timeseries.series.TimeSeries`, then ``forecast`` a
+number of future slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ForecastError
+from repro.timeseries.series import TimeSeries
+
+
+class ForecastModel:
+    """Base class defining the fit/forecast protocol."""
+
+    name = "base"
+
+    def fit(self, history: TimeSeries) -> "ForecastModel":
+        """Fit the model on ``history`` and return ``self`` (for chaining)."""
+        if len(history) == 0:
+            raise ForecastError(f"{self.name}: cannot fit on an empty series")
+        self._history = history
+        return self
+
+    def forecast(self, horizon: int) -> TimeSeries:
+        """Forecast ``horizon`` slots immediately following the history."""
+        raise NotImplementedError
+
+    def _require_fit(self) -> TimeSeries:
+        history = getattr(self, "_history", None)
+        if history is None:
+            raise ForecastError(f"{self.name}: forecast() called before fit()")
+        return history
+
+    def _make_series(self, values: np.ndarray) -> TimeSeries:
+        history = self._require_fit()
+        return TimeSeries(
+            history.grid,
+            history.end_slot,
+            values,
+            name=f"{history.name} forecast ({self.name})",
+            unit=history.unit,
+        )
+
+
+class PersistenceForecast(ForecastModel):
+    """Repeat the last observed value (the naive baseline)."""
+
+    name = "persistence"
+
+    def forecast(self, horizon: int) -> TimeSeries:
+        history = self._require_fit()
+        last = float(history.values[-1])
+        return self._make_series(np.full(horizon, last))
+
+
+class MovingAverageForecast(ForecastModel):
+    """Repeat the mean of the last ``window`` observations."""
+
+    name = "moving-average"
+
+    def __init__(self, window: int = 8) -> None:
+        if window < 1:
+            raise ForecastError("moving-average window must be >= 1")
+        self.window = window
+
+    def forecast(self, horizon: int) -> TimeSeries:
+        history = self._require_fit()
+        window = min(self.window, len(history))
+        level = float(history.values[-window:].mean())
+        return self._make_series(np.full(horizon, level))
+
+
+class SeasonalNaiveForecast(ForecastModel):
+    """Repeat the value observed one season earlier (e.g. same slot yesterday)."""
+
+    name = "seasonal-naive"
+
+    def __init__(self, season_length: int = 96) -> None:
+        if season_length < 1:
+            raise ForecastError("season length must be >= 1")
+        self.season_length = season_length
+
+    def forecast(self, horizon: int) -> TimeSeries:
+        history = self._require_fit()
+        if len(history) < self.season_length:
+            # Degrade gracefully to persistence when history is too short.
+            last = float(history.values[-1])
+            return self._make_series(np.full(horizon, last))
+        season = history.values[-self.season_length :]
+        values = np.array([season[index % self.season_length] for index in range(horizon)])
+        return self._make_series(values)
+
+
+@dataclass
+class HoltWintersConfig:
+    """Smoothing factors of the additive Holt–Winters model (all in (0, 1))."""
+
+    alpha: float = 0.3
+    beta: float = 0.05
+    gamma: float = 0.2
+
+
+class HoltWintersForecast(ForecastModel):
+    """Additive Holt–Winters (level + trend + seasonal) forecaster."""
+
+    name = "holt-winters"
+
+    def __init__(self, season_length: int = 96, config: HoltWintersConfig | None = None) -> None:
+        if season_length < 1:
+            raise ForecastError("season length must be >= 1")
+        self.season_length = season_length
+        self.config = config or HoltWintersConfig()
+        for factor in (self.config.alpha, self.config.beta, self.config.gamma):
+            if not 0.0 < factor < 1.0:
+                raise ForecastError("Holt-Winters smoothing factors must lie in (0, 1)")
+
+    def fit(self, history: TimeSeries) -> "HoltWintersForecast":
+        super().fit(history)
+        values = history.values
+        season = self.season_length
+        if len(values) < 2 * season:
+            # Not enough data for seasonal initialisation: fall back to a flat season.
+            self._level = float(values.mean())
+            self._trend = 0.0
+            self._seasonal = np.zeros(season)
+            return self
+
+        first_season = values[:season]
+        second_season = values[season : 2 * season]
+        self._level = float(first_season.mean())
+        self._trend = float((second_season.mean() - first_season.mean()) / season)
+        self._seasonal = (first_season - first_season.mean()).astype(float)
+
+        alpha, beta, gamma = self.config.alpha, self.config.beta, self.config.gamma
+        level, trend = self._level, self._trend
+        seasonal = self._seasonal.copy()
+        for index in range(len(values)):
+            season_index = index % season
+            observed = values[index]
+            previous_level = level
+            level = alpha * (observed - seasonal[season_index]) + (1 - alpha) * (level + trend)
+            trend = beta * (level - previous_level) + (1 - beta) * trend
+            seasonal[season_index] = gamma * (observed - level) + (1 - gamma) * seasonal[season_index]
+        self._level, self._trend, self._seasonal = level, trend, seasonal
+        return self
+
+    def forecast(self, horizon: int) -> TimeSeries:
+        self._require_fit()
+        values = np.empty(horizon)
+        history_length = len(self._history)
+        for step in range(1, horizon + 1):
+            season_index = (history_length + step - 1) % self.season_length
+            values[step - 1] = self._level + step * self._trend + self._seasonal[season_index]
+        return self._make_series(np.clip(values, 0.0, None))

@@ -1,0 +1,20 @@
+"""Monitoring extension (the paper's future work): alerts and the control-platform drill-down."""
+
+from repro.monitoring.alerts import (
+    Alert,
+    AlertKind,
+    AlertMonitor,
+    AlertSeverity,
+    AlertThresholds,
+)
+from repro.monitoring.platform import MonitoringPlatform, MonitoringReport
+
+__all__ = [
+    "Alert",
+    "AlertKind",
+    "AlertSeverity",
+    "AlertThresholds",
+    "AlertMonitor",
+    "MonitoringPlatform",
+    "MonitoringReport",
+]

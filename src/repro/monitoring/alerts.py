@@ -1,0 +1,277 @@
+"""Alerting on expected shortages and over-capacities.
+
+The paper's future work describes "the integrated energy planning and control
+platform offering high level qualitative information such as alerts about
+expected shortages or over-capacities and an option to drill down data to find
+out a reason behind this".  This module implements that layer on top of the
+existing substrates: alert rules scan the forecast demand, the RES production
+and the flexibility the collected flex-offers provide, and every raised alert
+carries a *drill-down* — the time window, the geographic scope and the
+flex-offers involved — that the views can open directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from enum import Enum
+from typing import Sequence
+
+from repro.flexoffer.flexibility import flexibility_envelope
+from repro.flexoffer.model import FlexOffer
+from repro.timeseries.grid import TimeGrid
+from repro.timeseries.series import TimeSeries
+
+
+class AlertSeverity(str, Enum):
+    """How urgent an alert is."""
+
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+class AlertKind(str, Enum):
+    """The situations the monitoring layer recognises."""
+
+    #: Demand (base + minimum flexible) exceeds RES + market headroom.
+    SHORTAGE = "shortage"
+    #: RES production exceeds demand even when all flexibility is used.
+    OVER_CAPACITY = "over_capacity"
+    #: The physical realization deviates from the plan beyond a tolerance.
+    PLAN_DEVIATION = "plan_deviation"
+    #: Too little flexibility has been collected to balance the expected swing.
+    LOW_FLEXIBILITY = "low_flexibility"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One raised alert with its drill-down context."""
+
+    kind: AlertKind
+    severity: AlertSeverity
+    message: str
+    start: datetime
+    end: datetime
+    #: Slot range the alert covers.
+    first_slot: int
+    last_slot: int
+    #: Magnitude of the problem in kWh over the window (positive).
+    energy_kwh: float
+    #: Region the alert is scoped to ("" = whole grid).
+    region: str = ""
+    #: Identifiers of the flex-offers that can help (or caused) the situation.
+    offer_ids: tuple[int, ...] = field(default_factory=tuple)
+
+    def describe(self) -> str:
+        """One display line for dashboards and logs."""
+        scope = self.region or "all regions"
+        return (
+            f"[{self.severity.value.upper()}] {self.kind.value}: {self.message} "
+            f"({self.start:%H:%M}-{self.end:%H:%M}, {scope}, {self.energy_kwh:.0f} kWh)"
+        )
+
+
+@dataclass(frozen=True)
+class AlertThresholds:
+    """Tunable thresholds of the monitoring rules."""
+
+    #: A shortage/over-capacity must exceed this energy per slot to be reported (kWh).
+    minimum_slot_imbalance_kwh: float = 1.0
+    #: Windows shorter than this many slots are ignored (transients).
+    minimum_window_slots: int = 2
+    #: Severity boundaries as fractions of the window's demand.
+    warning_fraction: float = 0.10
+    critical_fraction: float = 0.25
+    #: Plan deviation above this fraction of the planned energy raises an alert.
+    plan_deviation_fraction: float = 0.10
+    #: Balancing potential below this value raises a low-flexibility alert.
+    minimum_balancing_potential: float = 0.15
+
+
+def _windows(mask: Sequence[bool], minimum_length: int) -> list[tuple[int, int]]:
+    """Return half-open index windows where ``mask`` is contiguously true."""
+    windows: list[tuple[int, int]] = []
+    start: int | None = None
+    for index, flag in enumerate(mask):
+        if flag and start is None:
+            start = index
+        elif not flag and start is not None:
+            if index - start >= minimum_length:
+                windows.append((start, index))
+            start = None
+    if start is not None and len(mask) - start >= minimum_length:
+        windows.append((start, len(mask)))
+    return windows
+
+
+class AlertMonitor:
+    """Scans forecasts, plans and flex-offers for alert conditions."""
+
+    def __init__(self, grid: TimeGrid, thresholds: AlertThresholds | None = None) -> None:
+        self.grid = grid
+        self.thresholds = thresholds or AlertThresholds()
+
+    # ------------------------------------------------------------------
+    # Individual rules
+    # ------------------------------------------------------------------
+    def shortage_alerts(
+        self,
+        demand: TimeSeries,
+        res_production: TimeSeries,
+        offers: Sequence[FlexOffer],
+        region: str = "",
+    ) -> list[Alert]:
+        """Expected shortages: demand exceeds RES production even after shifting.
+
+        The rule compares the non-flexible demand against RES production; slots
+        where the deficit exceeds the threshold and persists for the minimum
+        window form one alert each.  Flex-offers whose feasible span overlaps
+        the window are attached for drill-down (they are the shiftable loads an
+        operator would move away from the shortage).
+        """
+        thresholds = self.thresholds
+        deficit = demand - res_production
+        mask = [value > thresholds.minimum_slot_imbalance_kwh for value in deficit.values]
+        alerts = []
+        for start_index, end_index in _windows(mask, thresholds.minimum_window_slots):
+            first_slot = deficit.start_slot + start_index
+            last_slot = deficit.start_slot + end_index
+            energy = float(deficit.values[start_index:end_index].sum())
+            window_demand = float(demand.slice_slots(first_slot, last_slot).total())
+            severity = self._severity(energy, window_demand)
+            involved = _overlapping_offers(offers, first_slot, last_slot)
+            alerts.append(
+                Alert(
+                    kind=AlertKind.SHORTAGE,
+                    severity=severity,
+                    message="expected electricity shortage (demand exceeds RES production)",
+                    start=self.grid.to_datetime(first_slot),
+                    end=self.grid.to_datetime(last_slot),
+                    first_slot=first_slot,
+                    last_slot=last_slot,
+                    energy_kwh=energy,
+                    region=region,
+                    offer_ids=involved,
+                )
+            )
+        return alerts
+
+    def over_capacity_alerts(
+        self,
+        demand: TimeSeries,
+        res_production: TimeSeries,
+        offers: Sequence[FlexOffer],
+        region: str = "",
+    ) -> list[Alert]:
+        """Expected over-capacities: RES production exceeds even the maximum flexible demand."""
+        thresholds = self.thresholds
+        _, high_envelope = flexibility_envelope(list(offers), self.grid)
+        absorbable = demand + high_envelope.slice_slots(demand.start_slot, demand.end_slot)
+        surplus = res_production - absorbable
+        mask = [value > thresholds.minimum_slot_imbalance_kwh for value in surplus.values]
+        alerts = []
+        for start_index, end_index in _windows(mask, thresholds.minimum_window_slots):
+            first_slot = surplus.start_slot + start_index
+            last_slot = surplus.start_slot + end_index
+            energy = float(surplus.values[start_index:end_index].sum())
+            window_res = float(res_production.slice_slots(first_slot, last_slot).total())
+            severity = self._severity(energy, window_res)
+            involved = _overlapping_offers(offers, first_slot, last_slot)
+            alerts.append(
+                Alert(
+                    kind=AlertKind.OVER_CAPACITY,
+                    severity=severity,
+                    message="expected over-capacity (RES production exceeds absorbable demand)",
+                    start=self.grid.to_datetime(first_slot),
+                    end=self.grid.to_datetime(last_slot),
+                    first_slot=first_slot,
+                    last_slot=last_slot,
+                    energy_kwh=energy,
+                    region=region,
+                    offer_ids=involved,
+                )
+            )
+        return alerts
+
+    def plan_deviation_alerts(
+        self, planned: TimeSeries, realized: TimeSeries, offers: Sequence[FlexOffer] = ()
+    ) -> list[Alert]:
+        """Settlement-time alerts: the realization deviates substantially from the plan."""
+        thresholds = self.thresholds
+        deviation = (planned - realized).absolute()
+        total_planned = planned.absolute().total()
+        total_deviation = deviation.total()
+        if total_planned <= 0 or total_deviation < thresholds.plan_deviation_fraction * total_planned:
+            return []
+        worst_index = int(deviation.values.argmax())
+        worst_slot = deviation.start_slot + worst_index
+        severity = (
+            AlertSeverity.CRITICAL
+            if total_deviation > 2 * thresholds.plan_deviation_fraction * total_planned
+            else AlertSeverity.WARNING
+        )
+        return [
+            Alert(
+                kind=AlertKind.PLAN_DEVIATION,
+                severity=severity,
+                message=(
+                    f"physical realization deviates from the plan by "
+                    f"{100 * total_deviation / total_planned:.0f}%"
+                ),
+                start=self.grid.to_datetime(deviation.start_slot),
+                end=self.grid.to_datetime(deviation.end_slot),
+                first_slot=deviation.start_slot,
+                last_slot=deviation.end_slot,
+                energy_kwh=total_deviation,
+                offer_ids=_overlapping_offers(offers, worst_slot, worst_slot + 1),
+            )
+        ]
+
+    def low_flexibility_alerts(self, offers: Sequence[FlexOffer], region: str = "") -> list[Alert]:
+        """Raised when the collected flex-offers provide too little balancing potential."""
+        from repro.flexoffer.flexibility import balancing_potential
+
+        if not offers:
+            potential = 0.0
+        else:
+            potential = balancing_potential(list(offers))
+        if potential >= self.thresholds.minimum_balancing_potential:
+            return []
+        first_slot = min((offer.earliest_start_slot for offer in offers), default=0)
+        last_slot = max((offer.latest_end_slot for offer in offers), default=1)
+        return [
+            Alert(
+                kind=AlertKind.LOW_FLEXIBILITY,
+                severity=AlertSeverity.WARNING if offers else AlertSeverity.CRITICAL,
+                message=f"balancing potential of the collected flex-offers is only {potential:.2f}",
+                start=self.grid.to_datetime(first_slot),
+                end=self.grid.to_datetime(last_slot),
+                first_slot=first_slot,
+                last_slot=last_slot,
+                energy_kwh=float(sum(offer.energy_flexibility for offer in offers)),
+                region=region,
+                offer_ids=tuple(offer.id for offer in offers),
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _severity(self, imbalance_energy: float, reference_energy: float) -> AlertSeverity:
+        if reference_energy <= 0:
+            return AlertSeverity.WARNING
+        fraction = imbalance_energy / reference_energy
+        if fraction >= self.thresholds.critical_fraction:
+            return AlertSeverity.CRITICAL
+        if fraction >= self.thresholds.warning_fraction:
+            return AlertSeverity.WARNING
+        return AlertSeverity.INFO
+
+
+def _overlapping_offers(offers: Sequence[FlexOffer], first_slot: int, last_slot: int) -> tuple[int, ...]:
+    return tuple(
+        offer.id
+        for offer in offers
+        if offer.earliest_start_slot < last_slot and offer.latest_end_slot > first_slot
+    )

@@ -1,0 +1,45 @@
+"""OLAP engine over flex-offers: dimensions, cube, measures, pivot tables, MDX subset."""
+
+from repro.olap.cube import Cell, CellSet, FlexOfferCube, GroupBy, MemberFilter
+from repro.olap.dimension import (
+    Dimension,
+    Level,
+    appliance_dimension,
+    energy_type_dimension,
+    geography_dimension,
+    grid_dimension,
+    prosumer_dimension,
+    standard_dimensions,
+    state_dimension,
+    time_dimension,
+)
+from repro.olap.mdx import MdxQuery, execute, parse
+from repro.olap.measures import STANDARD_MEASURES, Measure, MeasureContext, get_measure
+from repro.olap.pivot import PivotTable, pivot
+
+__all__ = [
+    "FlexOfferCube",
+    "GroupBy",
+    "MemberFilter",
+    "Cell",
+    "CellSet",
+    "Dimension",
+    "Level",
+    "standard_dimensions",
+    "time_dimension",
+    "geography_dimension",
+    "grid_dimension",
+    "energy_type_dimension",
+    "prosumer_dimension",
+    "appliance_dimension",
+    "state_dimension",
+    "Measure",
+    "MeasureContext",
+    "STANDARD_MEASURES",
+    "get_measure",
+    "PivotTable",
+    "pivot",
+    "MdxQuery",
+    "parse",
+    "execute",
+]

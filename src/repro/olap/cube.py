@@ -1,0 +1,195 @@
+"""The flex-offer OLAP cube: filtering, grouping, drill-down and slicing.
+
+The cube keeps the raw flex-offers and evaluates aggregations lazily, which is
+what the tool needs: every pivot-view navigation step re-aggregates the
+currently loaded offers with the chosen hierarchy level and measures.  The
+supported operations mirror Section 3 of the paper: nested filtering and
+grouping on all dimension types, drill-up / drill-down through hierarchy
+levels, and evaluation of the Req.-2 measures per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.datagen.grid import GridTopology
+from repro.errors import UnknownDimensionError
+from repro.flexoffer.model import FlexOffer
+from repro.olap.dimension import Dimension, standard_dimensions
+from repro.olap.measures import Measure, MeasureContext, get_measure
+from repro.timeseries.grid import TimeGrid
+
+
+@dataclass(frozen=True)
+class GroupBy:
+    """One grouping axis: a dimension name plus one of its level names."""
+
+    dimension: str
+    level: str
+
+
+@dataclass(frozen=True)
+class MemberFilter:
+    """Keep only offers whose member at ``dimension.level`` is in ``members``."""
+
+    dimension: str
+    level: str
+    members: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One cell of a cube query result."""
+
+    coordinates: tuple[Any, ...]
+    values: dict[str, float]
+    offer_count: int
+
+
+@dataclass
+class CellSet:
+    """Result of a cube aggregation: the axes plus the populated cells."""
+
+    group_by: tuple[GroupBy, ...]
+    measures: tuple[str, ...]
+    cells: list[Cell] = field(default_factory=list)
+
+    def cell(self, coordinates: tuple[Any, ...]) -> Cell | None:
+        """Return the cell at ``coordinates`` or ``None`` when empty."""
+        for candidate in self.cells:
+            if candidate.coordinates == coordinates:
+                return candidate
+        return None
+
+    def value(self, coordinates: tuple[Any, ...], measure: str, default: float = 0.0) -> float:
+        """Value of ``measure`` at ``coordinates`` (``default`` for empty cells)."""
+        cell = self.cell(coordinates)
+        if cell is None:
+            return default
+        return cell.values.get(measure, default)
+
+    def axis_members(self, axis: int) -> list[Any]:
+        """Distinct members along one grouping axis, in first-seen order."""
+        seen: list[Any] = []
+        for cell in self.cells:
+            member = cell.coordinates[axis]
+            if member not in seen:
+                seen.append(member)
+        return seen
+
+    def totals(self) -> dict[str, float]:
+        """Sum of each measure over all cells (counts and energies add up)."""
+        totals = {measure: 0.0 for measure in self.measures}
+        for cell in self.cells:
+            for measure in self.measures:
+                totals[measure] += cell.values.get(measure, 0.0)
+        return totals
+
+
+class FlexOfferCube:
+    """An OLAP cube over a set of flex-offers."""
+
+    def __init__(
+        self,
+        offers: Sequence[FlexOffer],
+        grid: TimeGrid,
+        topology: GridTopology | None = None,
+        dimensions: Mapping[str, Dimension] | None = None,
+        context: MeasureContext | None = None,
+    ) -> None:
+        self.offers = list(offers)
+        self.grid = grid
+        self.dimensions: dict[str, Dimension] = dict(
+            dimensions if dimensions is not None else standard_dimensions(grid, topology)
+        )
+        self.context = context or MeasureContext()
+
+    # ------------------------------------------------------------------
+    # Dimension access
+    # ------------------------------------------------------------------
+    def dimension(self, name: str) -> Dimension:
+        """Return the dimension called ``name``."""
+        try:
+            return self.dimensions[name]
+        except KeyError as exc:
+            raise UnknownDimensionError(
+                f"cube has no dimension {name!r}; available: {sorted(self.dimensions)}"
+            ) from exc
+
+    def members(self, dimension: str, level: str) -> list[Any]:
+        """Distinct members of ``dimension.level`` among the cube's offers."""
+        return self.dimension(dimension).members(level, self.offers)
+
+    # ------------------------------------------------------------------
+    # Filtering (dice)
+    # ------------------------------------------------------------------
+    def filter(self, filters: Iterable[MemberFilter]) -> "FlexOfferCube":
+        """Return a sub-cube containing only offers matching every filter."""
+        offers = self.offers
+        for member_filter in filters:
+            level = self.dimension(member_filter.dimension).level(member_filter.level)
+            allowed = set(member_filter.members)
+            offers = [offer for offer in offers if level.member_of(offer) in allowed]
+        return FlexOfferCube(
+            offers, self.grid, dimensions=self.dimensions, context=self.context
+        )
+
+    def slice(self, dimension: str, level: str, member: Any) -> "FlexOfferCube":
+        """Classical OLAP slice: fix one dimension level to a single member."""
+        return self.filter([MemberFilter(dimension, level, (member,))])
+
+    # ------------------------------------------------------------------
+    # Aggregation (roll-up)
+    # ------------------------------------------------------------------
+    def aggregate(
+        self,
+        group_by: Sequence[GroupBy],
+        measures: Sequence[str | Measure],
+        filters: Sequence[MemberFilter] = (),
+    ) -> CellSet:
+        """Group the (optionally filtered) offers and evaluate measures per group."""
+        cube = self.filter(filters) if filters else self
+        resolved: list[Measure] = [
+            measure if isinstance(measure, Measure) else get_measure(measure) for measure in measures
+        ]
+        levels = [cube.dimension(axis.dimension).level(axis.level) for axis in group_by]
+        groups: dict[tuple[Any, ...], list[FlexOffer]] = {}
+        for offer in cube.offers:
+            key = tuple(level.member_of(offer) for level in levels)
+            groups.setdefault(key, []).append(offer)
+        cells = []
+        for key in sorted(groups, key=lambda item: tuple(str(part) for part in item)):
+            group_offers = groups[key]
+            values = {measure.name: measure(group_offers, cube.context) for measure in resolved}
+            cells.append(Cell(coordinates=key, values=values, offer_count=len(group_offers)))
+        return CellSet(
+            group_by=tuple(group_by),
+            measures=tuple(measure.name for measure in resolved),
+            cells=cells,
+        )
+
+    # ------------------------------------------------------------------
+    # Navigation helpers used by the pivot view
+    # ------------------------------------------------------------------
+    def drill_down(self, cell_set: CellSet, axis: int, measures: Sequence[str] | None = None) -> CellSet:
+        """Re-aggregate with axis ``axis`` one level finer (no-op at the leaf level)."""
+        group_by = list(cell_set.group_by)
+        axis_spec = group_by[axis]
+        dimension = self.dimension(axis_spec.dimension)
+        finer = dimension.drill_down_level(axis_spec.level)
+        if finer is None:
+            return cell_set
+        group_by[axis] = GroupBy(axis_spec.dimension, finer.name)
+        return self.aggregate(group_by, measures or cell_set.measures)
+
+    def drill_up(self, cell_set: CellSet, axis: int, measures: Sequence[str] | None = None) -> CellSet:
+        """Re-aggregate with axis ``axis`` one level coarser (no-op at the root level)."""
+        group_by = list(cell_set.group_by)
+        axis_spec = group_by[axis]
+        dimension = self.dimension(axis_spec.dimension)
+        coarser = dimension.drill_up_level(axis_spec.level)
+        if coarser is None:
+            return cell_set
+        group_by[axis] = GroupBy(axis_spec.dimension, coarser.name)
+        return self.aggregate(group_by, measures or cell_set.measures)

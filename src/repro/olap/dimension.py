@@ -1,0 +1,214 @@
+"""OLAP dimensions and hierarchies over flex-offer attributes.
+
+Section 3 of the paper requires "intuitive dimension hierarchies as those in
+OLAP … for all these types of attributes": temporal, spatial-geographical,
+spatial-topological, energy type, prosumer type and appliance type.  A
+:class:`Dimension` is an ordered list of :class:`Level` objects from the
+coarsest (``all``) to the finest granularity; every level knows how to extract
+its member value from a flex-offer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.datagen.grid import GridTopology
+from repro.errors import UnknownDimensionError
+from repro.flexoffer.model import FlexOffer
+from repro.timeseries.grid import TimeGrid
+
+#: Extracts a member value for one flex-offer.
+KeyFunction = Callable[[FlexOffer], Any]
+
+
+@dataclass(frozen=True)
+class Level:
+    """One granularity level of a dimension hierarchy."""
+
+    name: str
+    key: KeyFunction
+
+    def member_of(self, offer: FlexOffer) -> Any:
+        """Return the member of this level the flex-offer belongs to."""
+        return self.key(offer)
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """A dimension hierarchy: levels ordered from coarsest to finest."""
+
+    name: str
+    levels: tuple[Level, ...]
+
+    def level(self, name: str) -> Level:
+        """Return the level called ``name``."""
+        for level in self.levels:
+            if level.name == name:
+                return level
+        raise UnknownDimensionError(f"dimension {self.name!r} has no level {name!r}")
+
+    def level_names(self) -> list[str]:
+        """Names of all levels, coarsest first."""
+        return [level.name for level in self.levels]
+
+    def drill_down_level(self, name: str) -> Level | None:
+        """Return the level one step finer than ``name`` (``None`` at the leaf)."""
+        names = self.level_names()
+        index = names.index(self.level(name).name)
+        if index + 1 < len(self.levels):
+            return self.levels[index + 1]
+        return None
+
+    def drill_up_level(self, name: str) -> Level | None:
+        """Return the level one step coarser than ``name`` (``None`` at the root)."""
+        names = self.level_names()
+        index = names.index(self.level(name).name)
+        if index > 0:
+            return self.levels[index - 1]
+        return None
+
+    def members(self, level_name: str, offers: Sequence[FlexOffer]) -> list[Any]:
+        """Distinct members of a level present in ``offers``, in first-seen order."""
+        level = self.level(level_name)
+        seen: list[Any] = []
+        for offer in offers:
+            member = level.member_of(offer)
+            if member not in seen:
+                seen.append(member)
+        return seen
+
+
+# ----------------------------------------------------------------------
+# Standard dimensions required by the paper
+# ----------------------------------------------------------------------
+def _all_level() -> Level:
+    return Level("all", lambda offer: "All")
+
+
+def time_dimension(grid: TimeGrid) -> Dimension:
+    """Temporal dimension: all > month > day > hour > slot (on the earliest start)."""
+
+    def month(offer: FlexOffer) -> str:
+        instant = grid.to_datetime(offer.earliest_start_slot)
+        return f"{instant.year:04d}-{instant.month:02d}"
+
+    def day(offer: FlexOffer) -> str:
+        return grid.to_datetime(offer.earliest_start_slot).date().isoformat()
+
+    def hour(offer: FlexOffer) -> str:
+        instant = grid.to_datetime(offer.earliest_start_slot)
+        return f"{instant.date().isoformat()} {instant.hour:02d}:00"
+
+    return Dimension(
+        name="Time",
+        levels=(
+            _all_level(),
+            Level("month", month),
+            Level("day", day),
+            Level("hour", hour),
+            Level("slot", lambda offer: offer.earliest_start_slot),
+        ),
+    )
+
+
+def geography_dimension() -> Dimension:
+    """Spatial-geographical dimension: all > region > city > district."""
+    return Dimension(
+        name="Geography",
+        levels=(
+            _all_level(),
+            Level("region", lambda offer: offer.region or "(unknown)"),
+            Level("city", lambda offer: offer.city or "(unknown)"),
+            Level("district", lambda offer: offer.district or "(unknown)"),
+        ),
+    )
+
+
+def grid_dimension(topology: GridTopology | None = None) -> Dimension:
+    """Spatial-topological dimension over the electricity grid.
+
+    Levels: all > transmission substation > distribution substation > feeder.
+    When a topology is supplied, the two upper levels resolve the feeder's
+    ancestors; otherwise only the feeder (``grid_node``) level is meaningful
+    and upper levels fall back to the offer's region / city.
+    """
+    parent_of: dict[str, str] = {}
+    if topology is not None:
+        for line in topology.lines:
+            parent_of.setdefault(line.target, line.source)
+
+    def distribution(offer: FlexOffer) -> str:
+        node = offer.grid_node or "(unknown)"
+        return parent_of.get(node, f"DS {offer.city}" if offer.city else "(unknown)")
+
+    def transmission(offer: FlexOffer) -> str:
+        dist = distribution(offer)
+        return parent_of.get(dist, f"TX {offer.region}" if offer.region else "(unknown)")
+
+    return Dimension(
+        name="Grid",
+        levels=(
+            _all_level(),
+            Level("transmission", transmission),
+            Level("distribution", distribution),
+            Level("feeder", lambda offer: offer.grid_node or "(unknown)"),
+        ),
+    )
+
+
+def energy_type_dimension() -> Dimension:
+    """Energy-type dimension: all > energy type."""
+    return Dimension(
+        name="EnergyType",
+        levels=(_all_level(), Level("energy_type", lambda offer: offer.energy_type or "(unknown)")),
+    )
+
+
+def prosumer_dimension() -> Dimension:
+    """Prosumer dimension: all > consumer/producer role > prosumer type."""
+
+    def role(offer: FlexOffer) -> str:
+        return "Producer" if offer.direction.value == "production" else "Consumer"
+
+    return Dimension(
+        name="Prosumer",
+        levels=(
+            _all_level(),
+            Level("role", role),
+            Level("prosumer_type", lambda offer: offer.prosumer_type or "(unknown)"),
+        ),
+    )
+
+
+def appliance_dimension() -> Dimension:
+    """Appliance-type dimension: all > appliance type."""
+    return Dimension(
+        name="Appliance",
+        levels=(
+            _all_level(),
+            Level("appliance_type", lambda offer: offer.appliance_type or "(unknown)"),
+        ),
+    )
+
+
+def state_dimension() -> Dimension:
+    """Lifecycle-state dimension: all > state (accepted / assigned / rejected / ...)."""
+    return Dimension(
+        name="State",
+        levels=(_all_level(), Level("state", lambda offer: offer.state.value)),
+    )
+
+
+def standard_dimensions(grid: TimeGrid, topology: GridTopology | None = None) -> dict[str, Dimension]:
+    """All dimensions the paper's Section 3 requires, keyed by name."""
+    dimensions = [
+        time_dimension(grid),
+        geography_dimension(),
+        grid_dimension(topology),
+        energy_type_dimension(),
+        prosumer_dimension(),
+        appliance_dimension(),
+        state_dimension(),
+    ]
+    return {dimension.name: dimension for dimension in dimensions}

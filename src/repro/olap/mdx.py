@@ -1,0 +1,220 @@
+"""A small MDX-like query language for the pivot view.
+
+Section 3 of the paper requires "a possibility to manually formulate a query
+(e.g., in MDX) for the view".  This module implements a deliberately small but
+real subset of MDX syntax sufficient for the pivot view's query window:
+
+.. code-block:: text
+
+    SELECT {[Measures].[flex_offer_count], [Measures].[scheduled_energy]} ON COLUMNS,
+           {[Prosumer].[prosumer_type].Members} ON ROWS
+    FROM [FlexOffers]
+    WHERE ([Geography].[region].[Zealand], [Time].[day].[2012-02-01])
+
+Rules:
+
+* the COLUMNS axis must contain only ``[Measures].[<name>]`` items,
+* the ROWS axis must be a single ``[<Dimension>].[<level>].Members`` set or an
+  explicit list of ``[<Dimension>].[<level>].[<member>]`` items,
+* the optional WHERE tuple contains ``[<Dimension>].[<level>].[<member>]``
+  slicers.
+
+Parsing produces an :class:`MdxQuery`; :func:`execute` evaluates it against a
+:class:`~repro.olap.cube.FlexOfferCube` and returns a
+:class:`~repro.olap.pivot.PivotTable` whose *columns* are the measures.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import MdxSyntaxError
+from repro.olap.cube import FlexOfferCube, GroupBy, MemberFilter
+from repro.olap.pivot import PivotTable
+
+_BRACKET_ITEM = re.compile(r"\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class MdxAxisItem:
+    """One bracketed path on an axis, e.g. ``[Prosumer].[prosumer_type].Members``."""
+
+    parts: tuple[str, ...]
+    is_members: bool = False
+
+
+@dataclass(frozen=True)
+class MdxQuery:
+    """A parsed MDX-like query."""
+
+    measures: tuple[str, ...]
+    rows_dimension: str
+    rows_level: str
+    rows_members: tuple[str, ...] | None
+    cube_name: str
+    slicers: tuple[tuple[str, str, str], ...] = field(default_factory=tuple)
+
+
+def _split_set_items(text: str) -> list[str]:
+    """Split a ``{a, b, c}`` set body on commas that are outside brackets."""
+    items = []
+    depth = 0
+    current = []
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            items.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        items.append(tail)
+    return items
+
+
+def _parse_item(text: str) -> MdxAxisItem:
+    is_members = bool(re.search(r"\.members\s*$", text, flags=re.IGNORECASE))
+    parts = tuple(match.group(1) for match in _BRACKET_ITEM.finditer(text))
+    if not parts:
+        raise MdxSyntaxError(f"cannot parse axis item {text!r}")
+    return MdxAxisItem(parts=parts, is_members=is_members)
+
+
+def parse(query_text: str) -> MdxQuery:
+    """Parse an MDX-like query string into an :class:`MdxQuery`."""
+    text = " ".join(query_text.split())
+    pattern = re.compile(
+        r"^\s*SELECT\s+\{(?P<columns>.*?)\}\s+ON\s+COLUMNS\s*,\s*"
+        r"\{(?P<rows>.*?)\}\s+ON\s+ROWS\s+"
+        r"FROM\s+\[(?P<cube>[^\]]+)\]"
+        r"(?:\s+WHERE\s+\((?P<where>.*?)\))?\s*$",
+        flags=re.IGNORECASE,
+    )
+    match = pattern.match(text)
+    if match is None:
+        raise MdxSyntaxError(
+            "query must have the form: SELECT {<measures>} ON COLUMNS, {<set>} ON ROWS "
+            "FROM [<cube>] [WHERE (<slicers>)]"
+        )
+
+    # COLUMNS axis: measures only.
+    measures = []
+    for item_text in _split_set_items(match.group("columns")):
+        item = _parse_item(item_text)
+        if len(item.parts) != 2 or item.parts[0].lower() != "measures":
+            raise MdxSyntaxError(
+                f"COLUMNS axis items must be [Measures].[<name>], got {item_text!r}"
+            )
+        measures.append(item.parts[1])
+    if not measures:
+        raise MdxSyntaxError("COLUMNS axis contains no measures")
+
+    # ROWS axis: one dimension level, either .Members or explicit member list.
+    row_items = [_parse_item(item_text) for item_text in _split_set_items(match.group("rows"))]
+    first = row_items[0]
+    if first.is_members:
+        if len(row_items) != 1 or len(first.parts) != 2:
+            raise MdxSyntaxError("ROWS axis with .Members must be a single [Dim].[level].Members item")
+        rows_dimension, rows_level = first.parts
+        rows_members: tuple[str, ...] | None = None
+    else:
+        rows_members_list = []
+        rows_dimension = rows_level = ""
+        for item in row_items:
+            if len(item.parts) != 3:
+                raise MdxSyntaxError(
+                    f"explicit ROWS members must be [Dim].[level].[member], got {item.parts}"
+                )
+            dimension, level, member = item.parts
+            if rows_dimension and (dimension != rows_dimension or level != rows_level):
+                raise MdxSyntaxError("all explicit ROWS members must share one dimension level")
+            rows_dimension, rows_level = dimension, level
+            rows_members_list.append(member)
+        rows_members = tuple(rows_members_list)
+
+    # WHERE slicers.
+    slicers = []
+    where_text = match.group("where")
+    if where_text:
+        for item_text in _split_set_items(where_text):
+            item = _parse_item(item_text)
+            if len(item.parts) != 3:
+                raise MdxSyntaxError(
+                    f"WHERE slicers must be [Dim].[level].[member], got {item_text!r}"
+                )
+            slicers.append((item.parts[0], item.parts[1], item.parts[2]))
+
+    return MdxQuery(
+        measures=tuple(measures),
+        rows_dimension=rows_dimension,
+        rows_level=rows_level,
+        rows_members=rows_members,
+        cube_name=match.group("cube"),
+        slicers=tuple(slicers),
+    )
+
+
+def execute(cube: FlexOfferCube, query: MdxQuery | str) -> PivotTable:
+    """Evaluate an MDX-like query against ``cube``.
+
+    The result is a :class:`PivotTable` whose rows are the requested dimension
+    members and whose single column axis carries one column per measure (the
+    classic "measures on columns" layout of the paper's MDX example).
+    """
+    if isinstance(query, str):
+        query = parse(query)
+
+    filters = [
+        MemberFilter(dimension, level, (member,)) for dimension, level, member in query.slicers
+    ]
+    if query.rows_members is not None:
+        filters.append(
+            MemberFilter(query.rows_dimension, query.rows_level, tuple(query.rows_members))
+        )
+    filtered = cube.filter(filters) if filters else cube
+
+    cell_set = filtered.aggregate(
+        [GroupBy(query.rows_dimension, query.rows_level)], list(query.measures)
+    )
+    if query.rows_members is not None:
+        row_members: list[Any] = list(query.rows_members)
+    else:
+        row_members = filtered.members(query.rows_dimension, query.rows_level)
+    column_members: list[Any] = list(query.measures)
+    values: dict[str, list[list[float]]] = {
+        measure: [[0.0] for _ in row_members] for measure in query.measures
+    }
+    for cell in cell_set.cells:
+        (member,) = cell.coordinates
+        if member not in row_members:
+            continue
+        row_index = row_members.index(member)
+        for measure in query.measures:
+            values[measure][row_index][0] = cell.values.get(measure, 0.0)
+
+    # Re-shape to the PivotTable contract: one column per measure.
+    table_values: dict[str, list[list[float]]] = {}
+    for measure in query.measures:
+        table_values[measure] = [
+            [values[measure][row_index][0] for _ in range(1)] for row_index in range(len(row_members))
+        ]
+    merged = {
+        "value": [
+            [values[measure][row_index][0] for measure in query.measures]
+            for row_index in range(len(row_members))
+        ]
+    }
+    return PivotTable(
+        row_dimension=GroupBy(query.rows_dimension, query.rows_level),
+        column_dimension=GroupBy("Measures", "measure"),
+        measures=("value",),
+        row_members=row_members,
+        column_members=column_members,
+        values=merged,
+    )

@@ -1,0 +1,210 @@
+"""The aggregate measures required by the paper's Req. 2.
+
+Section 3 lists the statistics the framework must support on aggregated
+flex-offer data:
+
+* **Flex-offer Count** — total / accepted / assigned / rejected counts,
+* **Flex-offer Attribute Value** — min / max / average of an attribute such as
+  price, energy or flexibility,
+* **Scheduled Energy** — energy planned by utilising flex-offers,
+* **Plan Deviations** — difference between plan and physical realization,
+* **Energy Balancing Potential** — how well energy can be balanced with the
+  offered flexibility.
+
+Every measure is a named function from a list of flex-offers (one OLAP cell's
+group) plus an optional :class:`MeasureContext` to a float.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import UnknownMeasureError
+from repro.flexoffer.flexibility import balancing_potential
+from repro.flexoffer.model import FlexOffer, FlexOfferState
+
+
+@dataclass(frozen=True)
+class MeasureContext:
+    """Extra data some measures need beyond the flex-offers themselves.
+
+    ``realized_energy`` maps a flex-offer id to the physically metered energy
+    of that offer; it backs the *Plan Deviations* measure.  When an offer has
+    no entry, its realization is assumed to equal its schedule (deviation 0).
+    """
+
+    realized_energy: Mapping[int, float] = field(default_factory=dict)
+
+
+#: Signature of a measure function.
+MeasureFunction = Callable[[Sequence[FlexOffer], MeasureContext], float]
+
+
+@dataclass(frozen=True)
+class Measure:
+    """A named, documented aggregate measure."""
+
+    name: str
+    description: str
+    function: MeasureFunction
+    unit: str = ""
+
+    def __call__(self, offers: Sequence[FlexOffer], context: MeasureContext | None = None) -> float:
+        return self.function(offers, context or MeasureContext())
+
+
+# ----------------------------------------------------------------------
+# Count measures
+# ----------------------------------------------------------------------
+def _count(offers: Sequence[FlexOffer], _: MeasureContext) -> float:
+    return float(len(offers))
+
+
+def _count_in_state(state: FlexOfferState) -> MeasureFunction:
+    def function(offers: Sequence[FlexOffer], _: MeasureContext) -> float:
+        return float(sum(1 for offer in offers if offer.state is state))
+
+    return function
+
+
+# ----------------------------------------------------------------------
+# Attribute-value measures
+# ----------------------------------------------------------------------
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _attribute_measure(kind: str, attribute: Callable[[FlexOffer], float]) -> MeasureFunction:
+    def function(offers: Sequence[FlexOffer], _: MeasureContext) -> float:
+        values = [attribute(offer) for offer in offers]
+        if not values:
+            return 0.0
+        if kind == "min":
+            return float(min(values))
+        if kind == "max":
+            return float(max(values))
+        if kind == "sum":
+            return float(sum(values))
+        return float(_mean(values))
+
+    return function
+
+
+# ----------------------------------------------------------------------
+# Energy measures
+# ----------------------------------------------------------------------
+def _scheduled_energy(offers: Sequence[FlexOffer], _: MeasureContext) -> float:
+    return float(sum(offer.scheduled_energy for offer in offers))
+
+
+def _plan_deviation(offers: Sequence[FlexOffer], context: MeasureContext) -> float:
+    deviation = 0.0
+    for offer in offers:
+        if offer.schedule is None:
+            continue
+        realized = context.realized_energy.get(offer.id, offer.scheduled_energy)
+        deviation += abs(offer.scheduled_energy - realized)
+    return deviation
+
+
+def _balancing_potential(offers: Sequence[FlexOffer], _: MeasureContext) -> float:
+    return balancing_potential(list(offers))
+
+
+#: The standard measure registry (name -> Measure).
+STANDARD_MEASURES: dict[str, Measure] = {
+    measure.name: measure
+    for measure in (
+        Measure("flex_offer_count", "Total number of flex-offers in the cell", _count, "offers"),
+        Measure(
+            "accepted_count",
+            "Number of accepted flex-offers",
+            _count_in_state(FlexOfferState.ACCEPTED),
+            "offers",
+        ),
+        Measure(
+            "assigned_count",
+            "Number of assigned flex-offers",
+            _count_in_state(FlexOfferState.ASSIGNED),
+            "offers",
+        ),
+        Measure(
+            "rejected_count",
+            "Number of rejected flex-offers",
+            _count_in_state(FlexOfferState.REJECTED),
+            "offers",
+        ),
+        Measure(
+            "executed_count",
+            "Number of executed flex-offers",
+            _count_in_state(FlexOfferState.EXECUTED),
+            "offers",
+        ),
+        Measure(
+            "min_energy",
+            "Minimum of the offers' minimum total energy",
+            _attribute_measure("min", lambda o: o.min_total_energy),
+            "kWh",
+        ),
+        Measure(
+            "max_energy",
+            "Maximum of the offers' maximum total energy",
+            _attribute_measure("max", lambda o: o.max_total_energy),
+            "kWh",
+        ),
+        Measure(
+            "avg_energy",
+            "Average of the offers' maximum total energy",
+            _attribute_measure("mean", lambda o: o.max_total_energy),
+            "kWh",
+        ),
+        Measure(
+            "total_energy",
+            "Sum of the offers' maximum total energy",
+            _attribute_measure("sum", lambda o: o.max_total_energy),
+            "kWh",
+        ),
+        Measure(
+            "avg_price",
+            "Average price per kWh across offers",
+            _attribute_measure("mean", lambda o: o.price_per_kwh),
+            "EUR/kWh",
+        ),
+        Measure(
+            "avg_time_flexibility",
+            "Average start-time flexibility in slots",
+            _attribute_measure("mean", lambda o: float(o.time_flexibility_slots)),
+            "slots",
+        ),
+        Measure(
+            "total_energy_flexibility",
+            "Sum of energy-band widths",
+            _attribute_measure("sum", lambda o: o.energy_flexibility),
+            "kWh",
+        ),
+        Measure("scheduled_energy", "Total scheduled energy", _scheduled_energy, "kWh"),
+        Measure(
+            "plan_deviation",
+            "Total absolute difference between planned and realized energy",
+            _plan_deviation,
+            "kWh",
+        ),
+        Measure(
+            "balancing_potential",
+            "Energy balancing potential of the cell's offers (0..1)",
+            _balancing_potential,
+            "",
+        ),
+    )
+}
+
+
+def get_measure(name: str) -> Measure:
+    """Return a standard measure by name, raising :class:`UnknownMeasureError` otherwise."""
+    try:
+        return STANDARD_MEASURES[name]
+    except KeyError as exc:
+        raise UnknownMeasureError(
+            f"unknown measure {name!r}; available: {sorted(STANDARD_MEASURES)}"
+        ) from exc

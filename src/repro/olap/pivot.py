@@ -1,0 +1,99 @@
+"""Pivot-table results: the tabular structure behind the paper's pivot view (Figure 5).
+
+A pivot query crosses one dimension level on the rows (e.g. members of the
+prosumer-type hierarchy) with another on the columns (typically time) and
+fills the cells with measure values.  The result object is purely tabular so
+that both the SVG pivot view and plain-text reports can render it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.olap.cube import FlexOfferCube, GroupBy, MemberFilter
+
+
+@dataclass
+class PivotTable:
+    """A dense pivot table: ``values[measure][row_index][column_index]``."""
+
+    row_dimension: GroupBy
+    column_dimension: GroupBy
+    measures: tuple[str, ...]
+    row_members: list[Any]
+    column_members: list[Any]
+    values: dict[str, list[list[float]]]
+
+    def value(self, measure: str, row_member: Any, column_member: Any) -> float:
+        """Value of ``measure`` at the given row/column members (0.0 when absent)."""
+        try:
+            row = self.row_members.index(row_member)
+            column = self.column_members.index(column_member)
+        except ValueError:
+            return 0.0
+        return self.values[measure][row][column]
+
+    def row_totals(self, measure: str) -> list[float]:
+        """Sum of ``measure`` across columns, one entry per row member."""
+        return [sum(row) for row in self.values[measure]]
+
+    def column_totals(self, measure: str) -> list[float]:
+        """Sum of ``measure`` across rows, one entry per column member."""
+        grid = self.values[measure]
+        if not grid:
+            return [0.0 for _ in self.column_members]
+        return [sum(row[index] for row in grid) for index in range(len(self.column_members))]
+
+    def to_text(self, measure: str, cell_width: int = 10) -> str:
+        """Render one measure of the pivot as a fixed-width text table."""
+        header_cells = [str(member)[: cell_width - 1].rjust(cell_width) for member in self.column_members]
+        lines = ["".rjust(24) + "".join(header_cells)]
+        for row_index, member in enumerate(self.row_members):
+            cells = [
+                f"{self.values[measure][row_index][column_index]:.1f}".rjust(cell_width)
+                for column_index in range(len(self.column_members))
+            ]
+            lines.append(str(member)[:23].ljust(24) + "".join(cells))
+        return "\n".join(lines)
+
+
+def pivot(
+    cube: FlexOfferCube,
+    rows: GroupBy,
+    columns: GroupBy,
+    measures: Sequence[str],
+    filters: Sequence[MemberFilter] = (),
+) -> PivotTable:
+    """Execute a pivot query against ``cube``.
+
+    Row and column member orders follow the cube's member enumeration for the
+    respective levels so that empty rows/columns still appear in the table.
+    """
+    filtered = cube.filter(filters) if filters else cube
+    cell_set = filtered.aggregate([rows, columns], measures)
+    row_members = filtered.members(rows.dimension, rows.level)
+    column_members = filtered.members(columns.dimension, columns.level)
+    if rows.level == "slot":
+        row_members = sorted(row_members)
+    if columns.level in ("slot", "hour", "day", "month"):
+        column_members = sorted(column_members)
+    values: dict[str, list[list[float]]] = {
+        measure: [[0.0 for _ in column_members] for _ in row_members] for measure in cell_set.measures
+    }
+    for cell in cell_set.cells:
+        row_member, column_member = cell.coordinates
+        if row_member not in row_members or column_member not in column_members:
+            continue
+        row_index = row_members.index(row_member)
+        column_index = column_members.index(column_member)
+        for measure, value in cell.values.items():
+            values[measure][row_index][column_index] = value
+    return PivotTable(
+        row_dimension=rows,
+        column_dimension=columns,
+        measures=cell_set.measures,
+        row_members=row_members,
+        column_members=column_members,
+        values=values,
+    )

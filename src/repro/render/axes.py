@@ -1,0 +1,137 @@
+"""Axis construction: ticks, labels and grid lines as scene-graph nodes.
+
+Both flex-offer views put time on the abscissa; the ordinate is either
+unit-less (basic view) or energy with synchronised scales (profile view).
+These helpers build the corresponding decoration so individual views only add
+their data marks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.render.color import Palette
+from repro.render.scales import LinearScale, SlotTimeScale
+from repro.render.scene import Group, Line, Style, Text
+
+
+@dataclass(frozen=True)
+class PlotArea:
+    """The rectangular data region of a chart, in pixel coordinates."""
+
+    left: float
+    top: float
+    width: float
+    height: float
+
+    @property
+    def right(self) -> float:
+        return self.left + self.width
+
+    @property
+    def bottom(self) -> float:
+        return self.top + self.height
+
+
+def time_axis(area: PlotArea, scale: SlotTimeScale, max_ticks: int = 8, label: str = "time") -> Group:
+    """Horizontal time axis with slot ticks, HH:MM labels and vertical grid lines."""
+    group = Group(name="time-axis")
+    axis_style = Style(stroke=Palette.AXIS, stroke_width=1.0)
+    grid_style = Style(stroke=Palette.AXIS.with_alpha(0.15), stroke_width=0.5)
+    text_style = Style(fill=Palette.AXIS, font_size=10.0)
+
+    group.add(Line(x1=area.left, y1=area.bottom, x2=area.right, y2=area.bottom, style=axis_style))
+    for slot in scale.tick_slots(max_ticks):
+        x = scale.project(slot)
+        if x < area.left - 0.5 or x > area.right + 0.5:
+            continue
+        group.add(Line(x1=x, y1=area.top, x2=x, y2=area.bottom, style=grid_style, css_class="grid"))
+        group.add(Line(x1=x, y1=area.bottom, x2=x, y2=area.bottom + 4, style=axis_style))
+        group.add(
+            Text(
+                x=x,
+                y=area.bottom + 16,
+                text=scale.tick_label(slot),
+                style=text_style,
+                anchor="middle",
+                css_class="tick-label",
+            )
+        )
+    group.add(
+        Text(
+            x=area.left + area.width / 2,
+            y=area.bottom + 30,
+            text=label,
+            style=text_style,
+            anchor="middle",
+            css_class="axis-label",
+        )
+    )
+    return group
+
+
+def value_axis(
+    area: PlotArea, scale: LinearScale, max_ticks: int = 6, label: str = "", unit: str = ""
+) -> Group:
+    """Vertical value axis with pretty ticks and horizontal grid lines."""
+    group = Group(name="value-axis")
+    axis_style = Style(stroke=Palette.AXIS, stroke_width=1.0)
+    grid_style = Style(stroke=Palette.AXIS.with_alpha(0.15), stroke_width=0.5)
+    text_style = Style(fill=Palette.AXIS, font_size=10.0)
+
+    group.add(Line(x1=area.left, y1=area.top, x2=area.left, y2=area.bottom, style=axis_style))
+    for tick in scale.ticks(max_ticks):
+        y = scale.project(tick)
+        if y < area.top - 0.5 or y > area.bottom + 0.5:
+            continue
+        group.add(Line(x1=area.left, y1=y, x2=area.right, y2=y, style=grid_style, css_class="grid"))
+        group.add(Line(x1=area.left - 4, y1=y, x2=area.left, y2=y, style=axis_style))
+        label_text = f"{tick:g}"
+        group.add(
+            Text(x=area.left - 7, y=y + 3, text=label_text, style=text_style, anchor="end", css_class="tick-label")
+        )
+    if label or unit:
+        caption = f"{label} [{unit}]" if unit else label
+        group.add(
+            Text(
+                x=area.left - 38,
+                y=area.top + area.height / 2,
+                text=caption,
+                style=text_style,
+                anchor="middle",
+                rotation=-90.0,
+                css_class="axis-label",
+            )
+        )
+    return group
+
+
+def legend(area: PlotArea, entries: list[tuple[str, "object"]], x: float | None = None, y: float | None = None) -> Group:
+    """A simple colour-swatch legend.
+
+    ``entries`` is a list of (label, Color) pairs; the legend is laid out
+    vertically starting at the top-right corner of the plot area by default.
+    """
+    from repro.render.color import Color
+    from repro.render.scene import Rect
+
+    group = Group(name="legend")
+    text_style = Style(fill=Palette.AXIS, font_size=10.0)
+    left = x if x is not None else area.right - 150
+    top = y if y is not None else area.top + 6
+    for index, (label, color) in enumerate(entries):
+        if not isinstance(color, Color):
+            continue
+        row_y = top + index * 16
+        group.add(
+            Rect(
+                x=left,
+                y=row_y,
+                width=12,
+                height=10,
+                style=Style(fill=color, stroke=Palette.AXIS, stroke_width=0.5),
+                css_class="legend-swatch",
+            )
+        )
+        group.add(Text(x=left + 18, y=row_y + 9, text=label, style=text_style, css_class="legend-label"))
+    return group

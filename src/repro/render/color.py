@@ -1,0 +1,124 @@
+"""Colours and the colour semantics of the flex-offer views.
+
+The paper fixes a small colour vocabulary for the basic and profile views
+(Section 4): light blue boxes for non-aggregated flex-offers, light red boxes
+for aggregated ones, grey rectangles for the time-flexibility interval, red
+solid lines for the scheduled start, yellow marker lines for the
+creation/acceptance/assignment times and red dashed lines for aggregation
+provenance.  Keeping the palette in one place lets every view and test agree
+on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RenderError
+
+
+@dataclass(frozen=True)
+class Color:
+    """An RGB colour with an optional alpha channel (all components 0-255)."""
+
+    red: int
+    green: int
+    blue: int
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        for component in (self.red, self.green, self.blue):
+            if not 0 <= component <= 255:
+                raise RenderError(f"colour component {component} outside 0..255")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise RenderError(f"alpha {self.alpha} outside 0..1")
+
+    def to_hex(self) -> str:
+        """``#rrggbb`` hexadecimal form (alpha is emitted separately in SVG)."""
+        return f"#{self.red:02x}{self.green:02x}{self.blue:02x}"
+
+    def with_alpha(self, alpha: float) -> "Color":
+        """Return the same colour with a different alpha."""
+        return Color(self.red, self.green, self.blue, alpha)
+
+    def lighten(self, amount: float = 0.3) -> "Color":
+        """Mix the colour towards white by ``amount`` in [0, 1]."""
+        if not 0.0 <= amount <= 1.0:
+            raise RenderError("lighten amount must lie in [0, 1]")
+        mix = lambda component: int(round(component + (255 - component) * amount))  # noqa: E731
+        return Color(mix(self.red), mix(self.green), mix(self.blue), self.alpha)
+
+    @classmethod
+    def from_hex(cls, text: str, alpha: float = 1.0) -> "Color":
+        """Parse ``#rrggbb`` (with or without the leading ``#``)."""
+        value = text.lstrip("#")
+        if len(value) != 6:
+            raise RenderError(f"cannot parse colour {text!r}")
+        try:
+            return cls(int(value[0:2], 16), int(value[2:4], 16), int(value[4:6], 16), alpha)
+        except ValueError as exc:
+            raise RenderError(f"cannot parse colour {text!r}") from exc
+
+
+class Palette:
+    """The colour vocabulary of the flex-offer views (Section 4 of the paper)."""
+
+    #: Light blue boxes: non-aggregated flex-offers.
+    FLEX_OFFER = Color.from_hex("#aecde8")
+    #: Light red boxes: aggregated flex-offers.
+    AGGREGATED_FLEX_OFFER = Color.from_hex("#f2b8b4")
+    #: Grey rectangles: the start-time flexibility interval.
+    TIME_FLEXIBILITY = Color.from_hex("#c8c8c8")
+    #: Red solid lines: the scheduled start time / scheduled energy amounts.
+    SCHEDULE = Color.from_hex("#cc2222")
+    #: Yellow marker lines: creation / acceptance / assignment times.
+    MARKER = Color.from_hex("#e6c619")
+    #: Red dashed lines: aggregation provenance links.
+    PROVENANCE = Color.from_hex("#cc2222")
+    #: Energy-band fill in the profile view (between min and max energy).
+    ENERGY_BAND = Color.from_hex("#7fb2d9")
+    #: Minimum-energy bar fill in the profile view.
+    ENERGY_MIN = Color.from_hex("#3d7ab5")
+    #: Axis lines, ticks and labels.
+    AXIS = Color.from_hex("#444444")
+    #: Background of plot panels.
+    PANEL = Color.from_hex("#fbfbfb")
+    #: Selection rectangle outline.
+    SELECTION = Color.from_hex("#cc2222")
+    #: Flex-offer state colours (pie charts of the dashboard and schematic views).
+    STATE_ACCEPTED = Color.from_hex("#4c9f70")
+    STATE_ASSIGNED = Color.from_hex("#3d7ab5")
+    STATE_REJECTED = Color.from_hex("#c0504d")
+    STATE_OFFERED = Color.from_hex("#b5b5b5")
+    STATE_EXECUTED = Color.from_hex("#8064a2")
+    #: Series colours for the dashboard / figure-1 charts.
+    RES_PRODUCTION = Color.from_hex("#7ab648")
+    NON_FLEXIBLE_DEMAND = Color.from_hex("#808080")
+    FLEXIBLE_DEMAND = Color.from_hex("#f0a030")
+
+    @classmethod
+    def state_color(cls, state: str) -> Color:
+        """Colour of a flex-offer lifecycle state (grey for unknown states)."""
+        return {
+            "accepted": cls.STATE_ACCEPTED,
+            "assigned": cls.STATE_ASSIGNED,
+            "rejected": cls.STATE_REJECTED,
+            "offered": cls.STATE_OFFERED,
+            "executed": cls.STATE_EXECUTED,
+        }.get(state, cls.STATE_OFFERED)
+
+    #: A categorical cycle for arbitrary series (map view bars, pivot swimlanes).
+    CATEGORICAL = (
+        Color.from_hex("#3d7ab5"),
+        Color.from_hex("#e8833a"),
+        Color.from_hex("#4c9f70"),
+        Color.from_hex("#c0504d"),
+        Color.from_hex("#8064a2"),
+        Color.from_hex("#6b8e23"),
+        Color.from_hex("#d4a017"),
+        Color.from_hex("#5f9ea0"),
+    )
+
+    @classmethod
+    def categorical(cls, index: int) -> Color:
+        """The ``index``-th categorical colour (cycles when exhausted)."""
+        return cls.CATEGORICAL[index % len(cls.CATEGORICAL)]

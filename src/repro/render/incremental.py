@@ -1,0 +1,115 @@
+"""Incremental rendering.
+
+Section 4: the tool offers "the incremental rendering of flex-offers, which
+allows executing actions when a flex-offer rendering is in progress (rendering
+does not freeze the tool)".  The headless equivalent renders the scene's
+top-level marks in chunks: a generator yields partial SVG documents (or just
+progress records), so a caller can interleave other work — and the CLAIM-4
+bench can measure the latency to the first visible chunk against a monolithic
+render.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import RenderError
+from repro.render.scene import Group, Node, Scene
+from repro.render.svg import render_svg
+
+
+@dataclass(frozen=True)
+class RenderChunk:
+    """One step of an incremental render."""
+
+    index: int
+    nodes_rendered: int
+    nodes_total: int
+    elapsed_seconds: float
+    #: The SVG document containing everything rendered so far (only filled when
+    #: ``emit_documents`` is requested — building it repeatedly is costly).
+    document: str | None = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether this chunk completed the scene."""
+        return self.nodes_rendered >= self.nodes_total
+
+
+class IncrementalRenderer:
+    """Chunked renderer over a scene's top-level data marks.
+
+    The scene is expected to follow the views' convention: decoration (axes,
+    legend) lives in dedicated groups, while per-flex-offer marks are the
+    children of a group named ``marks``.  When no such group exists, all
+    top-level children are chunked.
+    """
+
+    def __init__(self, chunk_size: int = 200, emit_documents: bool = False) -> None:
+        if chunk_size < 1:
+            raise RenderError("chunk_size must be >= 1")
+        self.chunk_size = chunk_size
+        self.emit_documents = emit_documents
+
+    def _marks_group(self, scene: Scene) -> Group:
+        for node in scene.root.children:
+            if isinstance(node, Group) and node.name == "marks":
+                return node
+        return scene.root
+
+    def render(self, scene: Scene) -> Iterator[RenderChunk]:
+        """Yield :class:`RenderChunk` records while progressively building the scene."""
+        started = time.perf_counter()
+        marks = self._marks_group(scene)
+        all_marks = list(marks.children)
+        total = len(all_marks)
+
+        partial_scene = Scene(width=scene.width, height=scene.height, title=scene.title, background=scene.background)
+        # Decoration first: everything that is not the marks group.
+        for node in scene.root.children:
+            if node is not marks:
+                partial_scene.root.add(node)
+        partial_marks = Group(name="marks")
+        partial_scene.root.add(partial_marks)
+
+        rendered = 0
+        index = 0
+        if total == 0:
+            yield RenderChunk(
+                index=0,
+                nodes_rendered=0,
+                nodes_total=0,
+                elapsed_seconds=time.perf_counter() - started,
+                document=render_svg(partial_scene) if self.emit_documents else None,
+            )
+            return
+        while rendered < total:
+            chunk_nodes: list[Node] = all_marks[rendered : rendered + self.chunk_size]
+            partial_marks.extend(chunk_nodes)
+            rendered += len(chunk_nodes)
+            document = render_svg(partial_scene) if self.emit_documents else None
+            yield RenderChunk(
+                index=index,
+                nodes_rendered=rendered,
+                nodes_total=total,
+                elapsed_seconds=time.perf_counter() - started,
+                document=document,
+            )
+            index += 1
+
+
+def time_to_first_chunk(scene: Scene, chunk_size: int = 200) -> float:
+    """Seconds until the first chunk of ``scene`` is available (documents included)."""
+    renderer = IncrementalRenderer(chunk_size=chunk_size, emit_documents=True)
+    for chunk in renderer.render(scene):
+        return chunk.elapsed_seconds
+    return 0.0
+
+
+def monolithic_render_time(scene: Scene) -> float:
+    """Seconds for a single monolithic SVG render of the whole scene."""
+    started = time.perf_counter()
+    render_svg(scene)
+    return time.perf_counter() - started

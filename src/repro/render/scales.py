@@ -1,0 +1,130 @@
+"""Scales and the "pretty ticks" algorithm.
+
+The tool offers "automatic selection of 'pretty scales' of the axes"
+(Section 4).  A scale maps domain values (time slots, kWh) onto pixel
+coordinates; :func:`pretty_ticks` picks human-friendly tick positions
+(multiples of 1, 2, 2.5 or 5 times a power of ten) covering the domain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import datetime
+
+from repro.errors import RenderError
+from repro.timeseries.grid import TimeGrid
+
+_NICE_STEPS = (1.0, 2.0, 2.5, 5.0, 10.0)
+
+
+def nice_step(raw_step: float) -> float:
+    """Round a raw step size up to the nearest "nice" step (1/2/2.5/5 x 10^k)."""
+    if raw_step <= 0:
+        raise RenderError("step must be positive")
+    exponent = math.floor(math.log10(raw_step))
+    fraction = raw_step / 10**exponent
+    for candidate in _NICE_STEPS:
+        if fraction <= candidate + 1e-12:
+            return candidate * 10**exponent
+    return 10.0 * 10**exponent
+
+
+def pretty_ticks(low: float, high: float, max_ticks: int = 8) -> list[float]:
+    """Return at most ``max_ticks`` nicely rounded tick values covering [low, high]."""
+    if max_ticks < 2:
+        raise RenderError("max_ticks must be at least 2")
+    if high < low:
+        low, high = high, low
+    if math.isclose(high, low):
+        high = low + 1.0
+    step = nice_step((high - low) / (max_ticks - 1))
+    first = math.floor(low / step) * step
+    ticks = []
+    value = first
+    # Guard the loop against floating point drift.
+    while value <= high + step * 1e-9 and len(ticks) <= max_ticks + 2:
+        if value >= low - step * 1e-9:
+            ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+@dataclass(frozen=True)
+class LinearScale:
+    """Affine mapping from a numeric domain onto a pixel range."""
+
+    domain_min: float
+    domain_max: float
+    range_min: float
+    range_max: float
+
+    def __post_init__(self) -> None:
+        if math.isclose(self.domain_max, self.domain_min):
+            raise RenderError("scale domain must have non-zero extent")
+
+    def project(self, value: float) -> float:
+        """Map a domain value to a pixel coordinate (clamping is the caller's job)."""
+        fraction = (value - self.domain_min) / (self.domain_max - self.domain_min)
+        return self.range_min + fraction * (self.range_max - self.range_min)
+
+    def invert(self, pixel: float) -> float:
+        """Map a pixel coordinate back to a domain value (used by hit-testing)."""
+        fraction = (pixel - self.range_min) / (self.range_max - self.range_min)
+        return self.domain_min + fraction * (self.domain_max - self.domain_min)
+
+    def ticks(self, max_ticks: int = 8) -> list[float]:
+        """Pretty tick values inside the scale's domain."""
+        return [
+            tick
+            for tick in pretty_ticks(self.domain_min, self.domain_max, max_ticks)
+            if self.domain_min - 1e-9 <= tick <= self.domain_max + 1e-9
+        ]
+
+    @classmethod
+    def nice(cls, low: float, high: float, range_min: float, range_max: float, max_ticks: int = 8) -> "LinearScale":
+        """Build a scale whose domain is expanded to pretty bounds covering [low, high]."""
+        if math.isclose(high, low):
+            high = low + 1.0
+        ticks = pretty_ticks(low, high, max_ticks)
+        domain_min = min(ticks[0], low)
+        domain_max = max(ticks[-1], high)
+        return cls(domain_min, domain_max, range_min, range_max)
+
+
+@dataclass(frozen=True)
+class SlotTimeScale:
+    """Scale from time-grid slots to pixels, with datetime-labelled ticks."""
+
+    grid: TimeGrid
+    scale: LinearScale
+
+    @classmethod
+    def build(
+        cls, grid: TimeGrid, first_slot: int, last_slot: int, range_min: float, range_max: float
+    ) -> "SlotTimeScale":
+        """Build a slot scale covering ``[first_slot, last_slot]``."""
+        if last_slot <= first_slot:
+            last_slot = first_slot + 1
+        return cls(grid, LinearScale(first_slot, last_slot, range_min, range_max))
+
+    def project(self, slot: float) -> float:
+        """Pixel x-coordinate of a (possibly fractional) slot."""
+        return self.scale.project(slot)
+
+    def project_time(self, instant: datetime) -> float:
+        """Pixel x-coordinate of an absolute instant."""
+        delta = (instant - self.grid.origin).total_seconds()
+        slot = delta / self.grid.resolution.total_seconds()
+        return self.scale.project(slot)
+
+    def tick_slots(self, max_ticks: int = 8) -> list[int]:
+        """Slot values to place ticks at (integer slots only)."""
+        return sorted({int(round(tick)) for tick in self.scale.ticks(max_ticks)})
+
+    def tick_label(self, slot: int) -> str:
+        """Human-readable label of a tick slot (HH:MM, with the date on midnight)."""
+        instant = self.grid.to_datetime(slot)
+        if instant.hour == 0 and instant.minute == 0:
+            return instant.strftime("%m-%d %H:%M")
+        return instant.strftime("%H:%M")

@@ -1,0 +1,171 @@
+"""SVG backend: serialize a scene graph to an SVG document.
+
+SVG is the reproduction's substitute for the original tool's Swing canvas: it
+is deterministic, diffable in tests, viewable in any browser and needs no
+external plotting library (none is available offline).
+"""
+
+from __future__ import annotations
+
+import math
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.render.color import Color
+from repro.render.scene import Circle, Group, Line, Node, Polygon, Polyline, Rect, Scene, Text, Wedge
+
+
+def _style_attributes(fill: Color | None, stroke: Color | None, stroke_width: float, dashed: bool, opacity: float) -> str:
+    parts = []
+    if fill is None:
+        parts.append('fill="none"')
+    else:
+        parts.append(f'fill="{fill.to_hex()}"')
+        if fill.alpha < 1.0:
+            parts.append(f'fill-opacity="{fill.alpha:.3f}"')
+    if stroke is not None:
+        parts.append(f'stroke="{stroke.to_hex()}"')
+        parts.append(f'stroke-width="{stroke_width:g}"')
+        if stroke.alpha < 1.0:
+            parts.append(f'stroke-opacity="{stroke.alpha:.3f}"')
+        if dashed:
+            parts.append('stroke-dasharray="4 3"')
+    if opacity < 1.0:
+        parts.append(f'opacity="{opacity:.3f}"')
+    return " ".join(parts)
+
+
+def _common_attributes(node: Node) -> str:
+    parts = []
+    if node.element_id:
+        parts.append(f"data-element={quoteattr(node.element_id)}")
+    if node.css_class:
+        parts.append(f"class={quoteattr(node.css_class)}")
+    return " ".join(parts)
+
+
+def _points_attribute(points: tuple[tuple[float, float], ...]) -> str:
+    return " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+
+
+def _render_node(node: Node, lines: list[str], indent: str) -> None:
+    common = _common_attributes(node)
+    common = f" {common}" if common else ""
+    if isinstance(node, Group):
+        label = f" data-name={quoteattr(node.name)}" if node.name else ""
+        lines.append(f"{indent}<g{label}{common}>")
+        for child in node.children:
+            _render_node(child, lines, indent + "  ")
+        lines.append(f"{indent}</g>")
+        return
+    if isinstance(node, Rect):
+        style = _style_attributes(
+            node.style.fill, node.style.stroke, node.style.stroke_width, node.style.dashed, node.style.opacity
+        )
+        tooltip = f"<title>{escape(node.tooltip)}</title>" if node.tooltip else ""
+        lines.append(
+            f'{indent}<rect x="{node.x:.2f}" y="{node.y:.2f}" width="{max(node.width, 0):.2f}" '
+            f'height="{max(node.height, 0):.2f}" {style}{common}>{tooltip}</rect>'
+            if tooltip
+            else f'{indent}<rect x="{node.x:.2f}" y="{node.y:.2f}" width="{max(node.width, 0):.2f}" '
+            f'height="{max(node.height, 0):.2f}" {style}{common}/>'
+        )
+        return
+    if isinstance(node, Line):
+        style = _style_attributes(None, node.style.stroke, node.style.stroke_width, node.style.dashed, node.style.opacity)
+        lines.append(
+            f'{indent}<line x1="{node.x1:.2f}" y1="{node.y1:.2f}" x2="{node.x2:.2f}" y2="{node.y2:.2f}" '
+            f"{style}{common}/>"
+        )
+        return
+    if isinstance(node, Polyline):
+        style = _style_attributes(None, node.style.stroke, node.style.stroke_width, node.style.dashed, node.style.opacity)
+        lines.append(f'{indent}<polyline points="{_points_attribute(node.points)}" {style}{common}/>')
+        return
+    if isinstance(node, Polygon):
+        style = _style_attributes(
+            node.style.fill, node.style.stroke, node.style.stroke_width, node.style.dashed, node.style.opacity
+        )
+        lines.append(f'{indent}<polygon points="{_points_attribute(node.points)}" {style}{common}/>')
+        return
+    if isinstance(node, Circle):
+        style = _style_attributes(
+            node.style.fill, node.style.stroke, node.style.stroke_width, node.style.dashed, node.style.opacity
+        )
+        tooltip = f"<title>{escape(node.tooltip)}</title>" if node.tooltip else ""
+        if tooltip:
+            lines.append(
+                f'{indent}<circle cx="{node.cx:.2f}" cy="{node.cy:.2f}" r="{node.radius:.2f}" '
+                f"{style}{common}>{tooltip}</circle>"
+            )
+        else:
+            lines.append(
+                f'{indent}<circle cx="{node.cx:.2f}" cy="{node.cy:.2f}" r="{node.radius:.2f}" {style}{common}/>'
+            )
+        return
+    if isinstance(node, Wedge):
+        style = _style_attributes(
+            node.style.fill, node.style.stroke, node.style.stroke_width, node.style.dashed, node.style.opacity
+        )
+        path = _wedge_path(node)
+        tooltip = f"<title>{escape(node.tooltip)}</title>" if node.tooltip else ""
+        if tooltip:
+            lines.append(f'{indent}<path d="{path}" {style}{common}>{tooltip}</path>')
+        else:
+            lines.append(f'{indent}<path d="{path}" {style}{common}/>')
+        return
+    if isinstance(node, Text):
+        fill = node.style.fill
+        color = fill.to_hex() if fill is not None else "#000000"
+        transform = (
+            f' transform="rotate({node.rotation:.1f} {node.x:.2f} {node.y:.2f})"' if node.rotation else ""
+        )
+        lines.append(
+            f'{indent}<text x="{node.x:.2f}" y="{node.y:.2f}" fill="{color}" '
+            f'font-size="{node.style.font_size:g}" text-anchor="{node.anchor}" '
+            f'font-family="Helvetica, Arial, sans-serif"{transform}{(" " + common.strip()) if common.strip() else ""}>'
+            f"{escape(node.text)}</text>"
+        )
+        return
+    raise TypeError(f"SVG backend cannot render node type {type(node).__name__}")
+
+
+def _wedge_path(node: Wedge) -> str:
+    start = math.radians(node.start_angle - 90.0)
+    end = math.radians(node.end_angle - 90.0)
+    x1 = node.cx + node.radius * math.cos(start)
+    y1 = node.cy + node.radius * math.sin(start)
+    x2 = node.cx + node.radius * math.cos(end)
+    y2 = node.cy + node.radius * math.sin(end)
+    large_arc = 1 if (node.end_angle - node.start_angle) % 360.0 > 180.0 else 0
+    return (
+        f"M {node.cx:.2f} {node.cy:.2f} L {x1:.2f} {y1:.2f} "
+        f"A {node.radius:.2f} {node.radius:.2f} 0 {large_arc} 1 {x2:.2f} {y2:.2f} Z"
+    )
+
+
+def render_svg(scene: Scene) -> str:
+    """Serialize ``scene`` to a standalone SVG document string."""
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{scene.width:.0f}" height="{scene.height:.0f}" '
+        f'viewBox="0 0 {scene.width:.0f} {scene.height:.0f}">',
+    ]
+    if scene.title:
+        lines.append(f"  <title>{escape(scene.title)}</title>")
+    if scene.background is not None:
+        lines.append(
+            f'  <rect x="0" y="0" width="{scene.width:.0f}" height="{scene.height:.0f}" '
+            f'fill="{scene.background.to_hex()}"/>'
+        )
+    for child in scene.root.children:
+        _render_node(child, lines, "  ")
+    lines.append("</svg>")
+    return "\n".join(lines)
+
+
+def save_svg(scene: Scene, path: str) -> str:
+    """Render ``scene`` and write it to ``path``; returns the path for convenience."""
+    document = render_svg(scene)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return path

@@ -1,0 +1,24 @@
+"""Balancing schedulers: greedy, stochastic, and the aggregate-then-schedule pipeline."""
+
+from repro.scheduling.evaluation import BalanceReport, absorbed_energy, compare, report
+from repro.scheduling.greedy import EarliestStartScheduler, GreedyScheduler
+from repro.scheduling.pipeline import PipelineResult, Scheduler, schedule_offers
+from repro.scheduling.problem import BalancingProblem, BalancingSolution, make_target
+from repro.scheduling.stochastic import StochasticConfig, StochasticScheduler
+
+__all__ = [
+    "BalancingProblem",
+    "BalancingSolution",
+    "make_target",
+    "GreedyScheduler",
+    "EarliestStartScheduler",
+    "StochasticScheduler",
+    "StochasticConfig",
+    "Scheduler",
+    "PipelineResult",
+    "schedule_offers",
+    "BalanceReport",
+    "report",
+    "compare",
+    "absorbed_energy",
+]

@@ -1,0 +1,82 @@
+"""Evaluation of balancing solutions.
+
+Produces the before/after comparison behind the paper's Figure 1 and the
+numbers the FIG-1 bench prints: how much RES energy the flexible load absorbs
+with and without MIRABEL-style planning, and the residual imbalance the
+enterprise would have to trade on the market.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scheduling.problem import BalancingSolution
+from repro.timeseries.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """Quality metrics of one balancing solution."""
+
+    scheduler_name: str
+    target_energy: float
+    scheduled_energy: float
+    absorbed_energy: float
+    absorption_ratio: float
+    imbalance_energy: float
+    squared_error: float
+    runtime_seconds: float
+    scheduled_object_count: int
+
+
+def absorbed_energy(target: TimeSeries, flexible_load: TimeSeries) -> float:
+    """Energy (kWh) of the flexible load placed inside the target envelope.
+
+    Per slot the absorbed amount is ``min(target, load)`` (both clipped at 0):
+    flexible consumption scheduled where there is RES surplus counts, load
+    scheduled elsewhere does not.
+    """
+    load = flexible_load.slice_slots(target.start_slot, target.end_slot)
+    absorbed = np.minimum(np.clip(target.values, 0, None), np.clip(load.values, 0, None))
+    return float(absorbed.sum())
+
+
+def report(solution: BalancingSolution, scheduled_object_count: int | None = None) -> BalanceReport:
+    """Build a :class:`BalanceReport` for ``solution``."""
+    target = solution.problem.target
+    load = solution.scheduled_load()
+    target_total = float(np.clip(target.values, 0, None).sum())
+    absorbed = absorbed_energy(target, load)
+    return BalanceReport(
+        scheduler_name=solution.scheduler_name,
+        target_energy=target_total,
+        scheduled_energy=load.total(),
+        absorbed_energy=absorbed,
+        absorption_ratio=(absorbed / target_total) if target_total > 0 else 0.0,
+        imbalance_energy=solution.imbalance_energy(),
+        squared_error=solution.squared_error(),
+        runtime_seconds=solution.runtime_seconds,
+        scheduled_object_count=(
+            scheduled_object_count
+            if scheduled_object_count is not None
+            else len(solution.scheduled_offers)
+        ),
+    )
+
+
+def compare(reports: list[BalanceReport]) -> str:
+    """Render a fixed-width comparison table of several balance reports."""
+    header = (
+        f"{'scheduler':<18}{'objects':>9}{'absorbed':>12}{'ratio':>8}"
+        f"{'imbalance':>12}{'runtime s':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for entry in reports:
+        lines.append(
+            f"{entry.scheduler_name:<18}{entry.scheduled_object_count:>9}"
+            f"{entry.absorbed_energy:>12.1f}{entry.absorption_ratio:>8.2f}"
+            f"{entry.imbalance_energy:>12.1f}{entry.runtime_seconds:>11.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Greedy balancing scheduler.
+
+The baseline planner: offers are scheduled one at a time (largest maximum
+energy first).  For every offer the scheduler tries each feasible start slot
+and, per profile slice, picks the energy inside the slice band that best fills
+the remaining target; the start slot with the lowest remaining squared error
+wins.  The result is a feasible schedule for every consumption/production
+offer and is the reference point the stochastic scheduler improves upon.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.flexoffer.model import FlexOffer, Schedule
+from repro.scheduling.problem import BalancingProblem, BalancingSolution
+
+
+def _per_slot_bounds(offer: FlexOffer) -> tuple[np.ndarray, np.ndarray]:
+    minimums: list[float] = []
+    maximums: list[float] = []
+    for piece in offer.profile:
+        for _ in range(piece.duration_slots):
+            minimums.append(piece.min_energy / piece.duration_slots)
+            maximums.append(piece.max_energy / piece.duration_slots)
+    return np.asarray(minimums), np.asarray(maximums)
+
+
+def _collect_slices(offer: FlexOffer, per_slot_energy: np.ndarray) -> tuple[float, ...]:
+    """Fold per-slot energies back into per-slice amounts, clamped to the bounds."""
+    amounts: list[float] = []
+    position = 0
+    for piece in offer.profile:
+        amount = float(per_slot_energy[position : position + piece.duration_slots].sum())
+        amount = min(max(amount, piece.min_energy), piece.max_energy)
+        amounts.append(amount)
+        position += piece.duration_slots
+    return tuple(amounts)
+
+
+class GreedyScheduler:
+    """Largest-offer-first greedy scheduler."""
+
+    name = "greedy"
+
+    def schedule(self, problem: BalancingProblem) -> BalancingSolution:
+        """Schedule every offer in ``problem`` and return the solution."""
+        started = time.perf_counter()
+        target = problem.target
+        start_slot = target.start_slot
+        residual = target.values.copy()
+
+        solution_offers: list[FlexOffer] = []
+        order = sorted(problem.offers, key=lambda offer: offer.max_total_energy, reverse=True)
+        for offer in order:
+            lows, highs = _per_slot_bounds(offer)
+            sign = offer.direction.sign
+            length = len(lows)
+            best: tuple[float, int, np.ndarray] | None = None
+            for candidate_start in range(offer.earliest_start_slot, offer.latest_start_slot + 1):
+                offset = candidate_start - start_slot
+                # Residual the offer's slots see (zero outside the horizon).
+                window = np.zeros(length)
+                for index in range(length):
+                    slot_index = offset + index
+                    if 0 <= slot_index < len(residual):
+                        window[index] = residual[slot_index]
+                # Consumption should absorb positive residual; production should
+                # offset negative residual.  Choose per-slot energy accordingly.
+                desired = np.clip(sign * window, lows, highs)
+                new_window = window - sign * desired
+                cost = float((new_window**2).sum() - (window**2).sum())
+                if best is None or cost < best[0]:
+                    best = (cost, candidate_start, desired)
+            assert best is not None  # the start range is never empty
+            _, chosen_start, chosen_energy = best
+            schedule = Schedule(
+                start_slot=chosen_start,
+                energy_per_slice=_collect_slices(offer, chosen_energy),
+            )
+            scheduled = offer.assign(schedule)
+            solution_offers.append(scheduled)
+            # Commit the offer's load to the residual.
+            for index, amount in enumerate(chosen_energy):
+                slot_index = chosen_start - start_slot + index
+                if 0 <= slot_index < len(residual):
+                    residual[slot_index] -= sign * amount
+
+        return BalancingSolution(
+            problem=problem,
+            scheduled_offers=solution_offers,
+            runtime_seconds=time.perf_counter() - started,
+            scheduler_name=self.name,
+        )
+
+
+class EarliestStartScheduler:
+    """Naive baseline: every offer starts as early as possible with minimum energy.
+
+    This mirrors what happens without any planning (the "before" curve of the
+    paper's Figure 1): flexible loads run whenever their owners would have run
+    them, ignoring the RES production profile.
+    """
+
+    name = "earliest-start"
+
+    def schedule(self, problem: BalancingProblem) -> BalancingSolution:
+        """Assign the earliest start and minimum energy to every offer."""
+        started = time.perf_counter()
+        scheduled = [offer.with_default_schedule() for offer in problem.offers]
+        return BalancingSolution(
+            problem=problem,
+            scheduled_offers=scheduled,
+            runtime_seconds=time.perf_counter() - started,
+            scheduler_name=self.name,
+        )

@@ -1,0 +1,97 @@
+"""The balancing problem the MIRABEL enterprise solves when planning.
+
+Section 2 of the paper: the enterprise "produces a plan in which supply is
+equal to (balances) demand", using the flexibility of flex-offers to move
+flexible load under the intermittent RES production.  The problem is stated
+here as: given a set of flex-offers and a *target* series (the energy per slot
+the flexible load should ideally absorb — typically RES production minus the
+non-flexible demand, clipped at zero), choose a feasible schedule for every
+offer so the scheduled flexible load tracks the target as closely as possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.flexoffer.model import FlexOffer
+from repro.timeseries.grid import TimeGrid
+from repro.timeseries.series import TimeSeries
+
+
+@dataclass
+class BalancingProblem:
+    """A flexible-load balancing problem instance."""
+
+    offers: list[FlexOffer]
+    target: TimeSeries
+    grid: TimeGrid
+
+    def __post_init__(self) -> None:
+        if len(self.target) == 0:
+            raise SchedulingError("balancing target series is empty")
+
+    @property
+    def horizon(self) -> range:
+        """Slot range of the target series."""
+        return self.target.slots
+
+
+@dataclass
+class BalancingSolution:
+    """A (possibly partial) solution: scheduled flex-offers plus bookkeeping."""
+
+    problem: BalancingProblem
+    scheduled_offers: list[FlexOffer] = field(default_factory=list)
+    #: Wall-clock seconds the scheduler spent, filled in by the schedulers.
+    runtime_seconds: float = 0.0
+    #: Free-form description of the scheduler that produced the solution.
+    scheduler_name: str = ""
+
+    def scheduled_load(self) -> TimeSeries:
+        """Total signed scheduled energy per slot (consumption positive)."""
+        total = np.zeros(len(self.problem.target))
+        start = self.problem.target.start_slot
+        for offer in self.scheduled_offers:
+            series = offer.scheduled_series(self.problem.grid)
+            for slot, value in series.to_pairs():
+                index = slot - start
+                if 0 <= index < len(total):
+                    total[index] += value
+        return TimeSeries(self.problem.grid, start, total, name="scheduled flexible load", unit="kWh")
+
+    def residual(self) -> TimeSeries:
+        """Per-slot difference between the target and the scheduled flexible load."""
+        residual = self.problem.target - self.scheduled_load()
+        residual.name = "residual"
+        return residual
+
+    def imbalance_energy(self) -> float:
+        """Total absolute residual energy (kWh) — the quantity imbalance fees apply to."""
+        return self.residual().absolute().total()
+
+    def squared_error(self) -> float:
+        """Sum of squared residuals (the objective the schedulers minimise)."""
+        values = self.residual().values
+        return float((values**2).sum())
+
+
+def make_target(
+    res_production: TimeSeries, base_demand: TimeSeries, clip_negative: bool = True
+) -> TimeSeries:
+    """Build the balancing target: RES production left over after the base load.
+
+    A positive target means surplus RES energy is available in that slot and
+    flexible consumption should be moved there; with ``clip_negative`` the
+    deficit slots become zero (flexible consumption cannot help a deficit, it
+    can only avoid making it worse).
+    """
+    target = res_production - base_demand
+    if clip_negative:
+        target = target.clip(minimum=0.0)
+    target.name = "balancing target"
+    target.unit = res_production.unit or "kWh"
+    return target

@@ -1,0 +1,118 @@
+"""Stochastic-improvement scheduler.
+
+The MIRABEL project schedules flex-offers with an evolutionary algorithm
+(Tušar et al., BIOMA 2012) and shows that aggregating offers first makes the
+search tractable.  This reproduction keeps the same structure with a simpler
+search: start from the greedy solution and repeatedly apply random moves
+(shift an offer's start, rescale its energy within the band), keeping a move
+whenever it reduces the squared residual error.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flexoffer.model import FlexOffer, Schedule
+from repro.scheduling.greedy import GreedyScheduler, _collect_slices, _per_slot_bounds
+from repro.scheduling.problem import BalancingProblem, BalancingSolution
+
+
+@dataclass(frozen=True)
+class StochasticConfig:
+    """Parameters of the stochastic improvement search."""
+
+    iterations: int = 2000
+    seed: int = 3
+    #: Probability that a move changes the start slot (otherwise the energy).
+    start_move_probability: float = 0.5
+
+
+class StochasticScheduler:
+    """Hill-climbing scheduler seeded by the greedy solution."""
+
+    name = "stochastic"
+
+    def __init__(self, config: StochasticConfig | None = None) -> None:
+        self.config = config or StochasticConfig()
+
+    def schedule(self, problem: BalancingProblem) -> BalancingSolution:
+        """Improve the greedy schedule by random local moves."""
+        started = time.perf_counter()
+        rng = np.random.default_rng(self.config.seed)
+        base = GreedyScheduler().schedule(problem)
+        offers = list(base.scheduled_offers)
+        if not offers:
+            return BalancingSolution(
+                problem=problem,
+                scheduled_offers=[],
+                runtime_seconds=time.perf_counter() - started,
+                scheduler_name=self.name,
+            )
+
+        target = problem.target
+        start_slot = target.start_slot
+        residual = target.values.copy()
+        per_offer_load: list[np.ndarray] = []
+        for offer in offers:
+            load = np.zeros(len(residual))
+            for slot, value in offer.scheduled_series(problem.grid).to_pairs():
+                index = slot - start_slot
+                if 0 <= index < len(load):
+                    load[index] += value
+            residual -= load
+            per_offer_load.append(load)
+
+        def current_error() -> float:
+            return float((residual**2).sum())
+
+        for _ in range(self.config.iterations):
+            index = int(rng.integers(0, len(offers)))
+            offer = offers[index]
+            if offer.time_flexibility_slots == 0 and offer.energy_flexibility <= 1e-12:
+                continue
+            lows, highs = _per_slot_bounds(offer)
+            sign = offer.direction.sign
+
+            if rng.random() < self.config.start_move_probability and offer.time_flexibility_slots > 0:
+                new_start = int(rng.integers(offer.earliest_start_slot, offer.latest_start_slot + 1))
+                fraction = None
+            else:
+                new_start = offer.schedule.start_slot if offer.schedule else offer.earliest_start_slot
+                fraction = float(rng.random())
+
+            if fraction is None:
+                assert offer.schedule is not None
+                per_slot = np.zeros(len(lows))
+                position = 0
+                for piece, amount in zip(offer.profile, offer.schedule.energy_per_slice):
+                    share = amount / piece.duration_slots
+                    for extra in range(piece.duration_slots):
+                        per_slot[position + extra] = share
+                    position += piece.duration_slots
+            else:
+                per_slot = lows + fraction * (highs - lows)
+
+            candidate_load = np.zeros(len(residual))
+            for slot_offset, amount in enumerate(per_slot):
+                slot_index = new_start - start_slot + slot_offset
+                if 0 <= slot_index < len(candidate_load):
+                    candidate_load[slot_index] += sign * amount
+
+            old_load = per_offer_load[index]
+            new_residual = residual + old_load - candidate_load
+            if float((new_residual**2).sum()) + 1e-12 < current_error():
+                residual = new_residual
+                per_offer_load[index] = candidate_load
+                offers[index] = offer.assign(
+                    Schedule(start_slot=new_start, energy_per_slice=_collect_slices(offer, per_slot))
+                )
+
+        return BalancingSolution(
+            problem=problem,
+            scheduled_offers=offers,
+            runtime_seconds=time.perf_counter() - started,
+            scheduler_name=self.name,
+        )

@@ -1,0 +1,32 @@
+"""Regular time-series substrate: grids, series, resampling and statistics."""
+
+from repro.timeseries.grid import DEFAULT_ORIGIN, DEFAULT_RESOLUTION, TimeGrid, hours_between
+from repro.timeseries.resample import ResampleKind, downsample, resample, upsample
+from repro.timeseries.series import TimeSeries, accumulate
+from repro.timeseries.statistics import (
+    SeriesSummary,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    plan_deviation,
+    root_mean_squared_error,
+    total_absolute_deviation,
+)
+
+__all__ = [
+    "DEFAULT_ORIGIN",
+    "DEFAULT_RESOLUTION",
+    "TimeGrid",
+    "hours_between",
+    "TimeSeries",
+    "accumulate",
+    "ResampleKind",
+    "resample",
+    "downsample",
+    "upsample",
+    "SeriesSummary",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "root_mean_squared_error",
+    "plan_deviation",
+    "total_absolute_deviation",
+]

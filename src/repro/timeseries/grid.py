@@ -1,0 +1,115 @@
+"""Discrete time grid used throughout the library.
+
+The MIRABEL system plans energy in discrete *time slots* (typically 15
+minutes).  Flex-offer profiles, time series, schedules and the balancing
+problem are all defined on such a grid.  :class:`TimeGrid` anchors a slot
+resolution to an absolute origin so that slot indices can be converted to and
+from :class:`datetime.datetime` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from repro.errors import TimeGridError
+
+#: Default slot length used by the MIRABEL pilot (and by this reproduction).
+DEFAULT_RESOLUTION = timedelta(minutes=15)
+
+#: Default origin for synthetic scenarios.  Any fixed instant works; the
+#: value mirrors the time window shown in the paper's Figure 6.
+DEFAULT_ORIGIN = datetime(2012, 2, 1, 0, 0, 0)
+
+
+@dataclass(frozen=True)
+class TimeGrid:
+    """An absolute, regularly spaced time grid.
+
+    Parameters
+    ----------
+    origin:
+        The absolute instant corresponding to slot index ``0``.
+    resolution:
+        The length of one slot.  Must be a positive ``timedelta``.
+    """
+
+    origin: datetime = DEFAULT_ORIGIN
+    resolution: timedelta = DEFAULT_RESOLUTION
+
+    def __post_init__(self) -> None:
+        if self.resolution <= timedelta(0):
+            raise TimeGridError(f"resolution must be positive, got {self.resolution!r}")
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_slot(self, instant: datetime) -> int:
+        """Return the slot index containing ``instant`` (floor division)."""
+        delta = instant - self.origin
+        return int(delta // self.resolution)
+
+    def to_datetime(self, slot: int) -> datetime:
+        """Return the absolute start time of ``slot``."""
+        return self.origin + slot * self.resolution
+
+    def slot_bounds(self, slot: int) -> tuple[datetime, datetime]:
+        """Return the ``(start, end)`` instants of ``slot``."""
+        start = self.to_datetime(slot)
+        return start, start + self.resolution
+
+    def span_slots(self, start: datetime, end: datetime) -> range:
+        """Return the range of slot indices covering ``[start, end)``.
+
+        The end instant is exclusive: a span ending exactly on a slot boundary
+        does not include the following slot.
+        """
+        if end < start:
+            raise TimeGridError(f"span end {end!r} precedes start {start!r}")
+        first = self.to_slot(start)
+        last = self.to_slot(end)
+        start_of_last, _ = self.slot_bounds(last)
+        if end == start_of_last:
+            return range(first, last)
+        return range(first, last + 1)
+
+    # ------------------------------------------------------------------
+    # Unit helpers
+    # ------------------------------------------------------------------
+    @property
+    def hours_per_slot(self) -> float:
+        """Length of one slot expressed in hours (used for kW <-> kWh)."""
+        return self.resolution.total_seconds() / 3600.0
+
+    def slots_per_day(self) -> int:
+        """Number of slots in 24 hours; raises if a day is not a whole number of slots."""
+        day = timedelta(days=1)
+        quotient = day.total_seconds() / self.resolution.total_seconds()
+        slots = round(quotient)
+        if abs(quotient - slots) > 1e-9:
+            raise TimeGridError(
+                f"resolution {self.resolution!r} does not evenly divide one day"
+            )
+        return slots
+
+    def compatible_with(self, other: "TimeGrid") -> bool:
+        """Whether two grids share resolution and slot phase (origins may differ by whole slots)."""
+        if self.resolution != other.resolution:
+            return False
+        offset = (other.origin - self.origin).total_seconds()
+        step = self.resolution.total_seconds()
+        return abs(offset / step - round(offset / step)) < 1e-9
+
+    def slot_offset(self, other: "TimeGrid") -> int:
+        """Return the integer number of slots by which ``other.origin`` trails ``self.origin``."""
+        if not self.compatible_with(other):
+            raise TimeGridError("time grids are not compatible (resolution or phase differ)")
+        offset = (other.origin - self.origin).total_seconds()
+        return round(offset / self.resolution.total_seconds())
+
+
+def hours_between(grid: TimeGrid, first_slot: int, last_slot: int) -> float:
+    """Return the duration, in hours, of the half-open slot range ``[first, last)``."""
+    if last_slot < first_slot:
+        raise TimeGridError("last_slot precedes first_slot")
+    return (last_slot - first_slot) * grid.hours_per_slot

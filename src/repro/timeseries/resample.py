@@ -1,0 +1,97 @@
+"""Resampling of time series between grids of different resolutions.
+
+The visual analysis framework must support "analysing data at different time
+granularities" (Section 3 of the paper): the OLAP time dimension rolls 15-minute
+slots up to hours, days and months.  Energy values are *extensive* quantities
+(kWh per slot), so upsampling splits values evenly and downsampling sums them;
+prices and power values are *intensive* and are averaged instead.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import TimeGridError
+from repro.timeseries.grid import TimeGrid
+from repro.timeseries.series import TimeSeries
+
+
+class ResampleKind(str, Enum):
+    """How values combine when their slots are merged or split."""
+
+    #: Extensive quantity (energy per slot): sum when merging, split when dividing.
+    SUM = "sum"
+    #: Intensive quantity (power, price): average when merging, repeat when dividing.
+    MEAN = "mean"
+
+
+def _ratio(coarse: timedelta, fine: timedelta) -> int:
+    quotient = coarse.total_seconds() / fine.total_seconds()
+    ratio = round(quotient)
+    if ratio < 1 or abs(quotient - ratio) > 1e-9:
+        raise TimeGridError(
+            f"resolution {coarse!r} is not an integer multiple of {fine!r}"
+        )
+    return ratio
+
+
+def downsample(series: TimeSeries, target: TimeGrid, kind: ResampleKind = ResampleKind.SUM) -> TimeSeries:
+    """Aggregate ``series`` onto the coarser grid ``target``.
+
+    The target resolution must be an integer multiple of the source resolution
+    and both grids must share their origin phase.
+    """
+    ratio = _ratio(target.resolution, series.grid.resolution)
+    if ratio == 1:
+        return series.copy()
+    origin_offset = (series.grid.origin - target.origin).total_seconds()
+    fine_step = series.grid.resolution.total_seconds()
+    if abs(origin_offset % fine_step) > 1e-9:
+        raise TimeGridError("grids are phase-incompatible for resampling")
+    # Absolute fine-slot index of the series start, expressed on a fine grid
+    # anchored at the *target* origin, so that coarse boundaries align.
+    fine_start = series.start_slot + round(origin_offset / fine_step)
+    first_coarse = fine_start // ratio
+    last_coarse = (fine_start + len(series) + ratio - 1) // ratio
+    length = max(last_coarse - first_coarse, 0)
+    values = np.zeros(length)
+    counts = np.zeros(length)
+    for i, value in enumerate(series.values):
+        coarse = (fine_start + i) // ratio - first_coarse
+        values[coarse] += value
+        counts[coarse] += 1
+    if kind is ResampleKind.MEAN:
+        with np.errstate(invalid="ignore", divide="ignore"):
+            values = np.where(counts > 0, values / np.maximum(counts, 1), 0.0)
+    return TimeSeries(target, first_coarse, values, name=series.name, unit=series.unit)
+
+
+def upsample(series: TimeSeries, target: TimeGrid, kind: ResampleKind = ResampleKind.SUM) -> TimeSeries:
+    """Refine ``series`` onto the finer grid ``target``."""
+    ratio = _ratio(series.grid.resolution, target.resolution)
+    if ratio == 1:
+        return series.copy()
+    origin_offset = (series.grid.origin - target.origin).total_seconds()
+    fine_step = target.resolution.total_seconds()
+    if abs(origin_offset % fine_step) > 1e-9:
+        raise TimeGridError("grids are phase-incompatible for resampling")
+    fine_start = series.start_slot * ratio + round(origin_offset / fine_step)
+    values = np.repeat(series.values, ratio)
+    if kind is ResampleKind.SUM:
+        values = values / ratio
+    return TimeSeries(target, fine_start, values, name=series.name, unit=series.unit)
+
+
+def resample(series: TimeSeries, target: TimeGrid, kind: ResampleKind = ResampleKind.SUM) -> TimeSeries:
+    """Resample ``series`` onto ``target``, choosing up- or downsampling automatically."""
+    if target.resolution == series.grid.resolution:
+        if not series.grid.compatible_with(target):
+            raise TimeGridError("grids share resolution but differ in phase")
+        offset = target.slot_offset(series.grid)
+        return TimeSeries(target, series.start_slot + offset, series.values, name=series.name, unit=series.unit)
+    if target.resolution > series.grid.resolution:
+        return downsample(series, target, kind)
+    return upsample(series, target, kind)

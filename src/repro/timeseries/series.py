@@ -1,0 +1,262 @@
+"""Regular-resolution time series.
+
+The MIRABEL enterprise handles large volumes of metered energy readings,
+forecast series, spot prices and plan series.  All of them are regularly
+spaced, which lets this substrate store values in a dense ``numpy`` array
+anchored to a :class:`~repro.timeseries.grid.TimeGrid`.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import TimeGridError
+from repro.timeseries.grid import TimeGrid
+
+
+class TimeSeries:
+    """A dense time series of float values on a :class:`TimeGrid`.
+
+    Parameters
+    ----------
+    grid:
+        The time grid the series lives on.
+    start_slot:
+        Slot index (on ``grid``) of the first value.
+    values:
+        The values; stored as a float64 numpy array.
+    name:
+        Optional label used in plots and reports.
+    unit:
+        Physical unit of the values, e.g. ``"kWh"`` or ``"EUR/MWh"``.
+    """
+
+    __slots__ = ("grid", "start_slot", "values", "name", "unit")
+
+    def __init__(
+        self,
+        grid: TimeGrid,
+        start_slot: int,
+        values: Sequence[float] | np.ndarray,
+        name: str = "",
+        unit: str = "",
+    ) -> None:
+        self.grid = grid
+        self.start_slot = int(start_slot)
+        self.values = np.asarray(values, dtype=float).copy()
+        if self.values.ndim != 1:
+            raise TimeGridError("time series values must be one-dimensional")
+        self.name = name
+        self.unit = unit
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(
+        cls,
+        grid: TimeGrid,
+        start_slot: int,
+        length: int,
+        name: str = "",
+        unit: str = "",
+    ) -> "TimeSeries":
+        """Create an all-zero series of ``length`` slots."""
+        return cls(grid, start_slot, np.zeros(length), name=name, unit=unit)
+
+    @classmethod
+    def from_pairs(
+        cls,
+        grid: TimeGrid,
+        pairs: Iterable[tuple[int, float]],
+        name: str = "",
+        unit: str = "",
+    ) -> "TimeSeries":
+        """Build a series from ``(slot, value)`` pairs; gaps are filled with zero."""
+        items = sorted(pairs)
+        if not items:
+            return cls.zeros(grid, 0, 0, name=name, unit=unit)
+        first = items[0][0]
+        last = items[-1][0]
+        values = np.zeros(last - first + 1)
+        for slot, value in items:
+            values[slot - first] += value
+        return cls(grid, first, values, name=name, unit=unit)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values.tolist())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TimeSeries(name={self.name!r}, start_slot={self.start_slot}, "
+            f"length={len(self)}, unit={self.unit!r})"
+        )
+
+    @property
+    def end_slot(self) -> int:
+        """Slot index one past the last value (half-open interval)."""
+        return self.start_slot + len(self.values)
+
+    @property
+    def slots(self) -> range:
+        """The half-open slot range covered by this series."""
+        return range(self.start_slot, self.end_slot)
+
+    def start_time(self) -> datetime:
+        """Absolute instant of the first slot."""
+        return self.grid.to_datetime(self.start_slot)
+
+    def end_time(self) -> datetime:
+        """Absolute instant just after the last slot."""
+        return self.grid.to_datetime(self.end_slot)
+
+    def value_at(self, slot: int, default: float = 0.0) -> float:
+        """Return the value at ``slot`` or ``default`` when out of range."""
+        index = slot - self.start_slot
+        if 0 <= index < len(self.values):
+            return float(self.values[index])
+        return default
+
+    def to_pairs(self) -> list[tuple[int, float]]:
+        """Return the series as a list of ``(slot, value)`` pairs."""
+        return [(self.start_slot + i, float(v)) for i, v in enumerate(self.values)]
+
+    def copy(self, name: str | None = None) -> "TimeSeries":
+        """Return a deep copy, optionally renamed."""
+        return TimeSeries(
+            self.grid,
+            self.start_slot,
+            self.values.copy(),
+            name=self.name if name is None else name,
+            unit=self.unit,
+        )
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _aligned(self, other: "TimeSeries") -> tuple[int, np.ndarray, np.ndarray]:
+        """Align two series on a common slot range padded with zeros."""
+        if not self.grid.compatible_with(other.grid):
+            raise TimeGridError("cannot combine series on incompatible time grids")
+        offset = self.grid.slot_offset(other.grid)
+        other_start = other.start_slot + offset
+        start = min(self.start_slot, other_start)
+        end = max(self.end_slot, other.end_slot + offset)
+        left = np.zeros(end - start)
+        right = np.zeros(end - start)
+        left[self.start_slot - start : self.end_slot - start] = self.values
+        right[other_start - start : other_start - start + len(other.values)] = other.values
+        return start, left, right
+
+    def _combine(
+        self, other: "TimeSeries | float", op: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    ) -> "TimeSeries":
+        if isinstance(other, TimeSeries):
+            start, left, right = self._aligned(other)
+            return TimeSeries(self.grid, start, op(left, right), name=self.name, unit=self.unit)
+        return TimeSeries(
+            self.grid,
+            self.start_slot,
+            op(self.values, np.asarray(float(other))),
+            name=self.name,
+            unit=self.unit,
+        )
+
+    def __add__(self, other: "TimeSeries | float") -> "TimeSeries":
+        return self._combine(other, np.add)
+
+    def __sub__(self, other: "TimeSeries | float") -> "TimeSeries":
+        return self._combine(other, np.subtract)
+
+    def __mul__(self, factor: float) -> "TimeSeries":
+        return self._combine(float(factor), np.multiply)
+
+    def __rmul__(self, factor: float) -> "TimeSeries":
+        return self.__mul__(factor)
+
+    def __neg__(self) -> "TimeSeries":
+        return TimeSeries(self.grid, self.start_slot, -self.values, name=self.name, unit=self.unit)
+
+    def clip(self, minimum: float | None = None, maximum: float | None = None) -> "TimeSeries":
+        """Return a copy with values clipped to ``[minimum, maximum]``."""
+        return TimeSeries(
+            self.grid,
+            self.start_slot,
+            np.clip(self.values, minimum, maximum),
+            name=self.name,
+            unit=self.unit,
+        )
+
+    # ------------------------------------------------------------------
+    # Slicing
+    # ------------------------------------------------------------------
+    def slice_slots(self, first: int, last: int) -> "TimeSeries":
+        """Return the sub-series covering the half-open slot range ``[first, last)``.
+
+        Slots outside the stored range are filled with zeros so that the result
+        always has ``last - first`` values.
+        """
+        if last < first:
+            raise TimeGridError("slice end precedes slice start")
+        values = np.zeros(last - first)
+        lo = max(first, self.start_slot)
+        hi = min(last, self.end_slot)
+        if hi > lo:
+            values[lo - first : hi - first] = self.values[lo - self.start_slot : hi - self.start_slot]
+        return TimeSeries(self.grid, first, values, name=self.name, unit=self.unit)
+
+    def slice_time(self, start: datetime, end: datetime) -> "TimeSeries":
+        """Return the sub-series covering the absolute interval ``[start, end)``."""
+        span = self.grid.span_slots(start, end)
+        if len(span) == 0:
+            return TimeSeries(self.grid, self.grid.to_slot(start), [], name=self.name, unit=self.unit)
+        return self.slice_slots(span.start, span.stop)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def total(self) -> float:
+        """Sum of all values."""
+        return float(self.values.sum()) if len(self.values) else 0.0
+
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 for an empty series)."""
+        return float(self.values.mean()) if len(self.values) else 0.0
+
+    def minimum(self) -> float:
+        """Smallest value (0.0 for an empty series)."""
+        return float(self.values.min()) if len(self.values) else 0.0
+
+    def maximum(self) -> float:
+        """Largest value (0.0 for an empty series)."""
+        return float(self.values.max()) if len(self.values) else 0.0
+
+    def absolute(self) -> "TimeSeries":
+        """Return a copy with absolute values (useful for imbalance energy)."""
+        return TimeSeries(
+            self.grid, self.start_slot, np.abs(self.values), name=self.name, unit=self.unit
+        )
+
+
+def accumulate(series: Iterable[TimeSeries], grid: TimeGrid, name: str = "", unit: str = "") -> TimeSeries:
+    """Sum an iterable of series into one, aligning them on ``grid``.
+
+    Returns an empty series when the iterable is empty.
+    """
+    result: TimeSeries | None = None
+    for item in series:
+        result = item.copy() if result is None else result + item
+    if result is None:
+        return TimeSeries.zeros(grid, 0, 0, name=name, unit=unit)
+    result.name = name or result.name
+    result.unit = unit or result.unit
+    return result

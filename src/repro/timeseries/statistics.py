@@ -1,0 +1,98 @@
+"""Descriptive statistics and error metrics over time series.
+
+These helpers back the forecasting evaluation (MAE / MAPE / RMSE) and the
+plan-deviation measure required by the paper's Req. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TimeGridError
+from repro.timeseries.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Five-number-style summary of one time series."""
+
+    count: int
+    total: float
+    mean: float
+    minimum: float
+    maximum: float
+    std: float
+
+    @classmethod
+    def of(cls, series: TimeSeries) -> "SeriesSummary":
+        """Compute the summary of ``series`` (zeros for an empty series)."""
+        if len(series) == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        values = series.values
+        return cls(
+            count=len(values),
+            total=float(values.sum()),
+            mean=float(values.mean()),
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+            std=float(values.std()),
+        )
+
+
+def _paired(actual: TimeSeries, predicted: TimeSeries) -> tuple[np.ndarray, np.ndarray]:
+    """Return value arrays of the two series over their overlapping slot range."""
+    if not actual.grid.compatible_with(predicted.grid):
+        raise TimeGridError("cannot compare series on incompatible grids")
+    offset = actual.grid.slot_offset(predicted.grid)
+    pred_start = predicted.start_slot + offset
+    start = max(actual.start_slot, pred_start)
+    end = min(actual.end_slot, pred_start + len(predicted))
+    if end <= start:
+        return np.array([]), np.array([])
+    a = actual.values[start - actual.start_slot : end - actual.start_slot]
+    p = predicted.values[start - pred_start : end - pred_start]
+    return a, p
+
+
+def mean_absolute_error(actual: TimeSeries, predicted: TimeSeries) -> float:
+    """Mean absolute error over the overlapping range (0.0 when disjoint)."""
+    a, p = _paired(actual, predicted)
+    if len(a) == 0:
+        return 0.0
+    return float(np.abs(a - p).mean())
+
+
+def root_mean_squared_error(actual: TimeSeries, predicted: TimeSeries) -> float:
+    """Root mean squared error over the overlapping range (0.0 when disjoint)."""
+    a, p = _paired(actual, predicted)
+    if len(a) == 0:
+        return 0.0
+    return float(np.sqrt(((a - p) ** 2).mean()))
+
+
+def mean_absolute_percentage_error(actual: TimeSeries, predicted: TimeSeries) -> float:
+    """MAPE in percent, ignoring slots where the actual value is zero."""
+    a, p = _paired(actual, predicted)
+    mask = a != 0
+    if not mask.any():
+        return 0.0
+    return float((np.abs((a[mask] - p[mask]) / a[mask])).mean() * 100.0)
+
+
+def plan_deviation(planned: TimeSeries, realized: TimeSeries) -> TimeSeries:
+    """Per-slot difference between the plan and the physical realization.
+
+    This is the "Plan Deviations" measure from the paper's Req. 2: positive
+    values mean the plan expected more energy than was physically used.
+    """
+    deviation = planned - realized
+    deviation.name = "plan deviation"
+    deviation.unit = planned.unit or realized.unit
+    return deviation
+
+
+def total_absolute_deviation(planned: TimeSeries, realized: TimeSeries) -> float:
+    """Total absolute plan deviation (the quantity an imbalance fee is charged on)."""
+    return plan_deviation(planned, realized).absolute().total()

@@ -1,0 +1,62 @@
+"""The flex-offer visualization views (the paper's core contribution)."""
+
+from repro.views.aggregation_panel import (
+    AggregationPanel,
+    AggregationPanelView,
+    AggregationPanelViewOptions,
+    SweepPoint,
+)
+from repro.views.base import FlexOfferView, ViewOptions
+from repro.views.basic import BasicView, BasicViewOptions
+from repro.views.dashboard import BalanceView, BalanceViewOptions, DashboardOptions, DashboardView
+from repro.views.framework import ViewKind, ViewTab, VisualAnalysisFramework
+from repro.views.integrated_pivot import IntegratedPivotOptions, IntegratedPivotView
+from repro.views.lanes import LaneStrategy, assign_lanes, lane_count, lanes_are_valid, offer_interval
+from repro.views.loading import LoadedDataset, LoadingWorkflow
+from repro.views.map_view import MapView, MapViewOptions
+from repro.views.pivot_view import PivotView, PivotViewOptions
+from repro.views.profile_view import ProfileView, ProfileViewOptions
+from repro.views.schematic import SchematicView, SchematicViewOptions
+from repro.views.selection import SelectionModel, SelectionRectangle
+from repro.views.tooltip import FlexOfferDetails, describe, describe_many, overlay
+
+__all__ = [
+    "FlexOfferView",
+    "ViewOptions",
+    "BasicView",
+    "BasicViewOptions",
+    "ProfileView",
+    "ProfileViewOptions",
+    "MapView",
+    "MapViewOptions",
+    "SchematicView",
+    "SchematicViewOptions",
+    "PivotView",
+    "PivotViewOptions",
+    "IntegratedPivotView",
+    "IntegratedPivotOptions",
+    "DashboardView",
+    "DashboardOptions",
+    "BalanceView",
+    "BalanceViewOptions",
+    "AggregationPanel",
+    "AggregationPanelView",
+    "AggregationPanelViewOptions",
+    "SweepPoint",
+    "LaneStrategy",
+    "assign_lanes",
+    "lane_count",
+    "lanes_are_valid",
+    "offer_interval",
+    "SelectionModel",
+    "SelectionRectangle",
+    "FlexOfferDetails",
+    "describe",
+    "describe_many",
+    "overlay",
+    "LoadedDataset",
+    "LoadingWorkflow",
+    "ViewKind",
+    "ViewTab",
+    "VisualAnalysisFramework",
+]

@@ -1,0 +1,212 @@
+"""The aggregation tools panel (Figure 11).
+
+The tool "integrates the flex-offer aggregation and disaggregation
+functionalities.  This allows, for example, reducing the count of flex-offers
+shown on a screen by aggregation, as well as allows interactive tuning values
+of the aggregation parameters."  The panel object is the headless counterpart:
+it holds the current parameters, applies aggregation to a working set,
+reports the reduction metrics, can sweep parameters (the interactive tuning),
+and produces a side-by-side before/after basic view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.aggregation.aggregate import AggregationResult, aggregate
+from repro.aggregation.disaggregate import disaggregate
+from repro.aggregation.metrics import AggregationMetrics, evaluate
+from repro.aggregation.parameters import AggregationParameters
+from repro.errors import ViewError
+from repro.flexoffer.model import FlexOffer
+from repro.render.color import Palette
+from repro.render.scene import Scene, Style, Text
+from repro.timeseries.grid import TimeGrid
+from repro.views.base import FlexOfferView, ViewOptions
+from repro.views.basic import BasicView, BasicViewOptions
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Result of one parameter combination in an interactive sweep."""
+
+    parameters: AggregationParameters
+    metrics: AggregationMetrics
+
+
+class AggregationPanel:
+    """Headless model of the Figure 11 aggregation tools."""
+
+    def __init__(
+        self,
+        offers: Sequence[FlexOffer],
+        grid: TimeGrid,
+        parameters: AggregationParameters | None = None,
+    ) -> None:
+        self.original_offers = list(offers)
+        self.grid = grid
+        self.parameters = parameters or AggregationParameters()
+        self._result: AggregationResult | None = None
+
+    # ------------------------------------------------------------------
+    # Parameter tuning
+    # ------------------------------------------------------------------
+    def set_parameters(self, parameters: AggregationParameters) -> None:
+        """Replace the parameters and drop the cached aggregation result."""
+        self.parameters = parameters
+        self._result = None
+
+    def tune(self, **changes) -> AggregationParameters:
+        """Adjust individual parameters (the panel's spin boxes) and return the new set."""
+        self.set_parameters(replace(self.parameters, **changes))
+        return self.parameters
+
+    # ------------------------------------------------------------------
+    # Aggregation / disaggregation
+    # ------------------------------------------------------------------
+    def result(self) -> AggregationResult:
+        """The aggregation result under the current parameters (cached)."""
+        if self._result is None:
+            self._result = aggregate(self.original_offers, self.parameters)
+        return self._result
+
+    def aggregated_offers(self) -> list[FlexOffer]:
+        """The offers to display after aggregation."""
+        return list(self.result().offers)
+
+    def metrics(self) -> AggregationMetrics:
+        """Reduction and flexibility-loss metrics under the current parameters."""
+        return evaluate(self.original_offers, self.result())
+
+    def disaggregate_all(self) -> list[FlexOffer]:
+        """Disaggregate every scheduled aggregate back to individual assignments."""
+        result = self.result()
+        offers: list[FlexOffer] = []
+        for offer in result.offers:
+            if offer.is_aggregate and offer.schedule is not None:
+                offers.extend(disaggregate(offer, result.constituents_of(offer.id)))
+            else:
+                offers.append(offer)
+        return offers
+
+    def sweep(
+        self,
+        est_tolerances: Sequence[int],
+        time_flexibility_tolerances: Sequence[int],
+    ) -> list[SweepPoint]:
+        """Evaluate every combination of the given tolerances (interactive tuning)."""
+        if not est_tolerances or not time_flexibility_tolerances:
+            raise ViewError("sweep needs at least one value per tolerance")
+        points = []
+        for est in est_tolerances:
+            for tft in time_flexibility_tolerances:
+                parameters = replace(
+                    self.parameters,
+                    est_tolerance_slots=est,
+                    time_flexibility_tolerance_slots=tft,
+                )
+                result = aggregate(self.original_offers, parameters)
+                points.append(SweepPoint(parameters=parameters, metrics=evaluate(self.original_offers, result)))
+        return points
+
+    # ------------------------------------------------------------------
+    # Visual output: before/after basic views
+    # ------------------------------------------------------------------
+    def before_view(self, options: BasicViewOptions | None = None) -> BasicView:
+        """Basic view of the original (non-aggregated) offers."""
+        return BasicView(self.original_offers, self.grid, options=options)
+
+    def after_view(self, options: BasicViewOptions | None = None) -> BasicView:
+        """Basic view of the aggregated offers."""
+        return BasicView(self.aggregated_offers(), self.grid, options=options)
+
+
+@dataclass(frozen=True)
+class AggregationPanelViewOptions(ViewOptions):
+    """Canvas options for the combined before/after rendering."""
+
+    height: float = 760.0
+
+
+class AggregationPanelView(FlexOfferView):
+    """A single scene stacking the before and after basic views (Figure 11)."""
+
+    view_name = "aggregation tools"
+
+    def __init__(self, panel: AggregationPanel, options: AggregationPanelViewOptions | None = None) -> None:
+        super().__init__(options or AggregationPanelViewOptions())
+        self.panel = panel
+
+    def build_scene(self) -> Scene:
+        options = self.options
+        half_height = options.height / 2.0
+        sub_options = BasicViewOptions(
+            width=options.width,
+            height=half_height,
+            margin_left=options.margin_left,
+            margin_right=options.margin_right,
+            margin_top=options.margin_top,
+            margin_bottom=options.margin_bottom,
+        )
+        before = self.panel.before_view(sub_options).scene()
+        after = self.panel.after_view(sub_options).scene()
+        metrics = self.panel.metrics()
+
+        scene = Scene(width=options.width, height=options.height, title=self.view_name, background=Palette.PANEL)
+        from repro.render.scene import Group
+
+        top_group = Group(name="before")
+        top_group.extend(before.root.children)
+        scene.add(top_group)
+
+        bottom_group = Group(name="after")
+        # Shift the after-view's nodes down by half the canvas height.
+        shifted = Group(name="after-shifted")
+        for node in after.root.children:
+            shifted.add(_shift_node(node, 0.0, half_height))
+        bottom_group.add(shifted)
+        scene.add(bottom_group)
+
+        scene.add(
+            Text(
+                x=options.margin_left,
+                y=half_height - 6,
+                text=(
+                    f"aggregation: {metrics.original_count} -> {metrics.aggregated_count} offers "
+                    f"(x{metrics.reduction_ratio:.1f} reduction, "
+                    f"{100 * metrics.time_flexibility_loss_ratio:.0f}% time-flexibility loss) "
+                    f"EST tol={self.panel.parameters.est_tolerance_slots}, "
+                    f"TFT tol={self.panel.parameters.time_flexibility_tolerance_slots}"
+                ),
+                style=Style(fill=Palette.AXIS, font_size=11.0),
+                css_class="aggregation-caption",
+            )
+        )
+        return scene
+
+
+def _shift_node(node, dx: float, dy: float):
+    """Return a shifted shallow copy of a scene node (groups recurse)."""
+    from dataclasses import replace as dc_replace
+
+    from repro.render.scene import Circle, Group, Line, Polygon, Polyline, Rect, Text, Wedge
+
+    if isinstance(node, Group):
+        clone = Group(name=node.name, element_id=node.element_id, css_class=node.css_class)
+        for child in node.children:
+            clone.add(_shift_node(child, dx, dy))
+        return clone
+    if isinstance(node, Rect):
+        return dc_replace(node, x=node.x + dx, y=node.y + dy)
+    if isinstance(node, Line):
+        return dc_replace(node, x1=node.x1 + dx, y1=node.y1 + dy, x2=node.x2 + dx, y2=node.y2 + dy)
+    if isinstance(node, (Polyline, Polygon)):
+        return dc_replace(node, points=tuple((x + dx, y + dy) for x, y in node.points))
+    if isinstance(node, Circle):
+        return dc_replace(node, cx=node.cx + dx, cy=node.cy + dy)
+    if isinstance(node, Wedge):
+        return dc_replace(node, cx=node.cx + dx, cy=node.cy + dy)
+    if isinstance(node, Text):
+        return dc_replace(node, x=node.x + dx, y=node.y + dy)
+    return node

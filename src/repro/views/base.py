@@ -1,0 +1,95 @@
+"""Common infrastructure of the flex-offer views.
+
+Every view is headless: it builds a :class:`~repro.render.scene.Scene` from
+its domain inputs and can serialise it to SVG or ASCII.  Views memoise the
+built scene so that repeated exports (or hit-tests) do not rebuild it; any
+mutation of the view's inputs must go through :meth:`FlexOfferView.invalidate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ViewError
+from repro.render.ascii_backend import render_ascii
+from repro.render.axes import PlotArea
+from repro.render.scene import Scene
+from repro.render.svg import render_svg, save_svg
+
+
+@dataclass(frozen=True)
+class ViewOptions:
+    """Canvas geometry shared by all views."""
+
+    width: float = 960.0
+    height: float = 540.0
+    margin_left: float = 70.0
+    margin_right: float = 30.0
+    margin_top: float = 40.0
+    margin_bottom: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.width <= self.margin_left + self.margin_right:
+            raise ViewError("view width is smaller than its horizontal margins")
+        if self.height <= self.margin_top + self.margin_bottom:
+            raise ViewError("view height is smaller than its vertical margins")
+
+    @property
+    def plot_area(self) -> PlotArea:
+        """The data region inside the margins."""
+        return PlotArea(
+            left=self.margin_left,
+            top=self.margin_top,
+            width=self.width - self.margin_left - self.margin_right,
+            height=self.height - self.margin_top - self.margin_bottom,
+        )
+
+
+class FlexOfferView:
+    """Base class of every view in the framework."""
+
+    #: Human-readable name shown as the tab title.
+    view_name = "view"
+
+    def __init__(self, options: ViewOptions | None = None) -> None:
+        self.options = options or ViewOptions()
+        self._scene: Scene | None = None
+
+    # ------------------------------------------------------------------
+    # Scene lifecycle
+    # ------------------------------------------------------------------
+    def build_scene(self) -> Scene:
+        """Build the scene graph (implemented by concrete views)."""
+        raise NotImplementedError
+
+    def scene(self) -> Scene:
+        """The (memoised) scene of the view."""
+        if self._scene is None:
+            self._scene = self.build_scene()
+        return self._scene
+
+    def invalidate(self) -> None:
+        """Drop the memoised scene so the next access rebuilds it."""
+        self._scene = None
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_svg(self) -> str:
+        """The view rendered as an SVG document string."""
+        return render_svg(self.scene())
+
+    def save_svg(self, path: str) -> str:
+        """Render to SVG and write it to ``path``."""
+        return save_svg(self.scene(), path)
+
+    def to_ascii(self, columns: int = 100) -> str:
+        """The view rendered as ASCII art."""
+        return render_ascii(self.scene(), columns=columns)
+
+    # ------------------------------------------------------------------
+    # Interaction
+    # ------------------------------------------------------------------
+    def elements_at(self, x: float, y: float) -> list[str]:
+        """Element identifiers under the pixel (x, y) — the mouse-pointer query."""
+        return [node.element_id for node in self.scene().hit_test(x, y) if node.element_id]

@@ -1,0 +1,177 @@
+"""The visual analysis framework facade.
+
+Section 4 describes the tool's main window: a loading tab plus one tab per
+read operation, where each tab shows a set of flex-offers in the basic or the
+profile view and offers the aggregation tools, selection and on-the-fly
+details.  :class:`VisualAnalysisFramework` is the headless facade over all of
+that: it owns the warehouse connection, opens tabs, switches views, applies
+aggregation and exports any open view to SVG/ASCII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from enum import Enum
+from typing import Sequence
+
+from repro.aggregation.parameters import AggregationParameters
+from repro.datagen.scenarios import Scenario
+from repro.errors import ViewError
+from repro.flexoffer.model import FlexOffer
+from repro.timeseries.grid import TimeGrid
+from repro.views.aggregation_panel import AggregationPanel
+from repro.views.base import FlexOfferView
+from repro.views.basic import BasicView, BasicViewOptions
+from repro.views.dashboard import DashboardOptions, DashboardView
+from repro.views.loading import LoadedDataset, LoadingWorkflow
+from repro.views.map_view import MapView, MapViewOptions
+from repro.views.pivot_view import PivotView, PivotViewOptions
+from repro.views.profile_view import ProfileView, ProfileViewOptions
+from repro.views.schematic import SchematicView, SchematicViewOptions
+from repro.views.selection import SelectionModel
+from repro.views.tooltip import FlexOfferDetails, describe
+from repro.warehouse.loader import load_scenario
+from repro.warehouse.query import FlexOfferRepository
+
+
+class ViewKind(str, Enum):
+    """The view types a tab can show."""
+
+    BASIC = "basic"
+    PROFILE = "profile"
+    MAP = "map"
+    SCHEMATIC = "schematic"
+    PIVOT = "pivot"
+    DASHBOARD = "dashboard"
+
+
+@dataclass
+class ViewTab:
+    """One tab of the main window: a dataset plus its current view and selection."""
+
+    title: str
+    offers: list[FlexOffer]
+    grid: TimeGrid
+    kind: ViewKind = ViewKind.BASIC
+    selection: SelectionModel = field(init=False)
+    _scenario: Scenario | None = None
+
+    def __post_init__(self) -> None:
+        self.selection = SelectionModel(self.offers)
+
+    def view(self, **options) -> FlexOfferView:
+        """Build the tab's current view object."""
+        if self.kind is ViewKind.BASIC:
+            return BasicView(self.offers, self.grid, options=options.get("basic"))
+        if self.kind is ViewKind.PROFILE:
+            return ProfileView(self.offers, self.grid, options=options.get("profile"))
+        if self.kind is ViewKind.DASHBOARD:
+            return DashboardView(self.offers, self.grid, options=options.get("dashboard"))
+        if self.kind is ViewKind.PIVOT:
+            return PivotView(self.offers, self.grid, options=options.get("pivot"))
+        if self._scenario is None:
+            raise ViewError(f"{self.kind.value} view needs scenario master data (geography/topology)")
+        if self.kind is ViewKind.MAP:
+            return MapView(self.offers, self._scenario.geography, self.grid, options=options.get("map"))
+        if self.kind is ViewKind.SCHEMATIC:
+            return SchematicView(self.offers, self._scenario.topology, self.grid, options=options.get("schematic"))
+        raise ViewError(f"unsupported view kind {self.kind}")
+
+    def switch_view(self, kind: ViewKind) -> None:
+        """Change which view the tab shows."""
+        self.kind = kind
+
+    def details_of(self, offer_id: int) -> FlexOfferDetails:
+        """The on-the-fly details of one offer in the tab (Figure 10)."""
+        for offer in self.offers:
+            if offer.id == offer_id:
+                return describe(offer, self.grid)
+        raise ViewError(f"tab {self.title!r} has no flex-offer {offer_id}")
+
+    def aggregation_panel(self, parameters: AggregationParameters | None = None) -> AggregationPanel:
+        """The Figure 11 aggregation tools bound to this tab's offers."""
+        return AggregationPanel(self.offers, self.grid, parameters)
+
+    def apply_aggregation(self, parameters: AggregationParameters | None = None) -> "ViewTab":
+        """Replace the tab's offers with their aggregation (what the Apply button does)."""
+        panel = self.aggregation_panel(parameters)
+        self.offers = panel.aggregated_offers()
+        self.selection = SelectionModel(self.offers)
+        return self
+
+    def extract_selection(self, title: str | None = None) -> "ViewTab":
+        """Open the current selection as a new tab (the "show on different tab" action)."""
+        selected = self.selection.extract_to_new_tab()
+        tab = ViewTab(
+            title=title or f"{self.title} (selection)",
+            offers=selected,
+            grid=self.grid,
+            kind=self.kind,
+            _scenario=self._scenario,
+        )
+        return tab
+
+    def remove_selection(self) -> None:
+        """Remove the selected offers from the tab (the "remove from view" action)."""
+        self.offers = self.selection.remove_from_view()
+        self.selection = SelectionModel(self.offers)
+
+
+class VisualAnalysisFramework:
+    """The main-window facade: warehouse connection plus view tabs."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+        self.schema = load_scenario(scenario)
+        self.repository = FlexOfferRepository(self.schema, scenario.grid)
+        self.loading = LoadingWorkflow(self.repository, scenario.grid)
+        self.tabs: list[ViewTab] = []
+
+    # ------------------------------------------------------------------
+    # Tab management (the Figure 7/8 workflow)
+    # ------------------------------------------------------------------
+    def open_tab_for_entity(
+        self,
+        entity_id: int,
+        interval_start: datetime | None = None,
+        interval_end: datetime | None = None,
+        kind: ViewKind = ViewKind.BASIC,
+    ) -> ViewTab:
+        """Read one legal entity's flex-offers and open them in a new tab."""
+        dataset = self.loading.load_entity(entity_id, interval_start, interval_end)
+        return self._open_tab(dataset, kind)
+
+    def open_tab_for_all(self, kind: ViewKind = ViewKind.BASIC) -> ViewTab:
+        """Read every flex-offer and open one tab over them."""
+        dataset = self.loading.load_all()
+        return self._open_tab(dataset, kind)
+
+    def open_tab_for_offers(
+        self, offers: Sequence[FlexOffer], title: str, kind: ViewKind = ViewKind.BASIC
+    ) -> ViewTab:
+        """Open a tab over an explicit offer list (e.g. a selection or an aggregation result)."""
+        tab = ViewTab(title=title, offers=list(offers), grid=self.scenario.grid, kind=kind, _scenario=self.scenario)
+        self.tabs.append(tab)
+        return tab
+
+    def _open_tab(self, dataset: LoadedDataset, kind: ViewKind) -> ViewTab:
+        tab = ViewTab(
+            title=dataset.title,
+            offers=dataset.offers,
+            grid=dataset.grid,
+            kind=kind,
+            _scenario=self.scenario,
+        )
+        self.tabs.append(tab)
+        return tab
+
+    def close_tab(self, tab: ViewTab) -> None:
+        """Close a tab."""
+        if tab in self.tabs:
+            self.tabs.remove(tab)
+
+    @property
+    def tab_titles(self) -> list[str]:
+        """Titles of the open tabs (what the tab bar shows)."""
+        return [tab.title for tab in self.tabs]

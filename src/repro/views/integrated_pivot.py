@@ -1,0 +1,253 @@
+"""The integrated pivot view: basic-view swimlanes inside the pivot (the paper's next step).
+
+Section 4: "As the next immediate enhancement, the basic and the detailed
+views will be integrated into the pivot view, where the flex-offer aggregation
+will be applied to produce inputs for the flex-offer visualization on
+swimlanes."  This module implements that enhancement: every swimlane of the
+pivot (one per member of the chosen hierarchy level) shows the member's
+flex-offers — aggregated first so a lane stays readable — rendered with the
+basic view's visual encoding (time-flexibility rectangle, profile box,
+scheduled-start line) instead of plain bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.aggregation.aggregate import aggregate
+from repro.aggregation.parameters import AggregationParameters
+from repro.flexoffer.model import FlexOffer
+from repro.olap.cube import FlexOfferCube, MemberFilter
+from repro.render.axes import PlotArea, legend, time_axis
+from repro.render.color import Palette
+from repro.render.scales import SlotTimeScale
+from repro.render.scene import Group, Line, Rect, Scene, Style, Text
+from repro.timeseries.grid import TimeGrid
+from repro.views.base import FlexOfferView, ViewOptions
+from repro.views.lanes import assign_lanes, lane_count
+
+
+@dataclass(frozen=True)
+class IntegratedPivotOptions(ViewOptions):
+    """Options of the integrated pivot view."""
+
+    #: Hierarchy shown on the swimlanes.
+    row_dimension: str = "Prosumer"
+    row_level: str = "prosumer_type"
+    #: Height of one member's swimlane.
+    lane_height: float = 120.0
+    #: Aggregation applied per swimlane before drawing.
+    aggregation: AggregationParameters = AggregationParameters(
+        est_tolerance_slots=8, time_flexibility_tolerance_slots=8
+    )
+    #: Turn aggregation off to draw the raw offers (ablation / small datasets).
+    aggregate_lanes: bool = True
+    filters: tuple[MemberFilter, ...] = field(default_factory=tuple)
+    show_legend: bool = True
+
+
+class IntegratedPivotView(FlexOfferView):
+    """Pivot swimlanes whose content is the basic-view encoding of (aggregated) flex-offers."""
+
+    view_name = "integrated pivot view"
+
+    def __init__(
+        self,
+        offers: Sequence[FlexOffer],
+        grid: TimeGrid,
+        options: IntegratedPivotOptions | None = None,
+        cube: FlexOfferCube | None = None,
+    ) -> None:
+        super().__init__(options or IntegratedPivotOptions())
+        self.offers = list(offers)
+        self.grid = grid
+        self.cube = cube if cube is not None else FlexOfferCube(self.offers, grid)
+
+    # ------------------------------------------------------------------
+    # Data preparation
+    # ------------------------------------------------------------------
+    def members(self) -> list[str]:
+        """The swimlane members (one per hierarchy member present in the data)."""
+        filtered = self.cube.filter(self.options.filters) if self.options.filters else self.cube
+        return [str(member) for member in filtered.members(self.options.row_dimension, self.options.row_level)]
+
+    def lane_offers(self) -> dict[str, list[FlexOffer]]:
+        """Per member: the offers shown in its swimlane (aggregated when enabled)."""
+        filtered = self.cube.filter(self.options.filters) if self.options.filters else self.cube
+        level = filtered.dimension(self.options.row_dimension).level(self.options.row_level)
+        grouped: dict[str, list[FlexOffer]] = {}
+        for offer in filtered.offers:
+            grouped.setdefault(str(level.member_of(offer)), []).append(offer)
+        if not self.options.aggregate_lanes:
+            return grouped
+        aggregated: dict[str, list[FlexOffer]] = {}
+        for index, (member, offers) in enumerate(grouped.items()):
+            result = aggregate(offers, self.options.aggregation, id_offset=2_000_000 + index * 100_000)
+            aggregated[member] = result.offers
+        return aggregated
+
+    def _slot_bounds(self) -> tuple[int, int]:
+        if not self.offers:
+            return 0, 1
+        first = min(offer.earliest_start_slot for offer in self.offers)
+        last = max(offer.latest_end_slot for offer in self.offers)
+        return first, max(last, first + 1)
+
+    # ------------------------------------------------------------------
+    # Scene construction
+    # ------------------------------------------------------------------
+    def build_scene(self) -> Scene:
+        options = self.options
+        lanes = self.lane_offers()
+        members = self.members()
+        lane_total = max(len(members), 1)
+        height = max(
+            options.height,
+            options.margin_top + lane_total * options.lane_height + options.margin_bottom,
+        )
+        scene = Scene(width=options.width, height=height, title=self.view_name, background=Palette.PANEL)
+        area = PlotArea(
+            left=options.margin_left + 90,
+            top=options.margin_top,
+            width=options.width - options.margin_left - 90 - options.margin_right,
+            height=lane_total * options.lane_height,
+        )
+        first, last = self._slot_bounds()
+        scale = SlotTimeScale.build(self.grid, first, last, area.left, area.right)
+        scene.add(time_axis(area, scale))
+        scene.add(
+            Text(
+                x=area.left,
+                y=area.top - 14,
+                text=(
+                    f"{options.row_dimension}.{options.row_level} swimlanes, "
+                    f"{'aggregated' if options.aggregate_lanes else 'raw'} flex-offers per lane"
+                ),
+                style=Style(fill=Palette.AXIS, font_size=11.0),
+                css_class="view-caption",
+            )
+        )
+
+        marks = Group(name="marks")
+        scene.add(marks)
+        for member_index, member in enumerate(members):
+            lane_top = area.top + member_index * options.lane_height
+            lane_group = Group(name=f"swimlane-{member}", element_id=f"member:{member}")
+            lane_group.add(
+                Rect(
+                    x=area.left,
+                    y=lane_top,
+                    width=area.width,
+                    height=options.lane_height - 3,
+                    style=Style(
+                        fill=Palette.PANEL.lighten(0.4) if member_index % 2 else Palette.PANEL,
+                        stroke=Palette.AXIS.with_alpha(0.3),
+                        stroke_width=0.5,
+                    ),
+                    element_id=f"member:{member}",
+                    css_class="swimlane",
+                )
+            )
+            lane_group.add(
+                Text(
+                    x=area.left - 8,
+                    y=lane_top + options.lane_height / 2,
+                    text=member,
+                    style=Style(fill=Palette.AXIS, font_size=10.0),
+                    anchor="end",
+                    css_class="swimlane-label",
+                )
+            )
+            member_offers = lanes.get(member, [])
+            lane_group.add(self._draw_member_offers(member, member_offers, scale, lane_top, options.lane_height))
+            lane_group.add(
+                Text(
+                    x=area.right - 4,
+                    y=lane_top + 12,
+                    text=f"{len(member_offers)} objects",
+                    style=Style(fill=Palette.AXIS.with_alpha(0.7), font_size=9.0),
+                    anchor="end",
+                    css_class="swimlane-count",
+                )
+            )
+            marks.add(lane_group)
+
+        if options.show_legend:
+            scene.add(
+                legend(
+                    area,
+                    [
+                        ("flex-offer", Palette.FLEX_OFFER),
+                        ("aggregated", Palette.AGGREGATED_FLEX_OFFER),
+                        ("time flexibility", Palette.TIME_FLEXIBILITY),
+                        ("scheduled start", Palette.SCHEDULE),
+                    ],
+                )
+            )
+        return scene
+
+    def _draw_member_offers(
+        self,
+        member: str,
+        offers: list[FlexOffer],
+        scale: SlotTimeScale,
+        lane_top: float,
+        lane_height: float,
+    ) -> Group:
+        """Basic-view encoding of one swimlane's offers, packed into sub-lanes."""
+        group = Group(name=f"offers-{member}")
+        if not offers:
+            return group
+        assignment = assign_lanes(offers)
+        sub_lanes = max(lane_count(assignment), 1)
+        padding = 14.0
+        usable = lane_height - padding - 4
+        sub_height = max(min(usable / sub_lanes, 14.0), 2.0)
+        box_height = sub_height * 0.75
+        for offer in offers:
+            sub_lane = assignment[offer.id]
+            top = lane_top + padding + sub_lane * sub_height + (sub_height - box_height) / 2.0
+            span_left = scale.project(offer.earliest_start_slot)
+            span_right = scale.project(offer.latest_end_slot)
+            group.add(
+                Rect(
+                    x=span_left,
+                    y=top,
+                    width=max(span_right - span_left, 1.0),
+                    height=box_height,
+                    style=Style(fill=Palette.TIME_FLEXIBILITY.with_alpha(0.55)),
+                    element_id=f"fo:{offer.id}",
+                    css_class="time-flexibility",
+                )
+            )
+            start_slot = offer.schedule.start_slot if offer.schedule is not None else offer.earliest_start_slot
+            profile_left = scale.project(start_slot)
+            profile_right = scale.project(start_slot + offer.profile_duration_slots)
+            fill = Palette.AGGREGATED_FLEX_OFFER if offer.is_aggregate else Palette.FLEX_OFFER
+            group.add(
+                Rect(
+                    x=profile_left,
+                    y=top,
+                    width=max(profile_right - profile_left, 1.0),
+                    height=box_height,
+                    style=Style(fill=fill, stroke=Palette.AXIS.with_alpha(0.4), stroke_width=0.4),
+                    element_id=f"fo:{offer.id}",
+                    css_class="profile-box aggregated" if offer.is_aggregate else "profile-box",
+                    tooltip=f"{member}: flex-offer {offer.id} ({offer.state.value})",
+                )
+            )
+            if offer.schedule is not None:
+                x = scale.project(offer.schedule.start_slot)
+                group.add(
+                    Line(
+                        x1=x,
+                        y1=top,
+                        x2=x,
+                        y2=top + box_height,
+                        style=Style(stroke=Palette.SCHEDULE, stroke_width=1.2),
+                        element_id=f"fo:{offer.id}",
+                        css_class="scheduled-start",
+                    )
+                )
+        return group

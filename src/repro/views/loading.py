@@ -1,0 +1,101 @@
+"""The flex-offer loading workflow (Figure 7).
+
+Figure 7 shows the loading tab of the main window: the analyst connects to the
+data warehouse, chooses a *legal entity* (prosumer) and an *absolute time
+interval*, and reading the matching flex-offers opens a new view tab.  The
+headless counterpart wraps the warehouse repository and returns
+:class:`LoadedDataset` objects that the framework turns into tabs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Any
+
+from repro.errors import ViewError
+from repro.flexoffer.model import FlexOffer
+from repro.timeseries.grid import TimeGrid
+from repro.warehouse.query import FlexOfferFilter, FlexOfferRepository
+
+
+@dataclass
+class LoadedDataset:
+    """One successful read operation, ready to be shown on a view tab."""
+
+    title: str
+    offers: list[FlexOffer]
+    filter: FlexOfferFilter
+    scanned_rows: int
+    grid: TimeGrid
+
+    def __len__(self) -> int:
+        return len(self.offers)
+
+
+@dataclass
+class LoadingWorkflow:
+    """The loading tab's state: connection, entity choice and time interval."""
+
+    repository: FlexOfferRepository
+    grid: TimeGrid
+    history: list[LoadedDataset] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # What the combo boxes of the loading tab offer
+    # ------------------------------------------------------------------
+    def available_entities(self) -> list[dict[str, Any]]:
+        """Legal entities the analyst can choose from."""
+        return self.repository.legal_entities()
+
+    def available_states(self) -> list[str]:
+        """Distinct flex-offer states stored in the warehouse."""
+        return [str(value) for value in self.repository.known_values("state")]
+
+    def warehouse_summary(self) -> dict[str, Any]:
+        """Row counts etc. shown next to the connection settings."""
+        return self.repository.summary()
+
+    # ------------------------------------------------------------------
+    # The read operations
+    # ------------------------------------------------------------------
+    def load_entity(
+        self,
+        entity_id: int,
+        interval_start: datetime | None = None,
+        interval_end: datetime | None = None,
+    ) -> LoadedDataset:
+        """Read the flex-offers of one legal entity within an absolute interval."""
+        known = {entity["entity_id"] for entity in self.available_entities()}
+        if entity_id not in known:
+            raise ViewError(f"unknown legal entity {entity_id}")
+        result = self.repository.load_for_entity(entity_id, interval_start, interval_end)
+        title = f"entity {entity_id}"
+        if interval_start or interval_end:
+            title += f" [{interval_start:%Y-%m-%d %H:%M} .. {interval_end:%Y-%m-%d %H:%M}]" if interval_start and interval_end else " (interval)"
+        dataset = LoadedDataset(
+            title=title,
+            offers=result.offers,
+            filter=result.filter,
+            scanned_rows=result.scanned_rows,
+            grid=self.grid,
+        )
+        self.history.append(dataset)
+        return dataset
+
+    def load_filtered(self, query: FlexOfferFilter, title: str | None = None) -> LoadedDataset:
+        """Read flex-offers matching an arbitrary attribute filter."""
+        result = self.repository.load(query)
+        dataset = LoadedDataset(
+            title=title or query.describe(),
+            offers=result.offers,
+            filter=query,
+            scanned_rows=result.scanned_rows,
+            grid=self.grid,
+        )
+        self.history.append(dataset)
+        return dataset
+
+    def load_all(self) -> LoadedDataset:
+        """Read every flex-offer in the warehouse."""
+        return self.load_filtered(FlexOfferFilter(), title="all flex-offers")

@@ -1,0 +1,214 @@
+"""The map view of flex-offers (Figure 3).
+
+The map view places one glyph per geographical unit (region by default) on a
+simple plate-carree projection of the synthetic geography and shows, next to
+each unit, a small bar chart of a chosen measure broken down by flex-offer
+state — the "0..50" bar glyphs of the paper's Figure 3.  Filtering and
+drill-down to city level reuse the OLAP cube.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.datagen.geography import Geography
+from repro.errors import ViewError
+from repro.flexoffer.model import FlexOffer, FlexOfferState
+from repro.olap.cube import FlexOfferCube, GroupBy
+from repro.render.axes import PlotArea, legend
+from repro.render.color import Palette
+from repro.render.scales import LinearScale
+from repro.render.scene import Circle, Group, Rect, Scene, Style, Text
+from repro.timeseries.grid import TimeGrid
+from repro.views.base import FlexOfferView, ViewOptions
+
+_STATE_ORDER = (FlexOfferState.ACCEPTED, FlexOfferState.ASSIGNED, FlexOfferState.REJECTED)
+
+
+@dataclass(frozen=True)
+class MapViewOptions(ViewOptions):
+    """Options specific to the map view."""
+
+    #: Geographical level the glyphs aggregate on: "region" or "city".
+    level: str = "region"
+    #: Width of one state bar in pixels.
+    bar_width: float = 14.0
+    bar_height: float = 60.0
+    show_legend: bool = True
+
+
+class MapView(FlexOfferView):
+    """Figure 3: flex-offer counts per geographical unit on a map."""
+
+    view_name = "map view"
+
+    def __init__(
+        self,
+        offers: Sequence[FlexOffer],
+        geography: Geography,
+        grid: TimeGrid,
+        options: MapViewOptions | None = None,
+    ) -> None:
+        super().__init__(options or MapViewOptions())
+        if self.options.level not in ("region", "city"):
+            raise ViewError("map view level must be 'region' or 'city'")
+        self.offers = list(offers)
+        self.geography = geography
+        self.grid = grid
+        self.cube = FlexOfferCube(self.offers, grid)
+
+    # ------------------------------------------------------------------
+    # Data preparation
+    # ------------------------------------------------------------------
+    def place_anchors(self) -> dict[str, tuple[float, float]]:
+        """Latitude/longitude anchor of every geographical unit at the chosen level."""
+        anchors: dict[str, tuple[float, float]] = {}
+        if self.options.level == "city":
+            for city in self.geography.all_cities():
+                anchors[city.name] = (city.latitude, city.longitude)
+            return anchors
+        for region in self.geography.regions:
+            cities = region.cities
+            if not cities:
+                continue
+            anchors[region.name] = (
+                sum(city.latitude for city in cities) / len(cities),
+                sum(city.longitude for city in cities) / len(cities),
+            )
+        return anchors
+
+    def state_counts(self) -> dict[str, dict[str, float]]:
+        """Per-place counts of accepted / assigned / rejected flex-offers."""
+        cell_set = self.cube.aggregate(
+            [GroupBy("Geography", self.options.level), GroupBy("State", "state")],
+            ["flex_offer_count"],
+        )
+        counts: dict[str, dict[str, float]] = {}
+        for cell in cell_set.cells:
+            place, state = cell.coordinates
+            counts.setdefault(place, {})[state] = cell.values["flex_offer_count"]
+        return counts
+
+    # ------------------------------------------------------------------
+    # Scene construction
+    # ------------------------------------------------------------------
+    def build_scene(self) -> Scene:
+        options = self.options
+        area = options.plot_area
+        scene = Scene(width=options.width, height=options.height, title=self.view_name, background=Palette.PANEL)
+
+        anchors = self.place_anchors()
+        counts = self.state_counts()
+        if not anchors:
+            return scene
+
+        latitudes = [lat for lat, _ in anchors.values()]
+        longitudes = [lon for _, lon in anchors.values()]
+        lat_scale = LinearScale(min(latitudes) - 0.3, max(latitudes) + 0.3, area.bottom, area.top)
+        lon_scale = LinearScale(min(longitudes) - 0.5, max(longitudes) + 0.5, area.left, area.right)
+
+        peak = max(
+            (max(place_counts.values()) for place_counts in counts.values() if place_counts),
+            default=1.0,
+        )
+        bar_scale = LinearScale(0.0, max(peak, 1.0), 0.0, options.bar_height)
+
+        scene.add(
+            Rect(
+                x=area.left,
+                y=area.top,
+                width=area.width,
+                height=area.height,
+                style=Style(fill=Palette.PANEL, stroke=Palette.AXIS.with_alpha(0.4)),
+                css_class="map-frame",
+            )
+        )
+        scene.add(
+            Text(
+                x=area.left,
+                y=area.top - 14,
+                text=f"{self.geography.country}: flex-offer counts by state per {options.level}",
+                style=Style(fill=Palette.AXIS, font_size=11.0),
+                css_class="view-caption",
+            )
+        )
+
+        marks = Group(name="marks")
+        scene.add(marks)
+        for place, (lat, lon) in sorted(anchors.items()):
+            x = lon_scale.project(lon)
+            y = lat_scale.project(lat)
+            place_counts = counts.get(place, {})
+            total = sum(place_counts.values())
+            glyph = Group(name=f"place-{place}", element_id=f"geo:{place}")
+            glyph.add(
+                Circle(
+                    cx=x,
+                    cy=y,
+                    radius=4.0,
+                    style=Style(fill=Palette.AXIS.with_alpha(0.7)),
+                    element_id=f"geo:{place}",
+                    css_class="place-anchor",
+                    tooltip=f"{place}: {total:.0f} flex-offers",
+                )
+            )
+            glyph.add(
+                Text(
+                    x=x,
+                    y=y + 16,
+                    text=place,
+                    style=Style(fill=Palette.AXIS, font_size=10.0),
+                    anchor="middle",
+                    css_class="place-label",
+                )
+            )
+            # State bar chart anchored just right of the place.
+            for index, state in enumerate(_STATE_ORDER):
+                value = place_counts.get(state.value, 0.0)
+                height = bar_scale.project(value)
+                bar_x = x + 10 + index * (self.options.bar_width + 2)
+                glyph.add(
+                    Rect(
+                        x=bar_x,
+                        y=y - height,
+                        width=self.options.bar_width,
+                        height=max(height, 0.5),
+                        style=Style(fill=Palette.state_color(state.value)),
+                        element_id=f"geo:{place}:{state.value}",
+                        css_class=f"state-bar {state.value}",
+                        tooltip=f"{place} {state.value}: {value:.0f}",
+                    )
+                )
+                glyph.add(
+                    Text(
+                        x=bar_x + self.options.bar_width / 2,
+                        y=y - height - 3,
+                        text=f"{value:.0f}",
+                        style=Style(fill=Palette.AXIS, font_size=8.0),
+                        anchor="middle",
+                        css_class="state-bar-value",
+                    )
+                )
+            marks.add(glyph)
+
+        if options.show_legend:
+            scene.add(
+                legend(
+                    area,
+                    [(state.value, Palette.state_color(state.value)) for state in _STATE_ORDER],
+                )
+            )
+        return scene
+
+    # ------------------------------------------------------------------
+    # Interaction: drill from the map into a geographic filter
+    # ------------------------------------------------------------------
+    def offers_in_place(self, place: str) -> list[FlexOffer]:
+        """All offers of one mapped unit (what a click-through to the detail views loads)."""
+        level = self.options.level
+        return [
+            offer
+            for offer in self.offers
+            if (offer.region if level == "region" else offer.city) == place
+        ]

@@ -1,0 +1,228 @@
+"""The schematic (grid-topology) view of flex-offers (Figure 4).
+
+Figure 4 shows the electrical structure of the grid as a node-link diagram
+with, at each node, a pie chart of the accepted / assigned / rejected shares
+of the flex-offers electrically attached below that node.  The reproduction
+lays the synthetic topology out with the nodes' geographic coordinates
+(falling back to a networkx spring layout when coordinates are missing) and
+aggregates states with the OLAP cube's grid dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import networkx as nx
+
+from repro.datagen.grid import GridTopology, NodeKind
+from repro.flexoffer.model import FlexOffer, FlexOfferState
+from repro.olap.cube import FlexOfferCube, GroupBy
+from repro.render.axes import legend
+from repro.render.color import Palette
+from repro.render.scales import LinearScale
+from repro.render.scene import Circle, Group, Line, Scene, Style, Text, Wedge
+from repro.timeseries.grid import TimeGrid
+from repro.views.base import FlexOfferView, ViewOptions
+
+_STATE_ORDER = (FlexOfferState.ACCEPTED, FlexOfferState.ASSIGNED, FlexOfferState.REJECTED)
+
+
+@dataclass(frozen=True)
+class SchematicViewOptions(ViewOptions):
+    """Options specific to the schematic view."""
+
+    #: Topology level whose nodes get pie charts: "transmission", "distribution" or "feeder".
+    level: str = "distribution"
+    pie_radius: float = 18.0
+    show_legend: bool = True
+    show_labels: bool = True
+
+
+class SchematicView(FlexOfferView):
+    """Figure 4: grid topology with per-node state pies."""
+
+    view_name = "schematic view"
+
+    def __init__(
+        self,
+        offers: Sequence[FlexOffer],
+        topology: GridTopology,
+        grid: TimeGrid,
+        options: SchematicViewOptions | None = None,
+    ) -> None:
+        super().__init__(options or SchematicViewOptions())
+        self.offers = list(offers)
+        self.topology = topology
+        self.grid = grid
+        self.cube = FlexOfferCube(self.offers, grid, topology=topology)
+
+    # ------------------------------------------------------------------
+    # Data preparation
+    # ------------------------------------------------------------------
+    def node_positions(self) -> dict[str, tuple[float, float]]:
+        """Pixel position of every topology node shown in the diagram."""
+        area = self.options.plot_area
+        shown = self._shown_nodes()
+        coords = {
+            node.name: (node.longitude, node.latitude)
+            for node in shown
+            if node.latitude or node.longitude
+        }
+        if len(coords) < len(shown):
+            layout = nx.spring_layout(self.topology.graph.subgraph([n.name for n in shown]), seed=4)
+            coords = {name: (float(x), float(y)) for name, (x, y) in layout.items()}
+        xs = [x for x, _ in coords.values()]
+        ys = [y for _, y in coords.values()]
+        x_scale = LinearScale(min(xs) - 0.2, max(xs) + 0.2, area.left + 40, area.right - 40)
+        y_scale = LinearScale(min(ys) - 0.2, max(ys) + 0.2, area.bottom - 30, area.top + 30)
+        return {name: (x_scale.project(x), y_scale.project(y)) for name, (x, y) in coords.items()}
+
+    def _shown_nodes(self):
+        level_kinds = {
+            "transmission": (NodeKind.TRANSMISSION,),
+            "distribution": (NodeKind.TRANSMISSION, NodeKind.DISTRIBUTION),
+            "feeder": (NodeKind.TRANSMISSION, NodeKind.DISTRIBUTION, NodeKind.FEEDER),
+        }[self.options.level]
+        return [node for node in self.topology.nodes.values() if node.kind in level_kinds]
+
+    def state_shares(self) -> dict[str, dict[str, float]]:
+        """Per shown node: counts of flex-offers per state (rolled up the topology)."""
+        level = {
+            "transmission": "transmission",
+            "distribution": "distribution",
+            "feeder": "feeder",
+        }[self.options.level]
+        cell_set = self.cube.aggregate(
+            [GroupBy("Grid", level), GroupBy("State", "state")], ["flex_offer_count"]
+        )
+        shares: dict[str, dict[str, float]] = {}
+        for cell in cell_set.cells:
+            node, state = cell.coordinates
+            shares.setdefault(node, {})[state] = cell.values["flex_offer_count"]
+        return shares
+
+    # ------------------------------------------------------------------
+    # Scene construction
+    # ------------------------------------------------------------------
+    def build_scene(self) -> Scene:
+        options = self.options
+        area = options.plot_area
+        scene = Scene(width=options.width, height=options.height, title=self.view_name, background=Palette.PANEL)
+        positions = self.node_positions()
+        shares = self.state_shares()
+        shown_names = set(positions)
+
+        scene.add(
+            Text(
+                x=area.left,
+                y=area.top - 14,
+                text=f"grid topology ({options.level} level), state share per node",
+                style=Style(fill=Palette.AXIS, font_size=11.0),
+                css_class="view-caption",
+            )
+        )
+
+        edges = Group(name="edges")
+        scene.add(edges)
+        for line in self.topology.lines:
+            if line.source not in shown_names or line.target not in shown_names:
+                continue
+            x1, y1 = positions[line.source]
+            x2, y2 = positions[line.target]
+            width = 2.5 if line.voltage_kv >= 400 else 1.5 if line.voltage_kv >= 150 else 0.8
+            edges.add(
+                Line(
+                    x1=x1,
+                    y1=y1,
+                    x2=x2,
+                    y2=y2,
+                    style=Style(stroke=Palette.AXIS.with_alpha(0.5), stroke_width=width),
+                    element_id=f"line:{line.source}->{line.target}",
+                    css_class=f"grid-line kv{line.voltage_kv:.0f}",
+                )
+            )
+
+        marks = Group(name="marks")
+        scene.add(marks)
+        for name, (x, y) in sorted(positions.items()):
+            node = self.topology.nodes[name]
+            node_shares = shares.get(name, {})
+            total = sum(node_shares.values())
+            glyph = Group(name=f"node-{name}", element_id=f"node:{name}")
+            if total <= 0:
+                glyph.add(
+                    Circle(
+                        cx=x,
+                        cy=y,
+                        radius=5.0,
+                        style=Style(fill=Palette.AXIS.with_alpha(0.4)),
+                        element_id=f"node:{name}",
+                        css_class="grid-node empty",
+                        tooltip=f"{name}: no flex-offers",
+                    )
+                )
+            else:
+                angle = 0.0
+                for state in _STATE_ORDER:
+                    value = node_shares.get(state.value, 0.0)
+                    if value <= 0:
+                        continue
+                    sweep = 360.0 * value / total
+                    glyph.add(
+                        Wedge(
+                            cx=x,
+                            cy=y,
+                            radius=options.pie_radius,
+                            start_angle=angle,
+                            end_angle=angle + sweep,
+                            style=Style(fill=Palette.state_color(state.value), stroke=Palette.PANEL, stroke_width=0.5),
+                            element_id=f"node:{name}:{state.value}",
+                            css_class=f"state-wedge {state.value}",
+                            tooltip=f"{name} {state.value}: {value:.0f} ({100 * value / total:.0f}%)",
+                        )
+                    )
+                    angle += sweep
+            if options.show_labels and node.kind is not NodeKind.FEEDER:
+                glyph.add(
+                    Text(
+                        x=x,
+                        y=y + options.pie_radius + 12,
+                        text=name,
+                        style=Style(fill=Palette.AXIS, font_size=9.0),
+                        anchor="middle",
+                        css_class="node-label",
+                    )
+                )
+            marks.add(glyph)
+
+        if options.show_legend:
+            scene.add(
+                legend(
+                    area,
+                    [(state.value, Palette.state_color(state.value)) for state in _STATE_ORDER],
+                )
+            )
+        return scene
+
+    # ------------------------------------------------------------------
+    # Interaction: drill from a node into a topological filter
+    # ------------------------------------------------------------------
+    def offers_under_node(self, node_name: str) -> list[FlexOffer]:
+        """All offers served (directly or downstream) by ``node_name``."""
+        graph = self.topology.graph
+        if node_name not in graph:
+            return []
+        reachable = {node_name}
+        # Downstream = neighbours with strictly lower voltage kind ordering.
+        order = {NodeKind.TRANSMISSION: 0, NodeKind.DISTRIBUTION: 1, NodeKind.FEEDER: 2}
+        frontier = [node_name]
+        while frontier:
+            current = frontier.pop()
+            current_kind = self.topology.nodes[current].kind
+            for neighbour in graph.neighbors(current):
+                neighbour_kind = self.topology.nodes[neighbour].kind
+                if order[neighbour_kind] > order[current_kind] and neighbour not in reachable:
+                    reachable.add(neighbour)
+                    frontier.append(neighbour)
+        return [offer for offer in self.offers if offer.grid_node in reachable]

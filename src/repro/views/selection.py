@@ -1,0 +1,129 @@
+"""Selection model: the headless counterpart of the tool's mouse selection.
+
+"The mouse action can be changed to allow interactive selection of flex-offers.
+Flex-offers can be selected one-by-one or by drawing a rectangle … The selected
+flex-offers can be shown on a different tab, removed from the current view, or
+processed with the tools from the main menu." (Section 4)
+
+The model keeps a set of selected offer ids over a fixed offer collection and
+supports point selection, rectangle selection (in either pixel space against a
+rendered view, or domain space as slot/lane ranges), toggling and the three
+follow-up actions quoted above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ViewError
+from repro.flexoffer.model import FlexOffer
+
+
+@dataclass(frozen=True)
+class SelectionRectangle:
+    """A rectangle in view pixel coordinates (as drawn with the mouse)."""
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def normalized(self) -> tuple[float, float, float, float]:
+        """Return (left, top, right, bottom) regardless of drag direction."""
+        return (
+            min(self.x1, self.x2),
+            min(self.y1, self.y2),
+            max(self.x1, self.x2),
+            max(self.y1, self.y2),
+        )
+
+
+class SelectionModel:
+    """Tracks which flex-offers of a collection are currently selected."""
+
+    def __init__(self, offers: Sequence[FlexOffer]) -> None:
+        self._offers = {offer.id: offer for offer in offers}
+        self._selected: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    @property
+    def selected_ids(self) -> set[int]:
+        """Identifiers of the currently selected flex-offers."""
+        return set(self._selected)
+
+    def selected_offers(self) -> list[FlexOffer]:
+        """The selected flex-offers, in id order."""
+        return [self._offers[offer_id] for offer_id in sorted(self._selected)]
+
+    def is_selected(self, offer_id: int) -> bool:
+        """Whether ``offer_id`` is selected."""
+        return offer_id in self._selected
+
+    def __len__(self) -> int:
+        return len(self._selected)
+
+    # ------------------------------------------------------------------
+    # Selection operations
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Deselect everything."""
+        self._selected.clear()
+
+    def select(self, offer_ids: Iterable[int], extend: bool = False) -> None:
+        """Select the given ids (replacing the selection unless ``extend``)."""
+        ids = {offer_id for offer_id in offer_ids if offer_id in self._offers}
+        if extend:
+            self._selected |= ids
+        else:
+            self._selected = ids
+
+    def toggle(self, offer_id: int) -> None:
+        """Toggle a single offer in or out of the selection (one-by-one clicking)."""
+        if offer_id not in self._offers:
+            raise ViewError(f"unknown flex-offer id {offer_id}")
+        if offer_id in self._selected:
+            self._selected.remove(offer_id)
+        else:
+            self._selected.add(offer_id)
+
+    def select_rectangle(self, view: "object", rectangle: SelectionRectangle, extend: bool = False) -> set[int]:
+        """Select every offer whose box intersects a pixel rectangle of ``view``.
+
+        ``view`` must expose ``offers_in_rectangle(left, top, right, bottom)``
+        (the basic and profile views do); the method returns the ids it added.
+        """
+        finder = getattr(view, "offers_in_rectangle", None)
+        if finder is None:
+            raise ViewError(f"{type(view).__name__} does not support rectangle selection")
+        left, top, right, bottom = rectangle.normalized()
+        found = set(finder(left, top, right, bottom))
+        self.select(found, extend=extend)
+        return found
+
+    def select_slot_range(self, first_slot: int, last_slot: int, extend: bool = False) -> set[int]:
+        """Select offers whose feasible span overlaps the slot range ``[first, last)``."""
+        found = {
+            offer.id
+            for offer in self._offers.values()
+            if offer.earliest_start_slot < last_slot and offer.latest_end_slot > first_slot
+        }
+        self.select(found, extend=extend)
+        return found
+
+    # ------------------------------------------------------------------
+    # Follow-up actions (Section 4)
+    # ------------------------------------------------------------------
+    def extract_to_new_tab(self) -> list[FlexOffer]:
+        """Return the selected offers (to be shown on a different tab)."""
+        return self.selected_offers()
+
+    def remove_from_view(self) -> list[FlexOffer]:
+        """Return the *remaining* offers after removing the selected ones."""
+        return [offer for offer_id, offer in sorted(self._offers.items()) if offer_id not in self._selected]
+
+    def process_with(self, tool) -> object:
+        """Apply a processing tool (a callable taking a list of offers) to the selection."""
+        return tool(self.selected_offers())

@@ -1,0 +1,167 @@
+"""On-the-fly flex-offer details (Figure 10).
+
+"Irrespective of the selected view, the visualization tool provides additional
+information about flex-offers when pointing their representations with a mouse
+pointer.  This includes the markers (yellow lines) for user-specified
+creation/acceptance/assignment times of a flex-offer as well as indications
+(red dashed lines) on which flex-offers were aggregated to produce the pointed
+flex-offer."
+
+Headlessly, :func:`describe` returns the textual detail record, and
+:func:`overlay` produces the scene-graph nodes (yellow time markers, red
+dashed provenance links) a view adds on top of its marks for a hovered offer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Mapping, Sequence
+
+from repro.flexoffer.model import FlexOffer
+from repro.render.axes import PlotArea
+from repro.render.color import Palette
+from repro.render.scales import SlotTimeScale
+from repro.render.scene import Group, Line, Style, Text
+
+
+@dataclass(frozen=True)
+class FlexOfferDetails:
+    """The textual content of the on-the-fly information box."""
+
+    offer_id: int
+    state: str
+    prosumer_id: int
+    appliance_type: str
+    region: str
+    city: str
+    creation_time: datetime
+    acceptance_deadline: datetime
+    assignment_deadline: datetime
+    earliest_start: datetime
+    latest_start: datetime
+    profile_slices: int
+    min_total_energy: float
+    max_total_energy: float
+    time_flexibility_slots: int
+    scheduled_energy: float | None
+    scheduled_start: datetime | None
+    is_aggregate: bool
+    constituent_ids: tuple[int, ...] = field(default_factory=tuple)
+
+    def lines(self) -> list[str]:
+        """The detail record formatted as display lines."""
+        rows = [
+            f"flex-offer #{self.offer_id} [{self.state}]",
+            f"prosumer {self.prosumer_id} - {self.appliance_type or 'unknown appliance'}"
+            + (f" ({self.city}, {self.region})" if self.city else ""),
+            f"created {self.creation_time:%Y-%m-%d %H:%M}",
+            f"acceptance by {self.acceptance_deadline:%Y-%m-%d %H:%M}",
+            f"assignment by {self.assignment_deadline:%Y-%m-%d %H:%M}",
+            f"start window {self.earliest_start:%H:%M} .. {self.latest_start:%H:%M} "
+            f"({self.time_flexibility_slots} slots flexibility)",
+            f"profile {self.profile_slices} slices, "
+            f"{self.min_total_energy:.2f}-{self.max_total_energy:.2f} kWh",
+        ]
+        if self.scheduled_energy is not None and self.scheduled_start is not None:
+            rows.append(
+                f"scheduled {self.scheduled_energy:.2f} kWh starting {self.scheduled_start:%H:%M}"
+            )
+        if self.is_aggregate:
+            rows.append(f"aggregated from {len(self.constituent_ids)} flex-offers: "
+                        f"{', '.join(str(i) for i in self.constituent_ids[:12])}"
+                        + (" ..." if len(self.constituent_ids) > 12 else ""))
+        return rows
+
+    def to_text(self) -> str:
+        """The detail record as one newline-joined string."""
+        return "\n".join(self.lines())
+
+
+def describe(offer: FlexOffer, grid) -> FlexOfferDetails:
+    """Build the detail record of ``offer`` (``grid`` converts slots to instants)."""
+    return FlexOfferDetails(
+        offer_id=offer.id,
+        state=offer.state.value,
+        prosumer_id=offer.prosumer_id,
+        appliance_type=offer.appliance_type,
+        region=offer.region,
+        city=offer.city,
+        creation_time=offer.creation_time,
+        acceptance_deadline=offer.acceptance_deadline,
+        assignment_deadline=offer.assignment_deadline,
+        earliest_start=grid.to_datetime(offer.earliest_start_slot),
+        latest_start=grid.to_datetime(offer.latest_start_slot),
+        profile_slices=len(offer.profile),
+        min_total_energy=offer.min_total_energy,
+        max_total_energy=offer.max_total_energy,
+        time_flexibility_slots=offer.time_flexibility_slots,
+        scheduled_energy=offer.scheduled_energy if offer.schedule is not None else None,
+        scheduled_start=(
+            grid.to_datetime(offer.schedule.start_slot) if offer.schedule is not None else None
+        ),
+        is_aggregate=offer.is_aggregate,
+        constituent_ids=offer.constituent_ids,
+    )
+
+
+def overlay(
+    offer: FlexOffer,
+    scale: SlotTimeScale,
+    area: PlotArea,
+    lane_assignment: Mapping[int, int] | None = None,
+    lane_height: float | None = None,
+) -> Group:
+    """Scene nodes for the hover overlay of ``offer``.
+
+    Yellow vertical marker lines are drawn at the creation, acceptance and
+    assignment instants; when the offer is an aggregate and the lane layout of
+    its constituents is known, red dashed connector lines point at each
+    constituent's lane (the Figure 10 provenance indication).
+    """
+    group = Group(name=f"tooltip-{offer.id}", element_id=f"tooltip:{offer.id}")
+    marker_style = Style(stroke=Palette.MARKER, stroke_width=1.4)
+    label_style = Style(fill=Palette.AXIS, font_size=9.0)
+    for label, instant in (
+        ("created", offer.creation_time),
+        ("acceptance", offer.acceptance_deadline),
+        ("assignment", offer.assignment_deadline),
+    ):
+        x = scale.project_time(instant)
+        if x < area.left or x > area.right:
+            continue
+        group.add(
+            Line(x1=x, y1=area.top, x2=x, y2=area.bottom, style=marker_style, css_class="time-marker")
+        )
+        group.add(
+            Text(x=x + 2, y=area.top + 10, text=label, style=label_style, css_class="time-marker-label")
+        )
+
+    if offer.is_aggregate and lane_assignment and lane_height:
+        own_lane = lane_assignment.get(offer.id)
+        if own_lane is not None:
+            source_y = area.top + own_lane * lane_height + lane_height / 2.0
+            source_x = scale.project(offer.earliest_start_slot)
+            provenance_style = Style(stroke=Palette.PROVENANCE, stroke_width=1.0, dashed=True)
+            for constituent_id in offer.constituent_ids:
+                lane = lane_assignment.get(constituent_id)
+                if lane is None:
+                    continue
+                target_y = area.top + lane * lane_height + lane_height / 2.0
+                group.add(
+                    Line(
+                        x1=source_x,
+                        y1=source_y,
+                        x2=source_x,
+                        y2=target_y,
+                        style=provenance_style,
+                        css_class="provenance-link",
+                        element_id=f"prov:{offer.id}->{constituent_id}",
+                    )
+                )
+    return group
+
+
+def describe_many(offers: Sequence[FlexOffer], grid) -> list[FlexOfferDetails]:
+    """Detail records for several offers (hovering a dense cluster)."""
+    return [describe(offer, grid) for offer in offers]

@@ -1,0 +1,22 @@
+"""In-memory substitute of the MIRABEL data warehouse (star schema + query API)."""
+
+from repro.warehouse.loader import load_flex_offer, load_scenario, load_time_series
+from repro.warehouse.persistence import load_schema, save_schema
+from repro.warehouse.query import FlexOfferFilter, FlexOfferRepository, QueryResult
+from repro.warehouse.schema import DIMENSION_TABLES, FACT_TABLES, StarSchema
+from repro.warehouse.table import Table
+
+__all__ = [
+    "Table",
+    "StarSchema",
+    "DIMENSION_TABLES",
+    "FACT_TABLES",
+    "load_scenario",
+    "load_flex_offer",
+    "load_time_series",
+    "FlexOfferFilter",
+    "FlexOfferRepository",
+    "QueryResult",
+    "save_schema",
+    "load_schema",
+]

@@ -1,0 +1,109 @@
+"""Persisting the warehouse to and from a directory of CSV files.
+
+The MIRABEL DW lives in PostgreSQL; the offline substitute persists each table
+of the star schema as ``<table>.csv`` inside a directory.  Values are stored as
+strings and coerced back to their declared types on load, which keeps the
+format inspectable with any spreadsheet tool.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import WarehouseError
+from repro.warehouse.schema import DIMENSION_TABLES, FACT_TABLES, StarSchema
+from repro.warehouse.table import Table
+
+_TIME_FORMAT = "%Y-%m-%d %H:%M:%S"
+
+#: Column-level parsers applied when reading CSV back (strings otherwise).
+_COLUMN_PARSERS: dict[str, Callable[[str], Any]] = {
+    "slot": int,
+    "year": int,
+    "month": int,
+    "day": int,
+    "hour": int,
+    "minute": int,
+    "weekday": int,
+    "geo_id": int,
+    "prosumer_id": int,
+    "entity_id": int,
+    "offer_id": int,
+    "slice_index": int,
+    "earliest_start_slot": int,
+    "latest_start_slot": int,
+    "profile_slots": int,
+    "time_flexibility_slots": int,
+    "latitude": float,
+    "longitude": float,
+    "min_total_energy": float,
+    "max_total_energy": float,
+    "scheduled_energy": float,
+    "price_per_kwh": float,
+    "min_energy": float,
+    "max_energy": float,
+    "value": float,
+    "renewable": lambda text: text == "True",
+    "is_aggregate": lambda text: text == "True",
+}
+
+_DATETIME_COLUMNS = {"timestamp", "creation_time", "acceptance_deadline", "assignment_deadline"}
+_NULLABLE_COLUMNS = {"scheduled_start_slot", "scheduled_energy"}
+
+
+def _coerce(column: str, text: str) -> Any:
+    if text == "" and column in _NULLABLE_COLUMNS:
+        return None
+    if column in _DATETIME_COLUMNS:
+        return datetime.strptime(text, _TIME_FORMAT) if text else None
+    if column == "scheduled_start_slot":
+        return int(float(text))
+    parser = _COLUMN_PARSERS.get(column)
+    if parser is None:
+        return text
+    try:
+        return parser(text)
+    except ValueError:
+        return text
+
+
+def _format(value: Any) -> Any:
+    if isinstance(value, datetime):
+        return value.strftime(_TIME_FORMAT)
+    if value is None:
+        return ""
+    return value
+
+
+def save_schema(schema: StarSchema, directory: str | Path) -> list[Path]:
+    """Write every table of ``schema`` as ``<directory>/<table>.csv``."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, table in schema.tables.items():
+        formatted = Table(name, table.columns)
+        for row in table.rows():
+            formatted.append({column: _format(value) for column, value in row.items()})
+        path = target / f"{name}.csv"
+        path.write_text(formatted.to_csv(), encoding="utf-8")
+        written.append(path)
+    return written
+
+
+def load_schema(directory: str | Path) -> StarSchema:
+    """Rebuild a star schema from a directory written by :func:`save_schema`."""
+    source = Path(directory)
+    if not source.is_dir():
+        raise WarehouseError(f"{source} is not a directory")
+    schema = StarSchema.empty()
+    for name in {**DIMENSION_TABLES, **FACT_TABLES}:
+        path = source / f"{name}.csv"
+        if not path.exists():
+            continue
+        raw = Table.from_csv(name, path.read_text(encoding="utf-8"))
+        target = schema.table(name)
+        for row in raw.rows():
+            target.append({column: _coerce(column, value) for column, value in row.items()})
+    return schema

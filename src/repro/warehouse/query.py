@@ -1,0 +1,203 @@
+"""Query layer over the warehouse: the read path of the loading tab (Figure 7).
+
+The tool's loading tab lets the analyst pick a *legal entity* (prosumer) and an
+*absolute time interval* and then reads the matching flex-offers from the DW.
+:class:`FlexOfferRepository` exposes exactly that operation, plus the
+attribute-based filters required by Section 3 (geography, grid topology,
+energy type, prosumer type, appliance type, state) and reconstruction of full
+:class:`~repro.flexoffer.model.FlexOffer` objects from their stored payload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Any, Callable, Sequence
+
+from repro.errors import WarehouseError
+from repro.flexoffer.model import FlexOffer
+from repro.flexoffer.serialization import flex_offer_from_dict
+from repro.timeseries.grid import TimeGrid
+from repro.timeseries.series import TimeSeries
+from repro.warehouse.schema import StarSchema
+
+
+@dataclass(frozen=True)
+class FlexOfferFilter:
+    """A conjunctive filter over flex-offer facts.
+
+    ``None`` fields do not constrain.  Time bounds are absolute instants; an
+    offer matches when its feasible span ``[earliest start, latest end]``
+    overlaps the requested interval — the same semantics the tool uses when an
+    analyst selects "an absolute time interval, for which flex-offers need to
+    be selected".
+    """
+
+    prosumer_ids: tuple[int, ...] | None = None
+    regions: tuple[str, ...] | None = None
+    cities: tuple[str, ...] | None = None
+    districts: tuple[str, ...] | None = None
+    grid_nodes: tuple[str, ...] | None = None
+    energy_types: tuple[str, ...] | None = None
+    prosumer_types: tuple[str, ...] | None = None
+    appliance_types: tuple[str, ...] | None = None
+    states: tuple[str, ...] | None = None
+    interval_start: datetime | None = None
+    interval_end: datetime | None = None
+    only_aggregates: bool | None = None
+
+    def describe(self) -> str:
+        """Human-readable one-line description (shown in view tab titles)."""
+        parts: list[str] = []
+        if self.prosumer_ids:
+            parts.append(f"prosumers={list(self.prosumer_ids)}")
+        for label, values in (
+            ("regions", self.regions),
+            ("cities", self.cities),
+            ("districts", self.districts),
+            ("grid_nodes", self.grid_nodes),
+            ("energy_types", self.energy_types),
+            ("prosumer_types", self.prosumer_types),
+            ("appliance_types", self.appliance_types),
+            ("states", self.states),
+        ):
+            if values:
+                parts.append(f"{label}={list(values)}")
+        if self.interval_start or self.interval_end:
+            parts.append(f"interval=[{self.interval_start} .. {self.interval_end}]")
+        if self.only_aggregates is not None:
+            parts.append(f"aggregates={self.only_aggregates}")
+        return ", ".join(parts) if parts else "all flex-offers"
+
+
+@dataclass
+class QueryResult:
+    """Result of a repository query: the offers plus bookkeeping metadata."""
+
+    offers: list[FlexOffer]
+    filter: FlexOfferFilter
+    scanned_rows: int
+    matched_rows: int
+
+    def __len__(self) -> int:
+        return len(self.offers)
+
+
+class FlexOfferRepository:
+    """Read-side API over a loaded :class:`StarSchema`."""
+
+    def __init__(self, schema: StarSchema, grid: TimeGrid) -> None:
+        self.schema = schema
+        self.grid = grid
+
+    # ------------------------------------------------------------------
+    # Master data used by the loading tab's combo boxes
+    # ------------------------------------------------------------------
+    def legal_entities(self) -> list[dict[str, Any]]:
+        """All legal entities (prosumers) the analyst can choose from."""
+        return list(self.schema.table("dim_legal_entity").rows())
+
+    def known_values(self, column: str) -> list[Any]:
+        """Distinct values of a fact_flexoffer column (for filter pick lists)."""
+        values = self.schema.table("fact_flexoffer").column(column)
+        seen: list[Any] = []
+        for value in values:
+            if value not in seen:
+                seen.append(value)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Main read operation
+    # ------------------------------------------------------------------
+    def _row_matches(self, row: dict[str, Any], query: FlexOfferFilter) -> bool:
+        def in_or_none(value: Any, allowed: tuple | None) -> bool:
+            return allowed is None or value in allowed
+
+        checks = (
+            in_or_none(row["prosumer_id"], query.prosumer_ids)
+            and in_or_none(row["grid_node"], query.grid_nodes)
+            and in_or_none(row["energy_type"], query.energy_types)
+            and in_or_none(row["prosumer_type"], query.prosumer_types)
+            and in_or_none(row["appliance_type"], query.appliance_types)
+            and in_or_none(row["state"], query.states)
+        )
+        if not checks:
+            return False
+        if query.only_aggregates is not None and bool(row["is_aggregate"]) != query.only_aggregates:
+            return False
+        if query.regions or query.cities or query.districts:
+            geo = self._geo_lookup().get(row["geo_id"])
+            if geo is None:
+                return False
+            if query.regions is not None and geo["region"] not in query.regions:
+                return False
+            if query.cities is not None and geo["city"] not in query.cities:
+                return False
+            if query.districts is not None and geo["district"] not in query.districts:
+                return False
+        if query.interval_start is not None or query.interval_end is not None:
+            earliest = self.grid.to_datetime(row["earliest_start_slot"])
+            latest_end = self.grid.to_datetime(
+                row["latest_start_slot"] + row["profile_slots"]
+            )
+            if query.interval_end is not None and earliest >= query.interval_end:
+                return False
+            if query.interval_start is not None and latest_end <= query.interval_start:
+                return False
+        return True
+
+    def _geo_lookup(self) -> dict[int, dict[str, Any]]:
+        if not hasattr(self, "_geo_cache"):
+            self._geo_cache = {row["geo_id"]: row for row in self.schema.table("dim_geography").rows()}
+        return self._geo_cache
+
+    def load(self, query: FlexOfferFilter | None = None) -> QueryResult:
+        """Load flex-offers matching ``query`` (all offers when ``None``)."""
+        query = query or FlexOfferFilter()
+        fact = self.schema.table("fact_flexoffer")
+        offers: list[FlexOffer] = []
+        matched = 0
+        for row in fact.rows():
+            if not self._row_matches(row, query):
+                continue
+            matched += 1
+            offers.append(flex_offer_from_dict(json.loads(row["payload"])))
+        return QueryResult(offers=offers, filter=query, scanned_rows=len(fact), matched_rows=matched)
+
+    def load_for_entity(
+        self, entity_id: int, start: datetime | None = None, end: datetime | None = None
+    ) -> QueryResult:
+        """The Figure 7 operation: offers of one legal entity in a time interval."""
+        return self.load(
+            FlexOfferFilter(prosumer_ids=(entity_id,), interval_start=start, interval_end=end)
+        )
+
+    # ------------------------------------------------------------------
+    # Time-series read path
+    # ------------------------------------------------------------------
+    def load_series(self, kind: str) -> TimeSeries:
+        """Reassemble one stored time series by its ``kind`` column."""
+        table = self.schema.table("fact_timeseries").where(kind=kind)
+        if len(table) == 0:
+            raise WarehouseError(f"no time series of kind {kind!r} is stored")
+        pairs = list(zip(table.column("slot"), table.column("value")))
+        name = table.column("series_name")[0]
+        unit = table.column("unit")[0]
+        series = TimeSeries.from_pairs(self.grid, [(int(s), float(v)) for s, v in pairs], name=name, unit=unit)
+        return series
+
+    # ------------------------------------------------------------------
+    # Summary statistics (used by the loading tab and the dashboard)
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """Row counts plus offer-state distribution of the whole warehouse."""
+        fact = self.schema.table("fact_flexoffer")
+        states: dict[str, int] = {}
+        for state in fact.column("state"):
+            states[state] = states.get(state, 0) + 1
+        return {
+            "row_counts": self.schema.row_counts(),
+            "offer_count": len(fact),
+            "states": states,
+        }

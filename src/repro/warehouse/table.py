@@ -1,0 +1,193 @@
+"""A small columnar table — the storage primitive of the warehouse substitute.
+
+The MIRABEL tool reads flex-offers from a PostgreSQL database laid out as the
+MIRABEL DW star schema.  Offline, this reproduction stores the same schema in
+memory: each :class:`Table` keeps named columns as Python lists, supports
+appending rows, predicate filtering, projection, sorting and simple
+aggregation, and round-trips through CSV.  The goal is fidelity of the access
+pattern (dimensional filtering and grouping), not database performance.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import UnknownColumnError, WarehouseError
+
+
+class Table:
+    """An append-only columnar table with named columns."""
+
+    def __init__(self, name: str, columns: Sequence[str]) -> None:
+        if len(set(columns)) != len(columns):
+            raise WarehouseError(f"table {name!r} declares duplicate columns")
+        self.name = name
+        self.columns: tuple[str, ...] = tuple(columns)
+        self._data: dict[str, list[Any]] = {column: [] for column in columns}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, row: Mapping[str, Any]) -> None:
+        """Append one row given as a mapping; missing columns raise."""
+        missing = [column for column in self.columns if column not in row]
+        if missing:
+            raise UnknownColumnError(f"row for table {self.name!r} misses columns {missing}")
+        for column in self.columns:
+            self._data[column].append(row[column])
+
+    def extend(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.append(row)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data[self.columns[0]]) if self.columns else 0
+
+    def column(self, name: str) -> list[Any]:
+        """Return the values of one column (the live list; do not mutate)."""
+        if name not in self._data:
+            raise UnknownColumnError(f"table {self.name!r} has no column {name!r}")
+        return self._data[name]
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Return row ``index`` as a dictionary."""
+        if not 0 <= index < len(self):
+            raise WarehouseError(f"row index {index} out of range for table {self.name!r}")
+        return {column: self._data[column][index] for column in self.columns}
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate over all rows as dictionaries."""
+        for index in range(len(self)):
+            yield self.row(index)
+
+    # ------------------------------------------------------------------
+    # Relational-style operations (each returns a new table)
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
+        """Return a new table with the rows for which ``predicate`` is true."""
+        result = Table(self.name, self.columns)
+        for row in self.rows():
+            if predicate(row):
+                result.append(row)
+        return result
+
+    def where(self, **equals: Any) -> "Table":
+        """Return rows whose columns equal the given values (conjunction)."""
+        for column in equals:
+            if column not in self._data:
+                raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
+        return self.filter(lambda row: all(row[column] == value for column, value in equals.items()))
+
+    def where_in(self, column: str, values: Iterable[Any]) -> "Table":
+        """Return rows whose ``column`` value is in ``values``."""
+        allowed = set(values)
+        if column not in self._data:
+            raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
+        return self.filter(lambda row: row[column] in allowed)
+
+    def where_between(self, column: str, low: Any, high: Any) -> "Table":
+        """Return rows whose ``column`` value lies in the closed interval [low, high]."""
+        if column not in self._data:
+            raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
+        return self.filter(lambda row: low <= row[column] <= high)
+
+    def select(self, columns: Sequence[str]) -> "Table":
+        """Project onto the given columns."""
+        for column in columns:
+            if column not in self._data:
+                raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
+        result = Table(self.name, columns)
+        for index in range(len(self)):
+            result.append({column: self._data[column][index] for column in columns})
+        return result
+
+    def sort_by(self, column: str, reverse: bool = False) -> "Table":
+        """Return a copy sorted by ``column``."""
+        if column not in self._data:
+            raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
+        order = sorted(range(len(self)), key=lambda i: self._data[column][i], reverse=reverse)
+        result = Table(self.name, self.columns)
+        for index in order:
+            result.append(self.row(index))
+        return result
+
+    def group_by(
+        self,
+        keys: Sequence[str],
+        aggregations: Mapping[str, Callable[[list[dict[str, Any]]], Any]],
+    ) -> "Table":
+        """Group rows by ``keys`` and compute named aggregations per group.
+
+        Each aggregation receives the list of row dictionaries of its group.
+        The result table has the key columns followed by the aggregation names.
+        """
+        for key in keys:
+            if key not in self._data:
+                raise UnknownColumnError(f"table {self.name!r} has no column {key!r}")
+        groups: dict[tuple[Any, ...], list[dict[str, Any]]] = {}
+        for row in self.rows():
+            group_key = tuple(row[key] for key in keys)
+            groups.setdefault(group_key, []).append(row)
+        result = Table(f"{self.name}_grouped", list(keys) + list(aggregations))
+        for group_key, group_rows in groups.items():
+            out: dict[str, Any] = dict(zip(keys, group_key))
+            for agg_name, agg_fn in aggregations.items():
+                out[agg_name] = agg_fn(group_rows)
+            result.append(out)
+        return result
+
+    def join(self, other: "Table", on: str, other_on: str | None = None, prefix: str = "") -> "Table":
+        """Left-join ``other`` on equality of the key columns.
+
+        Columns of ``other`` (except its key) are added, optionally prefixed to
+        avoid collisions.  Unmatched rows keep ``None`` in the joined columns.
+        """
+        other_key = other_on or on
+        if on not in self._data:
+            raise UnknownColumnError(f"table {self.name!r} has no column {on!r}")
+        if other_key not in other._data:
+            raise UnknownColumnError(f"table {other.name!r} has no column {other_key!r}")
+        lookup: dict[Any, dict[str, Any]] = {}
+        for row in other.rows():
+            lookup.setdefault(row[other_key], row)
+        joined_columns = [c for c in other.columns if c != other_key]
+        new_columns = list(self.columns) + [f"{prefix}{c}" for c in joined_columns]
+        result = Table(f"{self.name}_join_{other.name}", new_columns)
+        for row in self.rows():
+            match = lookup.get(row[on])
+            extra = {
+                f"{prefix}{c}": (match[c] if match is not None else None) for c in joined_columns
+            }
+            result.append({**row, **extra})
+        return result
+
+    # ------------------------------------------------------------------
+    # CSV round trip
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Serialize the table to CSV (header + rows)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        for row in self.rows():
+            writer.writerow([row[column] for column in self.columns])
+        return buffer.getvalue()
+
+    @classmethod
+    def from_csv(cls, name: str, text: str) -> "Table":
+        """Rebuild a table from :meth:`to_csv` output (all values are strings)."""
+        reader = csv.reader(io.StringIO(text))
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise WarehouseError("CSV text is empty") from exc
+        table = cls(name, header)
+        for values in reader:
+            table.append(dict(zip(header, values)))
+        return table

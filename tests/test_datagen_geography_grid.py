@@ -1,0 +1,111 @@
+"""Tests for the synthetic geography and grid topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.geography import generate_geography
+from repro.datagen.grid import NodeKind, generate_grid
+from repro.errors import DataGenerationError
+
+
+class TestGeography:
+    def test_default_geography_has_five_regions(self):
+        geography = generate_geography()
+        assert len(geography.regions) == 5
+
+    def test_every_region_has_cities(self):
+        geography = generate_geography()
+        assert all(region.cities for region in geography.regions)
+
+    def test_districts_per_city_respected(self):
+        geography = generate_geography(districts_per_city=2)
+        assert all(len(city.districts) == 2 for city in geography.all_cities())
+
+    def test_invalid_districts_per_city_rejected(self):
+        with pytest.raises(DataGenerationError):
+            generate_geography(districts_per_city=0)
+        with pytest.raises(DataGenerationError):
+            generate_geography(districts_per_city=99)
+
+    def test_district_names_are_unique(self):
+        geography = generate_geography()
+        names = [district.name for district in geography.all_districts()]
+        assert len(names) == len(set(names))
+
+    def test_region_of_city(self):
+        geography = generate_geography()
+        assert geography.region_of_city("Copenhagen") == "Capital"
+        assert geography.region_of_city("Aalborg") == "North Jutland"
+
+    def test_unknown_city_raises(self):
+        with pytest.raises(DataGenerationError):
+            generate_geography().region_of_city("Atlantis")
+
+    def test_city_lookup(self):
+        geography = generate_geography()
+        assert geography.city("Aarhus").region == "Central Jutland"
+
+    def test_deterministic_given_seed(self):
+        first = generate_geography(seed=3)
+        second = generate_geography(seed=3)
+        assert [d.latitude for d in first.all_districts()] == [d.latitude for d in second.all_districts()]
+
+    def test_districts_reference_parent_city(self):
+        geography = generate_geography()
+        for city in geography.all_cities():
+            assert all(district.city == city.name for district in city.districts)
+
+
+class TestGridTopology:
+    @pytest.fixture(scope="class")
+    def topology(self):
+        return generate_grid(generate_geography())
+
+    def test_one_transmission_node_per_region(self, topology):
+        assert len(topology.nodes_of_kind(NodeKind.TRANSMISSION)) == 5
+
+    def test_one_distribution_node_per_city(self, topology):
+        assert len(topology.nodes_of_kind(NodeKind.DISTRIBUTION)) == 15
+
+    def test_one_feeder_per_district(self, topology):
+        geography = generate_geography()
+        assert len(topology.nodes_of_kind(NodeKind.FEEDER)) == len(geography.all_districts())
+
+    def test_graph_is_connected(self, topology):
+        import networkx as nx
+
+        assert nx.is_connected(topology.graph)
+
+    def test_feeder_for_district(self, topology):
+        geography = generate_geography()
+        district = geography.all_districts()[0]
+        feeder = topology.feeder_for_district(district.name)
+        assert feeder.kind is NodeKind.FEEDER
+        assert feeder.district == district.name
+
+    def test_unknown_district_raises(self, topology):
+        with pytest.raises(DataGenerationError):
+            topology.feeder_for_district("Nowhere East")
+
+    def test_upstream_path_reaches_transmission(self, topology):
+        feeder = topology.nodes_of_kind(NodeKind.FEEDER)[0]
+        root = f"TX {feeder.region}"
+        path = topology.upstream_path(feeder.name, root)
+        assert path[0] == feeder.name
+        assert path[-1] == root
+        assert len(path) == 3  # feeder -> distribution -> transmission
+
+    def test_upstream_path_unknown_node_raises(self, topology):
+        with pytest.raises(DataGenerationError):
+            topology.upstream_path("missing", "TX Capital")
+
+    def test_line_voltages(self, topology):
+        voltages = {line.voltage_kv for line in topology.lines}
+        assert voltages == {400.0, 150.0, 10.0}
+
+    def test_feeder_lines_connect_to_city_substation(self, topology):
+        for line in topology.lines:
+            if line.voltage_kv == 10.0:
+                assert line.source.startswith("DS ")
+                assert line.target.startswith("F ")

@@ -1,0 +1,176 @@
+"""Tests for appliance archetypes, prosumers, RES, demand and flex-offer generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.appliances import ARCHETYPES, archetype_by_name, sample_archetype
+from repro.datagen.demand import base_demand_for_prosumer, spot_prices, total_base_demand
+from repro.datagen.flexoffers import FlexOfferGenerationConfig, generate_flex_offers
+from repro.datagen.geography import generate_geography
+from repro.datagen.grid import generate_grid
+from repro.datagen.prosumers import ProsumerType, generate_prosumers, prosumers_by_type
+from repro.datagen.res import solar_production, total_res_production, wind_production
+from repro.errors import DataGenerationError
+from repro.flexoffer.model import Direction
+
+
+@pytest.fixture(scope="module")
+def geography():
+    return generate_geography()
+
+
+@pytest.fixture(scope="module")
+def topology(geography):
+    return generate_grid(geography)
+
+
+@pytest.fixture(scope="module")
+def prosumers(geography, topology):
+    return generate_prosumers(geography, topology, 80, seed=2)
+
+
+class TestAppliances:
+    def test_archetype_lookup(self):
+        assert archetype_by_name("electric_vehicle").direction is Direction.CONSUMPTION
+
+    def test_unknown_archetype_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            archetype_by_name("teleporter")
+
+    def test_all_archetypes_have_valid_ranges(self):
+        for archetype in ARCHETYPES:
+            assert archetype.duration_slots_range[0] <= archetype.duration_slots_range[1]
+            assert archetype.slice_min_energy_range[0] <= archetype.slice_min_energy_range[1]
+            assert archetype.energy_band_factor_range[0] >= 1.0
+            assert archetype.popularity > 0
+
+    def test_sample_archetype_respects_allowed(self):
+        rng = np.random.default_rng(0)
+        allowed = (archetype_by_name("heat_pump"),)
+        assert sample_archetype(rng, allowed).name == "heat_pump"
+
+    def test_production_archetypes_exist(self):
+        assert any(a.direction is Direction.PRODUCTION for a in ARCHETYPES)
+
+
+class TestProsumers:
+    def test_count(self, prosumers):
+        assert len(prosumers) == 80
+
+    def test_ids_are_unique_and_sequential(self, prosumers):
+        assert [p.id for p in prosumers] == list(range(1, 81))
+
+    def test_households_dominate(self, prosumers):
+        groups = prosumers_by_type(prosumers)
+        assert len(groups[ProsumerType.HOUSEHOLD]) > len(groups[ProsumerType.POWER_PLANT])
+
+    def test_every_prosumer_has_appliances(self, prosumers):
+        assert all(p.appliances for p in prosumers)
+
+    def test_every_prosumer_is_placed(self, prosumers, geography):
+        districts = {d.name for d in geography.all_districts()}
+        assert all(p.district in districts for p in prosumers)
+
+    def test_grid_node_matches_district(self, prosumers, topology):
+        for prosumer in prosumers[:20]:
+            feeder = topology.feeder_for_district(prosumer.district)
+            assert prosumer.grid_node == feeder.name
+
+    def test_zero_count_rejected(self, geography, topology):
+        with pytest.raises(DataGenerationError):
+            generate_prosumers(geography, topology, 0)
+
+    def test_deterministic_given_seed(self, geography, topology):
+        first = generate_prosumers(geography, topology, 10, seed=3)
+        second = generate_prosumers(geography, topology, 10, seed=3)
+        assert [p.district for p in first] == [p.district for p in second]
+
+    def test_is_producer_flag(self, prosumers):
+        producing = [p for p in prosumers if p.is_producer]
+        for prosumer in producing[:5]:
+            assert any(a.direction is Direction.PRODUCTION for a in prosumer.appliances)
+
+
+class TestResAndDemand:
+    def test_solar_is_zero_at_night(self, grid):
+        series = solar_production(grid, 0, 96)
+        # Slots 0..8 are 00:00-02:00 — no sun.
+        assert series.values[:8].sum() == 0.0
+
+    def test_solar_peaks_midday(self, grid):
+        series = solar_production(grid, 0, 96)
+        peak_slot = int(np.argmax(series.values))
+        assert 40 <= peak_slot <= 64  # between 10:00 and 16:00
+
+    def test_solar_rejects_bad_cloudiness(self, grid):
+        with pytest.raises(DataGenerationError):
+            solar_production(grid, 0, 96, cloudiness=2.0)
+
+    def test_wind_is_nonnegative_and_bounded(self, grid):
+        series = wind_production(grid, 0, 96, capacity_kw=1000.0)
+        assert (series.values >= 0).all()
+        assert series.values.max() <= 1000.0 * grid.hours_per_slot + 1e-9
+
+    def test_wind_rejects_bad_capacity_factor(self, grid):
+        with pytest.raises(DataGenerationError):
+            wind_production(grid, 0, 96, mean_capacity_factor=1.5)
+
+    def test_total_res_is_sum_of_parts(self, grid):
+        total = total_res_production(grid, 0, 96, seed=5)
+        assert total.total() > 0
+        assert len(total) == 96
+
+    def test_base_demand_scales_with_population(self, grid, prosumers):
+        few = total_base_demand(prosumers[:10], grid, 0, 96)
+        many = total_base_demand(prosumers, grid, 0, 96)
+        assert many.total() > few.total()
+
+    def test_base_demand_per_prosumer_positive(self, grid, prosumers):
+        series = base_demand_for_prosumer(prosumers[0], grid, 0, 96)
+        assert (series.values > 0).all()
+
+    def test_spot_prices_positive(self, grid):
+        prices = spot_prices(grid, 0, 96)
+        assert (prices.values >= 0).all()
+        assert prices.unit == "EUR/MWh"
+
+
+class TestFlexOfferGeneration:
+    def test_offers_are_generated(self, prosumers, grid):
+        offers = generate_flex_offers(prosumers, grid, FlexOfferGenerationConfig(seed=1))
+        assert len(offers) > 0
+
+    def test_offer_ids_unique(self, prosumers, grid):
+        offers = generate_flex_offers(prosumers, grid, FlexOfferGenerationConfig(seed=1))
+        ids = [offer.id for offer in offers]
+        assert len(ids) == len(set(ids))
+
+    def test_offers_start_inside_horizon(self, prosumers, grid):
+        config = FlexOfferGenerationConfig(horizon_start_slot=0, horizon_slots=96, seed=2)
+        offers = generate_flex_offers(prosumers, grid, config)
+        assert all(0 <= offer.earliest_start_slot < 96 for offer in offers)
+
+    def test_deadlines_precede_start(self, prosumers, grid):
+        offers = generate_flex_offers(prosumers, grid, FlexOfferGenerationConfig(seed=3))
+        for offer in offers[:50]:
+            start = grid.to_datetime(offer.earliest_start_slot)
+            assert offer.creation_time <= offer.acceptance_deadline <= offer.assignment_deadline <= start
+
+    def test_offer_attributes_come_from_prosumer(self, prosumers, grid):
+        offers = generate_flex_offers(prosumers, grid, FlexOfferGenerationConfig(seed=4))
+        by_id = {p.id: p for p in prosumers}
+        for offer in offers[:50]:
+            prosumer = by_id[offer.prosumer_id]
+            assert offer.region == prosumer.region
+            assert offer.grid_node == prosumer.grid_node
+
+    def test_empty_population_rejected(self, grid):
+        with pytest.raises(DataGenerationError):
+            generate_flex_offers([], grid)
+
+    def test_deterministic_given_seed(self, prosumers, grid):
+        first = generate_flex_offers(prosumers, grid, FlexOfferGenerationConfig(seed=6))
+        second = generate_flex_offers(prosumers, grid, FlexOfferGenerationConfig(seed=6))
+        assert [o.earliest_start_slot for o in first] == [o.earliest_start_slot for o in second]

@@ -1,0 +1,83 @@
+"""Tests for end-to-end scenario generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.scenarios import ScenarioConfig, generate_scenario, scenario_with_offer_count, small_scenario
+from repro.flexoffer.model import FlexOfferState, count_by_state
+
+
+class TestScenarioGeneration:
+    def test_scenario_has_all_parts(self, scenario):
+        assert scenario.prosumers
+        assert scenario.flex_offers
+        assert len(scenario.base_demand) == scenario.config.horizon_slots
+        assert len(scenario.res_production) == scenario.config.horizon_slots
+        assert len(scenario.spot_prices) == scenario.config.horizon_slots
+
+    def test_offer_count_scales_with_prosumers(self):
+        small = generate_scenario(ScenarioConfig(prosumer_count=20, seed=1))
+        large = generate_scenario(ScenarioConfig(prosumer_count=200, seed=1))
+        assert len(large.flex_offers) > len(small.flex_offers)
+
+    def test_deterministic_given_seed(self):
+        first = generate_scenario(ScenarioConfig(prosumer_count=30, seed=4))
+        second = generate_scenario(ScenarioConfig(prosumer_count=30, seed=4))
+        assert [o.id for o in first.flex_offers] == [o.id for o in second.flex_offers]
+        assert first.base_demand.total() == pytest.approx(second.base_demand.total())
+
+    def test_different_seed_differs(self):
+        first = generate_scenario(ScenarioConfig(prosumer_count=30, seed=4))
+        second = generate_scenario(ScenarioConfig(prosumer_count=30, seed=5))
+        assert [o.earliest_start_slot for o in first.flex_offers] != [
+            o.earliest_start_slot for o in second.flex_offers
+        ]
+
+    def test_state_mix_roughly_matches_config(self, large_scenario):
+        counts = count_by_state(large_scenario.flex_offers)
+        total = len(large_scenario.flex_offers)
+        assigned_fraction = counts[FlexOfferState.ASSIGNED] / total
+        assert 0.3 <= assigned_fraction <= 0.6
+
+    def test_assigned_offers_have_schedules(self, scenario):
+        for offer in scenario.flex_offers:
+            if offer.state is FlexOfferState.ASSIGNED:
+                assert offer.schedule is not None
+
+    def test_rejected_offers_have_no_schedule(self, scenario):
+        for offer in scenario.flex_offers:
+            if offer.state is FlexOfferState.REJECTED:
+                assert offer.schedule is None
+
+    def test_invalid_state_fractions_rejected(self):
+        config = ScenarioConfig(prosumer_count=10, accepted_fraction=0.6, assigned_fraction=0.6, rejected_fraction=0.2)
+        with pytest.raises(Exception):
+            generate_scenario(config)
+
+    def test_offers_of_prosumer(self, scenario):
+        prosumer = scenario.prosumers[0]
+        offers = scenario.offers_of_prosumer(prosumer.id)
+        assert all(offer.prosumer_id == prosumer.id for offer in offers)
+
+    def test_replace_offers_keeps_master_data(self, scenario):
+        clone = scenario.replace_offers(scenario.flex_offers[:3])
+        assert len(clone.flex_offers) == 3
+        assert clone.geography is scenario.geography
+        assert clone.topology is scenario.topology
+
+    def test_horizon_slots_range(self, scenario):
+        assert list(scenario.horizon_slots) == list(range(scenario.config.horizon_slots))
+
+    def test_res_capacity_scales_with_prosumer_count(self):
+        small = generate_scenario(ScenarioConfig(prosumer_count=20, seed=2))
+        large = generate_scenario(ScenarioConfig(prosumer_count=200, seed=2))
+        assert large.res_production.total() > small.res_production.total()
+
+    def test_small_scenario_helper(self):
+        scenario = small_scenario(seed=2)
+        assert scenario.config.prosumer_count == 40
+
+    def test_scenario_with_offer_count_close_to_target(self):
+        scenario = scenario_with_offer_count(300, seed=8)
+        assert 150 <= len(scenario.flex_offers) <= 450

@@ -1,0 +1,159 @@
+"""Tests for the market model, settlement and the full planning cycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enterprise.market import MarketConfig, SpotMarket, Trade, TradeSide
+from repro.enterprise.planning import PlanningConfig, run_planning_cycle
+from repro.enterprise.settlement import RealizationConfig, simulate_realization
+from repro.errors import SchedulingError
+from repro.flexoffer.model import FlexOfferState
+from repro.forecasting.models import SeasonalNaiveForecast
+from repro.scheduling.greedy import GreedyScheduler
+from repro.timeseries.series import TimeSeries
+
+
+class TestSpotMarket:
+    def test_empty_prices_rejected(self, grid):
+        with pytest.raises(SchedulingError):
+            SpotMarket(TimeSeries(grid, 0, []))
+
+    def test_price_lookup_clamps_to_ends(self, grid):
+        market = SpotMarket(TimeSeries(grid, 10, [40.0, 50.0], unit="EUR/MWh"))
+        assert market.price_at(0) == 40.0
+        assert market.price_at(11) == 50.0
+        assert market.price_at(99) == 50.0
+
+    def test_clear_residual_buys_deficit_and_sells_surplus(self, grid):
+        market = SpotMarket(TimeSeries(grid, 0, [50.0] * 4))
+        residual = TimeSeries(grid, 0, [10.0, -8.0, 0.5, 0.0])
+        trades = market.clear_residual(residual)
+        assert [trade.side for trade in trades] == [TradeSide.BUY, TradeSide.SELL]
+        assert trades[0].energy_kwh == 10.0
+
+    def test_small_residuals_skipped(self, grid):
+        market = SpotMarket(TimeSeries(grid, 0, [50.0]), MarketConfig(minimum_trade_kwh=5.0))
+        trades = market.clear_residual(TimeSeries(grid, 0, [4.0]))
+        assert trades == []
+
+    def test_trade_cost_signs(self, grid):
+        market = SpotMarket(TimeSeries(grid, 0, [100.0] * 2))
+        buy = Trade(slot=0, side=TradeSide.BUY, energy_kwh=1000.0, price_eur_per_mwh=100.0)
+        sell = Trade(slot=1, side=TradeSide.SELL, energy_kwh=1000.0, price_eur_per_mwh=100.0)
+        assert buy.cost_eur == pytest.approx(100.0)
+        assert sell.cost_eur == pytest.approx(-100.0)
+        assert market.trade_cost([buy, sell]) == pytest.approx(0.0)
+
+    def test_imbalance_cost_uses_multiplier(self, grid):
+        market = SpotMarket(TimeSeries(grid, 0, [100.0]), MarketConfig(imbalance_multiplier=2.0))
+        imbalance = TimeSeries(grid, 0, [1000.0])
+        assert market.imbalance_cost(imbalance) == pytest.approx(200.0)
+
+
+class TestSettlement:
+    @pytest.fixture(scope="class")
+    def assigned_offers(self, scenario):
+        return [offer for offer in scenario.flex_offers if offer.state is FlexOfferState.ASSIGNED]
+
+    def test_full_compliance_means_zero_deviation(self, assigned_offers, scenario):
+        result = simulate_realization(
+            assigned_offers, scenario.grid, RealizationConfig(compliance_probability=1.0, seed=1)
+        )
+        assert result.total_absolute_deviation == pytest.approx(0.0)
+        assert all(offer.state is FlexOfferState.EXECUTED for offer in result.realized_offers)
+
+    def test_non_compliance_creates_deviation(self, assigned_offers, scenario):
+        result = simulate_realization(
+            assigned_offers, scenario.grid, RealizationConfig(compliance_probability=0.0, seed=2)
+        )
+        assert result.total_absolute_deviation > 0.0
+
+    def test_realized_offers_stay_feasible(self, assigned_offers, scenario):
+        result = simulate_realization(
+            assigned_offers, scenario.grid, RealizationConfig(compliance_probability=0.3, seed=3)
+        )
+        for offer in result.realized_offers:
+            if offer.schedule is None:
+                continue
+            assert offer.earliest_start_slot <= offer.schedule.start_slot <= offer.latest_start_slot
+
+    def test_unassigned_offers_pass_through(self, scenario):
+        unassigned = [offer for offer in scenario.flex_offers if offer.schedule is None]
+        result = simulate_realization(unassigned, scenario.grid)
+        assert result.realized_offers == unassigned
+        assert result.total_absolute_deviation == 0.0
+
+    def test_measure_context_exposes_realized_energy(self, assigned_offers, scenario):
+        result = simulate_realization(assigned_offers, scenario.grid, RealizationConfig(seed=4))
+        context = result.measure_context()
+        assert set(context.realized_energy) <= {offer.id for offer in assigned_offers}
+
+    def test_deterministic_given_seed(self, assigned_offers, scenario):
+        first = simulate_realization(assigned_offers, scenario.grid, RealizationConfig(seed=5))
+        second = simulate_realization(assigned_offers, scenario.grid, RealizationConfig(seed=5))
+        assert first.total_absolute_deviation == pytest.approx(second.total_absolute_deviation)
+
+
+class TestPlanningCycle:
+    @pytest.fixture(scope="class")
+    def plan(self, scenario):
+        return run_planning_cycle(scenario, scheduler=GreedyScheduler())
+
+    def test_every_plannable_offer_assigned(self, plan, scenario):
+        plannable = [o for o in scenario.flex_offers if o.state is not FlexOfferState.REJECTED]
+        assert len(plan.assigned_offers) == len(plannable)
+        assert all(offer.schedule is not None for offer in plan.assigned_offers)
+
+    def test_rejected_offers_untouched(self, plan, scenario):
+        rejected = [o for o in scenario.flex_offers if o.state is FlexOfferState.REJECTED]
+        assert len(plan.unplanned_offers) == len(rejected)
+
+    def test_planned_load_totals_bounded_by_offers(self, plan, scenario):
+        # The planned_load series is clipped to the planning horizon, so its total
+        # is at most the signed energy of all assignments (offers scheduled near the
+        # end of the day spill past the horizon) and strictly positive.
+        signed_total = sum(offer.scheduled_energy * offer.direction.sign for offer in plan.assigned_offers)
+        assert 0.0 < plan.planned_load.total() <= signed_total + 1e-6
+
+    def test_balancing_improves_overlap(self, plan):
+        """The headline claim of Figure 1: planning moves flexible load under the RES surplus."""
+        import numpy as np
+
+        target = plan.target
+        before = np.minimum(target.values, np.clip(plan.unplanned_load.values, 0, None)).sum()
+        after = np.minimum(target.values, np.clip(plan.planned_load.values, 0, None)).sum()
+        assert after >= before
+
+    def test_residual_is_target_minus_load(self, plan):
+        expected = plan.target - plan.planned_load
+        assert plan.residual.values == pytest.approx(expected.values)
+
+    def test_trades_only_for_significant_residual(self, plan):
+        assert all(trade.energy_kwh >= 1.0 for trade in plan.trades)
+
+    def test_costs_are_finite_and_nonnegative(self, plan):
+        assert plan.imbalance_cost_eur >= 0.0
+        assert plan.trade_cost_eur == plan.trade_cost_eur  # not NaN
+
+    def test_settlement_ran(self, plan):
+        assert plan.settlement.realized_offers
+        assert plan.settlement.total_absolute_deviation >= 0.0
+
+    def test_without_aggregation(self, scenario):
+        plan = run_planning_cycle(
+            scenario, scheduler=GreedyScheduler(), config=PlanningConfig(use_aggregation=False)
+        )
+        plannable = [o for o in scenario.flex_offers if o.state is not FlexOfferState.REJECTED]
+        assert plan.pipeline.scheduled_object_count == len(plannable)
+
+    def test_with_demand_forecaster(self, scenario):
+        plan = run_planning_cycle(
+            scenario,
+            scheduler=GreedyScheduler(),
+            demand_forecaster=SeasonalNaiveForecast(season_length=scenario.grid.slots_per_day()),
+        )
+        assert len(plan.target) == len(scenario.base_demand)
+
+    def test_all_offers_property(self, plan, scenario):
+        assert len(plan.all_offers) == len(scenario.flex_offers)

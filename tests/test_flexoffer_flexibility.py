@@ -1,0 +1,90 @@
+"""Tests for flexibility measures and the balancing potential."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flexoffer.flexibility import (
+    balancing_potential,
+    energy_flexibility,
+    flexibility_envelope,
+    measure,
+    time_flexibility_slots,
+)
+from tests.conftest import make_offer
+
+
+class TestComponentMeasures:
+    def test_time_flexibility_sums(self):
+        offers = [make_offer(offer_id=1, time_flexibility=4), make_offer(offer_id=2, time_flexibility=6)]
+        assert time_flexibility_slots(offers) == 10
+
+    def test_energy_flexibility_sums(self):
+        offers = [make_offer(offer_id=1), make_offer(offer_id=2)]
+        assert energy_flexibility(offers) == pytest.approx(5.0)
+
+    def test_empty_collections(self):
+        assert time_flexibility_slots([]) == 0
+        assert energy_flexibility([]) == 0.0
+
+
+class TestBalancingPotential:
+    def test_empty_set_is_zero(self):
+        assert balancing_potential([]) == 0.0
+
+    def test_rigid_offer_scores_zero(self):
+        rigid = make_offer(time_flexibility=0, profile=((2.0, 2.0), (2.0, 2.0)))
+        assert balancing_potential([rigid]) == pytest.approx(0.0)
+
+    def test_flexible_offer_scores_higher_than_rigid(self):
+        rigid = make_offer(offer_id=1, time_flexibility=0, profile=((2.0, 2.0),))
+        flexible = make_offer(offer_id=2, time_flexibility=20, profile=((0.5, 3.0),))
+        assert balancing_potential([flexible]) > balancing_potential([rigid])
+
+    def test_bounded_between_zero_and_one(self, offer_batch):
+        value = balancing_potential(offer_batch)
+        assert 0.0 <= value <= 1.0
+
+    def test_more_time_flexibility_increases_potential(self):
+        short = make_offer(offer_id=1, time_flexibility=2)
+        long = make_offer(offer_id=2, time_flexibility=30)
+        assert balancing_potential([long]) > balancing_potential([short])
+
+    def test_zero_energy_offers_are_ignored(self):
+        zero = make_offer(profile=((0.0, 0.0),))
+        assert balancing_potential([zero]) == 0.0
+
+
+class TestMeasureSummary:
+    def test_measure_counts_offers(self, offer_batch):
+        summary = measure(offer_batch)
+        assert summary.offer_count == len(offer_batch)
+        assert summary.total_max_energy >= summary.total_min_energy
+
+    def test_measure_empty(self):
+        summary = measure([])
+        assert summary.offer_count == 0
+        assert summary.mean_time_flexibility_slots == 0.0
+
+    def test_scheduled_energy_reflects_assignments(self, offer_batch):
+        summary = measure(offer_batch)
+        expected = sum(offer.scheduled_energy for offer in offer_batch)
+        assert summary.total_scheduled_energy == pytest.approx(expected)
+
+
+class TestEnvelope:
+    def test_envelope_totals(self, offer_batch, grid):
+        low, high = flexibility_envelope(offer_batch, grid)
+        assert low.total() == pytest.approx(sum(o.min_total_energy for o in offer_batch))
+        assert high.total() == pytest.approx(sum(o.max_total_energy for o in offer_batch))
+
+    def test_envelope_of_empty_set(self, grid):
+        low, high = flexibility_envelope([], grid)
+        assert len(low) == 0
+        assert len(high) == 0
+
+    def test_high_envelope_spans_whole_flexibility(self, grid):
+        offer = make_offer(time_flexibility=10)
+        _, high = flexibility_envelope([offer], grid)
+        assert high.start_slot == offer.earliest_start_slot
+        assert high.end_slot == offer.latest_end_slot

@@ -1,0 +1,193 @@
+"""Tests for the flex-offer data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.flexoffer.model import (
+    Direction,
+    FlexOfferState,
+    ProfileSlice,
+    Schedule,
+    count_by_state,
+    total_scheduled_series,
+)
+from tests.conftest import make_offer
+
+
+class TestProfileSlice:
+    def test_valid_slice(self):
+        piece = ProfileSlice(1.0, 2.0)
+        assert piece.energy_flexibility == 1.0
+
+    def test_zero_band_slice(self):
+        piece = ProfileSlice(1.5, 1.5)
+        assert piece.energy_flexibility == 0.0
+
+    def test_rejects_max_below_min(self):
+        with pytest.raises(ValidationError):
+            ProfileSlice(2.0, 1.0)
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ValidationError):
+            ProfileSlice(-1.0, 1.0)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValidationError):
+            ProfileSlice(1.0, 2.0, duration_slots=0)
+
+    def test_scale(self):
+        piece = ProfileSlice(1.0, 2.0).scale(2.0)
+        assert (piece.min_energy, piece.max_energy) == (2.0, 4.0)
+
+    def test_scale_rejects_negative_factor(self):
+        with pytest.raises(ValidationError):
+            ProfileSlice(1.0, 2.0).scale(-1.0)
+
+
+class TestScheduleValidation:
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValidationError):
+            Schedule(start_slot=0, energy_per_slice=(-1.0,))
+
+    def test_total_energy(self):
+        assert Schedule(0, (1.0, 2.0, 0.5)).total_energy == 3.5
+
+
+class TestFlexOfferConstruction:
+    def test_valid_offer(self, sample_offer):
+        assert sample_offer.profile_duration_slots == 3
+        assert sample_offer.time_flexibility_slots == 8
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValidationError):
+            make_offer(profile=())
+
+    def test_latest_before_earliest_rejected(self):
+        with pytest.raises(ValidationError):
+            make_offer(time_flexibility=-1)
+
+    def test_assignment_before_acceptance_rejected(self, sample_offer):
+        from dataclasses import replace
+
+        with pytest.raises(ValidationError):
+            replace(
+                sample_offer,
+                assignment_deadline=sample_offer.acceptance_deadline,
+                acceptance_deadline=sample_offer.assignment_deadline,
+            )
+
+
+class TestDerivedQuantities:
+    def test_energy_totals(self, sample_offer):
+        assert sample_offer.min_total_energy == pytest.approx(3.0)
+        assert sample_offer.max_total_energy == pytest.approx(5.5)
+        assert sample_offer.energy_flexibility == pytest.approx(2.5)
+
+    def test_span(self, sample_offer):
+        assert sample_offer.earliest_end_slot == 43
+        assert sample_offer.latest_end_slot == 51
+        assert list(sample_offer.span_slots) == list(range(40, 51))
+
+    def test_direction_sign(self):
+        assert Direction.CONSUMPTION.sign == 1
+        assert Direction.PRODUCTION.sign == -1
+
+    def test_scheduled_energy_zero_without_schedule(self, sample_offer):
+        assert sample_offer.scheduled_energy == 0.0
+
+    def test_signed_scheduled_energy_for_production(self):
+        offer = make_offer(direction=Direction.PRODUCTION).with_default_schedule()
+        assert offer.signed_scheduled_energy < 0
+
+    def test_multi_slot_slice_duration(self):
+        offer = make_offer(profile=((1.0, 2.0),))
+        from dataclasses import replace
+
+        wide = replace(offer, profile=(ProfileSlice(1.0, 2.0, duration_slots=4),))
+        assert wide.profile_duration_slots == 4
+
+
+class TestLifecycle:
+    def test_accept(self, sample_offer):
+        assert sample_offer.accept().state is FlexOfferState.ACCEPTED
+
+    def test_reject_drops_schedule(self, scheduled_offer):
+        rejected = scheduled_offer.reject()
+        assert rejected.state is FlexOfferState.REJECTED
+        assert rejected.schedule is None
+
+    def test_assign_valid_schedule(self, sample_offer):
+        assigned = sample_offer.assign(Schedule(41, (1.0, 2.0, 0.5)))
+        assert assigned.state is FlexOfferState.ASSIGNED
+        assert assigned.scheduled_energy == pytest.approx(3.5)
+
+    def test_assign_start_outside_flexibility_rejected(self, sample_offer):
+        with pytest.raises(ValidationError):
+            sample_offer.assign(Schedule(100, (1.0, 2.0, 0.5)))
+
+    def test_assign_wrong_slice_count_rejected(self, sample_offer):
+        with pytest.raises(ValidationError):
+            sample_offer.assign(Schedule(41, (1.0, 2.0)))
+
+    def test_assign_energy_outside_band_rejected(self, sample_offer):
+        with pytest.raises(ValidationError):
+            sample_offer.assign(Schedule(41, (5.0, 2.0, 0.5)))
+
+    def test_execute_requires_schedule(self, sample_offer):
+        with pytest.raises(ValidationError):
+            sample_offer.execute()
+
+    def test_execute_after_assign(self, scheduled_offer):
+        assert scheduled_offer.execute().state is FlexOfferState.EXECUTED
+
+    def test_with_default_schedule_uses_earliest_minimum(self, sample_offer):
+        assigned = sample_offer.with_default_schedule()
+        assert assigned.schedule.start_slot == sample_offer.earliest_start_slot
+        assert assigned.scheduled_energy == pytest.approx(sample_offer.min_total_energy)
+
+    def test_transitions_do_not_mutate_original(self, sample_offer):
+        sample_offer.accept()
+        assert sample_offer.state is FlexOfferState.OFFERED
+
+
+class TestSeriesConversion:
+    def test_scheduled_series_totals_match(self, scheduled_offer, grid):
+        series = scheduled_offer.scheduled_series(grid)
+        assert series.total() == pytest.approx(scheduled_offer.scheduled_energy)
+
+    def test_scheduled_series_starts_at_schedule(self, scheduled_offer, grid):
+        series = scheduled_offer.scheduled_series(grid)
+        assert series.start_slot == scheduled_offer.schedule.start_slot
+
+    def test_unscheduled_series_is_empty(self, sample_offer, grid):
+        assert len(sample_offer.scheduled_series(grid)) == 0
+
+    def test_production_series_is_negative(self, grid):
+        offer = make_offer(direction=Direction.PRODUCTION).with_default_schedule()
+        assert offer.scheduled_series(grid).total() < 0
+
+    def test_bound_series(self, sample_offer, grid):
+        low, high = sample_offer.bound_series(grid)
+        assert low.total() == pytest.approx(sample_offer.min_total_energy)
+        assert high.total() == pytest.approx(sample_offer.max_total_energy)
+
+    def test_bound_series_respects_start(self, sample_offer, grid):
+        low, _ = sample_offer.bound_series(grid, start_slot=45)
+        assert low.start_slot == 45
+
+
+class TestCollectionHelpers:
+    def test_count_by_state(self, offer_batch):
+        counts = count_by_state(offer_batch)
+        assert sum(counts.values()) == len(offer_batch)
+        assert counts[FlexOfferState.ASSIGNED] == 4
+
+    def test_total_scheduled_series(self, offer_batch, grid):
+        total = total_scheduled_series(offer_batch, grid)
+        expected = sum(offer.scheduled_energy for offer in offer_batch)
+        assert total.total() == pytest.approx(expected)
+
+    def test_total_scheduled_series_empty(self, grid):
+        assert total_scheduled_series([], grid).total() == 0.0

@@ -1,0 +1,70 @@
+"""Tests for collection-level flex-offer validation."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from datetime import timedelta
+
+from repro.flexoffer.model import FlexOfferState
+from repro.flexoffer.validation import IssueSeverity, errors_only, is_valid, validate_collection
+from tests.conftest import make_offer
+
+
+class TestValidateCollection:
+    def test_clean_collection_has_no_issues(self, offer_batch, grid):
+        assert validate_collection(offer_batch, grid) == []
+        assert is_valid(offer_batch, grid)
+
+    def test_duplicate_ids_reported(self, grid):
+        offers = [make_offer(offer_id=1), make_offer(offer_id=1)]
+        issues = validate_collection(offers, grid)
+        assert any("duplicate" in issue.message for issue in issues)
+        assert not is_valid(offers, grid)
+
+    def test_acceptance_after_start_is_warning(self, grid):
+        offer = make_offer()
+        late = replace(
+            offer,
+            acceptance_deadline=grid.to_datetime(offer.earliest_start_slot) + timedelta(hours=1),
+            assignment_deadline=grid.to_datetime(offer.earliest_start_slot) + timedelta(hours=1),
+        )
+        issues = validate_collection([late], grid)
+        warning = [issue for issue in issues if issue.severity is IssueSeverity.WARNING]
+        assert warning
+        # Warnings alone do not make the collection invalid.
+        assert is_valid([late], grid) or errors_only(issues)
+
+    def test_assignment_after_latest_start_is_error(self, grid):
+        offer = make_offer(time_flexibility=2)
+        bad = replace(
+            offer,
+            assignment_deadline=grid.to_datetime(offer.latest_start_slot) + timedelta(hours=5),
+        )
+        issues = errors_only(validate_collection([bad], grid))
+        assert any("assignment deadline" in issue.message for issue in issues)
+
+    def test_assigned_without_schedule_is_error(self, grid):
+        offer = replace(make_offer(), state=FlexOfferState.ASSIGNED)
+        issues = errors_only(validate_collection([offer], grid))
+        assert any("requires a schedule" in issue.message for issue in issues)
+
+    def test_self_referencing_aggregate_is_error(self, grid):
+        offer = replace(make_offer(offer_id=9), is_aggregate=True, constituent_ids=(9,))
+        issues = errors_only(validate_collection([offer], grid))
+        assert any("constituent" in issue.message for issue in issues)
+
+    def test_issue_carries_offer_id(self, grid):
+        offers = [make_offer(offer_id=4), make_offer(offer_id=4)]
+        issues = validate_collection(offers, grid)
+        assert issues[0].offer_id == 4
+
+    def test_errors_only_filters_warnings(self, grid):
+        offer = make_offer()
+        late = replace(
+            offer,
+            acceptance_deadline=grid.to_datetime(offer.earliest_start_slot) + timedelta(minutes=30),
+            assignment_deadline=grid.to_datetime(offer.earliest_start_slot) + timedelta(minutes=45),
+        )
+        issues = validate_collection([late], grid)
+        assert issues
+        assert len(errors_only(issues)) < len(issues)

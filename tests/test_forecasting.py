@@ -1,0 +1,132 @@
+"""Tests for the forecasting models and their evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ForecastError
+from repro.forecasting.evaluation import backtest, compare_models
+from repro.forecasting.models import (
+    HoltWintersConfig,
+    HoltWintersForecast,
+    MovingAverageForecast,
+    PersistenceForecast,
+    SeasonalNaiveForecast,
+)
+from repro.timeseries.series import TimeSeries
+
+
+@pytest.fixture
+def seasonal_series(grid):
+    """Four days of a noisy daily pattern at 15-minute resolution.
+
+    Long enough that a 75% training split still contains at least two full
+    seasons, which is what the Holt-Winters initialisation needs.
+    """
+    rng = np.random.default_rng(3)
+    slots = np.arange(4 * 96)
+    pattern = 10 + 5 * np.sin(2 * np.pi * (slots % 96) / 96.0)
+    return TimeSeries(grid, 0, pattern + rng.normal(0, 0.2, len(slots)), name="demand", unit="kWh")
+
+
+class TestPersistence:
+    def test_repeats_last_value(self, grid):
+        series = TimeSeries(grid, 0, [1.0, 2.0, 3.0])
+        forecast = PersistenceForecast().fit(series).forecast(4)
+        assert forecast.values.tolist() == [3.0] * 4
+
+    def test_forecast_starts_after_history(self, grid):
+        series = TimeSeries(grid, 5, [1.0, 2.0])
+        forecast = PersistenceForecast().fit(series).forecast(2)
+        assert forecast.start_slot == 7
+
+    def test_fit_on_empty_raises(self, grid):
+        with pytest.raises(ForecastError):
+            PersistenceForecast().fit(TimeSeries(grid, 0, []))
+
+    def test_forecast_before_fit_raises(self):
+        with pytest.raises(ForecastError):
+            PersistenceForecast().forecast(4)
+
+
+class TestMovingAverage:
+    def test_uses_window_mean(self, grid):
+        series = TimeSeries(grid, 0, [0.0, 0.0, 4.0, 8.0])
+        forecast = MovingAverageForecast(window=2).fit(series).forecast(1)
+        assert forecast.values.tolist() == [6.0]
+
+    def test_window_larger_than_history(self, grid):
+        series = TimeSeries(grid, 0, [2.0, 4.0])
+        forecast = MovingAverageForecast(window=10).fit(series).forecast(1)
+        assert forecast.values.tolist() == [3.0]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ForecastError):
+            MovingAverageForecast(window=0)
+
+
+class TestSeasonalNaive:
+    def test_repeats_last_season(self, grid):
+        values = list(range(8)) + list(range(8))
+        series = TimeSeries(grid, 0, values)
+        forecast = SeasonalNaiveForecast(season_length=8).fit(series).forecast(8)
+        assert forecast.values.tolist() == list(map(float, range(8)))
+
+    def test_short_history_falls_back_to_persistence(self, grid):
+        series = TimeSeries(grid, 0, [1.0, 5.0])
+        forecast = SeasonalNaiveForecast(season_length=96).fit(series).forecast(3)
+        assert forecast.values.tolist() == [5.0] * 3
+
+    def test_invalid_season_rejected(self):
+        with pytest.raises(ForecastError):
+            SeasonalNaiveForecast(season_length=0)
+
+
+class TestHoltWinters:
+    def test_captures_seasonality_better_than_persistence(self, seasonal_series):
+        horizon = 48
+        hw = backtest(HoltWintersForecast(season_length=96), seasonal_series, horizon)
+        naive = backtest(PersistenceForecast(), seasonal_series, horizon)
+        assert hw.rmse < naive.rmse
+
+    def test_forecast_is_nonnegative(self, seasonal_series):
+        forecast = HoltWintersForecast(season_length=96).fit(seasonal_series).forecast(48)
+        assert (forecast.values >= 0).all()
+
+    def test_short_history_degrades_gracefully(self, grid):
+        series = TimeSeries(grid, 0, [5.0] * 20)
+        forecast = HoltWintersForecast(season_length=96).fit(series).forecast(4)
+        assert forecast.values == pytest.approx([5.0] * 4)
+
+    def test_invalid_smoothing_rejected(self):
+        with pytest.raises(ForecastError):
+            HoltWintersForecast(season_length=4, config=HoltWintersConfig(alpha=1.5))
+
+
+class TestEvaluation:
+    def test_backtest_horizon_clamped(self, seasonal_series):
+        accuracy = backtest(PersistenceForecast(), seasonal_series, horizon=10_000)
+        assert accuracy.horizon <= len(seasonal_series)
+
+    def test_backtest_invalid_fraction(self, seasonal_series):
+        with pytest.raises(ForecastError):
+            backtest(PersistenceForecast(), seasonal_series, horizon=8, train_fraction=1.5)
+
+    def test_compare_models_returns_one_row_each(self, seasonal_series):
+        models = [PersistenceForecast(), MovingAverageForecast(8), SeasonalNaiveForecast(96)]
+        rows = compare_models(models, seasonal_series, horizon=24)
+        assert [row.model_name for row in rows] == ["persistence", "moving-average", "seasonal-naive"]
+        assert all(row.mae >= 0 for row in rows)
+
+    def test_seasonal_naive_beats_persistence_on_seasonal_data(self, seasonal_series):
+        horizon = 48
+        seasonal = backtest(SeasonalNaiveForecast(season_length=96), seasonal_series, horizon)
+        naive = backtest(PersistenceForecast(), seasonal_series, horizon)
+        assert seasonal.rmse < naive.rmse
+
+    def test_perfect_forecast_on_constant_series(self, grid):
+        series = TimeSeries(grid, 0, [5.0] * 64)
+        accuracy = backtest(PersistenceForecast(), series, horizon=16)
+        assert accuracy.mae == pytest.approx(0.0)
+        assert accuracy.mape == pytest.approx(0.0)

@@ -1,0 +1,151 @@
+"""Integration tests: the full pipelines end to end.
+
+These tests exercise the chains a real user of the library walks through:
+scenario -> warehouse -> loading -> views, scenario -> planning cycle ->
+views, aggregation -> scheduling -> disaggregation -> settlement -> OLAP with
+plan deviations, and the framework's tab workflow across all view kinds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregation import AggregationParameters
+from repro.enterprise import PlanningConfig, RealizationConfig, run_planning_cycle
+from repro.flexoffer import FlexOfferState, count_by_state, from_json, to_json
+from repro.olap import FlexOfferCube, GroupBy, MemberFilter, execute
+from repro.scheduling import GreedyScheduler
+from repro.views import (
+    BasicView,
+    DashboardView,
+    ProfileView,
+    SelectionRectangle,
+    ViewKind,
+    VisualAnalysisFramework,
+)
+from repro.warehouse import FlexOfferFilter, FlexOfferRepository, load_scenario, load_schema, save_schema
+
+
+class TestWarehouseToViews:
+    def test_persist_reload_and_render(self, scenario, tmp_path):
+        """Scenario -> warehouse CSVs -> reload -> repository -> basic view."""
+        schema = load_scenario(scenario)
+        save_schema(schema, tmp_path / "dw")
+        reloaded = load_schema(tmp_path / "dw")
+        repository = FlexOfferRepository(reloaded, scenario.grid)
+        offers = repository.load(FlexOfferFilter(states=("assigned",))).offers
+        assert offers
+        view = BasicView(offers, scenario.grid)
+        svg = view.to_svg()
+        assert svg.count("profile-box") == len(offers)
+
+    def test_json_export_import_preserves_view(self, scenario):
+        offers = from_json(to_json(scenario.flex_offers))
+        original = BasicView(scenario.flex_offers, scenario.grid).to_svg()
+        rebuilt = BasicView(offers, scenario.grid).to_svg()
+        assert original == rebuilt
+
+
+class TestPlanningToAnalysis:
+    @pytest.fixture(scope="class")
+    def plan(self, large_scenario):
+        return run_planning_cycle(
+            large_scenario,
+            scheduler=GreedyScheduler(),
+            config=PlanningConfig(
+                use_aggregation=True,
+                aggregation=AggregationParameters(est_tolerance_slots=8, time_flexibility_tolerance_slots=8),
+                realization=RealizationConfig(compliance_probability=0.7, seed=3),
+            ),
+        )
+
+    def test_planning_produces_assignments_for_views(self, plan, large_scenario):
+        counts = count_by_state(plan.all_offers)
+        assert counts[FlexOfferState.ASSIGNED] > 0
+        dashboard = DashboardView(plan.all_offers, large_scenario.grid)
+        assert sum(dashboard.state_totals().values()) > 0
+
+    def test_plan_deviation_measure_via_olap(self, plan, large_scenario):
+        """Settlement feeds the OLAP plan_deviation measure (Req. 2)."""
+        cube = FlexOfferCube(
+            plan.settlement.realized_offers,
+            large_scenario.grid,
+            context=plan.settlement.measure_context(),
+        )
+        cell_set = cube.aggregate([GroupBy("Geography", "region")], ["plan_deviation", "scheduled_energy"])
+        totals = cell_set.totals()
+        assert totals["plan_deviation"] >= 0.0
+        assert totals["scheduled_energy"] > 0.0
+
+    def test_balancing_claim_on_large_scenario(self, plan):
+        """Figure 1's qualitative claim must hold at scale: planning never reduces the overlap."""
+        import numpy as np
+
+        target = plan.target.values
+        before = np.minimum(target, np.clip(plan.unplanned_load.values, 0, None)).sum()
+        after = np.minimum(target, np.clip(plan.planned_load.values, 0, None)).sum()
+        assert after >= before * 0.99
+
+    def test_mdx_over_planned_offers(self, plan, large_scenario):
+        cube = FlexOfferCube(plan.all_offers, large_scenario.grid)
+        table = execute(
+            cube,
+            "SELECT {[Measures].[scheduled_energy]} ON COLUMNS, "
+            "{[Appliance].[appliance_type].Members} ON ROWS FROM [FlexOffers] "
+            "WHERE ([State].[state].[assigned])",
+        )
+        assert sum(row[0] for row in table.values["value"]) > 0
+
+
+class TestFrameworkWorkflow:
+    def test_full_analyst_session(self, scenario):
+        """The Section-4 walk-through: load, view, select, aggregate, drill."""
+        framework = VisualAnalysisFramework(scenario)
+
+        # Load everything, look at the basic view.
+        tab = framework.open_tab_for_all()
+        basic = tab.view()
+        assert "<svg" in basic.to_svg()
+
+        # Rectangle-select the first quarter of the timeline and extract it.
+        area = basic.options.plot_area
+        tab.selection.select_rectangle(
+            basic, SelectionRectangle(area.left, area.top, area.left + area.width / 4, area.bottom)
+        )
+        selection_tab = tab.extract_selection("early offers")
+        assert 0 < len(selection_tab.offers) < len(tab.offers)
+
+        # Switch the selection tab to the profile view (detail analysis).
+        selection_tab.switch_view(ViewKind.PROFILE)
+        profile = selection_tab.view()
+        assert isinstance(profile, ProfileView)
+        assert "energy-band" in profile.to_svg()
+
+        # Aggregate the main tab and confirm the reduction shows up in the view.
+        before_count = len(tab.offers)
+        tab.apply_aggregation(AggregationParameters(est_tolerance_slots=8, time_flexibility_tolerance_slots=8))
+        assert len(tab.offers) <= before_count
+        assert "aggregated" in tab.view().to_svg()
+
+        # Check the OLAP path: pivot over the aggregated tab, then map/schematic.
+        tab.switch_view(ViewKind.PIVOT)
+        assert "swimlane" in tab.view().to_svg()
+        tab.switch_view(ViewKind.MAP)
+        assert "state-bar" in tab.view().to_svg()
+        tab.switch_view(ViewKind.SCHEMATIC)
+        assert "state-wedge" in tab.view().to_svg()
+
+        # Detail record of an aggregate lists its constituents (Figure 10).
+        aggregate_offer = next((o for o in tab.offers if o.is_aggregate), None)
+        if aggregate_offer is not None:
+            details = tab.details_of(aggregate_offer.id)
+            assert details.is_aggregate
+            assert details.constituent_ids
+
+    def test_cube_filters_match_repository_filters(self, scenario):
+        """The OLAP dice and the warehouse filter must agree on the same predicate."""
+        framework = VisualAnalysisFramework(scenario)
+        repo_offers = framework.repository.load(FlexOfferFilter(regions=("Capital",))).offers
+        cube = FlexOfferCube(scenario.flex_offers, scenario.grid)
+        cube_offers = cube.filter([MemberFilter("Geography", "region", ("Capital",))]).offers
+        assert {offer.id for offer in repo_offers} == {offer.id for offer in cube_offers}

@@ -1,0 +1,175 @@
+"""Tests for the monitoring extension (alerts + platform drill-down)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enterprise.planning import run_planning_cycle
+from repro.enterprise.settlement import RealizationConfig
+from repro.enterprise import PlanningConfig
+from repro.monitoring.alerts import AlertKind, AlertMonitor, AlertSeverity, AlertThresholds
+from repro.monitoring.platform import MonitoringPlatform
+from repro.timeseries.series import TimeSeries
+from tests.conftest import make_offer
+
+
+@pytest.fixture
+def monitor(grid):
+    return AlertMonitor(grid, AlertThresholds(minimum_slot_imbalance_kwh=1.0, minimum_window_slots=2))
+
+
+class TestShortageAlerts:
+    def test_no_alert_when_res_covers_demand(self, monitor, grid):
+        demand = TimeSeries(grid, 0, [5.0] * 24)
+        res = TimeSeries(grid, 0, [10.0] * 24)
+        assert monitor.shortage_alerts(demand, res, []) == []
+
+    def test_alert_for_persistent_deficit(self, monitor, grid):
+        demand = TimeSeries(grid, 0, [10.0] * 24)
+        res = TimeSeries(grid, 0, [10.0] * 8 + [2.0] * 8 + [10.0] * 8)
+        alerts = monitor.shortage_alerts(demand, res, [])
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.kind is AlertKind.SHORTAGE
+        assert alert.first_slot == 8 and alert.last_slot == 16
+        assert alert.energy_kwh == pytest.approx(8 * 8.0)
+
+    def test_short_transients_ignored(self, monitor, grid):
+        demand = TimeSeries(grid, 0, [10.0] * 24)
+        values = [10.0] * 24
+        values[5] = 0.0  # one-slot dip only
+        res = TimeSeries(grid, 0, values)
+        assert monitor.shortage_alerts(demand, res, []) == []
+
+    def test_severity_scales_with_deficit(self, monitor, grid):
+        demand = TimeSeries(grid, 0, [10.0] * 24)
+        mild_res = TimeSeries(grid, 0, [10.0] * 8 + [8.5] * 8 + [10.0] * 8)
+        harsh_res = TimeSeries(grid, 0, [10.0] * 8 + [0.0] * 8 + [10.0] * 8)
+        mild = monitor.shortage_alerts(demand, mild_res, [])[0]
+        harsh = monitor.shortage_alerts(demand, harsh_res, [])[0]
+        assert harsh.severity is AlertSeverity.CRITICAL
+        assert mild.severity in (AlertSeverity.INFO, AlertSeverity.WARNING)
+
+    def test_overlapping_offers_attached(self, monitor, grid):
+        demand = TimeSeries(grid, 0, [10.0] * 48)
+        res = TimeSeries(grid, 0, [10.0] * 20 + [0.0] * 8 + [10.0] * 20)
+        inside = make_offer(offer_id=1, earliest_start=22, time_flexibility=2)
+        outside = make_offer(offer_id=2, earliest_start=40, time_flexibility=2)
+        alerts = monitor.shortage_alerts(demand, res, [inside, outside])
+        assert alerts[0].offer_ids == (1,)
+
+    def test_describe_contains_scope_and_energy(self, monitor, grid):
+        demand = TimeSeries(grid, 0, [10.0] * 8)
+        res = TimeSeries(grid, 0, [0.0] * 8)
+        alert = monitor.shortage_alerts(demand, res, [], region="Zealand")[0]
+        text = alert.describe()
+        assert "Zealand" in text and "shortage" in text and "kWh" in text
+
+
+class TestOverCapacityAlerts:
+    def test_alert_when_res_exceeds_absorbable_demand(self, monitor, grid):
+        demand = TimeSeries(grid, 0, [1.0] * 24)
+        res = TimeSeries(grid, 0, [1.0] * 8 + [20.0] * 8 + [1.0] * 8)
+        alerts = monitor.over_capacity_alerts(demand, res, [])
+        assert len(alerts) == 1
+        assert alerts[0].kind is AlertKind.OVER_CAPACITY
+
+    def test_flexibility_absorbs_surplus(self, monitor, grid):
+        demand = TimeSeries(grid, 0, [1.0] * 24)
+        res = TimeSeries(grid, 0, [1.0] * 8 + [4.0] * 8 + [1.0] * 8)
+        # A large flexible offer spanning the surplus window can absorb it.
+        big = make_offer(
+            offer_id=1,
+            earliest_start=8,
+            time_flexibility=0,
+            profile=tuple((5.0, 6.0) for _ in range(8)),
+        )
+        without = monitor.over_capacity_alerts(demand, res, [])
+        with_flex = monitor.over_capacity_alerts(demand, res, [big])
+        assert without and not with_flex
+
+
+class TestPlanDeviationAlerts:
+    def test_no_alert_for_small_deviation(self, monitor, grid):
+        planned = TimeSeries(grid, 0, [10.0] * 8)
+        realized = TimeSeries(grid, 0, [9.9] * 8)
+        assert monitor.plan_deviation_alerts(planned, realized) == []
+
+    def test_alert_for_large_deviation(self, monitor, grid):
+        planned = TimeSeries(grid, 0, [10.0] * 8)
+        realized = TimeSeries(grid, 0, [5.0] * 8)
+        alerts = monitor.plan_deviation_alerts(planned, realized)
+        assert len(alerts) == 1
+        assert alerts[0].kind is AlertKind.PLAN_DEVIATION
+        assert alerts[0].severity is AlertSeverity.CRITICAL
+
+    def test_no_alert_for_empty_plan(self, monitor, grid):
+        planned = TimeSeries(grid, 0, [0.0] * 8)
+        realized = TimeSeries(grid, 0, [0.0] * 8)
+        assert monitor.plan_deviation_alerts(planned, realized) == []
+
+
+class TestLowFlexibilityAlerts:
+    def test_rigid_offers_raise_alert(self, monitor):
+        rigid = [make_offer(offer_id=i, time_flexibility=0, profile=((2.0, 2.0),)) for i in range(1, 4)]
+        alerts = monitor.low_flexibility_alerts(rigid)
+        assert alerts and alerts[0].kind is AlertKind.LOW_FLEXIBILITY
+
+    def test_flexible_offers_do_not(self, monitor):
+        flexible = [make_offer(offer_id=i, time_flexibility=30, profile=((0.5, 3.0),)) for i in range(1, 4)]
+        assert monitor.low_flexibility_alerts(flexible) == []
+
+    def test_empty_set_is_critical(self, monitor):
+        alerts = monitor.low_flexibility_alerts([])
+        assert alerts[0].severity is AlertSeverity.CRITICAL
+
+
+class TestMonitoringPlatform:
+    @pytest.fixture(scope="class")
+    def platform(self, scenario):
+        return MonitoringPlatform(scenario)
+
+    def test_scan_returns_alerts(self, platform):
+        report = platform.scan()
+        assert len(report) >= 1
+        assert report.worst() is not None
+
+    def test_per_region_scan_adds_regional_alerts(self, platform):
+        overall = platform.scan()
+        regional = platform.scan(per_region=True)
+        assert len(regional) >= len(overall)
+        assert any(alert.region for alert in regional.alerts)
+
+    def test_report_filters(self, platform):
+        report = platform.scan(per_region=True)
+        for alert in report.by_kind(AlertKind.SHORTAGE):
+            assert alert.kind is AlertKind.SHORTAGE
+        for alert in report.by_severity(AlertSeverity.CRITICAL):
+            assert alert.severity is AlertSeverity.CRITICAL
+
+    def test_summary_lines_sorted_by_severity(self, platform):
+        report = platform.scan(per_region=True)
+        lines = report.summary_lines()
+        assert len(lines) == len(report)
+        if lines and "[CRITICAL]" in "".join(lines):
+            assert lines[0].startswith("[CRITICAL]")
+
+    def test_drill_down_offers_and_filter(self, platform, scenario):
+        report = platform.scan(per_region=True)
+        alert = next(alert for alert in report.alerts if alert.offer_ids)
+        offers = platform.offers_for(alert)
+        assert {offer.id for offer in offers} == set(alert.offer_ids)
+        query = platform.warehouse_filter_for(alert)
+        assert query.interval_start == alert.start
+        view = platform.drill_down_view(alert)
+        assert "<svg" in view.to_svg()
+
+    def test_scan_plan_detects_deviations(self, scenario):
+        platform = MonitoringPlatform(scenario)
+        plan = run_planning_cycle(
+            scenario,
+            config=PlanningConfig(realization=RealizationConfig(compliance_probability=0.0, energy_noise_std=0.5, seed=1)),
+        )
+        report = platform.scan_plan(plan)
+        kinds = {alert.kind for alert in report.alerts}
+        assert AlertKind.PLAN_DEVIATION in kinds or plan.settlement.total_absolute_deviation == 0.0

@@ -1,0 +1,244 @@
+"""Tests for the OLAP cube, pivot tables and the MDX subset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MdxSyntaxError, UnknownDimensionError
+from repro.flexoffer.model import FlexOfferState
+from repro.olap.cube import FlexOfferCube, GroupBy, MemberFilter
+from repro.olap.mdx import execute, parse
+from repro.olap.pivot import pivot
+
+
+@pytest.fixture(scope="module")
+def cube(scenario):
+    return FlexOfferCube(scenario.flex_offers, scenario.grid, topology=scenario.topology)
+
+
+class TestCubeAggregation:
+    def test_total_count_preserved(self, cube, scenario):
+        cell_set = cube.aggregate([GroupBy("Geography", "region")], ["flex_offer_count"])
+        assert cell_set.totals()["flex_offer_count"] == len(scenario.flex_offers)
+
+    def test_two_axis_grouping(self, cube, scenario):
+        cell_set = cube.aggregate(
+            [GroupBy("Geography", "region"), GroupBy("State", "state")], ["flex_offer_count"]
+        )
+        assert all(len(cell.coordinates) == 2 for cell in cell_set.cells)
+        assert cell_set.totals()["flex_offer_count"] == len(scenario.flex_offers)
+
+    def test_all_level_collapses_to_one_cell(self, cube, scenario):
+        cell_set = cube.aggregate([GroupBy("Geography", "all")], ["flex_offer_count"])
+        assert len(cell_set.cells) == 1
+        assert cell_set.cells[0].values["flex_offer_count"] == len(scenario.flex_offers)
+
+    def test_unknown_dimension_raises(self, cube):
+        with pytest.raises(UnknownDimensionError):
+            cube.aggregate([GroupBy("Weather", "all")], ["flex_offer_count"])
+
+    def test_cell_lookup_and_default(self, cube):
+        cell_set = cube.aggregate([GroupBy("Geography", "region")], ["flex_offer_count"])
+        member = cell_set.axis_members(0)[0]
+        assert cell_set.value((member,), "flex_offer_count") > 0
+        assert cell_set.value(("Atlantis",), "flex_offer_count", default=-1.0) == -1.0
+
+    def test_offer_counts_match_cell_counts(self, cube):
+        cell_set = cube.aggregate([GroupBy("State", "state")], ["flex_offer_count"])
+        for cell in cell_set.cells:
+            assert cell.offer_count == cell.values["flex_offer_count"]
+
+
+class TestCubeFiltering:
+    def test_filter_reduces_offers(self, cube):
+        filtered = cube.filter([MemberFilter("Geography", "region", ("Capital",))])
+        assert 0 < len(filtered.offers) < len(cube.offers)
+        assert all(offer.region == "Capital" for offer in filtered.offers)
+
+    def test_slice_is_single_member_filter(self, cube):
+        sliced = cube.slice("State", "state", FlexOfferState.ASSIGNED.value)
+        assert all(offer.state is FlexOfferState.ASSIGNED for offer in sliced.offers)
+
+    def test_nested_filters(self, cube):
+        filtered = cube.filter(
+            [
+                MemberFilter("Geography", "region", ("Capital", "Zealand")),
+                MemberFilter("State", "state", ("assigned",)),
+            ]
+        )
+        assert all(
+            offer.region in ("Capital", "Zealand") and offer.state is FlexOfferState.ASSIGNED
+            for offer in filtered.offers
+        )
+
+    def test_aggregate_with_filters_argument(self, cube):
+        direct = cube.filter([MemberFilter("Geography", "region", ("Capital",))]).aggregate(
+            [GroupBy("State", "state")], ["flex_offer_count"]
+        )
+        via_argument = cube.aggregate(
+            [GroupBy("State", "state")],
+            ["flex_offer_count"],
+            filters=[MemberFilter("Geography", "region", ("Capital",))],
+        )
+        assert direct.totals() == via_argument.totals()
+
+    def test_members_enumeration(self, cube, scenario):
+        regions = cube.members("Geography", "region")
+        assert set(regions) == {offer.region for offer in scenario.flex_offers}
+
+
+class TestDrill:
+    def test_drill_down_region_to_city(self, cube):
+        coarse = cube.aggregate([GroupBy("Geography", "region")], ["flex_offer_count"])
+        fine = cube.drill_down(coarse, axis=0)
+        assert fine.group_by[0].level == "city"
+        assert fine.totals()["flex_offer_count"] == coarse.totals()["flex_offer_count"]
+
+    def test_drill_up_city_to_region(self, cube):
+        fine = cube.aggregate([GroupBy("Geography", "city")], ["flex_offer_count"])
+        coarse = cube.drill_up(fine, axis=0)
+        assert coarse.group_by[0].level == "region"
+
+    def test_drill_down_at_leaf_is_noop(self, cube):
+        leaf = cube.aggregate([GroupBy("Geography", "district")], ["flex_offer_count"])
+        assert cube.drill_down(leaf, axis=0) is leaf
+
+    def test_drill_up_at_root_is_noop(self, cube):
+        root = cube.aggregate([GroupBy("Geography", "all")], ["flex_offer_count"])
+        assert cube.drill_up(root, axis=0) is root
+
+
+class TestPivot:
+    def test_pivot_shape(self, cube):
+        table = pivot(
+            cube,
+            GroupBy("Prosumer", "prosumer_type"),
+            GroupBy("Time", "hour"),
+            ["flex_offer_count"],
+        )
+        assert len(table.values["flex_offer_count"]) == len(table.row_members)
+        assert all(len(row) == len(table.column_members) for row in table.values["flex_offer_count"])
+
+    def test_pivot_grand_total_matches(self, cube, scenario):
+        table = pivot(
+            cube, GroupBy("Prosumer", "prosumer_type"), GroupBy("Time", "hour"), ["flex_offer_count"]
+        )
+        assert sum(table.row_totals("flex_offer_count")) == len(scenario.flex_offers)
+        assert sum(table.column_totals("flex_offer_count")) == len(scenario.flex_offers)
+
+    def test_pivot_time_columns_sorted(self, cube):
+        table = pivot(
+            cube, GroupBy("Prosumer", "prosumer_type"), GroupBy("Time", "hour"), ["flex_offer_count"]
+        )
+        assert table.column_members == sorted(table.column_members)
+
+    def test_pivot_value_lookup(self, cube):
+        table = pivot(
+            cube, GroupBy("Prosumer", "prosumer_type"), GroupBy("Time", "hour"), ["flex_offer_count"]
+        )
+        row = table.row_members[0]
+        column = table.column_members[0]
+        assert table.value("flex_offer_count", row, column) >= 0.0
+        assert table.value("flex_offer_count", "nonexistent", column) == 0.0
+
+    def test_pivot_to_text(self, cube):
+        table = pivot(
+            cube, GroupBy("Prosumer", "prosumer_type"), GroupBy("Time", "hour"), ["flex_offer_count"]
+        )
+        text = table.to_text("flex_offer_count")
+        assert str(table.row_members[0]) in text
+
+    def test_pivot_with_filters(self, cube):
+        table = pivot(
+            cube,
+            GroupBy("Prosumer", "prosumer_type"),
+            GroupBy("Time", "hour"),
+            ["flex_offer_count"],
+            filters=[MemberFilter("State", "state", ("assigned",))],
+        )
+        assigned = sum(1 for offer in cube.offers if offer.state is FlexOfferState.ASSIGNED)
+        assert sum(table.row_totals("flex_offer_count")) == assigned
+
+
+class TestMdx:
+    def test_parse_basic_query(self):
+        query = parse(
+            "SELECT {[Measures].[flex_offer_count]} ON COLUMNS, "
+            "{[Prosumer].[prosumer_type].Members} ON ROWS FROM [FlexOffers]"
+        )
+        assert query.measures == ("flex_offer_count",)
+        assert query.rows_dimension == "Prosumer"
+        assert query.rows_level == "prosumer_type"
+        assert query.rows_members is None
+        assert query.cube_name == "FlexOffers"
+
+    def test_parse_multiple_measures_and_where(self):
+        query = parse(
+            "SELECT {[Measures].[flex_offer_count], [Measures].[scheduled_energy]} ON COLUMNS, "
+            "{[Geography].[city].Members} ON ROWS FROM [FlexOffers] "
+            "WHERE ([Geography].[region].[Capital], [State].[state].[assigned])"
+        )
+        assert query.measures == ("flex_offer_count", "scheduled_energy")
+        assert query.slicers == (("Geography", "region", "Capital"), ("State", "state", "assigned"))
+
+    def test_parse_explicit_members(self):
+        query = parse(
+            "SELECT {[Measures].[flex_offer_count]} ON COLUMNS, "
+            "{[Prosumer].[prosumer_type].[household], [Prosumer].[prosumer_type].[commercial]} ON ROWS "
+            "FROM [FlexOffers]"
+        )
+        assert query.rows_members == ("household", "commercial")
+
+    def test_parse_is_case_insensitive_on_keywords(self):
+        query = parse(
+            "select {[Measures].[flex_offer_count]} on columns, "
+            "{[State].[state].members} on rows from [FlexOffers]"
+        )
+        assert query.rows_dimension == "State"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(MdxSyntaxError):
+            parse("SELECT stuff FROM nowhere")
+
+    def test_parse_rejects_non_measures_on_columns(self):
+        with pytest.raises(MdxSyntaxError):
+            parse(
+                "SELECT {[Geography].[region]} ON COLUMNS, "
+                "{[State].[state].Members} ON ROWS FROM [FlexOffers]"
+            )
+
+    def test_parse_rejects_mixed_row_dimensions(self):
+        with pytest.raises(MdxSyntaxError):
+            parse(
+                "SELECT {[Measures].[flex_offer_count]} ON COLUMNS, "
+                "{[State].[state].[assigned], [Geography].[region].[Capital]} ON ROWS FROM [FlexOffers]"
+            )
+
+    def test_execute_members_query(self, cube, scenario):
+        table = execute(
+            cube,
+            "SELECT {[Measures].[flex_offer_count]} ON COLUMNS, "
+            "{[State].[state].Members} ON ROWS FROM [FlexOffers]",
+        )
+        total = sum(row[0] for row in table.values["value"])
+        assert total == len(scenario.flex_offers)
+        assert table.column_members == ["flex_offer_count"]
+
+    def test_execute_with_slicer(self, cube):
+        table = execute(
+            cube,
+            "SELECT {[Measures].[flex_offer_count]} ON COLUMNS, "
+            "{[Geography].[city].Members} ON ROWS FROM [FlexOffers] "
+            "WHERE ([Geography].[region].[Capital])",
+        )
+        capital_offers = [offer for offer in cube.offers if offer.region == "Capital"]
+        assert sum(row[0] for row in table.values["value"]) == len(capital_offers)
+
+    def test_execute_explicit_members_order(self, cube):
+        table = execute(
+            cube,
+            "SELECT {[Measures].[flex_offer_count]} ON COLUMNS, "
+            "{[Prosumer].[prosumer_type].[household], [Prosumer].[prosumer_type].[commercial]} ON ROWS "
+            "FROM [FlexOffers]",
+        )
+        assert table.row_members == ["household", "commercial"]

@@ -1,0 +1,155 @@
+"""Tests for OLAP dimensions, hierarchies and the Req.-2 measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownDimensionError, UnknownMeasureError
+from repro.flexoffer.model import Direction, FlexOfferState
+from repro.olap.dimension import (
+    appliance_dimension,
+    geography_dimension,
+    grid_dimension,
+    prosumer_dimension,
+    standard_dimensions,
+    state_dimension,
+    time_dimension,
+)
+from repro.olap.measures import STANDARD_MEASURES, MeasureContext, get_measure
+from tests.conftest import make_offer
+
+
+class TestDimensions:
+    def test_standard_dimensions_present(self, grid):
+        dimensions = standard_dimensions(grid)
+        assert set(dimensions) == {
+            "Time",
+            "Geography",
+            "Grid",
+            "EnergyType",
+            "Prosumer",
+            "Appliance",
+            "State",
+        }
+
+    def test_every_dimension_starts_with_all_level(self, grid):
+        for dimension in standard_dimensions(grid).values():
+            assert dimension.levels[0].name == "all"
+
+    def test_geography_hierarchy_order(self):
+        assert geography_dimension().level_names() == ["all", "region", "city", "district"]
+
+    def test_time_levels_derive_from_grid(self, grid):
+        dimension = time_dimension(grid)
+        offer = make_offer(earliest_start=50)  # 12:30 on 2012-02-01
+        assert dimension.level("day").member_of(offer) == "2012-02-01"
+        assert dimension.level("hour").member_of(offer) == "2012-02-01 12:00"
+        assert dimension.level("month").member_of(offer) == "2012-02"
+        assert dimension.level("slot").member_of(offer) == 50
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(UnknownDimensionError):
+            geography_dimension().level("galaxy")
+
+    def test_drill_down_and_up(self):
+        dimension = geography_dimension()
+        assert dimension.drill_down_level("region").name == "city"
+        assert dimension.drill_up_level("city").name == "region"
+        assert dimension.drill_down_level("district") is None
+        assert dimension.drill_up_level("all") is None
+
+    def test_members_enumeration(self):
+        offers = [make_offer(offer_id=1, region="Capital"), make_offer(offer_id=2, region="Zealand")]
+        assert geography_dimension().members("region", offers) == ["Capital", "Zealand"]
+
+    def test_prosumer_role_level(self):
+        consumer = make_offer(offer_id=1)
+        producer = make_offer(offer_id=2, direction=Direction.PRODUCTION)
+        level = prosumer_dimension().level("role")
+        assert level.member_of(consumer) == "Consumer"
+        assert level.member_of(producer) == "Producer"
+
+    def test_state_dimension(self):
+        offer = make_offer().accept()
+        assert state_dimension().level("state").member_of(offer) == "accepted"
+
+    def test_appliance_dimension_unknown_fallback(self):
+        offer = make_offer(appliance_type="")
+        assert appliance_dimension().level("appliance_type").member_of(offer) == "(unknown)"
+
+    def test_grid_dimension_with_topology(self, scenario):
+        dimension = grid_dimension(scenario.topology)
+        offer = scenario.flex_offers[0]
+        feeder = dimension.level("feeder").member_of(offer)
+        distribution = dimension.level("distribution").member_of(offer)
+        transmission = dimension.level("transmission").member_of(offer)
+        assert feeder.startswith("F ")
+        assert distribution.startswith("DS ")
+        assert transmission.startswith("TX ")
+
+    def test_grid_dimension_without_topology_falls_back(self):
+        dimension = grid_dimension(None)
+        offer = make_offer()
+        assert dimension.level("distribution").member_of(offer) == "DS Copenhagen"
+        assert dimension.level("transmission").member_of(offer) == "TX Capital"
+
+
+class TestMeasures:
+    def test_all_required_measures_registered(self):
+        for name in (
+            "flex_offer_count",
+            "accepted_count",
+            "assigned_count",
+            "rejected_count",
+            "scheduled_energy",
+            "plan_deviation",
+            "balancing_potential",
+            "avg_price",
+            "min_energy",
+            "max_energy",
+        ):
+            assert name in STANDARD_MEASURES
+
+    def test_unknown_measure_raises(self):
+        with pytest.raises(UnknownMeasureError):
+            get_measure("happiness")
+
+    def test_count_measures(self, offer_batch):
+        assert get_measure("flex_offer_count")(offer_batch) == len(offer_batch)
+        accepted = sum(1 for o in offer_batch if o.state is FlexOfferState.ACCEPTED)
+        assert get_measure("accepted_count")(offer_batch) == accepted
+
+    def test_attribute_measures(self, offer_batch):
+        assert get_measure("min_energy")(offer_batch) == pytest.approx(
+            min(o.min_total_energy for o in offer_batch)
+        )
+        assert get_measure("max_energy")(offer_batch) == pytest.approx(
+            max(o.max_total_energy for o in offer_batch)
+        )
+        assert get_measure("total_energy")(offer_batch) == pytest.approx(
+            sum(o.max_total_energy for o in offer_batch)
+        )
+
+    def test_measures_on_empty_group_are_zero(self):
+        for name, measure in STANDARD_MEASURES.items():
+            assert measure([]) == 0.0, name
+
+    def test_scheduled_energy_measure(self, offer_batch):
+        expected = sum(o.scheduled_energy for o in offer_batch)
+        assert get_measure("scheduled_energy")(offer_batch) == pytest.approx(expected)
+
+    def test_plan_deviation_zero_without_context(self, offer_batch):
+        assert get_measure("plan_deviation")(offer_batch) == 0.0
+
+    def test_plan_deviation_with_context(self, offer_batch):
+        assigned = [o for o in offer_batch if o.schedule is not None]
+        context = MeasureContext(realized_energy={assigned[0].id: assigned[0].scheduled_energy + 2.0})
+        assert get_measure("plan_deviation")(offer_batch, context) == pytest.approx(2.0)
+
+    def test_balancing_potential_in_unit_interval(self, offer_batch):
+        value = get_measure("balancing_potential")(offer_batch)
+        assert 0.0 <= value <= 1.0
+
+    def test_avg_time_flexibility(self, offer_batch):
+        expected = sum(o.time_flexibility_slots for o in offer_batch) / len(offer_batch)
+        assert get_measure("avg_time_flexibility")(offer_batch) == pytest.approx(expected)

@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation.aggregate import aggregate_group
+from repro.aggregation.disaggregate import disaggregate
+from repro.flexoffer.model import FlexOffer, ProfileSlice, Schedule
+from repro.flexoffer.serialization import flex_offer_from_dict, flex_offer_to_dict
+from repro.render.scales import LinearScale, pretty_ticks
+from repro.timeseries.grid import TimeGrid
+from repro.timeseries.resample import downsample, upsample
+from repro.timeseries.series import TimeSeries
+from repro.views.lanes import assign_lanes, lanes_are_valid
+
+_GRID = TimeGrid()
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def profile_slices(draw):
+    low = draw(st.floats(min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False))
+    band = draw(st.floats(min_value=0.0, max_value=20.0, allow_nan=False, allow_infinity=False))
+    return ProfileSlice(min_energy=round(low, 4), max_energy=round(low + band, 4))
+
+
+@st.composite
+def flex_offers(draw, offer_id: int | None = None):
+    earliest = draw(st.integers(min_value=0, max_value=200))
+    flexibility = draw(st.integers(min_value=0, max_value=40))
+    profile = tuple(draw(st.lists(profile_slices(), min_size=1, max_size=8)))
+    start_time = _GRID.to_datetime(earliest)
+    identifier = offer_id if offer_id is not None else draw(st.integers(min_value=1, max_value=10_000))
+    return FlexOffer(
+        id=identifier,
+        prosumer_id=draw(st.integers(min_value=1, max_value=100)),
+        profile=profile,
+        earliest_start_slot=earliest,
+        latest_start_slot=earliest + flexibility,
+        creation_time=start_time - timedelta(hours=5),
+        acceptance_deadline=start_time - timedelta(hours=3),
+        assignment_deadline=start_time - timedelta(hours=1),
+        region=draw(st.sampled_from(["Capital", "Zealand", "North Jutland"])),
+        appliance_type=draw(st.sampled_from(["electric_vehicle", "heat_pump", "dishwasher"])),
+    )
+
+
+offer_lists = st.lists(flex_offers(), min_size=1, max_size=12).map(
+    # Re-number ids so they are unique within a list.
+    lambda offers: [
+        FlexOffer(**{**offer.__dict__, "id": index + 1}) for index, offer in enumerate(offers)
+    ]
+)
+
+
+series_values = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=96,
+)
+
+
+# ----------------------------------------------------------------------
+# Flex-offer invariants
+# ----------------------------------------------------------------------
+class TestFlexOfferProperties:
+    @given(flex_offers())
+    @settings(max_examples=60, deadline=None)
+    def test_energy_bounds_ordered(self, offer):
+        assert offer.min_total_energy <= offer.max_total_energy + 1e-9
+        assert offer.energy_flexibility >= -1e-9
+
+    @given(flex_offers())
+    @settings(max_examples=60, deadline=None)
+    def test_span_covers_profile(self, offer):
+        assert offer.latest_end_slot - offer.earliest_start_slot >= offer.profile_duration_slots
+
+    @given(flex_offers())
+    @settings(max_examples=60, deadline=None)
+    def test_serialization_roundtrip(self, offer):
+        assert flex_offer_from_dict(flex_offer_to_dict(offer)) == offer
+
+    @given(flex_offers())
+    @settings(max_examples=60, deadline=None)
+    def test_default_schedule_is_always_feasible(self, offer):
+        assigned = offer.with_default_schedule()
+        assert assigned.schedule is not None
+        assert assigned.scheduled_energy <= offer.max_total_energy + 1e-9
+
+    @given(flex_offers(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_any_fraction_schedule_is_feasible(self, offer, fraction):
+        amounts = tuple(
+            piece.min_energy + fraction * (piece.max_energy - piece.min_energy) for piece in offer.profile
+        )
+        assigned = offer.assign(Schedule(start_slot=offer.latest_start_slot, energy_per_slice=amounts))
+        assert assigned.scheduled_series(_GRID).total() >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Aggregation / disaggregation invariants
+# ----------------------------------------------------------------------
+class TestAggregationProperties:
+    @given(offer_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_aggregate_preserves_energy_bounds(self, offers):
+        combined = aggregate_group(offers, 1_000_000)
+        np.testing.assert_allclose(
+            combined.min_total_energy, sum(o.min_total_energy for o in offers), rtol=1e-7, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            combined.max_total_energy, sum(o.max_total_energy for o in offers), rtol=1e-7, atol=1e-9
+        )
+
+    @given(offer_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_aggregate_flexibility_is_group_minimum(self, offers):
+        combined = aggregate_group(offers, 1_000_000)
+        assert combined.time_flexibility_slots == min(o.time_flexibility_slots for o in offers)
+
+    @given(offer_lists, st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_disaggregation_always_feasible(self, offers, fraction, shift_seed):
+        combined = aggregate_group(offers, 1_000_000)
+        if not combined.is_aggregate:
+            return
+        shift = shift_seed % (combined.time_flexibility_slots + 1)
+        amounts = tuple(
+            piece.min_energy + fraction * (piece.max_energy - piece.min_energy) for piece in combined.profile
+        )
+        schedule = Schedule(start_slot=combined.earliest_start_slot + shift, energy_per_slice=amounts)
+        assigned = disaggregate(combined, offers, schedule)
+        assert len(assigned) == len(offers)
+        for original, result in zip(offers, assigned):
+            assert original.earliest_start_slot <= result.schedule.start_slot <= original.latest_start_slot
+            for piece, amount in zip(result.profile, result.schedule.energy_per_slice):
+                assert piece.min_energy - 1e-6 <= amount <= piece.max_energy + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Lane packing invariant
+# ----------------------------------------------------------------------
+class TestLaneProperties:
+    @given(offer_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_first_fit_lanes_never_overlap(self, offers):
+        assignment = assign_lanes(offers)
+        assert lanes_are_valid(offers, assignment)
+
+    @given(offer_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_lane_count_bounded_by_offer_count(self, offers):
+        assignment = assign_lanes(offers)
+        assert max(assignment.values()) + 1 <= len(offers)
+
+
+# ----------------------------------------------------------------------
+# Time-series and scale invariants
+# ----------------------------------------------------------------------
+class TestSeriesProperties:
+    @given(series_values, series_values)
+    @settings(max_examples=60, deadline=None)
+    def test_addition_is_commutative(self, left, right):
+        a = TimeSeries(_GRID, 0, left)
+        b = TimeSeries(_GRID, 3, right)
+        np.testing.assert_allclose((a + b).values, (b + a).values)
+
+    @given(series_values)
+    @settings(max_examples=60, deadline=None)
+    def test_downsample_preserves_total(self, values):
+        series = TimeSeries(_GRID, 0, values)
+        coarse = downsample(series, TimeGrid(resolution=timedelta(hours=1)))
+        np.testing.assert_allclose(coarse.total(), series.total(), rtol=1e-9, atol=1e-9)
+
+    @given(series_values)
+    @settings(max_examples=60, deadline=None)
+    def test_upsample_then_downsample_is_identity(self, values):
+        hour = TimeGrid(resolution=timedelta(hours=1))
+        series = TimeSeries(hour, 0, values)
+        roundtrip = downsample(upsample(series, _GRID), hour)
+        np.testing.assert_allclose(roundtrip.values, series.values, atol=1e-9)
+
+    @given(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0.001, max_value=1e6, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pretty_ticks_have_constant_step(self, low, width):
+        ticks = pretty_ticks(low, low + width)
+        assert len(ticks) >= 2
+        steps = np.diff(ticks)
+        np.testing.assert_allclose(steps, steps[0], rtol=1e-6)
+
+    @given(
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        st.floats(min_value=0.01, max_value=1e4, allow_nan=False),
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_linear_scale_invert_roundtrip(self, low, width, value_fraction):
+        scale = LinearScale(low, low + width, 0.0, 640.0)
+        value = low + (value_fraction % 1.0) * width
+        assert abs(scale.invert(scale.project(value)) - value) < 1e-6 * max(1.0, abs(value))

@@ -1,0 +1,139 @@
+"""Property-based round-trip tests across module boundaries.
+
+These properties tie several substrates together: arbitrary (valid) flex-offers
+must survive the warehouse fact-table round trip, the JSON and CSV exchange
+formats, and the OLAP cube must preserve totals regardless of which dimension
+level the offers are grouped on.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flexoffer.model import FlexOffer, ProfileSlice
+from repro.flexoffer.serialization import from_csv, from_json, to_csv, to_json
+from repro.olap.cube import FlexOfferCube, GroupBy
+from repro.olap.mdx import parse
+from repro.timeseries.grid import TimeGrid
+from repro.warehouse.loader import load_flex_offer
+from repro.warehouse.query import FlexOfferRepository
+from repro.warehouse.schema import StarSchema
+
+_GRID = TimeGrid()
+
+
+@st.composite
+def stateful_offers(draw, offer_id: int):
+    """A valid flex-offer in a random lifecycle state (with schedule when needed)."""
+    earliest = draw(st.integers(min_value=0, max_value=90))
+    flexibility = draw(st.integers(min_value=0, max_value=20))
+    slice_count = draw(st.integers(min_value=1, max_value=5))
+    profile = []
+    for _ in range(slice_count):
+        low = round(draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False)), 3)
+        band = round(draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False)), 3)
+        profile.append(ProfileSlice(min_energy=low, max_energy=low + band))
+    start_time = _GRID.to_datetime(earliest)
+    offer = FlexOffer(
+        id=offer_id,
+        prosumer_id=draw(st.integers(min_value=1, max_value=50)),
+        profile=tuple(profile),
+        earliest_start_slot=earliest,
+        latest_start_slot=earliest + flexibility,
+        creation_time=start_time - timedelta(hours=6),
+        acceptance_deadline=start_time - timedelta(hours=3),
+        assignment_deadline=start_time - timedelta(hours=1),
+        region=draw(st.sampled_from(["Capital", "Zealand"])),
+        city=draw(st.sampled_from(["Copenhagen", "Roskilde"])),
+        district="Copenhagen Centrum",
+        energy_type=draw(st.sampled_from(["grid", "hydro"])),
+        prosumer_type=draw(st.sampled_from(["household", "commercial"])),
+        appliance_type=draw(st.sampled_from(["electric_vehicle", "heat_pump"])),
+        price_per_kwh=round(draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False)), 4),
+    )
+    action = draw(st.sampled_from(["offered", "accepted", "assigned", "rejected"]))
+    if action == "accepted":
+        return offer.accept()
+    if action == "rejected":
+        return offer.reject()
+    if action == "assigned":
+        return offer.with_default_schedule()
+    return offer
+
+
+offer_batches = st.integers(min_value=1, max_value=8).flatmap(
+    lambda count: st.tuples(*[stateful_offers(offer_id=i + 1) for i in range(count)]).map(list)
+)
+
+
+class TestExchangeRoundTrips:
+    @given(offer_batches)
+    @settings(max_examples=30, deadline=None)
+    def test_json_roundtrip(self, offers):
+        assert from_json(to_json(offers)) == offers
+
+    @given(offer_batches)
+    @settings(max_examples=30, deadline=None)
+    def test_csv_roundtrip(self, offers):
+        assert from_csv(to_csv(offers)) == offers
+
+    @given(offer_batches)
+    @settings(max_examples=25, deadline=None)
+    def test_warehouse_roundtrip(self, offers):
+        schema = StarSchema.empty()
+        for offer in offers:
+            load_flex_offer(schema, offer, geo_ids={})
+        repository = FlexOfferRepository(schema, _GRID)
+        loaded = repository.load().offers
+        assert loaded == offers
+
+
+class TestCubeInvariants:
+    @given(offer_batches, st.sampled_from(["region", "city", "all"]))
+    @settings(max_examples=30, deadline=None)
+    def test_count_total_is_level_independent(self, offers, level):
+        cube = FlexOfferCube(offers, _GRID)
+        cell_set = cube.aggregate([GroupBy("Geography", level)], ["flex_offer_count"])
+        assert cell_set.totals()["flex_offer_count"] == len(offers)
+
+    @given(offer_batches)
+    @settings(max_examples=30, deadline=None)
+    def test_scheduled_energy_total_matches_offers(self, offers):
+        cube = FlexOfferCube(offers, _GRID)
+        cell_set = cube.aggregate([GroupBy("State", "state")], ["scheduled_energy"])
+        expected = sum(offer.scheduled_energy for offer in offers)
+        assert abs(cell_set.totals()["scheduled_energy"] - expected) < 1e-6
+
+    @given(offer_batches)
+    @settings(max_examples=30, deadline=None)
+    def test_two_axis_grouping_preserves_count(self, offers):
+        cube = FlexOfferCube(offers, _GRID)
+        cell_set = cube.aggregate(
+            [GroupBy("Prosumer", "prosumer_type"), GroupBy("Appliance", "appliance_type")],
+            ["flex_offer_count"],
+        )
+        assert cell_set.totals()["flex_offer_count"] == len(offers)
+
+
+class TestMdxParseProperties:
+    measure_names = st.sampled_from(["flex_offer_count", "scheduled_energy", "avg_price"])
+    dimension_levels = st.sampled_from(
+        [("Geography", "region"), ("Prosumer", "prosumer_type"), ("State", "state")]
+    )
+
+    @given(st.lists(measure_names, min_size=1, max_size=3, unique=True), dimension_levels)
+    @settings(max_examples=40, deadline=None)
+    def test_generated_queries_parse(self, measures, dimension_level):
+        dimension, level = dimension_level
+        columns = ", ".join(f"[Measures].[{measure}]" for measure in measures)
+        query_text = (
+            f"SELECT {{{columns}}} ON COLUMNS, "
+            f"{{[{dimension}].[{level}].Members}} ON ROWS FROM [FlexOffers]"
+        )
+        query = parse(query_text)
+        assert query.measures == tuple(measures)
+        assert query.rows_dimension == dimension
+        assert query.rows_level == level

@@ -1,0 +1,186 @@
+"""Tests for the SVG and ASCII backends, axes and incremental rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RenderError
+from repro.render.ascii_backend import AsciiCanvas, render_ascii
+from repro.render.axes import PlotArea, legend, time_axis, value_axis
+from repro.render.color import Palette
+from repro.render.incremental import IncrementalRenderer, monolithic_render_time, time_to_first_chunk
+from repro.render.scales import LinearScale, SlotTimeScale
+from repro.render.scene import Circle, Group, Line, Polygon, Polyline, Rect, Scene, Style, Text, Wedge
+from repro.render.svg import render_svg, save_svg
+
+
+@pytest.fixture
+def sample_scene(grid):
+    scene = Scene(width=400, height=200, title="sample", background=Palette.PANEL)
+    area = PlotArea(left=40, top=20, width=340, height=140)
+    time_scale = SlotTimeScale.build(grid, 0, 96, area.left, area.right)
+    value_scale = LinearScale.nice(0, 10, area.bottom, area.top)
+    scene.add(time_axis(area, time_scale))
+    scene.add(value_axis(area, value_scale, label="energy", unit="kWh"))
+    marks = Group(name="marks")
+    scene.add(marks)
+    for index in range(10):
+        marks.add(
+            Rect(
+                x=50 + index * 30,
+                y=40 + (index % 3) * 30,
+                width=25,
+                height=18,
+                style=Style(fill=Palette.FLEX_OFFER, stroke=Palette.AXIS),
+                element_id=f"fo:{index}",
+                tooltip=f"offer {index}",
+            )
+        )
+    marks.add(Line(x1=50, y1=150, x2=350, y2=150, style=Style(stroke=Palette.SCHEDULE, dashed=True)))
+    marks.add(Polyline(points=((50, 60), (120, 90), (200, 40)), style=Style(stroke=Palette.RES_PRODUCTION)))
+    marks.add(Polygon(points=((300, 100), (320, 120), (280, 120)), style=Style(fill=Palette.ENERGY_BAND)))
+    marks.add(Circle(cx=330, cy=60, radius=8, style=Style(fill=Palette.STATE_ACCEPTED)))
+    marks.add(Wedge(cx=330, cy=120, radius=12, start_angle=0, end_angle=120, style=Style(fill=Palette.STATE_REJECTED)))
+    marks.add(Text(x=200, y=15, text="caption", anchor="middle", style=Style(fill=Palette.AXIS)))
+    scene.add(legend(area, [("offer", Palette.FLEX_OFFER)]))
+    return scene
+
+
+class TestSvgBackend:
+    def test_document_structure(self, sample_scene):
+        svg = render_svg(sample_scene)
+        assert svg.startswith("<?xml")
+        assert "<svg" in svg and svg.rstrip().endswith("</svg>")
+        assert 'width="400"' in svg and 'height="200"' in svg
+
+    def test_title_and_background_emitted(self, sample_scene):
+        svg = render_svg(sample_scene)
+        assert "<title>sample</title>" in svg
+        assert Palette.PANEL.to_hex() in svg
+
+    def test_all_primitive_tags_present(self, sample_scene):
+        svg = render_svg(sample_scene)
+        for tag in ("<rect", "<line", "<polyline", "<polygon", "<circle", "<path", "<text"):
+            assert tag in svg
+
+    def test_element_ids_become_data_attributes(self, sample_scene):
+        svg = render_svg(sample_scene)
+        assert 'data-element="fo:0"' in svg
+
+    def test_tooltips_become_title_elements(self, sample_scene):
+        svg = render_svg(sample_scene)
+        assert "<title>offer 3</title>" in svg
+
+    def test_dashed_style(self, sample_scene):
+        assert "stroke-dasharray" in render_svg(sample_scene)
+
+    def test_text_is_escaped(self):
+        scene = Scene(width=50, height=50)
+        scene.add(Text(x=0, y=10, text="a < b & c"))
+        svg = render_svg(scene)
+        assert "a &lt; b &amp; c" in svg
+
+    def test_save_svg(self, sample_scene, tmp_path):
+        path = save_svg(sample_scene, str(tmp_path / "scene.svg"))
+        assert (tmp_path / "scene.svg").read_text().startswith("<?xml")
+        assert path.endswith("scene.svg")
+
+    def test_deterministic_output(self, sample_scene):
+        assert render_svg(sample_scene) == render_svg(sample_scene)
+
+
+class TestAsciiBackend:
+    def test_canvas_dimensions_validated(self):
+        with pytest.raises(RenderError):
+            AsciiCanvas(0, 10)
+
+    def test_canvas_put_ignores_out_of_range(self):
+        canvas = AsciiCanvas(5, 5)
+        canvas.put(99, 99, "x")  # must not raise
+        assert "x" not in canvas.to_string()
+
+    def test_draw_rect_outline(self):
+        canvas = AsciiCanvas(10, 6)
+        canvas.draw_rect(1, 1, 6, 4, fill=".", border="#")
+        text = canvas.to_string()
+        assert "#" in text and "." in text
+
+    def test_draw_text(self):
+        canvas = AsciiCanvas(20, 3)
+        canvas.draw_text(2, 1, "hello")
+        assert "hello" in canvas.to_string()
+
+    def test_render_scene_to_ascii(self, sample_scene):
+        art = render_ascii(sample_scene, columns=80)
+        lines = art.splitlines()
+        assert len(lines) > 5
+        assert any("#" in line for line in lines)
+        assert any("caption" in line for line in lines)
+
+    def test_width_respected(self, sample_scene):
+        art = render_ascii(sample_scene, columns=60)
+        assert all(len(line) <= 60 for line in art.splitlines())
+
+
+class TestAxes:
+    def test_time_axis_has_ticks_and_labels(self, grid):
+        area = PlotArea(left=40, top=20, width=300, height=100)
+        scale = SlotTimeScale.build(grid, 0, 96, area.left, area.right)
+        group = time_axis(area, scale)
+        texts = [node for node in group.walk() if isinstance(node, Text)]
+        lines = [node for node in group.walk() if isinstance(node, Line)]
+        assert len(texts) >= 3
+        assert len(lines) >= 3
+
+    def test_value_axis_label_mentions_unit(self, grid):
+        area = PlotArea(left=40, top=20, width=300, height=100)
+        scale = LinearScale.nice(0, 25, area.bottom, area.top)
+        group = value_axis(area, scale, label="energy", unit="kWh")
+        labels = [node.text for node in group.walk() if isinstance(node, Text)]
+        assert any("kWh" in label for label in labels)
+
+    def test_legend_entries(self, grid):
+        area = PlotArea(left=0, top=0, width=200, height=100)
+        group = legend(area, [("a", Palette.FLEX_OFFER), ("b", Palette.SCHEDULE)])
+        labels = [node.text for node in group.walk() if isinstance(node, Text)]
+        assert labels == ["a", "b"]
+
+
+class TestIncrementalRendering:
+    def test_chunks_cover_all_marks(self, sample_scene):
+        renderer = IncrementalRenderer(chunk_size=4)
+        chunks = list(renderer.render(sample_scene))
+        assert chunks[-1].complete
+        assert chunks[-1].nodes_rendered == chunks[-1].nodes_total
+        assert sum(1 for _ in chunks) == -(-chunks[-1].nodes_total // 4)
+
+    def test_progress_is_monotonic(self, sample_scene):
+        chunks = list(IncrementalRenderer(chunk_size=3).render(sample_scene))
+        rendered = [chunk.nodes_rendered for chunk in chunks]
+        assert rendered == sorted(rendered)
+
+    def test_documents_grow(self, sample_scene):
+        chunks = list(IncrementalRenderer(chunk_size=5, emit_documents=True).render(sample_scene))
+        sizes = [len(chunk.document) for chunk in chunks]
+        assert sizes == sorted(sizes)
+        assert all("<svg" in chunk.document for chunk in chunks)
+
+    def test_empty_scene_yields_single_chunk(self):
+        scene = Scene(width=10, height=10)
+        chunks = list(IncrementalRenderer().render(scene))
+        assert len(chunks) == 1
+        assert chunks[0].complete
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(RenderError):
+            IncrementalRenderer(chunk_size=0)
+
+    def test_first_chunk_faster_than_full_render(self, scenario):
+        """CLAIM-4: the first incremental chunk is available before a full monolithic render."""
+        from repro.views.basic import BasicView
+
+        view = BasicView(scenario.flex_offers, scenario.grid)
+        scene = view.scene()
+        first = time_to_first_chunk(scene, chunk_size=10)
+        full = monolithic_render_time(scene)
+        assert first < full * 1.5 + 0.05  # generous bound: first chunk must not cost more than a full render

@@ -1,0 +1,201 @@
+"""Tests for colours, scales, the scene graph and the pretty-ticks algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RenderError
+from repro.render.color import Color, Palette
+from repro.render.scales import LinearScale, SlotTimeScale, nice_step, pretty_ticks
+from repro.render.scene import Circle, Group, Line, Rect, Scene, Style, Text
+
+
+class TestColor:
+    def test_hex_roundtrip(self):
+        color = Color.from_hex("#3d7ab5")
+        assert color.to_hex() == "#3d7ab5"
+
+    def test_from_hex_without_hash(self):
+        assert Color.from_hex("ffffff").to_hex() == "#ffffff"
+
+    def test_invalid_component_rejected(self):
+        with pytest.raises(RenderError):
+            Color(300, 0, 0)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(RenderError):
+            Color(0, 0, 0, alpha=2.0)
+
+    def test_invalid_hex_rejected(self):
+        with pytest.raises(RenderError):
+            Color.from_hex("xyz")
+
+    def test_with_alpha(self):
+        assert Color(10, 20, 30).with_alpha(0.5).alpha == 0.5
+
+    def test_lighten_moves_towards_white(self):
+        base = Color(100, 100, 100)
+        lighter = base.lighten(0.5)
+        assert lighter.red > base.red
+
+    def test_lighten_invalid_amount(self):
+        with pytest.raises(RenderError):
+            Color(0, 0, 0).lighten(2.0)
+
+    def test_palette_state_colors_distinct(self):
+        colors = {Palette.state_color(state).to_hex() for state in ("accepted", "assigned", "rejected")}
+        assert len(colors) == 3
+
+    def test_palette_unknown_state_falls_back(self):
+        assert Palette.state_color("weird") == Palette.STATE_OFFERED
+
+    def test_categorical_cycles(self):
+        assert Palette.categorical(0) == Palette.categorical(len(Palette.CATEGORICAL))
+
+
+class TestPrettyTicks:
+    def test_simple_range(self):
+        assert pretty_ticks(0, 10, max_ticks=6) == [0.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_ticks_are_nice_multiples(self):
+        for low, high in [(0, 7), (3, 97), (0.1, 0.9), (-5, 5), (0, 12.5)]:
+            ticks = pretty_ticks(low, high)
+            steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+            assert len(steps) == 1  # constant step
+
+    def test_ticks_cover_bounds(self):
+        ticks = pretty_ticks(2.3, 17.8)
+        assert ticks[0] >= 2.3 - (ticks[1] - ticks[0])
+        assert ticks[-1] <= 17.8 + (ticks[1] - ticks[0])
+
+    def test_degenerate_range(self):
+        ticks = pretty_ticks(5, 5)
+        assert len(ticks) >= 2
+
+    def test_max_ticks_respected(self):
+        assert len(pretty_ticks(0, 1000, max_ticks=5)) <= 7
+
+    def test_invalid_max_ticks(self):
+        with pytest.raises(RenderError):
+            pretty_ticks(0, 1, max_ticks=1)
+
+    def test_nice_step_values(self):
+        assert nice_step(0.9) == 1.0
+        assert nice_step(1.2) == 2.0
+        assert nice_step(2.2) == 2.5
+        assert nice_step(3.0) == 5.0
+        assert nice_step(7.0) == 10.0
+        assert nice_step(23.0) == 25.0
+
+    def test_nice_step_rejects_nonpositive(self):
+        with pytest.raises(RenderError):
+            nice_step(0.0)
+
+
+class TestLinearScale:
+    def test_projection_endpoints(self):
+        scale = LinearScale(0, 10, 100, 200)
+        assert scale.project(0) == 100
+        assert scale.project(10) == 200
+        assert scale.project(5) == 150
+
+    def test_inverted_range(self):
+        scale = LinearScale(0, 10, 200, 100)  # y axes grow downwards
+        assert scale.project(0) == 200
+        assert scale.project(10) == 100
+
+    def test_invert_roundtrip(self):
+        scale = LinearScale(0, 50, 0, 500)
+        assert scale.invert(scale.project(37.0)) == pytest.approx(37.0)
+
+    def test_degenerate_domain_rejected(self):
+        with pytest.raises(RenderError):
+            LinearScale(5, 5, 0, 100)
+
+    def test_nice_scale_contains_data(self):
+        scale = LinearScale.nice(0.3, 17.2, 0, 100)
+        assert scale.domain_min <= 0.3
+        assert scale.domain_max >= 17.2
+
+    def test_ticks_inside_domain(self):
+        scale = LinearScale(0, 12.5, 0, 100)
+        assert all(0 <= tick <= 12.5 for tick in scale.ticks())
+
+
+class TestSlotTimeScale:
+    def test_projection(self, grid):
+        scale = SlotTimeScale.build(grid, 0, 96, 0, 960)
+        assert scale.project(0) == 0
+        assert scale.project(96) == 960
+        assert scale.project(48) == 480
+
+    def test_project_time(self, grid):
+        scale = SlotTimeScale.build(grid, 0, 96, 0, 960)
+        noon = grid.to_datetime(48)
+        assert scale.project_time(noon) == pytest.approx(480)
+
+    def test_degenerate_span_expands(self, grid):
+        scale = SlotTimeScale.build(grid, 10, 10, 0, 100)
+        assert scale.project(10) == 0
+
+    def test_tick_labels(self, grid):
+        scale = SlotTimeScale.build(grid, 0, 96, 0, 960)
+        assert scale.tick_label(0) == "02-01 00:00"
+        assert scale.tick_label(48) == "12:00"
+
+    def test_tick_slots_are_integers(self, grid):
+        scale = SlotTimeScale.build(grid, 0, 96, 0, 960)
+        assert all(isinstance(slot, int) for slot in scale.tick_slots())
+
+
+class TestSceneGraph:
+    def test_scene_requires_positive_dimensions(self):
+        with pytest.raises(RenderError):
+            Scene(width=0, height=100)
+
+    def test_add_and_count(self):
+        scene = Scene(width=100, height=100)
+        group = Group(name="g")
+        group.add(Rect(x=0, y=0, width=10, height=10))
+        group.add(Line(x1=0, y1=0, x2=5, y2=5))
+        scene.add(group)
+        assert scene.count_nodes() == 3  # group + 2 children
+
+    def test_walk_recurses(self):
+        scene = Scene(width=100, height=100)
+        outer = Group(name="outer")
+        inner = Group(name="inner")
+        inner.add(Text(x=0, y=0, text="hi"))
+        outer.add(inner)
+        scene.add(outer)
+        assert sum(1 for _ in scene.walk()) == 3
+
+    def test_find_by_element_id(self):
+        scene = Scene(width=100, height=100)
+        scene.add(Rect(x=0, y=0, width=1, height=1, element_id="fo:1"))
+        scene.add(Rect(x=5, y=5, width=1, height=1, element_id="fo:2"))
+        assert len(scene.find("fo:1")) == 1
+
+    def test_hit_test_rect(self):
+        scene = Scene(width=100, height=100)
+        scene.add(Rect(x=10, y=10, width=20, height=20, element_id="fo:1"))
+        assert [node.element_id for node in scene.hit_test(15, 15)] == ["fo:1"]
+        assert scene.hit_test(50, 50) == []
+
+    def test_hit_test_circle(self):
+        scene = Scene(width=100, height=100)
+        scene.add(Circle(cx=50, cy=50, radius=10, element_id="node:a"))
+        assert scene.hit_test(55, 50)[0].element_id == "node:a"
+        assert scene.hit_test(70, 50) == []
+
+    def test_invalid_opacity_rejected(self):
+        with pytest.raises(RenderError):
+            Style(opacity=1.5)
+
+    def test_wedge_arc_points_start_at_center(self):
+        from repro.render.scene import Wedge
+
+        wedge = Wedge(cx=10, cy=10, radius=5, start_angle=0, end_angle=90)
+        points = wedge.arc_points()
+        assert points[0] == (10, 10)
+        assert len(points) > 10

@@ -1,0 +1,177 @@
+"""Tests for the balancing problem, schedulers and the aggregate-then-schedule pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.flexoffer.model import FlexOfferState
+from repro.scheduling.evaluation import absorbed_energy, compare, report
+from repro.scheduling.greedy import EarliestStartScheduler, GreedyScheduler
+from repro.scheduling.pipeline import schedule_offers
+from repro.scheduling.problem import BalancingProblem, BalancingSolution, make_target
+from repro.scheduling.stochastic import StochasticConfig, StochasticScheduler
+from repro.timeseries.series import TimeSeries
+from tests.conftest import make_offer
+
+
+@pytest.fixture
+def simple_problem(grid):
+    """Two flexible offers and a target with one clear surplus window."""
+    offers = [
+        make_offer(offer_id=1, earliest_start=10, time_flexibility=20, profile=((1.0, 2.0), (1.0, 2.0))),
+        make_offer(offer_id=2, earliest_start=12, time_flexibility=20, profile=((0.5, 1.5),)),
+    ]
+    values = [0.0] * 48
+    for slot in range(24, 30):
+        values[slot] = 3.0
+    target = TimeSeries(grid, 0, values, name="target", unit="kWh")
+    return BalancingProblem(offers=offers, target=target, grid=grid)
+
+
+@pytest.fixture
+def scenario_problem(scenario):
+    plannable = [o for o in scenario.flex_offers if o.state is not FlexOfferState.REJECTED]
+    target = make_target(scenario.res_production, scenario.base_demand)
+    return BalancingProblem(offers=plannable, target=target, grid=scenario.grid)
+
+
+class TestProblem:
+    def test_empty_target_rejected(self, grid):
+        with pytest.raises(SchedulingError):
+            BalancingProblem(offers=[], target=TimeSeries(grid, 0, []), grid=grid)
+
+    def test_make_target_clips_negative(self, scenario):
+        target = make_target(scenario.res_production, scenario.base_demand)
+        assert target.minimum() >= 0.0
+
+    def test_make_target_without_clipping(self, scenario):
+        target = make_target(scenario.res_production, scenario.base_demand, clip_negative=False)
+        assert target.values.tolist() == (scenario.res_production - scenario.base_demand).values.tolist()
+
+    def test_empty_solution_has_full_imbalance(self, simple_problem):
+        solution = BalancingSolution(problem=simple_problem)
+        assert solution.imbalance_energy() == pytest.approx(simple_problem.target.total())
+
+
+class TestEarliestStartScheduler:
+    def test_every_offer_scheduled(self, simple_problem):
+        solution = EarliestStartScheduler().schedule(simple_problem)
+        assert len(solution.scheduled_offers) == len(simple_problem.offers)
+        assert all(offer.schedule is not None for offer in solution.scheduled_offers)
+
+    def test_starts_at_earliest(self, simple_problem):
+        solution = EarliestStartScheduler().schedule(simple_problem)
+        for original, scheduled in zip(simple_problem.offers, solution.scheduled_offers):
+            assert scheduled.schedule.start_slot == original.earliest_start_slot
+
+
+class TestGreedyScheduler:
+    def test_every_offer_scheduled_feasibly(self, scenario_problem):
+        solution = GreedyScheduler().schedule(scenario_problem)
+        assert len(solution.scheduled_offers) == len(scenario_problem.offers)
+        for offer in solution.scheduled_offers:
+            assert offer.earliest_start_slot <= offer.schedule.start_slot <= offer.latest_start_slot
+
+    def test_moves_load_into_surplus_window(self, simple_problem):
+        solution = GreedyScheduler().schedule(simple_problem)
+        for offer in solution.scheduled_offers:
+            assert 24 <= offer.schedule.start_slot <= 30
+
+    def test_beats_earliest_start_baseline(self, simple_problem):
+        greedy = GreedyScheduler().schedule(simple_problem)
+        baseline = EarliestStartScheduler().schedule(simple_problem)
+        assert greedy.squared_error() < baseline.squared_error()
+
+    def test_scheduled_load_matches_offers(self, simple_problem):
+        solution = GreedyScheduler().schedule(simple_problem)
+        total = sum(offer.scheduled_energy for offer in solution.scheduled_offers)
+        assert solution.scheduled_load().total() == pytest.approx(total)
+
+    def test_runtime_recorded(self, simple_problem):
+        solution = GreedyScheduler().schedule(simple_problem)
+        assert solution.runtime_seconds > 0.0
+        assert solution.scheduler_name == "greedy"
+
+
+class TestStochasticScheduler:
+    def test_never_worse_than_greedy(self, scenario_problem):
+        greedy = GreedyScheduler().schedule(scenario_problem)
+        stochastic = StochasticScheduler(StochasticConfig(iterations=300, seed=1)).schedule(scenario_problem)
+        assert stochastic.squared_error() <= greedy.squared_error() + 1e-6
+
+    def test_schedules_remain_feasible(self, scenario_problem):
+        solution = StochasticScheduler(StochasticConfig(iterations=200, seed=2)).schedule(scenario_problem)
+        for offer in solution.scheduled_offers:
+            assert offer.earliest_start_slot <= offer.schedule.start_slot <= offer.latest_start_slot
+            for piece, amount in zip(offer.profile, offer.schedule.energy_per_slice):
+                assert piece.min_energy - 1e-9 <= amount <= piece.max_energy + 1e-9
+
+    def test_empty_problem(self, grid):
+        problem = BalancingProblem(offers=[], target=TimeSeries(grid, 0, [1.0] * 4), grid=grid)
+        solution = StochasticScheduler(StochasticConfig(iterations=10)).schedule(problem)
+        assert solution.scheduled_offers == []
+
+
+class TestPipeline:
+    def test_pipeline_with_aggregation(self, scenario, scenario_problem):
+        result = schedule_offers(
+            scenario_problem.offers,
+            scenario_problem.target,
+            scenario.grid,
+            GreedyScheduler(),
+            use_aggregation=True,
+        )
+        assert len(result.assigned_offers) == len(scenario_problem.offers)
+        assert result.scheduled_object_count <= len(scenario_problem.offers)
+        for offer in result.assigned_offers:
+            assert offer.schedule is not None
+
+    def test_pipeline_without_aggregation(self, scenario, scenario_problem):
+        result = schedule_offers(
+            scenario_problem.offers,
+            scenario_problem.target,
+            scenario.grid,
+            GreedyScheduler(),
+            use_aggregation=False,
+        )
+        assert result.scheduled_object_count == len(scenario_problem.offers)
+
+    def test_aggregation_reduces_objects_to_schedule(self, scenario, scenario_problem):
+        with_aggregation = schedule_offers(
+            scenario_problem.offers, scenario_problem.target, scenario.grid, GreedyScheduler(), use_aggregation=True
+        )
+        without = schedule_offers(
+            scenario_problem.offers, scenario_problem.target, scenario.grid, GreedyScheduler(), use_aggregation=False
+        )
+        assert with_aggregation.scheduled_object_count < without.scheduled_object_count
+
+    def test_scheduled_load_covers_target_window(self, scenario, scenario_problem):
+        result = schedule_offers(
+            scenario_problem.offers, scenario_problem.target, scenario.grid, GreedyScheduler()
+        )
+        load = result.scheduled_load(scenario.grid, scenario_problem.target)
+        assert load.start_slot == scenario_problem.target.start_slot
+        assert len(load) == len(scenario_problem.target)
+
+
+class TestEvaluation:
+    def test_absorbed_energy_bounds(self, scenario_problem):
+        solution = GreedyScheduler().schedule(scenario_problem)
+        absorbed = absorbed_energy(scenario_problem.target, solution.scheduled_load())
+        assert 0.0 <= absorbed <= scenario_problem.target.total() + 1e-9
+
+    def test_report_fields(self, simple_problem):
+        solution = GreedyScheduler().schedule(simple_problem)
+        result = report(solution)
+        assert result.scheduler_name == "greedy"
+        assert result.scheduled_object_count == len(simple_problem.offers)
+        assert 0.0 <= result.absorption_ratio <= 1.0
+
+    def test_compare_renders_all_rows(self, simple_problem):
+        reports = [
+            report(EarliestStartScheduler().schedule(simple_problem)),
+            report(GreedyScheduler().schedule(simple_problem)),
+        ]
+        text = compare(reports)
+        assert "earliest-start" in text and "greedy" in text

@@ -1,0 +1,114 @@
+"""Tests for the time grid."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.errors import TimeGridError
+from repro.timeseries.grid import DEFAULT_ORIGIN, TimeGrid, hours_between
+
+
+class TestTimeGridConstruction:
+    def test_default_grid_uses_15_minutes(self, grid):
+        assert grid.resolution == timedelta(minutes=15)
+
+    def test_default_origin(self, grid):
+        assert grid.origin == DEFAULT_ORIGIN
+
+    def test_rejects_zero_resolution(self):
+        with pytest.raises(TimeGridError):
+            TimeGrid(resolution=timedelta(0))
+
+    def test_rejects_negative_resolution(self):
+        with pytest.raises(TimeGridError):
+            TimeGrid(resolution=timedelta(minutes=-5))
+
+
+class TestSlotConversion:
+    def test_origin_is_slot_zero(self, grid):
+        assert grid.to_slot(grid.origin) == 0
+
+    def test_slot_roundtrip(self, grid):
+        for slot in (0, 1, 10, 96, 1000):
+            assert grid.to_slot(grid.to_datetime(slot)) == slot
+
+    def test_instant_inside_slot_floors(self, grid):
+        instant = grid.origin + timedelta(minutes=16)
+        assert grid.to_slot(instant) == 1
+
+    def test_instant_before_origin_is_negative(self, grid):
+        assert grid.to_slot(grid.origin - timedelta(minutes=15)) == -1
+
+    def test_slot_bounds_span_one_resolution(self, grid):
+        start, end = grid.slot_bounds(5)
+        assert end - start == grid.resolution
+
+    def test_slot_bounds_start_matches_to_datetime(self, grid):
+        start, _ = grid.slot_bounds(7)
+        assert start == grid.to_datetime(7)
+
+
+class TestSpanSlots:
+    def test_exact_slot_span(self, grid):
+        start = grid.to_datetime(4)
+        end = grid.to_datetime(8)
+        assert list(grid.span_slots(start, end)) == [4, 5, 6, 7]
+
+    def test_partial_end_includes_last_slot(self, grid):
+        start = grid.to_datetime(4)
+        end = grid.to_datetime(8) + timedelta(minutes=1)
+        assert list(grid.span_slots(start, end))[-1] == 8
+
+    def test_empty_span(self, grid):
+        start = grid.to_datetime(4)
+        assert list(grid.span_slots(start, start)) == []
+
+    def test_reversed_span_raises(self, grid):
+        with pytest.raises(TimeGridError):
+            grid.span_slots(grid.to_datetime(5), grid.to_datetime(4))
+
+
+class TestUnits:
+    def test_hours_per_slot(self, grid):
+        assert grid.hours_per_slot == pytest.approx(0.25)
+
+    def test_slots_per_day(self, grid):
+        assert grid.slots_per_day() == 96
+
+    def test_slots_per_day_hourly(self, hour_grid):
+        assert hour_grid.slots_per_day() == 24
+
+    def test_slots_per_day_rejects_uneven_resolution(self):
+        grid = TimeGrid(resolution=timedelta(minutes=7))
+        with pytest.raises(TimeGridError):
+            grid.slots_per_day()
+
+    def test_hours_between(self, grid):
+        assert hours_between(grid, 0, 8) == pytest.approx(2.0)
+
+    def test_hours_between_rejects_reversed(self, grid):
+        with pytest.raises(TimeGridError):
+            hours_between(grid, 8, 0)
+
+
+class TestCompatibility:
+    def test_same_grid_is_compatible(self, grid):
+        assert grid.compatible_with(TimeGrid())
+
+    def test_shifted_origin_whole_slots_is_compatible(self, grid):
+        other = TimeGrid(origin=grid.origin + timedelta(minutes=45))
+        assert grid.compatible_with(other)
+        assert grid.slot_offset(other) == 3
+
+    def test_shifted_origin_partial_slot_is_incompatible(self, grid):
+        other = TimeGrid(origin=grid.origin + timedelta(minutes=7))
+        assert not grid.compatible_with(other)
+
+    def test_different_resolution_is_incompatible(self, grid, hour_grid):
+        assert not grid.compatible_with(hour_grid)
+
+    def test_slot_offset_incompatible_raises(self, grid, hour_grid):
+        with pytest.raises(TimeGridError):
+            grid.slot_offset(hour_grid)

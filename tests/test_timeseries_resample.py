@@ -1,0 +1,91 @@
+"""Tests for time-series resampling."""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import numpy as np
+import pytest
+
+from repro.errors import TimeGridError
+from repro.timeseries.grid import TimeGrid
+from repro.timeseries.resample import ResampleKind, downsample, resample, upsample
+from repro.timeseries.series import TimeSeries
+
+
+class TestDownsample:
+    def test_sum_downsample_preserves_total(self, grid, hour_grid):
+        series = TimeSeries(grid, 0, np.arange(96, dtype=float), unit="kWh")
+        coarse = downsample(series, hour_grid, ResampleKind.SUM)
+        assert len(coarse) == 24
+        assert coarse.total() == pytest.approx(series.total())
+
+    def test_sum_downsample_groups_of_four(self, grid, hour_grid):
+        series = TimeSeries(grid, 0, [1.0] * 8)
+        coarse = downsample(series, hour_grid, ResampleKind.SUM)
+        assert coarse.values.tolist() == [4.0, 4.0]
+
+    def test_mean_downsample(self, grid, hour_grid):
+        series = TimeSeries(grid, 0, [2.0, 4.0, 6.0, 8.0])
+        coarse = downsample(series, hour_grid, ResampleKind.MEAN)
+        assert coarse.values.tolist() == [5.0]
+
+    def test_downsample_unaligned_start(self, grid, hour_grid):
+        series = TimeSeries(grid, 2, [1.0] * 4)  # slots 2..5 straddle two hours
+        coarse = downsample(series, hour_grid, ResampleKind.SUM)
+        assert coarse.start_slot == 0
+        assert coarse.values.tolist() == [2.0, 2.0]
+
+    def test_same_resolution_is_copy(self, grid):
+        series = TimeSeries(grid, 3, [1.0, 2.0])
+        result = downsample(series, grid)
+        assert result.values.tolist() == [1.0, 2.0]
+        assert result.start_slot == 3
+
+    def test_incompatible_ratio_raises(self, grid):
+        target = TimeGrid(resolution=timedelta(minutes=40))
+        series = TimeSeries(grid, 0, [1.0] * 8)
+        with pytest.raises(TimeGridError):
+            downsample(series, target)
+
+
+class TestUpsample:
+    def test_sum_upsample_splits_energy(self, grid, hour_grid):
+        series = TimeSeries(hour_grid, 0, [4.0, 8.0])
+        fine = upsample(series, grid, ResampleKind.SUM)
+        assert len(fine) == 8
+        assert fine.values.tolist() == [1.0] * 4 + [2.0] * 4
+        assert fine.total() == pytest.approx(series.total())
+
+    def test_mean_upsample_repeats_values(self, grid, hour_grid):
+        series = TimeSeries(hour_grid, 0, [4.0])
+        fine = upsample(series, grid, ResampleKind.MEAN)
+        assert fine.values.tolist() == [4.0] * 4
+
+    def test_upsample_start_slot_scales(self, grid, hour_grid):
+        series = TimeSeries(hour_grid, 2, [4.0])
+        fine = upsample(series, grid, ResampleKind.SUM)
+        assert fine.start_slot == 8
+
+
+class TestResampleDispatch:
+    def test_resample_chooses_downsample(self, grid, hour_grid):
+        series = TimeSeries(grid, 0, [1.0] * 8)
+        assert len(resample(series, hour_grid)) == 2
+
+    def test_resample_chooses_upsample(self, grid, hour_grid):
+        series = TimeSeries(hour_grid, 0, [1.0])
+        assert len(resample(series, grid)) == 4
+
+    def test_resample_same_resolution_shifts_origin(self, grid):
+        shifted = TimeGrid(origin=grid.origin + timedelta(minutes=30))
+        series = TimeSeries(grid, 4, [1.0, 2.0])
+        result = resample(series, shifted)
+        # Slot 4 on the original grid is slot 2 on the shifted grid.
+        assert result.start_slot == 2
+        assert result.values.tolist() == [1.0, 2.0]
+
+    def test_roundtrip_preserves_total(self, grid, hour_grid):
+        series = TimeSeries(grid, 0, np.random.default_rng(1).uniform(0, 5, 96))
+        roundtrip = upsample(downsample(series, hour_grid), grid)
+        assert roundtrip.total() == pytest.approx(series.total())

@@ -1,0 +1,171 @@
+"""Tests for the TimeSeries substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TimeGridError
+from repro.timeseries.grid import TimeGrid
+from repro.timeseries.series import TimeSeries, accumulate
+
+
+class TestConstruction:
+    def test_values_are_copied(self, grid):
+        values = np.ones(4)
+        series = TimeSeries(grid, 0, values)
+        values[0] = 99.0
+        assert series.values[0] == 1.0
+
+    def test_rejects_two_dimensional_values(self, grid):
+        with pytest.raises(TimeGridError):
+            TimeSeries(grid, 0, np.ones((2, 2)))
+
+    def test_zeros_constructor(self, grid):
+        series = TimeSeries.zeros(grid, 5, 10)
+        assert len(series) == 10
+        assert series.total() == 0.0
+        assert series.start_slot == 5
+
+    def test_from_pairs_fills_gaps_with_zero(self, grid):
+        series = TimeSeries.from_pairs(grid, [(2, 1.0), (5, 3.0)])
+        assert series.start_slot == 2
+        assert len(series) == 4
+        assert series.value_at(3) == 0.0
+        assert series.value_at(5) == 3.0
+
+    def test_from_pairs_sums_duplicate_slots(self, grid):
+        series = TimeSeries.from_pairs(grid, [(2, 1.0), (2, 2.0)])
+        assert series.value_at(2) == 3.0
+
+    def test_from_pairs_empty(self, grid):
+        series = TimeSeries.from_pairs(grid, [])
+        assert len(series) == 0
+
+
+class TestAccess:
+    def test_end_slot(self, ramp_series):
+        assert ramp_series.end_slot == 24
+
+    def test_slots_range(self, ramp_series):
+        assert list(ramp_series.slots) == list(range(24))
+
+    def test_start_and_end_time(self, ramp_series, grid):
+        assert ramp_series.start_time() == grid.to_datetime(0)
+        assert ramp_series.end_time() == grid.to_datetime(24)
+
+    def test_value_at_out_of_range_returns_default(self, ramp_series):
+        assert ramp_series.value_at(1000, default=-1.0) == -1.0
+
+    def test_to_pairs_roundtrip(self, ramp_series, grid):
+        rebuilt = TimeSeries.from_pairs(grid, ramp_series.to_pairs())
+        assert np.allclose(rebuilt.values, ramp_series.values)
+
+    def test_copy_is_independent(self, ramp_series):
+        clone = ramp_series.copy(name="clone")
+        clone.values[0] = 99.0
+        assert ramp_series.values[0] == 0.0
+        assert clone.name == "clone"
+
+    def test_iteration(self, grid):
+        series = TimeSeries(grid, 0, [1.0, 2.0])
+        assert list(series) == [1.0, 2.0]
+
+
+class TestArithmetic:
+    def test_add_aligned(self, grid):
+        a = TimeSeries(grid, 0, [1, 2, 3])
+        b = TimeSeries(grid, 0, [10, 10, 10])
+        assert (a + b).values.tolist() == [11, 12, 13]
+
+    def test_add_with_offset_pads_zeros(self, grid):
+        a = TimeSeries(grid, 0, [1, 1])
+        b = TimeSeries(grid, 3, [2, 2])
+        total = a + b
+        assert total.start_slot == 0
+        assert total.values.tolist() == [1, 1, 0, 2, 2]
+
+    def test_subtract(self, grid):
+        a = TimeSeries(grid, 0, [5, 5])
+        b = TimeSeries(grid, 0, [2, 3])
+        assert (a - b).values.tolist() == [3, 2]
+
+    def test_add_scalar(self, grid):
+        a = TimeSeries(grid, 0, [1, 2])
+        assert (a + 1.0).values.tolist() == [2, 3]
+
+    def test_multiply_scalar(self, grid):
+        a = TimeSeries(grid, 0, [1, 2])
+        assert (2 * a).values.tolist() == [2, 4]
+
+    def test_negate(self, grid):
+        a = TimeSeries(grid, 0, [1, -2])
+        assert (-a).values.tolist() == [-1, 2]
+
+    def test_clip(self, grid):
+        a = TimeSeries(grid, 0, [-1, 0.5, 2])
+        assert a.clip(0.0, 1.0).values.tolist() == [0.0, 0.5, 1.0]
+
+    def test_incompatible_grids_raise(self, grid, hour_grid):
+        a = TimeSeries(grid, 0, [1])
+        b = TimeSeries(hour_grid, 0, [1])
+        with pytest.raises(TimeGridError):
+            a + b
+
+    def test_add_series_on_shifted_origin(self, grid):
+        from datetime import timedelta
+
+        shifted = TimeGrid(origin=grid.origin + timedelta(minutes=30))
+        a = TimeSeries(grid, 0, [1, 1, 1, 1])
+        b = TimeSeries(shifted, 0, [1, 1])  # starts 2 slots later in absolute time
+        total = a + b
+        assert total.values.tolist() == [1, 1, 2, 2]
+
+
+class TestSlicing:
+    def test_slice_inside(self, ramp_series):
+        part = ramp_series.slice_slots(5, 10)
+        assert part.start_slot == 5
+        assert part.values.tolist() == [5, 6, 7, 8, 9]
+
+    def test_slice_beyond_range_pads_zeros(self, ramp_series):
+        part = ramp_series.slice_slots(20, 30)
+        assert len(part) == 10
+        assert part.values[:4].tolist() == [20, 21, 22, 23]
+        assert part.values[4:].tolist() == [0] * 6
+
+    def test_slice_reversed_raises(self, ramp_series):
+        with pytest.raises(TimeGridError):
+            ramp_series.slice_slots(10, 5)
+
+    def test_slice_time(self, ramp_series, grid):
+        part = ramp_series.slice_time(grid.to_datetime(2), grid.to_datetime(4))
+        assert part.values.tolist() == [2, 3]
+
+
+class TestStatisticsAndAccumulate:
+    def test_total_mean_min_max(self, grid):
+        series = TimeSeries(grid, 0, [1, 2, 3, 4])
+        assert series.total() == 10
+        assert series.mean() == 2.5
+        assert series.minimum() == 1
+        assert series.maximum() == 4
+
+    def test_statistics_of_empty_series(self, grid):
+        series = TimeSeries(grid, 0, [])
+        assert series.total() == 0.0
+        assert series.mean() == 0.0
+
+    def test_absolute(self, grid):
+        series = TimeSeries(grid, 0, [-1, 2, -3])
+        assert series.absolute().values.tolist() == [1, 2, 3]
+
+    def test_accumulate_sums_all(self, grid):
+        parts = [TimeSeries(grid, i, [1.0, 1.0]) for i in range(3)]
+        total = accumulate(parts, grid, name="total")
+        assert total.total() == 6.0
+        assert total.name == "total"
+
+    def test_accumulate_empty_returns_empty(self, grid):
+        total = accumulate([], grid, name="empty")
+        assert len(total) == 0

@@ -1,0 +1,83 @@
+"""Tests for time-series statistics and error metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.timeseries.series import TimeSeries
+from repro.timeseries.statistics import (
+    SeriesSummary,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    plan_deviation,
+    root_mean_squared_error,
+    total_absolute_deviation,
+)
+
+
+class TestSeriesSummary:
+    def test_summary_of_simple_series(self, grid):
+        summary = SeriesSummary.of(TimeSeries(grid, 0, [1, 2, 3, 4]))
+        assert summary.count == 4
+        assert summary.total == 10
+        assert summary.mean == 2.5
+        assert summary.minimum == 1
+        assert summary.maximum == 4
+        assert summary.std == pytest.approx(1.118, abs=1e-3)
+
+    def test_summary_of_empty_series(self, grid):
+        summary = SeriesSummary.of(TimeSeries(grid, 0, []))
+        assert summary.count == 0
+        assert summary.total == 0.0
+
+
+class TestErrorMetrics:
+    def test_identical_series_have_zero_error(self, grid):
+        a = TimeSeries(grid, 0, [1, 2, 3])
+        assert mean_absolute_error(a, a.copy()) == 0.0
+        assert root_mean_squared_error(a, a.copy()) == 0.0
+        assert mean_absolute_percentage_error(a, a.copy()) == 0.0
+
+    def test_mae(self, grid):
+        a = TimeSeries(grid, 0, [1, 2, 3])
+        b = TimeSeries(grid, 0, [2, 2, 5])
+        assert mean_absolute_error(a, b) == pytest.approx(1.0)
+
+    def test_rmse_at_least_mae(self, grid):
+        a = TimeSeries(grid, 0, [1, 2, 3, 4])
+        b = TimeSeries(grid, 0, [3, 2, 3, 0])
+        assert root_mean_squared_error(a, b) >= mean_absolute_error(a, b)
+
+    def test_mape_ignores_zero_actuals(self, grid):
+        a = TimeSeries(grid, 0, [0, 2])
+        b = TimeSeries(grid, 0, [5, 3])
+        assert mean_absolute_percentage_error(a, b) == pytest.approx(50.0)
+
+    def test_disjoint_series_give_zero(self, grid):
+        a = TimeSeries(grid, 0, [1, 2])
+        b = TimeSeries(grid, 10, [1, 2])
+        assert mean_absolute_error(a, b) == 0.0
+
+    def test_partial_overlap_only_uses_overlap(self, grid):
+        a = TimeSeries(grid, 0, [1, 1, 1, 1])
+        b = TimeSeries(grid, 2, [2, 2, 2, 2])
+        assert mean_absolute_error(a, b) == pytest.approx(1.0)
+
+
+class TestPlanDeviation:
+    def test_plan_deviation_sign(self, grid):
+        planned = TimeSeries(grid, 0, [5, 5], unit="kWh")
+        realized = TimeSeries(grid, 0, [4, 6], unit="kWh")
+        deviation = plan_deviation(planned, realized)
+        assert deviation.values.tolist() == [1, -1]
+        assert deviation.name == "plan deviation"
+        assert deviation.unit == "kWh"
+
+    def test_total_absolute_deviation(self, grid):
+        planned = TimeSeries(grid, 0, [5, 5])
+        realized = TimeSeries(grid, 0, [4, 6])
+        assert total_absolute_deviation(planned, realized) == pytest.approx(2.0)
+
+    def test_zero_deviation_when_plan_followed(self, grid):
+        planned = TimeSeries(grid, 0, [5, 5])
+        assert total_absolute_deviation(planned, planned.copy()) == 0.0

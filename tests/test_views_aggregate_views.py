@@ -1,0 +1,251 @@
+"""Tests for the map, schematic, pivot and dashboard views plus the balance chart."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ViewError
+from repro.flexoffer.model import FlexOfferState
+from repro.olap.cube import MemberFilter
+from repro.views.dashboard import BalanceView, BalanceViewOptions, DashboardOptions, DashboardView
+from repro.views.map_view import MapView, MapViewOptions
+from repro.views.pivot_view import PivotView, PivotViewOptions
+from repro.views.schematic import SchematicView, SchematicViewOptions
+
+
+class TestMapView:
+    @pytest.fixture(scope="class")
+    def view(self, scenario):
+        return MapView(scenario.flex_offers, scenario.geography, scenario.grid)
+
+    def test_counts_cover_all_offers(self, view, scenario):
+        counts = view.state_counts()
+        total = sum(sum(values.values()) for values in counts.values())
+        relevant = sum(
+            1
+            for offer in scenario.flex_offers
+            if offer.state in (FlexOfferState.ACCEPTED, FlexOfferState.ASSIGNED, FlexOfferState.REJECTED)
+        )
+        assert total == relevant
+
+    def test_anchor_per_region(self, view, scenario):
+        anchors = view.place_anchors()
+        assert set(anchors) == {region.name for region in scenario.geography.regions}
+
+    def test_city_level(self, scenario):
+        view = MapView(
+            scenario.flex_offers,
+            scenario.geography,
+            scenario.grid,
+            options=MapViewOptions(level="city"),
+        )
+        anchors = view.place_anchors()
+        assert "Copenhagen" in anchors
+
+    def test_invalid_level_rejected(self, scenario):
+        with pytest.raises(ViewError):
+            MapView(
+                scenario.flex_offers,
+                scenario.geography,
+                scenario.grid,
+                options=MapViewOptions(level="galaxy"),
+            )
+
+    def test_svg_contains_place_labels_and_bars(self, view, scenario):
+        svg = view.to_svg()
+        for region in scenario.geography.regions:
+            assert region.name in svg
+        assert "state-bar" in svg
+
+    def test_offers_in_place(self, view, scenario):
+        region = scenario.geography.regions[0].name
+        offers = view.offers_in_place(region)
+        assert all(offer.region == region for offer in offers)
+        assert len(offers) == sum(1 for o in scenario.flex_offers if o.region == region)
+
+    def test_empty_offer_list_renders(self, scenario, grid):
+        view = MapView([], scenario.geography, grid)
+        assert "<svg" in view.to_svg()
+
+
+class TestSchematicView:
+    @pytest.fixture(scope="class")
+    def view(self, scenario):
+        return SchematicView(scenario.flex_offers, scenario.topology, scenario.grid)
+
+    def test_positions_cover_shown_nodes(self, view):
+        positions = view.node_positions()
+        assert all(name.startswith(("TX ", "DS ")) for name in positions)
+
+    def test_state_shares_roll_up_to_distribution_level(self, view, scenario):
+        shares = view.state_shares()
+        total = sum(sum(values.values()) for values in shares.values())
+        relevant = sum(
+            1
+            for offer in scenario.flex_offers
+            if offer.state in (FlexOfferState.ACCEPTED, FlexOfferState.ASSIGNED, FlexOfferState.REJECTED)
+        )
+        assert total == relevant
+
+    def test_svg_has_wedges_and_lines(self, view):
+        svg = view.to_svg()
+        assert "state-wedge" in svg
+        assert "grid-line" in svg
+
+    def test_feeder_level_shows_more_nodes(self, scenario):
+        distribution = SchematicView(scenario.flex_offers, scenario.topology, scenario.grid)
+        feeder = SchematicView(
+            scenario.flex_offers,
+            scenario.topology,
+            scenario.grid,
+            options=SchematicViewOptions(level="feeder"),
+        )
+        assert len(feeder.node_positions()) > len(distribution.node_positions())
+
+    def test_offers_under_transmission_node(self, view, scenario):
+        region = scenario.geography.regions[0].name
+        offers = view.offers_under_node(f"TX {region}")
+        assert all(offer.region == region for offer in offers)
+
+    def test_offers_under_unknown_node(self, view):
+        assert view.offers_under_node("TX Mars") == []
+
+
+class TestPivotView:
+    @pytest.fixture(scope="class")
+    def view(self, scenario):
+        return PivotView(scenario.flex_offers, scenario.grid)
+
+    def test_pivot_table_counts(self, view, scenario):
+        table = view.pivot_table()
+        assert sum(table.row_totals("flex_offer_count")) == len(scenario.flex_offers)
+
+    def test_svg_has_swimlanes_and_mdx_window(self, view):
+        svg = view.to_svg()
+        assert "swimlane" in svg
+        assert "MDX query window" in svg
+
+    def test_drill_down_and_up(self, scenario):
+        view = PivotView(
+            scenario.flex_offers,
+            scenario.grid,
+            options=PivotViewOptions(row_dimension="Geography", row_level="region"),
+        )
+        down = view.drill_down()
+        assert down.options.row_level == "city"
+        up = down.drill_up()
+        assert up.options.row_level == "region"
+
+    def test_drill_down_at_leaf_is_noop(self, scenario):
+        view = PivotView(
+            scenario.flex_offers,
+            scenario.grid,
+            options=PivotViewOptions(row_dimension="Geography", row_level="district"),
+        )
+        assert view.drill_down() is view
+
+    def test_run_mdx(self, view, scenario):
+        table = view.run_mdx(view.default_mdx())
+        assert sum(row[0] for row in table.values["value"]) == len(scenario.flex_offers)
+
+    def test_run_mdx_empty_raises(self, view):
+        with pytest.raises(ViewError):
+            view.run_mdx("   ")
+
+    def test_filters_restrict_rows(self, scenario):
+        view = PivotView(
+            scenario.flex_offers,
+            scenario.grid,
+            options=PivotViewOptions(filters=(MemberFilter("State", "state", ("assigned",)),)),
+        )
+        table = view.pivot_table()
+        assigned = sum(1 for offer in scenario.flex_offers if offer.state is FlexOfferState.ASSIGNED)
+        assert sum(table.row_totals("flex_offer_count")) == assigned
+
+    def test_canvas_grows_with_many_rows(self, scenario):
+        view = PivotView(
+            scenario.flex_offers,
+            scenario.grid,
+            options=PivotViewOptions(row_dimension="Geography", row_level="city", lane_height=80),
+        )
+        assert view.scene().height >= view.options.height
+
+
+class TestDashboardView:
+    @pytest.fixture(scope="class")
+    def view(self, scenario):
+        return DashboardView(scenario.flex_offers, scenario.grid)
+
+    def test_percentages_sum_to_100(self, view):
+        assert sum(view.state_percentages().values()) == pytest.approx(100.0)
+
+    def test_totals_match_states(self, view, scenario):
+        totals = view.state_totals()
+        assert totals["assigned"] == sum(
+            1 for offer in scenario.flex_offers if offer.state is FlexOfferState.ASSIGNED
+        )
+
+    def test_interval_filter_reduces_offers(self, scenario):
+        origin = scenario.grid.origin
+        view = DashboardView(
+            scenario.flex_offers,
+            scenario.grid,
+            options=DashboardOptions(
+                interval_start=origin.replace(hour=12), interval_end=origin.replace(hour=13, minute=15)
+            ),
+        )
+        assert 0 < len(view.offers) < len(scenario.flex_offers)
+
+    def test_counts_over_time_totals(self, view, scenario):
+        counts = view.counts_over_time()
+        total = sum(value for values in counts.values() for _, value in values)
+        relevant = sum(
+            1
+            for offer in scenario.flex_offers
+            if offer.state in (FlexOfferState.ACCEPTED, FlexOfferState.ASSIGNED, FlexOfferState.REJECTED)
+        )
+        assert total == relevant
+
+    def test_svg_has_pie_and_bars(self, view):
+        svg = view.to_svg()
+        assert "state-wedge" in svg
+        assert "state-bar" in svg
+
+    def test_empty_interval_percentages_zero(self, scenario):
+        origin = scenario.grid.origin
+        view = DashboardView(
+            [],
+            scenario.grid,
+            options=DashboardOptions(interval_start=origin, interval_end=origin),
+        )
+        assert sum(view.state_percentages().values()) == 0.0
+
+
+class TestBalanceView:
+    @pytest.fixture(scope="class")
+    def plan(self, scenario):
+        from repro.enterprise.planning import run_planning_cycle
+
+        return run_planning_cycle(scenario)
+
+    def test_svg_has_all_bands(self, plan, scenario):
+        view = BalanceView(scenario.res_production, scenario.base_demand, plan.planned_load, scenario.grid)
+        svg = view.to_svg()
+        assert "non-flexible demand" in svg
+        assert "flexible demand" in svg
+        assert "res-production" in svg
+
+    def test_overlap_improves_after_planning(self, plan, scenario):
+        before = BalanceView(scenario.res_production, scenario.base_demand, plan.unplanned_load, scenario.grid)
+        after = BalanceView(scenario.res_production, scenario.base_demand, plan.planned_load, scenario.grid)
+        assert after.overlap_energy() >= before.overlap_energy()
+
+    def test_caption_rendered(self, plan, scenario):
+        view = BalanceView(
+            scenario.res_production,
+            scenario.base_demand,
+            plan.planned_load,
+            scenario.grid,
+            options=BalanceViewOptions(caption="after balancing"),
+        )
+        assert "after balancing" in view.to_svg()

@@ -1,0 +1,121 @@
+"""Tests for the integrated pivot view (basic-view swimlanes, the paper's announced enhancement)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregation.parameters import AggregationParameters
+from repro.flexoffer.model import FlexOfferState
+from repro.olap.cube import MemberFilter
+from repro.render.scene import Line, Rect
+from repro.views.integrated_pivot import IntegratedPivotOptions, IntegratedPivotView
+
+
+@pytest.fixture(scope="module")
+def view(scenario):
+    return IntegratedPivotView(scenario.flex_offers, scenario.grid)
+
+
+class TestIntegratedPivotView:
+    def test_members_match_cube(self, view, scenario):
+        assert set(view.members()) == {offer.prosumer_type for offer in scenario.flex_offers}
+
+    def test_lane_offers_cover_every_member(self, view):
+        lanes = view.lane_offers()
+        assert set(lanes) == set(view.members())
+        assert all(lanes[member] for member in lanes)
+
+    def test_aggregation_reduces_lane_objects(self, scenario):
+        raw = IntegratedPivotView(
+            scenario.flex_offers,
+            scenario.grid,
+            options=IntegratedPivotOptions(aggregate_lanes=False),
+        )
+        aggregated = IntegratedPivotView(
+            scenario.flex_offers,
+            scenario.grid,
+            options=IntegratedPivotOptions(aggregate_lanes=True),
+        )
+        raw_total = sum(len(offers) for offers in raw.lane_offers().values())
+        aggregated_total = sum(len(offers) for offers in aggregated.lane_offers().values())
+        assert aggregated_total <= raw_total
+        assert raw_total == len(scenario.flex_offers)
+
+    def test_aggregate_ids_unique_across_lanes(self, view):
+        identifiers = [offer.id for offers in view.lane_offers().values() for offer in offers]
+        assert len(identifiers) == len(set(identifiers))
+
+    def test_svg_has_swimlanes_with_offer_boxes(self, view):
+        svg = view.to_svg()
+        assert "swimlane" in svg
+        assert "profile-box" in svg
+        assert "time-flexibility" in svg
+
+    def test_scheduled_offers_show_start_lines(self, view, scenario):
+        has_scheduled = any(offer.schedule is not None for offer in scenario.flex_offers)
+        lines = [
+            node
+            for node in view.scene().walk()
+            if isinstance(node, Line) and node.css_class == "scheduled-start"
+        ]
+        assert bool(lines) == has_scheduled
+
+    def test_boxes_stay_inside_their_swimlane(self, view):
+        scene = view.scene()
+        options = view.options
+        members = view.members()
+        lane_bounds = {
+            f"member:{member}": (
+                options.margin_top + index * options.lane_height,
+                options.margin_top + (index + 1) * options.lane_height,
+            )
+            for index, member in enumerate(members)
+        }
+        for node in scene.walk():
+            if isinstance(node, Rect) and "profile-box" in node.css_class:
+                # Every profile box must fall into exactly one lane's vertical band.
+                assert any(top - 1 <= node.y <= bottom + 1 for top, bottom in lane_bounds.values())
+
+    def test_filters_restrict_content(self, scenario):
+        assigned_only = IntegratedPivotView(
+            scenario.flex_offers,
+            scenario.grid,
+            options=IntegratedPivotOptions(
+                aggregate_lanes=False,
+                filters=(MemberFilter("State", "state", ("assigned",)),),
+            ),
+        )
+        total = sum(len(offers) for offers in assigned_only.lane_offers().values())
+        expected = sum(1 for offer in scenario.flex_offers if offer.state is FlexOfferState.ASSIGNED)
+        assert total == expected
+
+    def test_scene_height_grows_with_members(self, scenario):
+        by_city = IntegratedPivotView(
+            scenario.flex_offers,
+            scenario.grid,
+            options=IntegratedPivotOptions(row_dimension="Geography", row_level="city", lane_height=100),
+        )
+        assert by_city.scene().height >= len(by_city.members()) * 100
+
+    def test_custom_aggregation_parameters(self, scenario):
+        coarse = IntegratedPivotView(
+            scenario.flex_offers,
+            scenario.grid,
+            options=IntegratedPivotOptions(
+                aggregation=AggregationParameters(est_tolerance_slots=32, time_flexibility_tolerance_slots=32)
+            ),
+        )
+        fine = IntegratedPivotView(
+            scenario.flex_offers,
+            scenario.grid,
+            options=IntegratedPivotOptions(
+                aggregation=AggregationParameters(est_tolerance_slots=1, time_flexibility_tolerance_slots=1)
+            ),
+        )
+        coarse_total = sum(len(offers) for offers in coarse.lane_offers().values())
+        fine_total = sum(len(offers) for offers in fine.lane_offers().values())
+        assert coarse_total <= fine_total
+
+    def test_empty_offer_list_renders(self, grid):
+        view = IntegratedPivotView([], grid)
+        assert "<svg" in view.to_svg()

@@ -1,0 +1,197 @@
+"""Tests for lane packing, the selection model and the tooltip details."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ViewError
+from repro.views.basic import BasicView
+from repro.views.lanes import LaneStrategy, assign_lanes, lane_count, lanes_are_valid, offer_interval
+from repro.views.selection import SelectionModel, SelectionRectangle
+from repro.views.tooltip import describe, describe_many, overlay
+from tests.conftest import make_offer
+
+
+class TestLanes:
+    def test_interval_spans_flexibility_and_profile(self, sample_offer):
+        start, end = offer_interval(sample_offer)
+        assert start == sample_offer.earliest_start_slot
+        assert end == sample_offer.latest_end_slot
+
+    def test_non_overlapping_offers_share_one_lane(self):
+        offers = [make_offer(offer_id=1, earliest_start=0, time_flexibility=2),
+                  make_offer(offer_id=2, earliest_start=20, time_flexibility=2)]
+        lanes = assign_lanes(offers)
+        assert lane_count(lanes) == 1
+
+    def test_overlapping_offers_get_separate_lanes(self):
+        offers = [make_offer(offer_id=1, earliest_start=10), make_offer(offer_id=2, earliest_start=11)]
+        lanes = assign_lanes(offers)
+        assert lanes[1] != lanes[2]
+
+    def test_first_fit_packing_is_valid(self, offer_batch):
+        lanes = assign_lanes(offer_batch)
+        assert lanes_are_valid(offer_batch, lanes)
+
+    def test_first_fit_uses_fewer_lanes_than_one_per_offer(self, scenario):
+        packed = assign_lanes(scenario.flex_offers, LaneStrategy.FIRST_FIT)
+        naive = assign_lanes(scenario.flex_offers, LaneStrategy.ONE_PER_LANE)
+        assert lane_count(packed) < lane_count(naive)
+        assert lane_count(naive) == len(scenario.flex_offers)
+
+    def test_one_per_lane_is_valid_too(self, offer_batch):
+        lanes = assign_lanes(offer_batch, LaneStrategy.ONE_PER_LANE)
+        assert lanes_are_valid(offer_batch, lanes)
+
+    def test_every_offer_is_assigned(self, scenario):
+        lanes = assign_lanes(scenario.flex_offers)
+        assert set(lanes) == {offer.id for offer in scenario.flex_offers}
+
+    def test_empty_assignment(self):
+        assert assign_lanes([]) == {}
+        assert lane_count({}) == 0
+
+    def test_missing_offer_invalidates(self, offer_batch):
+        lanes = assign_lanes(offer_batch)
+        del lanes[offer_batch[0].id]
+        assert not lanes_are_valid(offer_batch, lanes)
+
+    def test_overlap_in_same_lane_invalidates(self):
+        offers = [make_offer(offer_id=1, earliest_start=10), make_offer(offer_id=2, earliest_start=11)]
+        assert not lanes_are_valid(offers, {1: 0, 2: 0})
+
+
+class TestSelectionModel:
+    def test_initially_empty(self, offer_batch):
+        model = SelectionModel(offer_batch)
+        assert len(model) == 0
+        assert model.selected_offers() == []
+
+    def test_select_replaces(self, offer_batch):
+        model = SelectionModel(offer_batch)
+        model.select([1, 2])
+        model.select([3])
+        assert model.selected_ids == {3}
+
+    def test_select_extend(self, offer_batch):
+        model = SelectionModel(offer_batch)
+        model.select([1])
+        model.select([2], extend=True)
+        assert model.selected_ids == {1, 2}
+
+    def test_unknown_ids_ignored(self, offer_batch):
+        model = SelectionModel(offer_batch)
+        model.select([999])
+        assert len(model) == 0
+
+    def test_toggle(self, offer_batch):
+        model = SelectionModel(offer_batch)
+        model.toggle(5)
+        assert model.is_selected(5)
+        model.toggle(5)
+        assert not model.is_selected(5)
+
+    def test_toggle_unknown_raises(self, offer_batch):
+        with pytest.raises(ViewError):
+            SelectionModel(offer_batch).toggle(999)
+
+    def test_clear(self, offer_batch):
+        model = SelectionModel(offer_batch)
+        model.select([1, 2, 3])
+        model.clear()
+        assert len(model) == 0
+
+    def test_select_slot_range(self, offer_batch):
+        model = SelectionModel(offer_batch)
+        found = model.select_slot_range(30, 40)
+        assert found
+        for offer in model.selected_offers():
+            assert offer.earliest_start_slot < 40 and offer.latest_end_slot > 30
+
+    def test_rectangle_selection_against_basic_view(self, scenario):
+        view = BasicView(scenario.flex_offers, scenario.grid)
+        model = SelectionModel(scenario.flex_offers)
+        area = view.options.plot_area
+        rectangle = SelectionRectangle(area.left, area.top, area.right, area.bottom)
+        found = model.select_rectangle(view, rectangle)
+        assert found == {offer.id for offer in scenario.flex_offers}
+
+    def test_rectangle_selection_normalizes_direction(self, scenario):
+        view = BasicView(scenario.flex_offers, scenario.grid)
+        model = SelectionModel(scenario.flex_offers)
+        area = view.options.plot_area
+        forward = model.select_rectangle(view, SelectionRectangle(area.left, area.top, area.right, area.bottom))
+        backward = model.select_rectangle(view, SelectionRectangle(area.right, area.bottom, area.left, area.top))
+        assert forward == backward
+
+    def test_rectangle_selection_requires_capable_view(self, offer_batch):
+        model = SelectionModel(offer_batch)
+        with pytest.raises(ViewError):
+            model.select_rectangle(object(), SelectionRectangle(0, 0, 1, 1))
+
+    def test_extract_and_remove(self, offer_batch):
+        model = SelectionModel(offer_batch)
+        model.select([1, 2])
+        extracted = model.extract_to_new_tab()
+        remaining = model.remove_from_view()
+        assert [offer.id for offer in extracted] == [1, 2]
+        assert len(remaining) == len(offer_batch) - 2
+        assert all(offer.id not in (1, 2) for offer in remaining)
+
+    def test_process_with_tool(self, offer_batch):
+        model = SelectionModel(offer_batch)
+        model.select([1, 2, 3])
+        assert model.process_with(len) == 3
+
+
+class TestTooltip:
+    def test_describe_plain_offer(self, sample_offer, grid):
+        details = describe(sample_offer, grid)
+        assert details.offer_id == sample_offer.id
+        assert details.scheduled_energy is None
+        text = details.to_text()
+        assert "start window" in text
+        assert f"#{sample_offer.id}" in text
+
+    def test_describe_scheduled_offer(self, scheduled_offer, grid):
+        details = describe(scheduled_offer, grid)
+        assert details.scheduled_energy == pytest.approx(scheduled_offer.scheduled_energy)
+        assert "scheduled" in details.to_text()
+
+    def test_describe_aggregate_lists_constituents(self, grid):
+        from dataclasses import replace
+
+        offer = replace(make_offer(), is_aggregate=True, constituent_ids=tuple(range(1, 20)))
+        details = describe(offer, grid)
+        assert "aggregated from 19" in details.to_text()
+        assert "..." in details.to_text()
+
+    def test_describe_many(self, offer_batch, grid):
+        assert len(describe_many(offer_batch[:3], grid)) == 3
+
+    def test_overlay_contains_three_markers(self, sample_offer, grid):
+        from repro.render.axes import PlotArea
+        from repro.render.scales import SlotTimeScale
+        from repro.render.scene import Line
+
+        area = PlotArea(left=0, top=0, width=1000, height=100)
+        scale = SlotTimeScale.build(grid, 0, 96, area.left, area.right)
+        group = overlay(sample_offer, scale, area)
+        markers = [node for node in group.walk() if isinstance(node, Line) and node.css_class == "time-marker"]
+        assert len(markers) == 3
+
+    def test_overlay_provenance_links_for_aggregate(self, grid):
+        from dataclasses import replace
+
+        from repro.render.axes import PlotArea
+        from repro.render.scales import SlotTimeScale
+        from repro.render.scene import Line
+
+        aggregate_offer = replace(make_offer(offer_id=100), is_aggregate=True, constituent_ids=(1, 2))
+        area = PlotArea(left=0, top=0, width=1000, height=300)
+        scale = SlotTimeScale.build(grid, 0, 96, area.left, area.right)
+        group = overlay(
+            aggregate_offer, scale, area, lane_assignment={100: 0, 1: 1, 2: 2}, lane_height=20.0
+        )
+        links = [node for node in group.walk() if isinstance(node, Line) and node.css_class == "provenance-link"]
+        assert len(links) == 2

@@ -1,0 +1,142 @@
+"""Tests for the columnar Table primitive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownColumnError, WarehouseError
+from repro.warehouse.table import Table
+
+
+@pytest.fixture
+def people() -> Table:
+    table = Table("people", ["name", "city", "age"])
+    table.extend(
+        [
+            {"name": "ana", "city": "Aalborg", "age": 30},
+            {"name": "bo", "city": "Aarhus", "age": 25},
+            {"name": "cia", "city": "Aalborg", "age": 40},
+            {"name": "dan", "city": "Odense", "age": 35},
+        ]
+    )
+    return table
+
+
+class TestBasics:
+    def test_length(self, people):
+        assert len(people) == 4
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(WarehouseError):
+            Table("bad", ["a", "a"])
+
+    def test_append_missing_column_rejected(self, people):
+        with pytest.raises(UnknownColumnError):
+            people.append({"name": "eve"})
+
+    def test_column_access(self, people):
+        assert people.column("city")[0] == "Aalborg"
+
+    def test_unknown_column_raises(self, people):
+        with pytest.raises(UnknownColumnError):
+            people.column("height")
+
+    def test_row_access(self, people):
+        assert people.row(1)["name"] == "bo"
+
+    def test_row_out_of_range(self, people):
+        with pytest.raises(WarehouseError):
+            people.row(10)
+
+    def test_rows_iteration(self, people):
+        assert [row["name"] for row in people.rows()] == ["ana", "bo", "cia", "dan"]
+
+    def test_empty_table_length(self):
+        assert len(Table("empty", ["a"])) == 0
+
+
+class TestFiltering:
+    def test_where_equality(self, people):
+        assert len(people.where(city="Aalborg")) == 2
+
+    def test_where_unknown_column(self, people):
+        with pytest.raises(UnknownColumnError):
+            people.where(country="DK")
+
+    def test_where_in(self, people):
+        assert len(people.where_in("city", ["Aalborg", "Odense"])) == 3
+
+    def test_where_between(self, people):
+        assert len(people.where_between("age", 30, 40)) == 3
+
+    def test_filter_predicate(self, people):
+        assert len(people.filter(lambda row: row["age"] > 30)) == 2
+
+    def test_filter_returns_new_table(self, people):
+        filtered = people.where(city="Aalborg")
+        assert len(people) == 4
+        assert filtered is not people
+
+
+class TestProjectionAndSort:
+    def test_select(self, people):
+        projected = people.select(["name"])
+        assert projected.columns == ("name",)
+        assert len(projected) == 4
+
+    def test_select_unknown_column(self, people):
+        with pytest.raises(UnknownColumnError):
+            people.select(["height"])
+
+    def test_sort_by(self, people):
+        assert people.sort_by("age").column("age") == [25, 30, 35, 40]
+
+    def test_sort_by_descending(self, people):
+        assert people.sort_by("age", reverse=True).column("age")[0] == 40
+
+
+class TestGroupByAndJoin:
+    def test_group_by_count(self, people):
+        grouped = people.group_by(["city"], {"count": len})
+        counts = dict(zip(grouped.column("city"), grouped.column("count")))
+        assert counts == {"Aalborg": 2, "Aarhus": 1, "Odense": 1}
+
+    def test_group_by_custom_aggregation(self, people):
+        grouped = people.group_by(["city"], {"max_age": lambda rows: max(r["age"] for r in rows)})
+        ages = dict(zip(grouped.column("city"), grouped.column("max_age")))
+        assert ages["Aalborg"] == 40
+
+    def test_group_by_unknown_key(self, people):
+        with pytest.raises(UnknownColumnError):
+            people.group_by(["country"], {"count": len})
+
+    def test_join(self, people):
+        cities = Table("cities", ["city", "region"])
+        cities.extend(
+            [
+                {"city": "Aalborg", "region": "North"},
+                {"city": "Aarhus", "region": "Mid"},
+            ]
+        )
+        joined = people.join(cities, on="city")
+        assert "region" in joined.columns
+        by_name = {row["name"]: row["region"] for row in joined.rows()}
+        assert by_name["ana"] == "North"
+        assert by_name["dan"] is None  # unmatched rows keep None
+
+    def test_join_with_prefix(self, people):
+        cities = Table("cities", ["city", "region"])
+        cities.append({"city": "Aalborg", "region": "North"})
+        joined = people.join(cities, on="city", prefix="geo_")
+        assert "geo_region" in joined.columns
+
+
+class TestCsv:
+    def test_roundtrip(self, people):
+        rebuilt = Table.from_csv("people", people.to_csv())
+        assert len(rebuilt) == 4
+        assert rebuilt.column("name") == people.column("name")
+
+    def test_from_empty_csv_raises(self):
+        with pytest.raises(WarehouseError):
+            Table.from_csv("x", "")
