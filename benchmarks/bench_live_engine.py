@@ -1,0 +1,125 @@
+"""LIVE bench: incremental dirty-group commits beat full re-aggregation.
+
+The live engine re-aggregates only the grid cells touched since the last
+commit, so commit cost scales with the touched fraction of the population
+while the batch pipeline always pays for everyone.  The sweep records commit
+time against a full re-aggregation for touched-offer fractions of 1%, 5% and
+25% of the large scenario; the headline requirement is a >=5x speedup at the
+1% point.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record
+from repro.aggregation.aggregate import aggregate
+from repro.live.engine import LiveAggregationEngine
+from repro.live.events import OfferAdded, OfferUpdated
+from repro.live.replay import replay, scenario_event_stream
+
+#: Touched-offer fractions the acceptance sweep covers.
+FRACTIONS = (0.01, 0.05, 0.25)
+
+
+def _seeded_engine(offers) -> LiveAggregationEngine:
+    engine = LiveAggregationEngine()
+    for offer in offers:
+        engine.apply(OfferAdded(offer.creation_time, offer))
+    engine.commit()
+    return engine
+
+
+def _batch_seconds(offers, rounds: int = 9) -> float:
+    timings = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        aggregate(offers)
+        timings.append(time.perf_counter() - started)
+    return statistics.median(timings)
+
+
+def _commit_seconds(engine, offers, fraction: float, rng, rounds: int = 9) -> float:
+    """Median commit time after revising ``fraction`` of the offers (prices)."""
+    touched = max(1, int(len(offers) * fraction))
+    timings = []
+    for _ in range(rounds):
+        for position in rng.choice(len(offers), size=touched, replace=False):
+            current = engine.offer(offers[position].id)
+            engine.apply(
+                OfferUpdated(
+                    current.creation_time,
+                    replace(current, price_per_kwh=current.price_per_kwh * 1.01 + 0.001),
+                )
+            )
+        started = time.perf_counter()
+        engine.commit()
+        timings.append(time.perf_counter() - started)
+    return statistics.median(timings)
+
+
+def test_live_incremental_vs_batch_sweep(benchmark, large_offer_scenario):
+    """Commit time vs full re-aggregation across touched-offer fractions."""
+    offers = large_offer_scenario.flex_offers
+
+    def sweep():
+        full = _batch_seconds(offers)
+        engine = _seeded_engine(offers)
+        rng = np.random.default_rng(7)
+        rows = {}
+        for fraction in FRACTIONS:
+            incremental = _commit_seconds(engine, offers, fraction, rng)
+            rows[fraction] = {
+                "touched_offers": max(1, int(len(offers) * fraction)),
+                "commit_ms": round(incremental * 1000, 3),
+                "full_reaggregation_ms": round(full * 1000, 3),
+                "speedup": round(full / incremental, 1),
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        benchmark,
+        {
+            "offer_count": len(offers),
+            **{f"touched_{fraction:.0%}": str(values) for fraction, values in rows.items()},
+            "claim": "incremental commits beat full re-aggregation as touched fraction shrinks",
+        },
+        "LIVE: incremental vs batch re-aggregation",
+    )
+    # Monotonic: the smaller the touched fraction, the larger the speedup.
+    speedups = [rows[fraction]["speedup"] for fraction in FRACTIONS]
+    assert speedups[0] >= speedups[-1]
+    # Headline acceptance: >=5x when 1% of the offers are touched.
+    assert speedups[0] >= 5.0
+
+
+def test_live_replay_throughput(benchmark, paper_scenario):
+    """Full lifecycle replay (adds, revisions, transitions, withdrawals)."""
+
+    def run():
+        engine = LiveAggregationEngine(micro_batch_size=64)
+        log = scenario_event_stream(
+            paper_scenario, update_fraction=0.1, withdraw_fraction=0.05, seed=7
+        )
+        return replay(log, engine)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    record(
+        benchmark,
+        {
+            "events": report.events,
+            "commits": report.commit_count,
+            "events_per_second": round(report.events_per_second),
+            "mean_commit_ms": round(report.mean_commit_ms, 3),
+            "p95_commit_ms": round(report.p95_commit_ms, 3),
+            "max_commit_ms": round(report.max_commit_ms, 3),
+        },
+        "LIVE: event replay throughput",
+    )
+    assert report.events_per_second > 0

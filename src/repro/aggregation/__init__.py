@@ -2,7 +2,13 @@
 
 from repro.aggregation.aggregate import AggregationResult, aggregate, aggregate_group
 from repro.aggregation.disaggregate import disaggregate, disaggregation_error
-from repro.aggregation.grouping import group_key, group_offers, reduction_ratio
+from repro.aggregation.grouping import (
+    cell_for,
+    chunk_group,
+    group_key,
+    group_offers,
+    reduction_ratio,
+)
 from repro.aggregation.metrics import AggregationMetrics, evaluate
 from repro.aggregation.parameters import AggregationParameters
 
@@ -10,6 +16,8 @@ __all__ = [
     "AggregationParameters",
     "group_offers",
     "group_key",
+    "cell_for",
+    "chunk_group",
     "reduction_ratio",
     "aggregate",
     "aggregate_group",

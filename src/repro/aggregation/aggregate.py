@@ -29,6 +29,12 @@ def _common_attribute(values: Iterable[str]) -> str:
 def aggregate_group(group: Sequence[FlexOffer], aggregate_id: int) -> FlexOffer:
     """Aggregate one group of flex-offers into a single aggregate flex-offer.
 
+    Singleton groups go through the same path as larger ones: the result
+    carries ``aggregate_id``, ``is_aggregate=True`` and a one-element
+    ``constituent_ids``, so callers can always tell aggregates from raw
+    offers.  (Callers that want to pass 1-offer groups through untouched —
+    such as :func:`aggregate` — skip the call instead.)
+
     Raises :class:`~repro.errors.AggregationError` for empty groups or groups
     mixing consumption with production.
     """
@@ -38,11 +44,6 @@ def aggregate_group(group: Sequence[FlexOffer], aggregate_id: int) -> FlexOffer:
     if len(directions) > 1:
         raise AggregationError("cannot aggregate consumption and production offers together")
     direction: Direction = next(iter(directions))
-
-    if len(group) == 1:
-        only = group[0]
-        # A singleton aggregate is just the offer itself; keep it unchanged.
-        return only
 
     anchor = min(offer.earliest_start_slot for offer in group)
     offsets = [offer.earliest_start_slot - anchor for offer in group]
@@ -70,7 +71,10 @@ def aggregate_group(group: Sequence[FlexOffer], aggregate_id: int) -> FlexOffer:
 
     return FlexOffer(
         id=aggregate_id,
-        prosumer_id=0,
+        # Only singletons keep their prosumer: multi-offer aggregates must not
+        # match per-entity warehouse queries, or the loading tab would count a
+        # prosumer's energy twice (raw offers + the derived aggregate row).
+        prosumer_id=group[0].prosumer_id if len(group) == 1 else 0,
         profile=profile,
         earliest_start_slot=anchor,
         latest_start_slot=anchor + time_flexibility,

@@ -19,12 +19,46 @@ from repro.flexoffer.model import FlexOffer
 GroupKey = tuple[int, int, str]
 
 
+def cell_for(
+    earliest_start_slot: int,
+    time_flexibility_slots: int,
+    direction_value: str,
+    parameters: AggregationParameters,
+) -> GroupKey:
+    """The grid cell for raw offer components (the single binning formula).
+
+    Callers that only have warehouse fact columns (the live warehouse's
+    ``group_cell`` backfill) use this directly; :func:`group_key` is the
+    offer-object convenience wrapper.
+    """
+    est_bin = earliest_start_slot // parameters.est_tolerance_slots
+    tft_bin = time_flexibility_slots // parameters.time_flexibility_tolerance_slots
+    direction = direction_value if parameters.separate_directions else ""
+    return est_bin, tft_bin, direction
+
+
 def group_key(offer: FlexOffer, parameters: AggregationParameters) -> GroupKey:
     """The grouping-grid cell an offer falls into."""
-    est_bin = offer.earliest_start_slot // parameters.est_tolerance_slots
-    tft_bin = offer.time_flexibility_slots // parameters.time_flexibility_tolerance_slots
-    direction = offer.direction.value if parameters.separate_directions else ""
-    return est_bin, tft_bin, direction
+    return cell_for(
+        offer.earliest_start_slot,
+        offer.time_flexibility_slots,
+        offer.direction.value,
+        parameters,
+    )
+
+
+def chunk_group(members: Sequence[FlexOffer], max_group_size: int) -> list[list[FlexOffer]]:
+    """Split one cell's members into aggregation chunks of ``max_group_size``.
+
+    ``0`` means unlimited (one chunk).  Shared by the batch grouping and the
+    live engine's per-cell commit so both paths chunk identically.
+    """
+    if max_group_size and len(members) > max_group_size:
+        return [
+            list(members[start : start + max_group_size])
+            for start in range(0, len(members), max_group_size)
+        ]
+    return [list(members)]
 
 
 def group_offers(
@@ -48,12 +82,7 @@ def group_offers(
 
     groups: list[list[FlexOffer]] = []
     for key in sorted(bins):
-        members = bins[key]
-        if parameters.max_group_size and len(members) > parameters.max_group_size:
-            for start in range(0, len(members), parameters.max_group_size):
-                groups.append(members[start : start + parameters.max_group_size])
-        else:
-            groups.append(members)
+        groups.extend(chunk_group(bins[key], parameters.max_group_size))
     groups.extend(singletons)
     return groups
 

@@ -10,6 +10,8 @@ Sub-commands:
 * ``flexviz plan`` — run one enterprise planning cycle and print the report.
 * ``flexviz mdx "<query>"`` — run an MDX-like query against a scenario cube
   and print the resulting table.
+* ``flexviz live`` — replay a scenario as a timestamped offer-event stream
+  through the incremental aggregation engine and report commit latencies.
 """
 
 from __future__ import annotations
@@ -63,6 +65,24 @@ def _build_parser() -> argparse.ArgumentParser:
 
     mdx = subparsers.add_parser("mdx", help="run an MDX-like query against a scenario cube")
     mdx.add_argument("query", help="the MDX query text")
+
+    live = subparsers.add_parser(
+        "live", help="replay a scenario as an event stream through the live engine"
+    )
+    live.add_argument(
+        "--batch-size", type=int, default=64, help="micro-batch size (events per commit)"
+    )
+    live.add_argument(
+        "--update", type=float, default=0.1, help="fraction of offers revised mid-stream"
+    )
+    live.add_argument(
+        "--withdraw", type=float, default=0.05, help="fraction of offers withdrawn"
+    )
+    live.add_argument(
+        "--with-warehouse",
+        action="store_true",
+        help="also maintain a live star schema under the same events",
+    )
     return parser
 
 
@@ -141,6 +161,41 @@ def _command_mdx(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_live(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.aggregation.aggregate import aggregate
+    from repro.live.engine import LiveAggregationEngine
+    from repro.live.replay import replay, scenario_event_stream
+    from repro.live.warehouse import LiveWarehouse
+
+    if args.batch_size < 0:
+        print("error: --batch-size must be >= 0 (0 = single commit at the end)", file=sys.stderr)
+        return 2
+    scenario = _make_scenario(args)
+    log = scenario_event_stream(
+        scenario, update_fraction=args.update, withdraw_fraction=args.withdraw, seed=args.seed
+    )
+    engine = LiveAggregationEngine(micro_batch_size=args.batch_size)
+    warehouse = None
+    if args.with_warehouse:
+        warehouse = LiveWarehouse(load_scenario(scenario.replace_offers([])), scenario.grid)
+    report = replay(log, engine, warehouse=warehouse)
+    print(report.describe())
+    started = time.perf_counter()
+    batch = aggregate(engine.offers(), engine.parameters)
+    batch_seconds = time.perf_counter() - started
+    print(f"batch re-aggregation  : {batch_seconds * 1000:9.3f} ms ({len(batch.offers)} outputs)")
+    if report.mean_commit_ms > 0:
+        print(f"commit vs batch       : {batch_seconds * 1000 / report.mean_commit_ms:9.1f}x")
+    if warehouse is not None:
+        print(
+            f"warehouse facts       : {warehouse.offer_count()} offers + "
+            f"{warehouse.aggregate_count()} aggregates"
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -151,6 +206,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "warehouse": _command_warehouse,
         "plan": _command_plan,
         "mdx": _command_mdx,
+        "live": _command_live,
     }
     return commands[args.command](args)
 

@@ -70,6 +70,15 @@ class Scenario:
         """All flex-offers issued by one prosumer (the Figure 7 loading filter)."""
         return [offer for offer in self.flex_offers if offer.prosumer_id == prosumer_id]
 
+    def offers_in_arrival_order(self) -> list[FlexOffer]:
+        """Flex-offers sorted by creation time (id breaking ties).
+
+        This is the order the offers would have arrived in had the scenario
+        been observed as a stream; the live subsystem's replay uses it to
+        synthesize a realistic event sequence.
+        """
+        return sorted(self.flex_offers, key=lambda offer: (offer.creation_time, offer.id))
+
     def replace_offers(self, offers: list[FlexOffer]) -> "Scenario":
         """Return a shallow copy of the scenario with a different offer list."""
         clone = Scenario(

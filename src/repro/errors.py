@@ -79,3 +79,12 @@ class ViewError(ReproError):
 
 class DataGenerationError(ReproError):
     """Raised by the synthetic scenario generators."""
+
+
+class LiveEngineError(ReproError):
+    """Raised by the event-driven live subsystem (event log, engine, warehouse).
+
+    Examples: adding an offer id twice, withdrawing an unknown offer, or a
+    state-change event that is infeasible for the current offer (assigning
+    without a schedule).
+    """

@@ -1,0 +1,392 @@
+"""The incremental (dirty-group) flex-offer aggregation engine.
+
+The batch pipeline (:func:`repro.aggregation.aggregate.aggregate`) re-groups
+and re-aggregates *every* offer on every call.  The live engine instead keeps
+the grouping grid of :mod:`repro.aggregation.grouping` as a persistent index:
+each applied event touches at most two grid cells (the offer's old and new
+cell), only those cells are marked *dirty*, and :meth:`LiveAggregationEngine.commit`
+re-aggregates just the dirty cells.  The cost of a commit is therefore
+proportional to the number of touched offers, not the population size —
+recomputation is replaced by incremental maintenance, the classic move of
+incremental view maintenance and integrity checking.
+
+Equivalence with the batch path is part of the contract: after any event
+stream, :meth:`LiveAggregationEngine.aggregated_offers` equals the batch
+aggregation of the surviving offers bit-for-bit on profiles (ids may differ —
+the engine allocates stable per-cell aggregate ids).  ``canonical_form`` is
+the id-insensitive normal form the equivalence tests compare under.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterable
+
+from repro.aggregation.aggregate import aggregate_group, AggregationResult
+from repro.aggregation.grouping import GroupKey, chunk_group, group_key
+from repro.aggregation.parameters import AggregationParameters
+from repro.errors import LiveEngineError
+from repro.flexoffer.model import FlexOffer
+from repro.live.events import (
+    OfferAdded,
+    OfferEvent,
+    OfferStateChanged,
+    OfferUpdated,
+    OfferWithdrawn,
+    apply_transition,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.live.subscriptions import SubscriptionHub
+
+
+def cell_key_string(key: GroupKey) -> str:
+    """Stable string form of a grouping-grid cell key (for warehouse columns)."""
+    return f"{key[0]}|{key[1]}|{key[2]}"
+
+
+def canonical_form(offer: FlexOffer) -> FlexOffer:
+    """Id-insensitive normal form used to compare aggregation outputs.
+
+    Raw offers are returned unchanged (their ids are ground truth);
+    aggregates get id 0 and sorted constituent ids, so two aggregates built
+    from the same group compare equal regardless of which engine allocated
+    their ids or in which order provenance was recorded.
+    """
+    if not offer.is_aggregate:
+        return offer
+    return replace(offer, id=0, constituent_ids=tuple(sorted(offer.constituent_ids)))
+
+
+@dataclass
+class CommitResult:
+    """Outcome of one engine commit: what changed, and how long it took."""
+
+    #: Monotonically increasing commit number (1 for the first commit).
+    sequence: int
+    #: Number of events applied since the previous commit.
+    events_applied: int
+    #: Grid cells that were re-aggregated.
+    dirty_cells: tuple[GroupKey, ...]
+    #: Output offers that are new or changed (aggregates and passthroughs).
+    changed: list[FlexOffer] = field(default_factory=list)
+    #: Output offers retired by this commit (kept as objects so consumers can
+    #: tell retired aggregates from raw offers that were folded away).
+    removed: list[FlexOffer] = field(default_factory=list)
+    #: Wall-clock seconds the commit took.
+    elapsed_seconds: float = 0.0
+
+    @property
+    def changed_ids(self) -> tuple[int, ...]:
+        return tuple(offer.id for offer in self.changed)
+
+    @property
+    def removed_ids(self) -> tuple[int, ...]:
+        return tuple(offer.id for offer in self.removed)
+
+    def __len__(self) -> int:
+        return len(self.changed) + len(self.removed)
+
+
+class LiveAggregationEngine:
+    """Keeps flex-offer aggregates fresh under a stream of lifecycle events.
+
+    Parameters
+    ----------
+    parameters:
+        The grouping/aggregation parameters (shared with the batch path).
+    micro_batch_size:
+        ``0`` (default) commits only when :meth:`commit` is called; a positive
+        value auto-commits after that many applied events, trading commit
+        latency against per-event overhead.
+    id_offset:
+        First aggregate id; ids are allocated once per (cell, chunk) and are
+        stable across commits, so a re-aggregated group keeps its identity.
+    hub:
+        Optional :class:`~repro.live.subscriptions.SubscriptionHub`; every
+        commit result is published to it.
+    """
+
+    def __init__(
+        self,
+        parameters: AggregationParameters | None = None,
+        micro_batch_size: int = 0,
+        id_offset: int = 1_000_000,
+        hub: "SubscriptionHub | None" = None,
+    ) -> None:
+        if micro_batch_size < 0:
+            raise LiveEngineError("micro_batch_size must be >= 0")
+        self.parameters = parameters or AggregationParameters()
+        self.micro_batch_size = micro_batch_size
+        self.id_offset = id_offset
+        self.hub = hub
+        #: Raw (non-aggregate) offers by id — the ground truth.
+        self._offers: dict[int, FlexOffer] = {}
+        #: Input offers that are already aggregates pass through untouched.
+        self._passthrough: dict[int, FlexOffer] = {}
+        #: Passthrough versions as of the last commit (no-op change suppression).
+        self._committed_passthrough: dict[int, FlexOffer] = {}
+        #: The persistent grouping grid: cell -> member offer ids.
+        self._cells: dict[GroupKey, set[int]] = {}
+        self._cell_of: dict[int, GroupKey] = {}
+        #: Cells whose membership (or a member) changed since the last commit.
+        self._dirty: set[GroupKey] = set()
+        self._dirty_passthrough: set[int] = set()
+        self._removed_passthrough: dict[int, FlexOffer] = {}
+        #: Committed aggregation output per cell.
+        self._outputs: dict[GroupKey, list[FlexOffer]] = {}
+        self._constituents: dict[int, list[FlexOffer]] = {}
+        #: Stable aggregate id per (cell, chunk index).
+        self._aggregate_ids: dict[tuple[GroupKey, int], int] = {}
+        #: Every id ever handed to an engine aggregate (stable, never reused).
+        self._reserved_ids: set[int] = set()
+        self._next_id = id_offset
+        self._pending_events = 0
+        self._commit_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of live raw offers (passthrough aggregates included)."""
+        return len(self._offers) + len(self._passthrough)
+
+    @property
+    def pending_events(self) -> int:
+        """Events applied since the last commit."""
+        return self._pending_events
+
+    @property
+    def dirty_cell_count(self) -> int:
+        return len(self._dirty)
+
+    @property
+    def cell_count(self) -> int:
+        """Number of non-empty grouping-grid cells."""
+        return len(self._cells)
+
+    def offers(self) -> list[FlexOffer]:
+        """The surviving raw offers, sorted by id (batch-pipeline input order)."""
+        combined = list(self._offers.values()) + list(self._passthrough.values())
+        return sorted(combined, key=lambda offer: offer.id)
+
+    def offer(self, offer_id: int) -> FlexOffer:
+        """One raw offer by id; raises :class:`LiveEngineError` when unknown."""
+        try:
+            return self._offers.get(offer_id) or self._passthrough[offer_id]
+        except KeyError as exc:
+            raise LiveEngineError(f"unknown offer id {offer_id}") from exc
+
+    def cell_of(self, offer_id: int) -> GroupKey | None:
+        """The grid cell an offer currently sits in (``None`` for passthroughs)."""
+        return self._cell_of.get(offer_id)
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    def apply(self, event: OfferEvent) -> CommitResult | None:
+        """Apply one event; returns a commit result when micro-batching fired."""
+        if isinstance(event, OfferAdded):
+            self._insert(event.offer)
+        elif isinstance(event, OfferUpdated):
+            self._remove(event.offer.id)
+            self._insert(event.offer)
+        elif isinstance(event, OfferWithdrawn):
+            self._remove(event.offer_id)
+        elif isinstance(event, OfferStateChanged):
+            self._change_state(event)
+        else:
+            raise LiveEngineError(f"unknown event type {type(event).__name__}")
+        self._pending_events += 1
+        if self.micro_batch_size and self._pending_events >= self.micro_batch_size:
+            return self.commit()
+        return None
+
+    def apply_many(self, events: Iterable[OfferEvent]) -> list[CommitResult]:
+        """Apply a batch of events; returns any micro-batch commit results."""
+        results = []
+        for event in events:
+            result = self.apply(event)
+            if result is not None:
+                results.append(result)
+        return results
+
+    def _insert(self, offer: FlexOffer) -> None:
+        if offer.id in self._offers or offer.id in self._passthrough:
+            raise LiveEngineError(f"offer id {offer.id} is already live; use OfferUpdated")
+        if offer.id in self._reserved_ids:
+            raise LiveEngineError(
+                f"offer id {offer.id} collides with an engine-allocated aggregate id"
+            )
+        # Never allocate an aggregate id an input already occupies (e.g. batch
+        # aggregates fed back in as passthroughs carry ids >= id_offset).
+        self._next_id = max(self._next_id, offer.id + 1)
+        if offer.is_aggregate:
+            self._passthrough[offer.id] = offer
+            self._dirty_passthrough.add(offer.id)
+            self._removed_passthrough.pop(offer.id, None)
+            return
+        cell = group_key(offer, self.parameters)
+        self._offers[offer.id] = offer
+        self._cells.setdefault(cell, set()).add(offer.id)
+        self._cell_of[offer.id] = cell
+        self._dirty.add(cell)
+
+    def _remove(self, offer_id: int) -> None:
+        if offer_id in self._passthrough:
+            self._removed_passthrough[offer_id] = self._passthrough.pop(offer_id)
+            self._dirty_passthrough.discard(offer_id)
+            return
+        if offer_id not in self._offers:
+            raise LiveEngineError(f"unknown offer id {offer_id}")
+        cell = self._cell_of.pop(offer_id)
+        members = self._cells[cell]
+        members.discard(offer_id)
+        if not members:
+            del self._cells[cell]
+        del self._offers[offer_id]
+        self._dirty.add(cell)
+
+    def _change_state(self, event: OfferStateChanged) -> None:
+        offer = self.offer(event.offer_id)
+        transitioned = apply_transition(offer, event.state, event.schedule)
+        if offer.is_aggregate:
+            self._passthrough[offer.id] = transitioned
+            self._dirty_passthrough.add(offer.id)
+            return
+        # State does not enter the grouping key, so the cell stays put; the
+        # cell is still dirtied because its aggregate's metadata may change.
+        self._offers[offer.id] = transitioned
+        self._dirty.add(self._cell_of[offer.id])
+
+    # ------------------------------------------------------------------
+    # Commit: re-aggregate only the dirty cells
+    # ------------------------------------------------------------------
+    def _allocate_id(self) -> int:
+        allocated = self._next_id
+        self._next_id += 1
+        self._reserved_ids.add(allocated)
+        return allocated
+
+    def commit(self) -> CommitResult:
+        """Re-aggregate the dirty cells and return what changed.
+
+        The cost is proportional to the dirty membership, not the population:
+        clean cells keep their committed output objects untouched.
+        """
+        started = time.perf_counter()
+        changed: list[FlexOffer] = []
+        removed: list[FlexOffer] = []
+        dirty = tuple(sorted(self._dirty))
+        for cell in dirty:
+            old_outputs = self._outputs.get(cell, [])
+            members = [self._offers[i] for i in sorted(self._cells.get(cell, ()))]
+            new_outputs: list[FlexOffer] = []
+            for chunk_index, group in enumerate(chunk_group(members, self.parameters.max_group_size)):
+                if not group:
+                    continue
+                if len(group) == 1:
+                    # Mirror the batch pipeline: 1-offer groups pass through raw.
+                    new_outputs.append(group[0])
+                    continue
+                key = (cell, chunk_index)
+                if key not in self._aggregate_ids:
+                    self._aggregate_ids[key] = self._allocate_id()
+                combined = aggregate_group(group, self._aggregate_ids[key])
+                self._constituents[combined.id] = list(group)
+                new_outputs.append(combined)
+            old_by_id = {offer.id: offer for offer in old_outputs}
+            new_by_id = {offer.id: offer for offer in new_outputs}
+            for offer_id, offer in new_by_id.items():
+                if old_by_id.get(offer_id) != offer:
+                    changed.append(offer)
+            for offer_id, offer in old_by_id.items():
+                if offer_id not in new_by_id:
+                    removed.append(offer)
+                    self._constituents.pop(offer_id, None)
+            if new_outputs:
+                self._outputs[cell] = new_outputs
+            else:
+                self._outputs.pop(cell, None)
+        for offer_id in sorted(self._dirty_passthrough):
+            offer = self._passthrough[offer_id]
+            # Mirror the raw-cell path: suppress no-op outputs (e.g. a state
+            # event that left the offer identical) so listeners stay asleep.
+            if self._committed_passthrough.get(offer_id) != offer:
+                changed.append(offer)
+                self._committed_passthrough[offer_id] = offer
+        for offer_id in sorted(self._removed_passthrough):
+            removed.append(self._removed_passthrough[offer_id])
+            self._committed_passthrough.pop(offer_id, None)
+        # A raw offer migrating between cells in one commit leaves its old cell
+        # (removed) and enters its new one (changed); it is still live, so it
+        # must not be reported as removed or mirrors would drop it.
+        changed_ids = {offer.id for offer in changed}
+        removed = [offer for offer in removed if offer.id not in changed_ids]
+        self._dirty.clear()
+        self._dirty_passthrough.clear()
+        self._removed_passthrough.clear()
+        self._commit_count += 1
+        result = CommitResult(
+            sequence=self._commit_count,
+            events_applied=self._pending_events,
+            dirty_cells=dirty,
+            changed=changed,
+            removed=removed,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        self._pending_events = 0
+        if self.hub is not None:
+            self.hub.publish(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Aggregated state
+    # ------------------------------------------------------------------
+    def aggregated_offers(self) -> list[FlexOffer]:
+        """The committed aggregation output (batch-equivalent offer list).
+
+        Cells appear in sorted key order, passthrough aggregates last — the
+        same layout :func:`repro.aggregation.aggregate.aggregate` produces.
+        Uncommitted events are not reflected; call :meth:`commit` first.
+        """
+        output: list[FlexOffer] = []
+        for cell in sorted(self._outputs):
+            output.extend(self._outputs[cell])
+        output.extend(self._passthrough[offer_id] for offer_id in sorted(self._passthrough))
+        return output
+
+    def constituents_of(self, aggregate_id: int) -> list[FlexOffer]:
+        """Provenance of one committed aggregate (empty when unknown)."""
+        return list(self._constituents.get(aggregate_id, ()))
+
+    def result(self) -> AggregationResult:
+        """The committed state as a batch-compatible :class:`AggregationResult`."""
+        result = AggregationResult()
+        result.offers = self.aggregated_offers()
+        result.constituents = {key: list(value) for key, value in self._constituents.items()}
+        return result
+
+    def batch_equivalent(self) -> AggregationResult:
+        """Run the *batch* pipeline over the surviving offers (for equivalence checks)."""
+        from repro.aggregation.aggregate import aggregate
+
+        return aggregate(self.offers(), self.parameters, id_offset=self.id_offset)
+
+
+def assert_batch_equivalent(engine: LiveAggregationEngine) -> None:
+    """Raise :class:`LiveEngineError` unless engine state equals the batch result.
+
+    Equality is bit-for-bit on profiles and every attribute except aggregate
+    ids (compared under :func:`canonical_form`, as a multiset).
+    """
+    from collections import Counter
+
+    live = Counter(canonical_form(offer) for offer in engine.aggregated_offers())
+    batch = Counter(canonical_form(offer) for offer in engine.batch_equivalent().offers)
+    if live != batch:
+        raise LiveEngineError(
+            "live aggregation state diverged from the batch pipeline: "
+            f"{len(live)} live outputs vs {len(batch)} batch outputs"
+        )

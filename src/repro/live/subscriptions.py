@@ -1,0 +1,192 @@
+"""Commit notifications: views and alert rules subscribe to the live engine.
+
+After every :meth:`~repro.live.engine.LiveAggregationEngine.commit`, the
+:class:`SubscriptionHub` fans the commit result out to registered listeners.
+A subscription can narrow its interest to grid cells or regions so a view
+showing one region is only woken when one of *its* aggregates changed — the
+push-based counterpart of the tool's "reload the warehouse and redraw"
+workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import LiveEngineError
+from repro.flexoffer.model import FlexOffer
+from repro.live.engine import CommitResult, LiveAggregationEngine
+from repro.monitoring.alerts import Alert, AlertMonitor
+
+
+@dataclass(frozen=True)
+class CommitNotification:
+    """What one listener receives: the commit plus its slice of the changes."""
+
+    commit: CommitResult
+    #: Changed output offers matching the subscription's interest.
+    changed: tuple[FlexOffer, ...]
+    #: Offers the subscriber must drop: retired outputs that matched the
+    #: interest, plus outputs that changed *out of* the interest (e.g. an
+    #: aggregate whose region became "mixed" when a cross-region offer joined
+    #: its group) — without the latter, a filtered view would mirror the
+    #: retired variant forever.
+    removed: tuple[FlexOffer, ...]
+
+    def __len__(self) -> int:
+        return len(self.changed) + len(self.removed)
+
+
+Listener = Callable[[CommitNotification], None]
+
+
+@dataclass
+class Subscription:
+    """One registered listener with its interest filter."""
+
+    name: str
+    listener: Listener
+    regions: frozenset[str] | None = None
+    only_aggregates: bool = False
+    #: Deliver empty notifications too (heartbeat listeners want every commit).
+    deliver_empty: bool = False
+    notified: int = field(default=0, repr=False)
+    #: Ids this subscription has been handed as changed and not yet removed —
+    #: what the listener's mirror can contain.
+    mirrored: set[int] = field(default_factory=set, repr=False)
+
+    def _interested(self, offer: FlexOffer) -> bool:
+        if self.only_aggregates and not offer.is_aggregate:
+            return False
+        if self.regions is not None and offer.region not in self.regions:
+            return False
+        return True
+
+    def slice_of(self, commit: CommitResult) -> CommitNotification:
+        """The commit narrowed to this subscription's interest.
+
+        An offer that changed *out of* the interest (e.g. an aggregate whose
+        region became "mixed") is delivered as a removal — but only when this
+        subscription was previously handed it, so foreign changes never wake
+        the listener.  Updates ``mirrored`` as a side effect; call once per
+        published commit.
+        """
+        changed = tuple(offer for offer in commit.changed if self._interested(offer))
+        exited = tuple(
+            offer
+            for offer in commit.changed
+            if not self._interested(offer) and offer.id in self.mirrored
+        )
+        removed = (
+            tuple(offer for offer in commit.removed if offer.id in self.mirrored) + exited
+        )
+        self.mirrored.update(offer.id for offer in changed)
+        self.mirrored.difference_update(offer.id for offer in removed)
+        return CommitNotification(commit=commit, changed=changed, removed=removed)
+
+
+class SubscriptionHub:
+    """Registers listeners and fans commit results out to them."""
+
+    def __init__(self) -> None:
+        self._subscriptions: list[Subscription] = []
+        self.published_commits = 0
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def subscribe(
+        self,
+        listener: Listener,
+        name: str = "",
+        regions: Iterable[str] | None = None,
+        only_aggregates: bool = False,
+        deliver_empty: bool = False,
+    ) -> Subscription:
+        """Register ``listener``; returns the subscription handle."""
+        if not callable(listener):
+            raise LiveEngineError("subscription listener must be callable")
+        subscription = Subscription(
+            name=name or f"subscription-{len(self._subscriptions) + 1}",
+            listener=listener,
+            regions=frozenset(regions) if regions is not None else None,
+            only_aggregates=only_aggregates,
+            deliver_empty=deliver_empty,
+        )
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> bool:
+        """Remove a subscription; returns whether it was registered."""
+        try:
+            self._subscriptions.remove(subscription)
+            return True
+        except ValueError:
+            return False
+
+    def publish(self, commit: CommitResult) -> int:
+        """Notify interested listeners of one commit; returns how many were."""
+        self.published_commits += 1
+        notified = 0
+        for subscription in list(self._subscriptions):
+            notification = subscription.slice_of(commit)
+            if len(notification) == 0 and not subscription.deliver_empty:
+                continue
+            subscription.listener(notification)
+            subscription.notified += 1
+            notified += 1
+        return notified
+
+
+class ChangeCollector:
+    """A minimal live "view model": mirrors the changed aggregates by id.
+
+    Views subscribe one of these and re-render only ``offers`` instead of
+    reloading the warehouse; tests use it to observe notification flow.
+    """
+
+    def __init__(self) -> None:
+        self.offers: dict[int, FlexOffer] = {}
+        self.notifications: list[CommitNotification] = []
+
+    def __call__(self, notification: CommitNotification) -> None:
+        self.notifications.append(notification)
+        for offer in notification.changed:
+            self.offers[offer.id] = offer
+        for offer in notification.removed:
+            self.offers.pop(offer.id, None)
+
+
+class LiveAlertFeed:
+    """Runs monitoring alert rules over the live state after each commit.
+
+    The feed keeps the latest alerts (currently the low-flexibility rule,
+    which needs no demand forecast) and a log of every alert ever raised, so
+    a :class:`~repro.monitoring.platform.MonitoringPlatform` operator sees
+    degradations the moment the triggering event commits.
+
+    The low-flexibility rule is global, so each evaluation scans the whole
+    aggregated population; subscribe without ``deliver_empty`` (the
+    :meth:`~repro.monitoring.platform.MonitoringPlatform.attach_live`
+    default) so no-op commits don't pay that scan.
+    """
+
+    def __init__(self, monitor: AlertMonitor, engine: LiveAggregationEngine) -> None:
+        self.monitor = monitor
+        self.engine = engine
+        self.current_alerts: list[Alert] = []
+        self.history: list[tuple[int, Alert]] = []
+
+    def __call__(self, notification: CommitNotification) -> None:
+        offers = self.engine.aggregated_offers()
+        previous = set(self.current_alerts)
+        self.current_alerts = list(self.monitor.low_flexibility_alerts(offers))
+        # Only newly raised alerts enter the history; an alert standing across
+        # many commits is attributed to the commit that first raised it.
+        for alert in self.current_alerts:
+            if alert not in previous:
+                self.history.append((notification.commit.sequence, alert))
+
+    def alerts_for(self, commit_sequence: int) -> list[Alert]:
+        """Alerts first raised by one specific commit."""
+        return [alert for sequence, alert in self.history if sequence == commit_sequence]

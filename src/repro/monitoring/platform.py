@@ -112,6 +112,35 @@ class MonitoringPlatform:
         return report
 
     # ------------------------------------------------------------------
+    # Live operation
+    # ------------------------------------------------------------------
+    def attach_live(self, hub, engine) -> "LiveAlertFeed":
+        """Subscribe this platform's alert rules to a live engine's commits.
+
+        Returns the :class:`~repro.live.subscriptions.LiveAlertFeed` that
+        re-evaluates the rules over the fresh aggregate state after every
+        commit that changed something (no-op commits skip the scan); the
+        operator reads ``feed.current_alerts`` instead of re-running
+        :meth:`scan` over a reloaded scenario.
+
+        The hub must be the one the engine publishes to; an engine without a
+        hub is adopted onto ``hub`` so the feed cannot be silently dead.
+        """
+        from repro.errors import LiveEngineError
+        from repro.live.subscriptions import LiveAlertFeed
+
+        if engine.hub is None:
+            engine.hub = hub
+        elif engine.hub is not hub:
+            raise LiveEngineError(
+                "attach_live: hub is not the engine's publishing hub; "
+                "the alert feed would never be notified"
+            )
+        feed = LiveAlertFeed(self.monitor, engine)
+        hub.subscribe(feed, name="monitoring-platform")
+        return feed
+
+    # ------------------------------------------------------------------
     # Drill-down (the "find out the reason behind it" part of the future work)
     # ------------------------------------------------------------------
     def offers_for(self, alert: Alert) -> list[FlexOffer]:

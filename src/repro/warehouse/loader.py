@@ -18,7 +18,7 @@ from repro.timeseries.series import TimeSeries
 from repro.warehouse.schema import StarSchema
 
 #: Energy types considered renewable by the dim_energy_type dimension.
-_RENEWABLE_TYPES = {"hydro", "wind", "solar", "chp"}
+RENEWABLE_TYPES = {"hydro", "wind", "solar", "chp"}
 
 
 def _load_time_dimension(schema: StarSchema, scenario: Scenario) -> None:
@@ -108,7 +108,7 @@ def _load_type_dimensions(schema: StarSchema, scenario: Scenario) -> None:
     energy_types = sorted({offer.energy_type for offer in scenario.flex_offers if offer.energy_type})
     for energy_type in energy_types:
         energy_table.append(
-            {"energy_type": energy_type, "renewable": energy_type in _RENEWABLE_TYPES}
+            {"energy_type": energy_type, "renewable": energy_type in RENEWABLE_TYPES}
         )
     seen: set[str] = set()
     for offer in scenario.flex_offers:
@@ -123,9 +123,19 @@ def _load_type_dimensions(schema: StarSchema, scenario: Scenario) -> None:
             )
 
 
-def load_flex_offer(schema: StarSchema, offer: FlexOffer, geo_ids: dict[str, int]) -> None:
-    """Insert one flex-offer into the fact tables."""
-    fact = schema.table("fact_flexoffer")
+def load_flex_offer(
+    schema: StarSchema,
+    offer: FlexOffer,
+    geo_ids: dict[str, int],
+    group_cell: str = "",
+    fact_table: str = "fact_flexoffer",
+) -> None:
+    """Insert one flex-offer into the fact tables.
+
+    ``fact_table`` lets the live warehouse route derived aggregates into
+    ``fact_flexoffer_aggregate`` (same columns) instead of the raw fact table.
+    """
+    fact = schema.table(fact_table)
     slices = schema.table("fact_flexoffer_slice")
     fact.append(
         {
@@ -148,6 +158,7 @@ def load_flex_offer(schema: StarSchema, offer: FlexOffer, geo_ids: dict[str, int
             "scheduled_start_slot": offer.schedule.start_slot if offer.schedule else None,
             "price_per_kwh": offer.price_per_kwh,
             "is_aggregate": offer.is_aggregate,
+            "group_cell": group_cell,
             "creation_time": offer.creation_time,
             "acceptance_deadline": offer.acceptance_deadline,
             "assignment_deadline": offer.assignment_deadline,
@@ -167,6 +178,16 @@ def load_flex_offer(schema: StarSchema, offer: FlexOffer, geo_ids: dict[str, int
                 "scheduled_energy": scheduled,
             }
         )
+
+
+def geography_ids(schema: StarSchema) -> dict[str, int]:
+    """Rebuild the district -> geo_id mapping from a loaded geography dimension.
+
+    :func:`load_scenario` builds this mapping internally and discards it; the
+    live warehouse needs it again to insert facts for offers arriving as
+    events after the initial load.
+    """
+    return {row["district"]: row["geo_id"] for row in schema.table("dim_geography").rows()}
 
 
 def load_time_series(schema: StarSchema, series: TimeSeries, kind: str) -> None:

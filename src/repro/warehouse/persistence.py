@@ -69,6 +69,17 @@ def _coerce(column: str, text: str) -> Any:
         return text
 
 
+def _missing_default(column: str) -> Any:
+    """Backfill value for a column absent from an old dump.
+
+    Typed columns default to ``None`` (an empty string would poison
+    arithmetic and equality filters); plain string columns default to ``""``.
+    """
+    if column in _DATETIME_COLUMNS or column in _COLUMN_PARSERS or column in _NULLABLE_COLUMNS:
+        return None
+    return ""
+
+
 def _format(value: Any) -> Any:
     if isinstance(value, datetime):
         return value.strftime(_TIME_FORMAT)
@@ -104,6 +115,12 @@ def load_schema(directory: str | Path) -> StarSchema:
             continue
         raw = Table.from_csv(name, path.read_text(encoding="utf-8"))
         target = schema.table(name)
+        # Dumps written before a column existed load with an empty default, so
+        # old warehouse directories stay readable after schema growth.
+        missing = [column for column in target.columns if column not in raw.columns]
         for row in raw.rows():
-            target.append({column: _coerce(column, value) for column, value in row.items()})
+            values = {column: _coerce(column, value) for column, value in row.items()}
+            for column in missing:
+                values[column] = _missing_default(column)
+            target.append(values)
     return schema

@@ -84,12 +84,26 @@ class QueryResult:
         return len(self.offers)
 
 
+#: fact_flexoffer columns the repository keeps hash indexes on.  ``prosumer_id``
+#: serves the Figure 7 entity lookup and the live path's per-prosumer refresh,
+#: ``offer_id`` the live warehouse's upsert/delete, and ``group_cell`` the
+#: dirty-cell lookups of the live aggregation engine.
+INDEXED_FACT_COLUMNS = ("prosumer_id", "offer_id", "group_cell")
+
+
 class FlexOfferRepository:
     """Read-side API over a loaded :class:`StarSchema`."""
 
     def __init__(self, schema: StarSchema, grid: TimeGrid) -> None:
         self.schema = schema
         self.grid = grid
+        for table_name in ("fact_flexoffer", "fact_flexoffer_aggregate"):
+            if table_name not in schema.tables:
+                continue
+            fact = schema.table(table_name)
+            for column in INDEXED_FACT_COLUMNS:
+                if column in fact.columns:
+                    fact.create_index(column)
 
     # ------------------------------------------------------------------
     # Master data used by the loading tab's combo boxes
@@ -153,17 +167,63 @@ class FlexOfferRepository:
         return self._geo_cache
 
     def load(self, query: FlexOfferFilter | None = None) -> QueryResult:
-        """Load flex-offers matching ``query`` (all offers when ``None``)."""
+        """Load flex-offers matching ``query`` (all offers when ``None``).
+
+        When the filter pins ``prosumer_ids``, only the candidate rows from
+        the ``prosumer_id`` hash index are examined (a dict hit per prosumer)
+        instead of scanning the whole fact table; the linear scan remains the
+        fallback for every other filter shape.
+        """
         query = query or FlexOfferFilter()
         fact = self.schema.table("fact_flexoffer")
         offers: list[FlexOffer] = []
         matched = 0
-        for row in fact.rows():
+        if query.prosumer_ids is not None and "prosumer_id" in fact.indexed_columns:
+            positions = sorted(
+                {p for pid in query.prosumer_ids for p in fact.lookup("prosumer_id", pid)}
+            )
+            candidate_rows = (fact.row(position) for position in positions)
+            scanned = len(positions)
+        else:
+            candidate_rows = fact.rows()
+            scanned = len(fact)
+        for row in candidate_rows:
             if not self._row_matches(row, query):
                 continue
             matched += 1
             offers.append(flex_offer_from_dict(json.loads(row["payload"])))
-        return QueryResult(offers=offers, filter=query, scanned_rows=len(fact), matched_rows=matched)
+        return QueryResult(offers=offers, filter=query, scanned_rows=scanned, matched_rows=matched)
+
+    def offers_from_payloads(self, payloads) -> list[FlexOffer]:
+        """Reconstruct full offers from stored JSON payload cells."""
+        return [flex_offer_from_dict(json.loads(payload)) for payload in payloads]
+
+    def load_aggregates(self) -> list[FlexOffer]:
+        """The derived aggregates the live warehouse mirrors.
+
+        These live in ``fact_flexoffer_aggregate``, separate from the raw
+        offers, so :meth:`load` never mixes the two.  Empty for schemas
+        persisted before the table existed.
+        """
+        if "fact_flexoffer_aggregate" not in self.schema.tables:
+            return []
+        return self.offers_from_payloads(
+            self.schema.table("fact_flexoffer_aggregate").column("payload")
+        )
+
+    def load_by_offer_ids(self, offer_ids: Sequence[int]) -> list[FlexOffer]:
+        """Resolve specific offer ids to full objects via the ``offer_id`` index.
+
+        The live path (alert drill-down, change notifications) uses this to
+        refresh exactly the touched offers without a fact-table scan.
+        """
+        fact = self.schema.table("fact_flexoffer")
+        payloads = fact.column("payload")
+        return self.offers_from_payloads(
+            payloads[position]
+            for offer_id in offer_ids
+            for position in fact.lookup("offer_id", offer_id)
+        )
 
     def load_for_entity(
         self, entity_id: int, start: datetime | None = None, end: datetime | None = None

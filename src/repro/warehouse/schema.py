@@ -82,12 +82,19 @@ FACT_TABLES: dict[str, list[str]] = {
         "scheduled_start_slot",
         "price_per_kwh",
         "is_aggregate",
+        # Aggregation grouping-grid cell key ("" when not maintained); filled
+        # by the live warehouse so dirty-cell lookups are index hits.
+        "group_cell",
         "creation_time",
         "acceptance_deadline",
         "assignment_deadline",
         "payload",
     ],
     "fact_timeseries": ["series_name", "kind", "slot", "value", "unit"],
+    # Derived rows maintained by the live warehouse: engine aggregates are
+    # mirrored here, NOT into fact_flexoffer, so queries over raw offers
+    # never double-count energy with their derived aggregates.
+    "fact_flexoffer_aggregate": [],  # filled in below: same columns as fact_flexoffer
     "fact_flexoffer_slice": [
         "offer_id",
         "slice_index",
@@ -96,6 +103,8 @@ FACT_TABLES: dict[str, list[str]] = {
         "scheduled_energy",
     ],
 }
+
+FACT_TABLES["fact_flexoffer_aggregate"] = list(FACT_TABLES["fact_flexoffer"])
 
 
 @dataclass

@@ -18,7 +18,14 @@ from repro.errors import UnknownColumnError, WarehouseError
 
 
 class Table:
-    """An append-only columnar table with named columns."""
+    """A columnar table with named columns and optional hash indexes.
+
+    The table is append-mostly; :meth:`delete_where` and :meth:`set_value`
+    exist for the live warehouse's event-driven updates.  Secondary indexes map a
+    column value to the list of row positions holding it, turning equality
+    lookups into dict hits.  Appends maintain indexes incrementally; deletes
+    invalidate them and the next lookup rebuilds lazily.
+    """
 
     def __init__(self, name: str, columns: Sequence[str]) -> None:
         if len(set(columns)) != len(columns):
@@ -26,6 +33,8 @@ class Table:
         self.name = name
         self.columns: tuple[str, ...] = tuple(columns)
         self._data: dict[str, list[Any]] = {column: [] for column in columns}
+        #: column -> (value -> row positions); ``None`` marks a stale index.
+        self._indexes: dict[str, dict[Any, list[int]] | None] = {}
 
     # ------------------------------------------------------------------
     # Mutation
@@ -37,11 +46,75 @@ class Table:
             raise UnknownColumnError(f"row for table {self.name!r} misses columns {missing}")
         for column in self.columns:
             self._data[column].append(row[column])
+        position = len(self) - 1
+        for column, index in self._indexes.items():
+            if index is not None:
+                index.setdefault(row[column], []).append(position)
 
     def extend(self, rows: Iterable[Mapping[str, Any]]) -> None:
         """Append many rows."""
         for row in rows:
             self.append(row)
+
+    def delete_where(self, column: str, value: Any) -> int:
+        """Delete all rows whose ``column`` equals ``value``; returns the count."""
+        positions = set(self.lookup(column, value))
+        if not positions:
+            return 0
+        for name, values in self._data.items():
+            self._data[name] = [v for i, v in enumerate(values) if i not in positions]
+        for indexed in self._indexes:
+            self._indexes[indexed] = None
+        return len(positions)
+
+    def set_value(self, column: str, position: int, value: Any) -> None:
+        """Overwrite one cell in place, keeping any index on ``column`` honest."""
+        if column not in self._data:
+            raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
+        if not 0 <= position < len(self):
+            raise WarehouseError(f"row index {position} out of range for table {self.name!r}")
+        self._data[column][position] = value
+        self.invalidate_index(column)
+
+    # ------------------------------------------------------------------
+    # Secondary indexes
+    # ------------------------------------------------------------------
+    def create_index(self, column: str) -> None:
+        """Declare a hash index on ``column`` (built lazily, maintained on append)."""
+        if column not in self._data:
+            raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
+        self._indexes.setdefault(column, None)
+
+    @property
+    def indexed_columns(self) -> tuple[str, ...]:
+        """Columns a hash index has been declared on."""
+        return tuple(self._indexes)
+
+    def invalidate_index(self, column: str) -> None:
+        """Mark one index stale (callers that mutate column values in place)."""
+        if column in self._indexes:
+            self._indexes[column] = None
+
+    def _index(self, column: str) -> dict[Any, list[int]]:
+        index = self._indexes.get(column)
+        if index is None:
+            index = {}
+            for position, value in enumerate(self._data[column]):
+                index.setdefault(value, []).append(position)
+            self._indexes[column] = index
+        return index
+
+    def lookup(self, column: str, value: Any) -> list[int]:
+        """Row positions whose ``column`` equals ``value``.
+
+        A dict hit when ``column`` is indexed; a linear scan otherwise (the
+        fallback keeps the method usable on any column).
+        """
+        if column not in self._data:
+            raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
+        if column in self._indexes:
+            return list(self._index(column).get(value, ()))
+        return [i for i, v in enumerate(self._data[column]) if v == value]
 
     # ------------------------------------------------------------------
     # Access
@@ -78,10 +151,22 @@ class Table:
         return result
 
     def where(self, **equals: Any) -> "Table":
-        """Return rows whose columns equal the given values (conjunction)."""
+        """Return rows whose columns equal the given values (conjunction).
+
+        When one of the constrained columns is indexed, only the candidate
+        rows from the index are examined; otherwise the full table is scanned.
+        """
         for column in equals:
             if column not in self._data:
                 raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
+        indexed = next((column for column in equals if column in self._indexes), None)
+        if indexed is not None:
+            result = Table(self.name, self.columns)
+            for position in self.lookup(indexed, equals[indexed]):
+                row = self.row(position)
+                if all(row[column] == value for column, value in equals.items()):
+                    result.append(row)
+            return result
         return self.filter(lambda row: all(row[column] == value for column, value in equals.items()))
 
     def where_in(self, column: str, values: Iterable[Any]) -> "Table":

@@ -86,9 +86,24 @@ class TestAggregateGroup:
         with pytest.raises(AggregationError):
             aggregate_group(group, 10)
 
-    def test_singleton_returns_original(self):
+    def test_singleton_gets_aggregate_identity(self):
         offer = make_offer()
-        assert aggregate_group([offer], 10) is offer
+        combined = aggregate_group([offer], 10)
+        assert combined.id == 10
+        assert combined.is_aggregate
+        assert combined.constituent_ids == (offer.id,)
+        assert combined.prosumer_id == offer.prosumer_id
+        assert combined.min_total_energy == pytest.approx(offer.min_total_energy)
+        assert combined.max_total_energy == pytest.approx(offer.max_total_energy)
+        assert combined.time_flexibility_slots == offer.time_flexibility_slots
+        assert combined.earliest_start_slot == offer.earliest_start_slot
+
+    def test_batch_aggregate_still_passes_singleton_groups_through(self):
+        # A lone offer in its own grid cell stays a raw offer in aggregate().
+        offer = make_offer(offer_id=5)
+        result = aggregate([offer])
+        assert result.offers == [offer]
+        assert result.aggregates == []
 
     def test_energy_bounds_are_summed(self):
         group = [make_offer(offer_id=1, earliest_start=40), make_offer(offer_id=2, earliest_start=40)]

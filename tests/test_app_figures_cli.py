@@ -114,6 +114,15 @@ class TestCli:
         assert payload["columns"] == ["flex_offer_count"]
         assert payload["rows"]
 
+    def test_live_command(self, capsys):
+        assert main(["--prosumers", "15", "live", "--batch-size", "16", "--with-warehouse"]) == 0
+        out = capsys.readouterr().out
+        assert "commit latency" in out and "warehouse facts" in out
+
+    def test_live_command_rejects_negative_batch_size(self, capsys):
+        assert main(["--prosumers", "15", "live", "--batch-size", "-1"]) == 2
+        assert "--batch-size" in capsys.readouterr().err
+
     def test_figures_command(self, tmp_path, capsys):
         assert main(["--prosumers", "20", "figures", "--out", str(tmp_path / "figs")]) == 0
         assert len(list((tmp_path / "figs").glob("*.svg"))) == 12

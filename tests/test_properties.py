@@ -8,9 +8,13 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from dataclasses import replace
+
 from repro.aggregation.aggregate import aggregate_group
 from repro.aggregation.disaggregate import disaggregate
-from repro.flexoffer.model import FlexOffer, ProfileSlice, Schedule
+from repro.flexoffer.model import FlexOffer, FlexOfferState, ProfileSlice, Schedule
+from repro.live.engine import LiveAggregationEngine, assert_batch_equivalent, canonical_form
+from repro.live.events import OfferAdded, OfferStateChanged, OfferUpdated, OfferWithdrawn
 from repro.flexoffer.serialization import flex_offer_from_dict, flex_offer_to_dict
 from repro.render.scales import LinearScale, pretty_ticks
 from repro.timeseries.grid import TimeGrid
@@ -142,6 +146,98 @@ class TestAggregationProperties:
             assert original.earliest_start_slot <= result.schedule.start_slot <= original.latest_start_slot
             for piece, amount in zip(result.profile, result.schedule.energy_per_slice):
                 assert piece.min_energy - 1e-6 <= amount <= piece.max_energy + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Live engine equivalence: event replay == batch re-aggregation
+# ----------------------------------------------------------------------
+@st.composite
+def offer_event_streams(draw):
+    """A valid random event stream: adds first, then updates/withdrawals/transitions."""
+    offers = draw(offer_lists)
+    timestamp = _GRID.to_datetime(0)
+    events = []
+    alive: dict[int, FlexOffer] = {}
+    for offer in offers:
+        pristine = replace(offer, state=FlexOfferState.OFFERED, schedule=None)
+        events.append(OfferAdded(timestamp, pristine))
+        alive[pristine.id] = pristine
+    operations = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["update", "withdraw", "accept", "reject", "assign"]),
+                st.integers(min_value=0, max_value=1_000_000),
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            ),
+            max_size=15,
+        )
+    )
+    for kind, pick, fraction in operations:
+        if not alive:
+            break
+        offer_id = sorted(alive)[pick % len(alive)]
+        offer = alive[offer_id]
+        if kind == "update":
+            revised = replace(
+                offer,
+                profile=tuple(piece.scale(0.5 + fraction) for piece in offer.profile),
+                latest_start_slot=offer.latest_start_slot + pick % 3,
+                schedule=None,
+                state=FlexOfferState.OFFERED,
+            )
+            events.append(OfferUpdated(timestamp, revised))
+            alive[offer_id] = revised
+        elif kind == "withdraw":
+            events.append(OfferWithdrawn(timestamp, offer_id))
+            del alive[offer_id]
+        elif kind == "accept":
+            events.append(OfferStateChanged(timestamp, offer_id, FlexOfferState.ACCEPTED))
+            alive[offer_id] = offer.accept()
+        elif kind == "reject":
+            events.append(OfferStateChanged(timestamp, offer_id, FlexOfferState.REJECTED))
+            alive[offer_id] = offer.reject()
+        else:
+            schedule = Schedule(
+                start_slot=offer.earliest_start_slot + pick % (offer.time_flexibility_slots + 1),
+                energy_per_slice=tuple(
+                    piece.min_energy + fraction * (piece.max_energy - piece.min_energy)
+                    for piece in offer.profile
+                ),
+            )
+            events.append(OfferStateChanged(timestamp, offer_id, FlexOfferState.ASSIGNED, schedule))
+            alive[offer_id] = offer.assign(schedule)
+    return events, alive
+
+
+class TestLiveEquivalenceProperties:
+    @given(offer_event_streams(), st.sampled_from([0, 1, 3, 7]))
+    @settings(max_examples=40, deadline=None)
+    def test_live_replay_equals_batch_aggregation(self, stream, micro_batch_size):
+        """After any event stream, the incremental engine's committed state equals
+        batch re-aggregation of the surviving offers — bit-for-bit on profiles,
+        ids modulo ordering (the ``canonical_form`` contract)."""
+        events, alive = stream
+        engine = LiveAggregationEngine(micro_batch_size=micro_batch_size)
+        engine.apply_many(events)
+        engine.commit()
+        assert {offer.id for offer in engine.offers()} == set(alive)
+        assert engine.offers() == [alive[i] for i in sorted(alive)]
+        assert_batch_equivalent(engine)
+
+    @given(offer_event_streams())
+    @settings(max_examples=20, deadline=None)
+    def test_commit_granularity_does_not_change_final_state(self, stream):
+        """Committing after every event and committing once agree exactly."""
+        events, _ = stream
+        eager = LiveAggregationEngine(micro_batch_size=1)
+        eager.apply_many(events)
+        eager.commit()
+        lazy = LiveAggregationEngine()
+        lazy.apply_many(events)
+        lazy.commit()
+        eager_state = sorted(map(repr, map(canonical_form, eager.aggregated_offers())))
+        lazy_state = sorted(map(repr, map(canonical_form, lazy.aggregated_offers())))
+        assert eager_state == lazy_state
 
 
 # ----------------------------------------------------------------------

@@ -164,6 +164,27 @@ class TestPersistence:
         for offer in repo2.load().offers[:20]:
             assert offer == original[offer.id]
 
+    def test_load_dump_missing_new_columns(self, loaded, tmp_path):
+        # A dump written before a column existed (e.g. group_cell) must still
+        # load, with the missing column defaulting to empty.
+        import csv
+        import io
+
+        schema, _ = loaded
+        save_schema(schema, tmp_path / "dw")
+        csv_path = tmp_path / "dw" / "fact_flexoffer.csv"
+        rows = list(csv.reader(io.StringIO(csv_path.read_text())))
+        drop = rows[0].index("group_cell")
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        for row in rows:
+            writer.writerow([cell for index, cell in enumerate(row) if index != drop])
+        csv_path.write_text(buffer.getvalue())
+        reloaded = load_schema(tmp_path / "dw")
+        fact = reloaded.table("fact_flexoffer")
+        assert len(fact) == len(schema.table("fact_flexoffer"))
+        assert set(fact.column("group_cell")) == {""}
+
     def test_load_from_missing_directory_raises(self, tmp_path):
         with pytest.raises(WarehouseError):
             load_schema(tmp_path / "does-not-exist")

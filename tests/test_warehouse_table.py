@@ -131,6 +131,64 @@ class TestGroupByAndJoin:
         assert "geo_region" in joined.columns
 
 
+class TestIndexesAndMutation:
+    def test_lookup_without_index_scans(self, people):
+        assert people.lookup("city", "Aalborg") == [0, 2]
+
+    def test_lookup_with_index_matches_scan(self, people):
+        scan = people.lookup("city", "Aalborg")
+        people.create_index("city")
+        assert people.lookup("city", "Aalborg") == scan
+        assert people.lookup("city", "Nowhere") == []
+
+    def test_create_index_unknown_column(self, people):
+        with pytest.raises(UnknownColumnError):
+            people.create_index("height")
+
+    def test_index_maintained_on_append(self, people):
+        people.create_index("city")
+        people.lookup("city", "Aalborg")  # force the lazy build
+        people.append({"name": "eve", "city": "Aalborg", "age": 22})
+        assert people.lookup("city", "Aalborg") == [0, 2, 4]
+
+    def test_where_uses_index_and_agrees_with_scan(self, people):
+        expected = [row["name"] for row in people.where(city="Aalborg", age=40).rows()]
+        people.create_index("city")
+        actual = [row["name"] for row in people.where(city="Aalborg", age=40).rows()]
+        assert actual == expected == ["cia"]
+
+    def test_delete_where(self, people):
+        assert people.delete_where("city", "Aalborg") == 2
+        assert len(people) == 2
+        assert people.column("name") == ["bo", "dan"]
+        assert people.delete_where("city", "Aalborg") == 0
+
+    def test_delete_rebuilds_index_lazily(self, people):
+        people.create_index("city")
+        people.lookup("city", "Odense")
+        people.delete_where("name", "ana")
+        # Positions shifted down by one after the delete.
+        assert people.lookup("city", "Odense") == [2]
+
+    def test_set_value_updates_cell_and_index(self, people):
+        people.create_index("city")
+        people.lookup("city", "Aalborg")  # force the lazy build
+        people.set_value("city", 0, "Esbjerg")
+        assert people.lookup("city", "Aalborg") == [2]
+        assert people.lookup("city", "Esbjerg") == [0]
+
+    def test_set_value_validates(self, people):
+        with pytest.raises(UnknownColumnError):
+            people.set_value("height", 0, 1)
+        with pytest.raises(WarehouseError):
+            people.set_value("city", 99, "x")
+
+    def test_indexed_columns_listing(self, people):
+        assert people.indexed_columns == ()
+        people.create_index("city")
+        assert people.indexed_columns == ("city",)
+
+
 class TestCsv:
     def test_roundtrip(self, people):
         rebuilt = Table.from_csv("people", people.to_csv())
