@@ -123,3 +123,53 @@ def test_live_replay_throughput(benchmark, paper_scenario):
         "LIVE: event replay throughput",
     )
     assert report.events_per_second > 0
+
+
+# ----------------------------------------------------------------------
+# Standalone smoke mode (CI: `python -m benchmarks.bench_live_engine --quick`)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    """Run the incremental-vs-batch sweep without the pytest harness.
+
+    ``--quick`` shrinks the scenario and the timing rounds so the sweep
+    finishes in a few seconds — a functional smoke of the whole live path
+    (stream synthesis, engine, commit timing), not a performance gate:
+    wall-clock assertions stay in the pytest-benchmark tests.
+    """
+    import argparse
+
+    from repro.datagen.scenarios import ScenarioConfig, generate_scenario
+
+    parser = argparse.ArgumentParser(description="live engine sweep (standalone)")
+    parser.add_argument("--quick", action="store_true", help="small scenario, few rounds")
+    parser.add_argument("--prosumers", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=43)
+    args = parser.parse_args(argv)
+    prosumers = 200 if args.quick else args.prosumers
+    rounds = 3 if args.quick else 9
+
+    scenario = generate_scenario(ScenarioConfig(prosumer_count=prosumers, seed=args.seed))
+    offers = scenario.flex_offers
+    full = _batch_seconds(offers, rounds=rounds)
+    engine = _seeded_engine(offers)
+    rng = np.random.default_rng(7)
+    print(f"[LIVE sweep] {len(offers)} offers, full re-aggregation {full * 1000:.3f} ms")
+    for fraction in FRACTIONS:
+        incremental = _commit_seconds(engine, offers, fraction, rng, rounds=rounds)
+        print(
+            f"  touched {fraction:>4.0%}: commit {incremental * 1000:8.3f} ms, "
+            f"speedup {full / incremental:6.1f}x"
+        )
+    report = replay(
+        scenario_event_stream(scenario, update_fraction=0.1, withdraw_fraction=0.05, seed=7),
+        LiveAggregationEngine(micro_batch_size=64),
+    )
+    print(
+        f"  replay: {report.events} events, {report.commit_count} commits, "
+        f"{report.events_per_second:,.0f} events/s"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

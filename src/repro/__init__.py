@@ -3,6 +3,8 @@ Flexibilities" (Šikšnys & Kaulakienė, EDBT/ICDT Workshops 2013).
 
 The package provides:
 
+* ``repro.session`` — **the one front door**: the :class:`FlexSession` facade
+  with its fluent offer query API over the pluggable batch/live engines,
 * ``repro.flexoffer`` — the flex-offer data model (profiles, flexibilities,
   lifecycle, schedules) and flexibility measures,
 * ``repro.timeseries`` — the regular time-series substrate,
@@ -12,6 +14,8 @@ The package provides:
 * ``repro.olap`` — dimensions, cube, measures, pivot tables and an MDX subset,
 * ``repro.aggregation`` / ``repro.scheduling`` / ``repro.forecasting`` — the
   MIRABEL processing components the tool integrates,
+* ``repro.live`` — the event-driven incremental subsystem (event log, live
+  aggregation engine, live warehouse, commit subscriptions, replay),
 * ``repro.enterprise`` — the planning-and-control loop,
 * ``repro.render`` — the headless rendering substrate (scene graph, SVG, ASCII),
 * ``repro.views`` — the paper's views (basic, profile, map, schematic, pivot,
@@ -19,8 +23,43 @@ The package provides:
 * ``repro.app`` — figure regeneration plus the ``flexviz`` CLI.
 """
 
-from repro.errors import ReproError
+from repro.errors import ReproError, SessionError
 
-__version__ = "0.1.0"
+__version__ = "0.3.0"
 
-__all__ = ["ReproError", "__version__"]
+#: Headline session types, resolved lazily (PEP 562) so ``import repro`` for
+#: an exception class stays cheap while ``from repro import FlexSession``
+#: still works — the session stack (views, live engine, numpy) only loads on
+#: first touch.
+_SESSION_EXPORTS = {
+    "AggregationBackend": "repro.session.engines",
+    "BatchEngine": "repro.session.engines",
+    "LiveEngine": "repro.session.engines",
+    "FlexSession": "repro.session.facade",
+    "OfferQuery": "repro.session.query",
+    "QuerySpec": "repro.session.spec",
+    "ResultSet": "repro.session.spec",
+    "VIEW_REGISTRY": "repro.session.views",
+    "register_view": "repro.session.views",
+}
+
+__all__ = [
+    "ReproError",
+    "SessionError",
+    *sorted(_SESSION_EXPORTS),
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    if name in _SESSION_EXPORTS:
+        import importlib
+
+        value = getattr(importlib.import_module(_SESSION_EXPORTS[name]), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_SESSION_EXPORTS))

@@ -1,15 +1,18 @@
 """Command-line interface of the reproduction (``flexviz``).
 
-Sub-commands:
+Every sub-command goes through one :class:`~repro.session.FlexSession` — the
+unified facade over scenario, warehouse, engines and views:
 
 * ``flexviz figures --out <dir>`` — regenerate every paper figure as SVG.
-* ``flexviz render --view basic --out basic.svg`` — render one view of a
-  freshly generated scenario.
+* ``flexviz render --view basic --out basic.svg`` — render one registered
+  view of a freshly generated scenario.
 * ``flexviz warehouse --out <dir>`` — generate a scenario and persist its
   star schema as CSV files.
 * ``flexviz plan`` — run one enterprise planning cycle and print the report.
 * ``flexviz mdx "<query>"`` — run an MDX-like query against a scenario cube
   and print the resulting table.
+* ``flexviz session`` — run a fluent offer query through the facade and
+  print the result frame; ``--smoke`` checks batch≡live interchangeability.
 * ``flexviz live`` — replay a scenario as a timestamped offer-event stream
   through the incremental aggregation engine and report commit latencies.
 """
@@ -21,24 +24,17 @@ import json
 import sys
 from typing import Sequence
 
-from repro.app.figures import default_scenario, generate_all_figures
-from repro.datagen.scenarios import ScenarioConfig, generate_scenario
+from repro.app.figures import generate_all_figures
 from repro.enterprise.planning import run_planning_cycle
-from repro.olap.cube import FlexOfferCube
 from repro.olap.mdx import execute as execute_mdx
 from repro.scheduling.evaluation import compare, report
 from repro.scheduling.greedy import EarliestStartScheduler, GreedyScheduler
 from repro.scheduling.problem import BalancingProblem, make_target
-from repro.views.basic import BasicView
-from repro.views.dashboard import DashboardView
-from repro.views.map_view import MapView
-from repro.views.pivot_view import PivotView
-from repro.views.profile_view import ProfileView
-from repro.views.schematic import SchematicView
-from repro.warehouse.loader import load_scenario
+from repro.session import FlexSession
+from repro.session.views import registered_views
 from repro.warehouse.persistence import save_schema
 
-_VIEW_NAMES = ("basic", "profile", "map", "schematic", "pivot", "dashboard")
+_VIEW_NAMES = registered_views()
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -66,6 +62,27 @@ def _build_parser() -> argparse.ArgumentParser:
     mdx = subparsers.add_parser("mdx", help="run an MDX-like query against a scenario cube")
     mdx.add_argument("query", help="the MDX query text")
 
+    session = subparsers.add_parser(
+        "session", help="run a fluent offer query through the FlexSession facade"
+    )
+    session.add_argument(
+        "--engine", choices=("batch", "live"), default="batch", help="which engine answers"
+    )
+    session.add_argument("--state", action="append", help="filter by offer state (repeatable)")
+    session.add_argument("--region", action="append", help="filter by region (repeatable)")
+    session.add_argument("--grid-node", action="append", help="filter by grid node (repeatable)")
+    session.add_argument(
+        "--aggregate", action="store_true", help="aggregate the selection before printing"
+    )
+    session.add_argument(
+        "--limit", type=int, default=10, help="frame rows to print (default 10; 0 = all)"
+    )
+    session.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the batch/live interchangeability smoke check and exit non-zero on mismatch",
+    )
+
     live = subparsers.add_parser(
         "live", help="replay a scenario as an event stream through the live engine"
     )
@@ -81,18 +98,18 @@ def _build_parser() -> argparse.ArgumentParser:
     live.add_argument(
         "--with-warehouse",
         action="store_true",
-        help="also maintain a live star schema under the same events",
+        help="deprecated: the session's live engine always maintains its warehouse",
     )
     return parser
 
 
-def _make_scenario(args: argparse.Namespace):
-    return generate_scenario(ScenarioConfig(prosumer_count=args.prosumers, seed=args.seed))
+def _make_session(args: argparse.Namespace, **session_options) -> FlexSession:
+    return FlexSession.from_config(prosumers=args.prosumers, seed=args.seed, **session_options)
 
 
 def _command_figures(args: argparse.Namespace) -> int:
-    scenario = _make_scenario(args)
-    artifacts = generate_all_figures(scenario, directory=args.out)
+    session = _make_session(args)
+    artifacts = generate_all_figures(session, directory=args.out)
     for artifact in artifacts:
         print(f"{artifact.figure_id:<24} {artifact.title}")
     print(f"wrote {len(artifacts)} figures to {args.out}/")
@@ -100,31 +117,24 @@ def _command_figures(args: argparse.Namespace) -> int:
 
 
 def _command_render(args: argparse.Namespace) -> int:
-    scenario = _make_scenario(args)
-    if args.view == "basic":
-        view = BasicView(scenario.flex_offers, scenario.grid)
-    elif args.view == "profile":
-        view = ProfileView(scenario.flex_offers[:100], scenario.grid)
-    elif args.view == "map":
-        view = MapView(scenario.flex_offers, scenario.geography, scenario.grid)
-    elif args.view == "schematic":
-        view = SchematicView(scenario.flex_offers, scenario.topology, scenario.grid)
-    elif args.view == "pivot":
-        view = PivotView(scenario.flex_offers, scenario.grid)
-    else:
-        view = DashboardView(scenario.flex_offers, scenario.grid)
+    session = _make_session(args)
+    query = session.offers()
+    if args.view == "profile":
+        # The profile view is meant for small sets; match the historic cap.
+        query = query.limit(100)
+    result = query.fetch()
+    view = session.view(args.view, result)
     if args.ascii:
         print(view.to_ascii(columns=110))
         return 0
     view.save_svg(args.out)
-    print(f"wrote {args.view} view ({len(scenario.flex_offers)} flex-offers) to {args.out}")
+    print(f"wrote {args.view} view ({result.matched_rows} flex-offers) to {args.out}")
     return 0
 
 
 def _command_warehouse(args: argparse.Namespace) -> int:
-    scenario = _make_scenario(args)
-    schema = load_scenario(scenario)
-    written = save_schema(schema, args.out)
+    session = _make_session(args)
+    written = save_schema(session.schema, args.out)
     for path in written:
         print(path)
     print(f"wrote {len(written)} tables to {args.out}/")
@@ -132,7 +142,7 @@ def _command_warehouse(args: argparse.Namespace) -> int:
 
 
 def _command_plan(args: argparse.Namespace) -> int:
-    scenario = _make_scenario(args)
+    scenario = _make_session(args).scenario
     target = make_target(scenario.res_production, scenario.base_demand)
     problem = BalancingProblem(offers=list(scenario.flex_offers), target=target, grid=scenario.grid)
     baseline = report(EarliestStartScheduler().schedule(problem))
@@ -147,9 +157,8 @@ def _command_plan(args: argparse.Namespace) -> int:
 
 
 def _command_mdx(args: argparse.Namespace) -> int:
-    scenario = _make_scenario(args)
-    cube = FlexOfferCube(scenario.flex_offers, scenario.grid, topology=scenario.topology)
-    table = execute_mdx(cube, args.query)
+    session = _make_session(args)
+    table = execute_mdx(session.cube(), args.query)
     print(json.dumps(
         {
             "rows": [str(member) for member in table.row_members],
@@ -161,38 +170,98 @@ def _command_mdx(args: argparse.Namespace) -> int:
     return 0
 
 
+def _session_query(session: FlexSession, args: argparse.Namespace):
+    query = session.offers()
+    filters = {}
+    if args.state:
+        filters["states"] = tuple(args.state)
+    if args.region:
+        filters["regions"] = tuple(args.region)
+    if args.grid_node:
+        filters["grid_nodes"] = tuple(args.grid_node)
+    if filters:
+        query = query.where(**filters)
+    if args.aggregate:
+        query = query.aggregate()
+    return query
+
+
+def _command_session(args: argparse.Namespace) -> int:
+    session = _make_session(args, engine=args.engine)
+    if args.smoke:
+        return _session_smoke(session, args)
+    result = _session_query(session, args).fetch()
+    print(result.describe())
+    frame = result.to_frame()
+    shown = frame if args.limit == 0 else frame[: args.limit]
+    for row in shown:
+        print(
+            f"  #{row['id']:<8} {row['state']:<9} {row['region']:<14} "
+            f"{row['grid_node']:<24} {row['min_total_energy']:8.2f}.."
+            f"{row['max_total_energy']:<8.2f} kWh"
+            f"{'  [aggregate]' if row['is_aggregate'] else ''}"
+        )
+    if len(frame) > len(shown):
+        print(f"  ... {len(frame) - len(shown)} more rows (raise --limit)")
+    return 0
+
+
+def _session_smoke(session: FlexSession, args: argparse.Namespace) -> int:
+    """The batch≡live contract, end to end: same spec, both engines, equal results."""
+    checks = []
+    for label, query in (
+        ("filtered read", _session_query(session, args)),
+        ("aggregation", _session_query(session, args).aggregate()),
+    ):
+        spec = query.spec
+        session.use_engine("batch")
+        batch_result = session.query(spec)
+        session.use_engine("live")
+        live_result = session.query(spec)
+        ok = batch_result.matches(live_result)
+        checks.append(ok)
+        print(
+            f"{'ok ' if ok else 'FAIL'} {label:<14} "
+            f"batch={len(batch_result)} live={len(live_result)} "
+            f"spec=({spec.describe() or 'all flex-offers'})"
+        )
+    if all(checks):
+        print(f"session smoke OK: {session.describe()}")
+        return 0
+    print("session smoke FAILED: engines disagree on at least one spec", file=sys.stderr)
+    return 1
+
+
 def _command_live(args: argparse.Namespace) -> int:
     import time
 
     from repro.aggregation.aggregate import aggregate
-    from repro.live.engine import LiveAggregationEngine
-    from repro.live.replay import replay, scenario_event_stream
-    from repro.live.warehouse import LiveWarehouse
+    from repro.live.replay import scenario_event_stream
 
     if args.batch_size < 0:
         print("error: --batch-size must be >= 0 (0 = single commit at the end)", file=sys.stderr)
         return 2
-    scenario = _make_scenario(args)
-    log = scenario_event_stream(
-        scenario, update_fraction=args.update, withdraw_fraction=args.withdraw, seed=args.seed
+    session = _make_session(
+        args, engine="live", micro_batch_size=args.batch_size, live_preload=False
     )
-    engine = LiveAggregationEngine(micro_batch_size=args.batch_size)
-    warehouse = None
-    if args.with_warehouse:
-        warehouse = LiveWarehouse(load_scenario(scenario.replace_offers([])), scenario.grid)
-    report = replay(log, engine, warehouse=warehouse)
+    log = scenario_event_stream(
+        session.scenario, update_fraction=args.update, withdraw_fraction=args.withdraw, seed=args.seed
+    )
+    report = session.replay(log)
     print(report.describe())
+    backend = session.engine
     started = time.perf_counter()
-    batch = aggregate(engine.offers(), engine.parameters)
+    # Deliberately the raw batch pipeline (not backend.aggregate, whose live
+    # fast path would serve the committed state): this times a full recompute.
+    batch = aggregate(backend.offers(), backend.parameters)
     batch_seconds = time.perf_counter() - started
     print(f"batch re-aggregation  : {batch_seconds * 1000:9.3f} ms ({len(batch.offers)} outputs)")
     if report.mean_commit_ms > 0:
         print(f"commit vs batch       : {batch_seconds * 1000 / report.mean_commit_ms:9.1f}x")
-    if warehouse is not None:
-        print(
-            f"warehouse facts       : {warehouse.offer_count()} offers + "
-            f"{warehouse.aggregate_count()} aggregates"
-        )
+    print(
+        f"warehouse facts       : {backend.warehouse.offer_count()} offers + "
+        f"{backend.warehouse.aggregate_count()} aggregates"
+    )
     return 0
 
 
@@ -206,6 +275,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "warehouse": _command_warehouse,
         "plan": _command_plan,
         "mdx": _command_mdx,
+        "session": _command_session,
         "live": _command_live,
     }
     return commands[args.command](args)

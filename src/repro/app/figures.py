@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from datetime import datetime
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.aggregation.parameters import AggregationParameters
 from repro.datagen.scenarios import Scenario, ScenarioConfig, generate_scenario
@@ -31,6 +31,9 @@ from repro.views.profile_view import ProfileView, ProfileViewOptions
 from repro.views.schematic import SchematicView
 from repro.views.selection import SelectionRectangle
 from repro.views.tooltip import describe, overlay
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.facade import FlexSession
 
 
 @dataclass
@@ -58,12 +61,32 @@ def default_scenario(seed: int = 42) -> Scenario:
     return generate_scenario(ScenarioConfig(prosumer_count=200, seed=seed))
 
 
+def default_session(seed: int = 42) -> "FlexSession":
+    """A batch session over :func:`default_scenario` (the preferred entry)."""
+    from repro.session.facade import FlexSession
+
+    return FlexSession(default_scenario(seed))
+
+
+def _scenario_of(source) -> Scenario:
+    """Normalize a figure source — ``Scenario``, ``FlexSession`` or ``None``.
+
+    Every figure builder accepts either shape, so callers that have moved to
+    the session facade pass it straight through while pre-session code keeps
+    passing scenarios.
+    """
+    if source is None:
+        return default_scenario()
+    scenario = getattr(source, "scenario", None)
+    return scenario if isinstance(scenario, Scenario) else source
+
+
 # ----------------------------------------------------------------------
 # Figure 1 — loads before and after balancing
 # ----------------------------------------------------------------------
 def figure_1(scenario: Scenario | None = None) -> tuple[FigureArtifact, FigureArtifact]:
     """Figure 1: RES vs demand before and after the MIRABEL system balances."""
-    scenario = scenario or default_scenario()
+    scenario = _scenario_of(scenario)
     plan: PlanningReport = run_planning_cycle(scenario, scheduler=GreedyScheduler())
     before_view = BalanceView(
         scenario.res_production,
@@ -109,7 +132,7 @@ def figure_1(scenario: Scenario | None = None) -> tuple[FigureArtifact, FigureAr
 # ----------------------------------------------------------------------
 def figure_2(scenario: Scenario | None = None) -> FigureArtifact:
     """Figure 2: one EV-charging flex-offer with all structural elements visible."""
-    scenario = scenario or default_scenario()
+    scenario = _scenario_of(scenario)
     candidates = [
         offer
         for offer in scenario.flex_offers
@@ -144,7 +167,7 @@ def figure_2(scenario: Scenario | None = None) -> FigureArtifact:
 # ----------------------------------------------------------------------
 def figure_3(scenario: Scenario | None = None) -> FigureArtifact:
     """Figure 3: flex-offer counts per region on the map view."""
-    scenario = scenario or default_scenario()
+    scenario = _scenario_of(scenario)
     view = MapView(scenario.flex_offers, scenario.geography, scenario.grid)
     return FigureArtifact(
         figure_id="figure_03_map",
@@ -159,7 +182,7 @@ def figure_3(scenario: Scenario | None = None) -> FigureArtifact:
 # ----------------------------------------------------------------------
 def figure_4(scenario: Scenario | None = None) -> FigureArtifact:
     """Figure 4: grid topology with accepted/assigned/rejected pies per node."""
-    scenario = scenario or default_scenario()
+    scenario = _scenario_of(scenario)
     view = SchematicView(scenario.flex_offers, scenario.topology, scenario.grid)
     return FigureArtifact(
         figure_id="figure_04_schematic",
@@ -174,7 +197,7 @@ def figure_4(scenario: Scenario | None = None) -> FigureArtifact:
 # ----------------------------------------------------------------------
 def figure_5(scenario: Scenario | None = None) -> FigureArtifact:
     """Figure 5: prosumer-type swimlanes over time with the MDX query window."""
-    scenario = scenario or default_scenario()
+    scenario = _scenario_of(scenario)
     view = PivotView(
         scenario.flex_offers,
         scenario.grid,
@@ -206,7 +229,7 @@ def figure_5(scenario: Scenario | None = None) -> FigureArtifact:
 # ----------------------------------------------------------------------
 def figure_6(scenario: Scenario | None = None) -> FigureArtifact:
     """Figure 6: status pie plus stacked per-interval counts for one afternoon window."""
-    scenario = scenario or default_scenario()
+    scenario = _scenario_of(scenario)
     origin = scenario.grid.origin
     start = origin.replace(hour=12, minute=0)
     end = origin.replace(hour=13, minute=15)
@@ -232,8 +255,11 @@ def figure_6(scenario: Scenario | None = None) -> FigureArtifact:
 # ----------------------------------------------------------------------
 def figure_7(scenario: Scenario | None = None) -> FigureArtifact:
     """Figure 7: the loading workflow — choose a legal entity and a time interval."""
-    scenario = scenario or default_scenario()
-    framework = VisualAnalysisFramework(scenario)
+    # The framework accepts a FlexSession directly, so an already-open session
+    # (CLI, examples) is reused instead of reloading the warehouse.
+    source = scenario if scenario is not None else default_scenario()
+    framework = VisualAnalysisFramework(source)
+    scenario = _scenario_of(source)
     entities = framework.loading.available_entities()
     # Pick the first legal entity that actually issued flex-offers.
     entity_id = next(
@@ -263,7 +289,7 @@ def figure_7(scenario: Scenario | None = None) -> FigureArtifact:
 # ----------------------------------------------------------------------
 def figure_8(scenario: Scenario | None = None) -> FigureArtifact:
     """Figure 8: the basic view with a rectangle selection drawn on top."""
-    scenario = scenario or default_scenario()
+    scenario = _scenario_of(scenario)
     options = BasicViewOptions()
     selection_rectangle = SelectionRectangle(
         x1=options.plot_area.left + 120,
@@ -294,7 +320,7 @@ def figure_8(scenario: Scenario | None = None) -> FigureArtifact:
 # ----------------------------------------------------------------------
 def figure_9(scenario: Scenario | None = None, offer_limit: int = 40) -> FigureArtifact:
     """Figure 9: the profile view over a smaller flex-offer set."""
-    scenario = scenario or default_scenario()
+    scenario = _scenario_of(scenario)
     offers = scenario.flex_offers[:offer_limit]
     view = ProfileView(offers, scenario.grid)
     return FigureArtifact(
@@ -313,7 +339,7 @@ def figure_9(scenario: Scenario | None = None, offer_limit: int = 40) -> FigureA
 # ----------------------------------------------------------------------
 def figure_10(scenario: Scenario | None = None) -> FigureArtifact:
     """Figure 10: hover details with time markers and aggregation provenance."""
-    scenario = scenario or default_scenario()
+    scenario = _scenario_of(scenario)
     panel = AggregationPanel(scenario.flex_offers, scenario.grid, AggregationParameters(est_tolerance_slots=6, time_flexibility_tolerance_slots=6))
     aggregated = panel.aggregated_offers()
     aggregate_offer = next((offer for offer in aggregated if offer.is_aggregate), aggregated[0])
@@ -351,7 +377,7 @@ def figure_10(scenario: Scenario | None = None) -> FigureArtifact:
 # ----------------------------------------------------------------------
 def figure_11(scenario: Scenario | None = None) -> FigureArtifact:
     """Figure 11: the aggregation tools panel with before/after views and metrics."""
-    scenario = scenario or default_scenario()
+    scenario = _scenario_of(scenario)
     panel = AggregationPanel(scenario.flex_offers, scenario.grid, AggregationParameters(est_tolerance_slots=8, time_flexibility_tolerance_slots=8))
     view = AggregationPanelView(panel)
     metrics = panel.metrics()
@@ -393,11 +419,15 @@ FIGURE_BUILDERS: dict[str, Callable[..., object]] = {
 
 
 def generate_all_figures(scenario: Scenario | None = None, directory: str | None = None) -> list[FigureArtifact]:
-    """Regenerate every figure; optionally save all SVGs under ``directory``."""
-    scenario = scenario or default_scenario()
+    """Regenerate every figure; optionally save all SVGs under ``directory``.
+
+    ``scenario`` may be a :class:`Scenario` or a ``FlexSession``; passing the
+    session lets figure 7 reuse its already-loaded warehouse.
+    """
+    source = scenario if scenario is not None else default_scenario()
     artifacts: list[FigureArtifact] = []
     for builder in FIGURE_BUILDERS.values():
-        result = builder(scenario)
+        result = builder(source)
         if isinstance(result, tuple):
             artifacts.extend(result)
         else:

@@ -81,6 +81,15 @@ class DataGenerationError(ReproError):
     """Raised by the synthetic scenario generators."""
 
 
+class SessionError(ReproError):
+    """Raised by the :class:`~repro.session.FlexSession` facade and query builder.
+
+    Examples: executing a subscription against the read-only batch engine,
+    requesting an unregistered view, or ingesting events into a backend that
+    cannot accept them.
+    """
+
+
 class LiveEngineError(ReproError):
     """Raised by the event-driven live subsystem (event log, engine, warehouse).
 

@@ -158,16 +158,27 @@ class ReplayReport:
 
 def replay(
     events: EventLog | Iterable[OfferEvent],
-    engine: LiveAggregationEngine,
+    engine,
     warehouse: LiveWarehouse | None = None,
 ) -> ReplayReport:
     """Drive ``engine`` (and optionally ``warehouse``) through an event stream.
 
-    Events are consumed in replay order (timestamp, then arrival).  When a
-    ``warehouse`` is passed it receives every event plus every commit's
-    aggregate changes directly — do not *also* subscribe it to the engine's
-    hub, or commits would be mirrored twice.
+    ``engine`` may be a bare :class:`LiveAggregationEngine`, a session-layer
+    ``LiveEngine`` backend, or a whole ``FlexSession`` — the session forms
+    bring their own live warehouse, which is mirrored unless ``warehouse``
+    overrides it.  Events are consumed in replay order (timestamp, then
+    arrival).  When a ``warehouse`` is mirrored it receives every event plus
+    every commit's aggregate changes directly — do not *also* subscribe it to
+    the engine's hub, or commits would be mirrored twice.
     """
+    if not isinstance(engine, LiveAggregationEngine):
+        # FlexSession (has use_engine) or session LiveEngine backend (has
+        # .engine/.warehouse); duck-typed so this module never imports the
+        # session layer at import time.
+        backend = engine.use_engine("live") if hasattr(engine, "use_engine") else engine
+        if warehouse is None:
+            warehouse = getattr(backend, "warehouse", None)
+        engine = backend.engine
     ordered = events.replay_order() if isinstance(events, EventLog) else list(events)
     report = ReplayReport(events=len(ordered))
     started = time.perf_counter()

@@ -42,12 +42,20 @@ Listener = Callable[[CommitNotification], None]
 
 @dataclass
 class Subscription:
-    """One registered listener with its interest filter."""
+    """One registered listener with its interest filter.
+
+    Interest is the conjunction of the built-in region/aggregate filters and
+    the optional ``predicate`` — the hook the session layer uses to subscribe
+    arbitrary ``QuerySpec`` predicates without duplicating the mirror
+    bookkeeping below.
+    """
 
     name: str
     listener: Listener
     regions: frozenset[str] | None = None
     only_aggregates: bool = False
+    #: Extra interest predicate over the output offer (``None`` = no-op).
+    predicate: Callable[[FlexOffer], bool] | None = None
     #: Deliver empty notifications too (heartbeat listeners want every commit).
     deliver_empty: bool = False
     notified: int = field(default=0, repr=False)
@@ -59,6 +67,8 @@ class Subscription:
         if self.only_aggregates and not offer.is_aggregate:
             return False
         if self.regions is not None and offer.region not in self.regions:
+            return False
+        if self.predicate is not None and not self.predicate(offer):
             return False
         return True
 
@@ -101,6 +111,7 @@ class SubscriptionHub:
         name: str = "",
         regions: Iterable[str] | None = None,
         only_aggregates: bool = False,
+        predicate: Callable[[FlexOffer], bool] | None = None,
         deliver_empty: bool = False,
     ) -> Subscription:
         """Register ``listener``; returns the subscription handle."""
@@ -111,6 +122,7 @@ class SubscriptionHub:
             listener=listener,
             regions=frozenset(regions) if regions is not None else None,
             only_aggregates=only_aggregates,
+            predicate=predicate,
             deliver_empty=deliver_empty,
         )
         self._subscriptions.append(subscription)

@@ -1,0 +1,274 @@
+"""The pluggable aggregation backends behind the session facade.
+
+Both engines answer the same two questions — *which offers match a spec* and
+*what is their aggregation* — behind the :class:`AggregationBackend`
+protocol, so the query builder, the views and the CLI never care which one is
+active:
+
+* :class:`BatchEngine` is the seed's pipeline: a star schema loaded once from
+  the scenario, read through the index-backed
+  :class:`~repro.warehouse.query.FlexOfferRepository`, aggregated on demand
+  with the batch :func:`~repro.aggregation.aggregate.aggregate`.
+* :class:`LiveEngine` wraps PR 1's event-driven subsystem: a
+  :class:`~repro.live.engine.LiveAggregationEngine` with its persistent
+  grouping grid, a :class:`~repro.live.warehouse.LiveWarehouse` kept fresh
+  under the same events, and a :class:`~repro.live.subscriptions.SubscriptionHub`
+  for commit fan-out.
+
+The interchangeability contract: one :class:`~repro.session.spec.QuerySpec`
+executed against both engines over the same offer population yields
+equivalent :class:`~repro.session.spec.ResultSet` envelopes — bit-identical
+aggregate profiles, ids modulo :func:`~repro.live.engine.canonical_form`
+(property-tested in ``tests/test_session_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Protocol, runtime_checkable
+
+from repro.aggregation.aggregate import AggregationResult, aggregate
+from repro.aggregation.parameters import AggregationParameters
+from repro.errors import SessionError
+from repro.flexoffer.model import FlexOffer
+from repro.live.engine import CommitResult, LiveAggregationEngine
+from repro.live.events import OfferAdded, OfferEvent
+from repro.live.subscriptions import CommitNotification, Subscription, SubscriptionHub
+from repro.live.warehouse import LiveWarehouse
+from repro.warehouse.loader import load_scenario
+from repro.warehouse.query import FlexOfferRepository
+from repro.warehouse.schema import StarSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datagen.scenarios import Scenario
+    from repro.session.spec import QuerySpec
+
+
+@runtime_checkable
+class AggregationBackend(Protocol):
+    """What a session engine must provide.
+
+    ``select`` may use whatever access path it owns (hash indexes, the
+    persistent grouping grid) but must return exactly the offers matching the
+    spec's filter; ``aggregate`` must be batch-equivalent.  Engines that
+    cannot ingest events raise :class:`~repro.errors.SessionError` from
+    :meth:`ingest`.
+    """
+
+    name: str
+    parameters: AggregationParameters
+
+    @property
+    def schema(self) -> StarSchema: ...  # pragma: no cover - protocol
+
+    @property
+    def repository(self) -> FlexOfferRepository: ...  # pragma: no cover - protocol
+
+    def offers(self) -> list[FlexOffer]: ...  # pragma: no cover - protocol
+
+    def select(self, spec: "QuerySpec") -> tuple[list[FlexOffer], int]: ...  # pragma: no cover
+
+    def aggregate(
+        self, offers: list[FlexOffer], parameters: AggregationParameters
+    ) -> AggregationResult: ...  # pragma: no cover - protocol
+
+    def ingest(self, event: OfferEvent) -> CommitResult | None: ...  # pragma: no cover
+
+
+class BatchEngine:
+    """The read-only snapshot backend over the classic batch pipeline."""
+
+    name = "batch"
+
+    def __init__(self, scenario: "Scenario", parameters: AggregationParameters | None = None) -> None:
+        self.scenario = scenario
+        self.grid = scenario.grid
+        self.parameters = parameters or AggregationParameters()
+        self._schema = load_scenario(scenario)
+        self._repository = FlexOfferRepository(self._schema, self.grid)
+
+    @property
+    def schema(self) -> StarSchema:
+        return self._schema
+
+    @property
+    def repository(self) -> FlexOfferRepository:
+        return self._repository
+
+    def offers(self) -> list[FlexOffer]:
+        """The whole stored population, in id order."""
+        return sorted(self._repository.load().offers, key=lambda offer: offer.id)
+
+    def select(self, spec: "QuerySpec") -> tuple[list[FlexOffer], int]:
+        """Index-backed read of the offers matching the spec's filter."""
+        result = self._repository.load(spec.to_filter())
+        return result.offers, result.scanned_rows
+
+    def aggregate(
+        self, offers: list[FlexOffer], parameters: AggregationParameters
+    ) -> AggregationResult:
+        """The batch grouping/aggregation pipeline, unchanged."""
+        return aggregate(offers, parameters)
+
+    def ingest(self, event: OfferEvent) -> CommitResult | None:
+        raise SessionError(
+            "the batch engine is a read-only snapshot; switch the session to the "
+            "live engine (use_engine('live')) to ingest events"
+        )
+
+
+class LiveEngine:
+    """The event-driven backend: incremental engine + live warehouse + hub.
+
+    The inner :class:`LiveAggregationEngine` is the ground truth for the
+    surviving population; the :class:`LiveWarehouse` mirrors it into the star
+    schema so spec filters run through the same index-backed repository the
+    batch engine uses.  Reads auto-commit pending events first, so a query
+    always sees the latest ingested state.
+    """
+
+    name = "live"
+
+    def __init__(
+        self,
+        scenario: "Scenario",
+        parameters: AggregationParameters | None = None,
+        micro_batch_size: int = 0,
+        preload: bool = True,
+    ) -> None:
+        self.scenario = scenario
+        self.grid = scenario.grid
+        self.parameters = parameters or AggregationParameters()
+        self.hub = SubscriptionHub()
+        self.engine = LiveAggregationEngine(
+            self.parameters, micro_batch_size=micro_batch_size, hub=self.hub
+        )
+        self.warehouse = LiveWarehouse(
+            load_scenario(scenario.replace_offers([])), self.grid, self.parameters
+        )
+        if preload:
+            self.ingest_many(
+                OfferAdded(offer.creation_time, offer)
+                for offer in scenario.offers_in_arrival_order()
+            )
+            self.commit()
+
+    @property
+    def schema(self) -> StarSchema:
+        return self.warehouse.schema
+
+    @property
+    def repository(self) -> FlexOfferRepository:
+        return self.warehouse.repository
+
+    def offers(self) -> list[FlexOffer]:
+        """The surviving raw offers (passthrough aggregates included), id order."""
+        return self.engine.offers()
+
+    # ------------------------------------------------------------------
+    # Event write path (engine first — it is the stricter validator)
+    # ------------------------------------------------------------------
+    def ingest(self, event: OfferEvent) -> CommitResult | None:
+        """Apply one event to the engine and mirror it into the warehouse."""
+        result = self.engine.apply(event)
+        self.warehouse.apply(event)
+        if result is not None:
+            self.warehouse.apply_commit(result)
+        return result
+
+    def ingest_many(self, events: Iterable[OfferEvent]) -> list[CommitResult]:
+        """Apply many events; returns any micro-batch commit results."""
+        results = []
+        for event in events:
+            result = self.ingest(event)
+            if result is not None:
+                results.append(result)
+        return results
+
+    def commit(self) -> CommitResult:
+        """Commit pending events and mirror the aggregate changes."""
+        result = self.engine.commit()
+        self.warehouse.apply_commit(result)
+        return result
+
+    def refresh(self) -> None:
+        """Commit if anything is pending, so reads see the latest state."""
+        if self.engine.pending_events or self.engine.dirty_cell_count:
+            self.commit()
+
+    def reset(self) -> None:
+        """Drop the live state (engine + warehouse) for a from-scratch replay.
+
+        The hub — and with it every registered subscription — survives, so
+        standing queries keep firing on the commits of the new stream.
+        """
+        self.engine = LiveAggregationEngine(
+            self.parameters, micro_batch_size=self.engine.micro_batch_size, hub=self.hub
+        )
+        self.warehouse = LiveWarehouse(
+            load_scenario(self.scenario.replace_offers([])), self.grid, self.parameters
+        )
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def select(self, spec: "QuerySpec") -> tuple[list[FlexOffer], int]:
+        """Spec filter over the live population.
+
+        Raw offers are read through the live warehouse's repository (same
+        index-backed planning as the batch engine); passthrough aggregates
+        live outside ``fact_flexoffer`` and are matched in memory.
+        """
+        self.refresh()
+        result = self.repository.load(spec.to_filter())
+        offers = list(result.offers)
+        scanned = result.scanned_rows
+        passthroughs = [offer for offer in self.engine.offers() if offer.is_aggregate]
+        scanned += len(passthroughs)
+        offers.extend(
+            offer for offer in passthroughs if spec.matches(offer, self.grid)
+        )
+        return offers, scanned
+
+    def aggregate(
+        self, offers: list[FlexOffer], parameters: AggregationParameters
+    ) -> AggregationResult:
+        """Serve aggregation from the committed incremental state when possible.
+
+        The fast path applies when the requested parameters are the engine's
+        own and the selection covers the whole surviving population — then the
+        committed dirty-cell outputs are returned without recomputation.  Any
+        other selection or parameterization falls back to the shared batch
+        pipeline over the selected offers.
+        """
+        self.refresh()
+        if parameters == self.parameters and {offer.id for offer in offers} == {
+            offer.id for offer in self.engine.offers()
+        }:
+            return self.engine.result()
+        return aggregate(offers, parameters, id_offset=self.engine.id_offset)
+
+
+def subscribe_spec(
+    backend: LiveEngine,
+    spec: "QuerySpec",
+    callback: Callable[[CommitNotification], None],
+    name: str = "",
+) -> Subscription:
+    """Register ``callback`` for commits matching ``spec`` on a live backend.
+
+    The spec's predicate becomes the subscription's interest filter, so the
+    hub's own slicing (changed/exited/removed mirror bookkeeping) applies —
+    an output that changes *out of* the spec, or is retired, is delivered as
+    a removal exactly when the callback was previously handed it.
+    """
+    if not isinstance(backend, LiveEngine):
+        raise SessionError(
+            "subscriptions need the live engine; the batch engine never commits"
+        )
+    grid = backend.grid
+    return backend.hub.subscribe(
+        callback,
+        name=name or f"spec:{spec.describe() or 'all'}",
+        predicate=lambda offer: spec.matches(offer, grid),
+        deliver_empty=False,
+    )

@@ -1,0 +1,280 @@
+"""``FlexSession`` — the one front door to the flex-offer system.
+
+A session owns a scenario, a warehouse, an engine and the view registry, and
+exposes every workflow the scattered entry points used to cover:
+
+>>> session = FlexSession.from_config(prosumers=120, seed=7)
+>>> frame = session.offers().where(state="assigned", region="Capital").to_frame()
+>>> view = session.offers().aggregate().to_view("pivot")
+>>> live = session.use_engine("live")          # same scenario, event-driven
+>>> session.subscribe(session.offers().where(region="Capital").spec, callback)
+
+Engines are pluggable behind the
+:class:`~repro.session.engines.AggregationBackend` protocol: ``"batch"`` is a
+read-only snapshot of the scenario, ``"live"`` the event-driven incremental
+subsystem (preloaded with the scenario's offers so the two start
+interchangeable).  Both are kept per session, so switching back and forth is
+free after first use.  Future backends (the roadmap's sharded and
+async-commit engines) plug into the same registry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.aggregation.parameters import AggregationParameters
+from repro.errors import SessionError
+from repro.flexoffer.model import FlexOffer
+from repro.live.events import EventLog, OfferEvent
+from repro.live.replay import ReplayReport, replay, scenario_event_stream
+from repro.session.engines import (
+    AggregationBackend,
+    BatchEngine,
+    LiveEngine,
+    subscribe_spec,
+)
+from repro.session.query import OfferQuery, execute
+from repro.session.spec import QuerySpec, ResultSet
+from repro.session.views import build_view, registered_views
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datagen.scenarios import Scenario
+    from repro.live.engine import CommitResult
+    from repro.live.subscriptions import Subscription
+    from repro.olap.cube import FlexOfferCube
+    from repro.views.base import FlexOfferView
+    from repro.views.framework import VisualAnalysisFramework
+
+#: Engine factories by name; sessions instantiate lazily and cache.
+ENGINE_FACTORIES: dict[str, Callable[..., AggregationBackend]] = {
+    "batch": BatchEngine,
+    "live": LiveEngine,
+}
+
+
+class FlexSession:
+    """The unified facade over scenario, warehouse, engines and views."""
+
+    def __init__(
+        self,
+        scenario: "Scenario",
+        engine: str = "batch",
+        parameters: AggregationParameters | None = None,
+        micro_batch_size: int = 0,
+        live_preload: bool = True,
+    ) -> None:
+        self.scenario = scenario
+        self.grid = scenario.grid
+        self.parameters = parameters or AggregationParameters()
+        self.micro_batch_size = micro_batch_size
+        self.live_preload = live_preload
+        self._engines: dict[str, AggregationBackend] = {}
+        self._active = ""
+        self.use_engine(engine)
+
+    @classmethod
+    def from_config(
+        cls,
+        prosumers: int = 200,
+        seed: int = 42,
+        engine: str = "batch",
+        **session_options: Any,
+    ) -> "FlexSession":
+        """Generate a synthetic scenario and open a session over it."""
+        from repro.datagen.scenarios import ScenarioConfig, generate_scenario
+
+        scenario = generate_scenario(ScenarioConfig(prosumer_count=prosumers, seed=seed))
+        return cls(scenario, engine=engine, **session_options)
+
+    # ------------------------------------------------------------------
+    # Engine management
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> AggregationBackend:
+        """The active backend."""
+        return self._engines[self._active]
+
+    @property
+    def engine_name(self) -> str:
+        return self._active
+
+    def use_engine(self, name: str) -> AggregationBackend:
+        """Switch the active engine, creating it on first use."""
+        if name not in ENGINE_FACTORIES:
+            raise SessionError(
+                f"unknown engine {name!r}; available: {sorted(ENGINE_FACTORIES)}"
+            )
+        if name not in self._engines:
+            if name == "live":
+                backend = LiveEngine(
+                    self.scenario,
+                    self.parameters,
+                    micro_batch_size=self.micro_batch_size,
+                    preload=self.live_preload,
+                )
+            else:
+                backend = ENGINE_FACTORIES[name](self.scenario, self.parameters)
+            self._engines[name] = backend
+        self._active = name
+        return self._engines[name]
+
+    @property
+    def live(self) -> LiveEngine:
+        """The live backend (created on demand), without switching to it."""
+        if "live" not in self._engines:
+            active = self._active
+            self.use_engine("live")
+            self._active = active
+        backend = self._engines["live"]
+        assert isinstance(backend, LiveEngine)
+        return backend
+
+    # ------------------------------------------------------------------
+    # The query front door
+    # ------------------------------------------------------------------
+    def offers(self) -> OfferQuery:
+        """Start a fluent query over the active engine's offers."""
+        return OfferQuery(self)
+
+    def query(self, spec: QuerySpec) -> ResultSet:
+        """Execute one explicit spec against the active engine."""
+        return execute(self.engine, self.grid, spec)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def view(
+        self, name: str, result: ResultSet | Iterable[FlexOffer] | None = None, **options: Any
+    ) -> "FlexOfferView":
+        """Open a registered view over a result set (or the whole population)."""
+        if result is None:
+            offers: Iterable[FlexOffer] = self.engine.offers()
+        elif isinstance(result, ResultSet):
+            offers = result.offers
+        else:
+            offers = result
+        return build_view(name, list(offers), self, **options)
+
+    @property
+    def view_names(self) -> tuple[str, ...]:
+        """The names ``view``/``to_view`` accept."""
+        return registered_views()
+
+    def framework(self) -> "VisualAnalysisFramework":
+        """The tabbed main-window facade, bound to this session."""
+        from repro.views.framework import VisualAnalysisFramework
+
+        return VisualAnalysisFramework(self)
+
+    # ------------------------------------------------------------------
+    # Event ingestion and subscriptions (live engine)
+    # ------------------------------------------------------------------
+    def ingest(self, event: OfferEvent) -> "CommitResult | None":
+        """Feed one lifecycle event to the active engine."""
+        return self.engine.ingest(event)
+
+    def ingest_many(self, events: Iterable[OfferEvent]) -> list["CommitResult"]:
+        """Feed many events; returns any micro-batch commit results."""
+        results = []
+        for event in events:
+            result = self.ingest(event)
+            if result is not None:
+                results.append(result)
+        return results
+
+    def commit(self) -> "CommitResult":
+        """Commit pending events on the live engine."""
+        backend = self.engine
+        if not isinstance(backend, LiveEngine):
+            raise SessionError("only the live engine commits; use_engine('live') first")
+        return backend.commit()
+
+    def subscribe(
+        self, spec: QuerySpec | OfferQuery, callback: Callable, name: str = ""
+    ) -> "Subscription":
+        """Route commits matching ``spec`` to ``callback`` via the hub.
+
+        Requires the live engine to be active — the batch snapshot never
+        commits, so a subscription against it could never fire.
+        """
+        if isinstance(spec, OfferQuery):
+            spec = spec.spec
+        backend = self.engine
+        if not isinstance(backend, LiveEngine):
+            raise SessionError(
+                "subscriptions need the live engine; call use_engine('live') first"
+            )
+        return subscribe_spec(backend, spec, callback, name=name)
+
+    def replay(
+        self,
+        events: EventLog | Iterable[OfferEvent] | None = None,
+        update_fraction: float = 0.0,
+        withdraw_fraction: float = 0.0,
+        seed: int = 0,
+        reset: bool | None = None,
+    ) -> ReplayReport:
+        """Replay an event stream through the live engine (and its warehouse).
+
+        With ``events=None`` the session's scenario is reconstructed as a
+        timestamped stream first (see
+        :func:`~repro.live.replay.scenario_event_stream`).  ``reset``
+        controls whether the live state is dropped first (hub subscriptions
+        survive a reset); the default (``None``) resets exactly when the
+        stream is the synthesized scenario one — it re-adds every offer, so
+        replaying it over the preloaded state would collide.  An explicit
+        ``events`` stream is treated as a *continuation* of the current live
+        state; pass ``reset=True`` when it is a from-scratch log (e.g. the
+        full scenario stream against a preloaded engine).  The live engine
+        is created if needed and becomes the active engine.
+        """
+        backend = self.use_engine("live")
+        should_reset = reset if reset is not None else events is None
+        if should_reset and len(backend.engine.offers()):
+            backend.reset()
+        if events is None:
+            events = scenario_event_stream(
+                self.scenario,
+                update_fraction=update_fraction,
+                withdraw_fraction=withdraw_fraction,
+                seed=seed,
+            )
+        return replay(events, backend)
+
+    # ------------------------------------------------------------------
+    # Shared read-side conveniences
+    # ------------------------------------------------------------------
+    @property
+    def schema(self):
+        """The active engine's star schema."""
+        return self.engine.schema
+
+    @property
+    def repository(self):
+        """The active engine's index-backed repository."""
+        return self.engine.repository
+
+    def cube(self) -> "FlexOfferCube":
+        """An OLAP cube over the active engine's current offers."""
+        from repro.olap.cube import FlexOfferCube
+
+        return FlexOfferCube(
+            self.engine.offers(), self.grid, topology=self.scenario.topology
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """Warehouse row counts and state distribution, plus session facts."""
+        summary = self.repository.summary()
+        summary["engine"] = self.engine_name
+        summary["views"] = list(self.view_names)
+        return summary
+
+    def describe(self) -> str:
+        """One-line session description."""
+        return (
+            f"FlexSession(engine={self.engine_name}, "
+            f"offers={len(self.engine.offers())}, views={len(self.view_names)})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return self.describe()

@@ -1,0 +1,92 @@
+"""The session's view registry: one name → builder table for every paper view.
+
+Instead of each caller hand-wiring view constructors (the CLI's if/elif
+chain, the framework's :class:`ViewKind` dispatch), views register themselves
+here under a stable name and the query builder's ``.to_view("pivot")``
+terminal looks them up.  New views — including ones added by downstream code
+— plug in with :func:`register_view` and become reachable from the fluent
+API, the CLI's ``render`` command and the framework without touching any of
+them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.errors import SessionError
+from repro.flexoffer.model import FlexOffer
+from repro.views.base import FlexOfferView
+from repro.views.basic import BasicView
+from repro.views.dashboard import DashboardView
+from repro.views.map_view import MapView
+from repro.views.pivot_view import PivotView
+from repro.views.profile_view import ProfileView
+from repro.views.schematic import SchematicView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.facade import FlexSession
+
+#: A builder takes the offers to show plus the owning session (for master
+#: data such as geography/topology and the time grid) and keyword options
+#: forwarded to the view constructor.
+ViewBuilder = Callable[..., FlexOfferView]
+
+VIEW_REGISTRY: dict[str, ViewBuilder] = {}
+
+
+def register_view(name: str) -> Callable[[ViewBuilder], ViewBuilder]:
+    """Class/function decorator registering a view builder under ``name``."""
+
+    def decorator(builder: ViewBuilder) -> ViewBuilder:
+        VIEW_REGISTRY[name] = builder
+        return builder
+
+    return decorator
+
+
+def registered_views() -> tuple[str, ...]:
+    """The names the registry currently knows, sorted."""
+    return tuple(sorted(VIEW_REGISTRY))
+
+
+def build_view(
+    name: str, offers: Sequence[FlexOffer], session: "FlexSession", **options
+) -> FlexOfferView:
+    """Instantiate the registered view ``name`` over ``offers``."""
+    try:
+        builder = VIEW_REGISTRY[name]
+    except KeyError as exc:
+        raise SessionError(
+            f"unknown view {name!r}; registered views: {list(registered_views())}"
+        ) from exc
+    return builder(list(offers), session, **options)
+
+
+@register_view("basic")
+def _build_basic(offers, session, **options):
+    return BasicView(offers, session.grid, **options)
+
+
+@register_view("profile")
+def _build_profile(offers, session, **options):
+    return ProfileView(offers, session.grid, **options)
+
+
+@register_view("map")
+def _build_map(offers, session, **options):
+    return MapView(offers, session.scenario.geography, session.grid, **options)
+
+
+@register_view("schematic")
+def _build_schematic(offers, session, **options):
+    return SchematicView(offers, session.scenario.topology, session.grid, **options)
+
+
+@register_view("pivot")
+def _build_pivot(offers, session, **options):
+    return PivotView(offers, session.grid, **options)
+
+
+@register_view("dashboard")
+def _build_dashboard(offers, session, **options):
+    return DashboardView(offers, session.grid, **options)

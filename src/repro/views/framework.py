@@ -31,8 +31,6 @@ from repro.views.profile_view import ProfileView, ProfileViewOptions
 from repro.views.schematic import SchematicView, SchematicViewOptions
 from repro.views.selection import SelectionModel
 from repro.views.tooltip import FlexOfferDetails, describe
-from repro.warehouse.loader import load_scenario
-from repro.warehouse.query import FlexOfferRepository
 
 
 class ViewKind(str, Enum):
@@ -119,14 +117,40 @@ class ViewTab:
 
 
 class VisualAnalysisFramework:
-    """The main-window facade: warehouse connection plus view tabs."""
+    """The main-window facade: warehouse connection plus view tabs.
 
-    def __init__(self, scenario: Scenario) -> None:
-        self.scenario = scenario
-        self.schema = load_scenario(scenario)
-        self.repository = FlexOfferRepository(self.schema, scenario.grid)
-        self.loading = LoadingWorkflow(self.repository, scenario.grid)
+    Since the ``repro.session`` redesign the framework is a thin shell over a
+    :class:`~repro.session.facade.FlexSession` — the session owns the schema,
+    the repository and the engines; the framework adds the tab workflow on
+    top.  Constructing it from a bare :class:`Scenario` still works (a batch
+    session is opened internally), so pre-session callers are unaffected.
+    """
+
+    def __init__(self, source) -> None:
+        from repro.session.facade import FlexSession
+
+        if isinstance(source, FlexSession):
+            self.session = source
+        else:
+            self.session = FlexSession(source)
+        self.scenario = self.session.scenario
+        self.loading = LoadingWorkflow(self.session.repository, self.scenario.grid)
         self.tabs: list[ViewTab] = []
+
+    @classmethod
+    def from_session(cls, session) -> "VisualAnalysisFramework":
+        """Open the main window over an existing session."""
+        return cls(session)
+
+    @property
+    def schema(self):
+        """The session's star schema (kept for pre-session callers)."""
+        return self.session.schema
+
+    @property
+    def repository(self):
+        """The session's index-backed repository (kept for pre-session callers)."""
+        return self.session.repository
 
     # ------------------------------------------------------------------
     # Tab management (the Figure 7/8 workflow)
@@ -146,6 +170,23 @@ class VisualAnalysisFramework:
         """Read every flex-offer and open one tab over them."""
         dataset = self.loading.load_all()
         return self._open_tab(dataset, kind)
+
+    def open_tab_for_query(self, query, kind: ViewKind = ViewKind.BASIC, title: str | None = None) -> ViewTab:
+        """Execute a fluent query (or bare spec) and open the result as a tab.
+
+        ``query`` is an :class:`~repro.session.query.OfferQuery` or a
+        :class:`~repro.session.spec.QuerySpec`; the tab title defaults to the
+        spec's one-line description — the same text the loading tab shows.
+        """
+        from repro.session.query import OfferQuery
+        from repro.session.spec import QuerySpec
+
+        if isinstance(query, QuerySpec):
+            query = OfferQuery(self.session, query)
+        result = query.fetch()
+        return self.open_tab_for_offers(
+            result.offers, title=title or (result.spec.describe() or "all flex-offers"), kind=kind
+        )
 
     def open_tab_for_offers(
         self, offers: Sequence[FlexOffer], title: str, kind: ViewKind = ViewKind.BASIC

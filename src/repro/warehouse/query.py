@@ -86,9 +86,19 @@ class QueryResult:
 
 #: fact_flexoffer columns the repository keeps hash indexes on.  ``prosumer_id``
 #: serves the Figure 7 entity lookup and the live path's per-prosumer refresh,
-#: ``offer_id`` the live warehouse's upsert/delete, and ``group_cell`` the
-#: dirty-cell lookups of the live aggregation engine.
-INDEXED_FACT_COLUMNS = ("prosumer_id", "offer_id", "group_cell")
+#: ``offer_id`` the live warehouse's upsert/delete, ``group_cell`` the
+#: dirty-cell lookups of the live aggregation engine, and ``state`` /
+#: ``grid_node`` the session query builder's most common filters.
+INDEXED_FACT_COLUMNS = ("prosumer_id", "offer_id", "group_cell", "state", "grid_node")
+
+#: (indexed column, filter attribute) pairs :meth:`FlexOfferRepository.load`
+#: can plan with: when the filter pins any of these, the candidate row set is
+#: the intersection of the per-column index hits instead of a full scan.
+PLANNABLE_FILTERS = (
+    ("prosumer_id", "prosumer_ids"),
+    ("grid_node", "grid_nodes"),
+    ("state", "states"),
+)
 
 
 class FlexOfferRepository:
@@ -166,22 +176,40 @@ class FlexOfferRepository:
             self._geo_cache = {row["geo_id"]: row for row in self.schema.table("dim_geography").rows()}
         return self._geo_cache
 
+    def _plan_positions(self, fact, query: FlexOfferFilter) -> list[int] | None:
+        """Candidate row positions from the hash indexes, or ``None`` to scan.
+
+        Every plannable filter present in the query contributes the union of
+        its per-value index hits; the candidate set is the intersection across
+        filters (the filters are conjunctive), so e.g. ``states + grid_nodes``
+        examines only rows satisfying both.
+        """
+        positions: set[int] | None = None
+        for column, attribute in PLANNABLE_FILTERS:
+            values = getattr(query, attribute)
+            if values is None or column not in fact.indexed_columns:
+                continue
+            hits = {p for value in values for p in fact.lookup(column, value)}
+            positions = hits if positions is None else positions & hits
+            if not positions:
+                break
+        return None if positions is None else sorted(positions)
+
     def load(self, query: FlexOfferFilter | None = None) -> QueryResult:
         """Load flex-offers matching ``query`` (all offers when ``None``).
 
-        When the filter pins ``prosumer_ids``, only the candidate rows from
-        the ``prosumer_id`` hash index are examined (a dict hit per prosumer)
-        instead of scanning the whole fact table; the linear scan remains the
-        fallback for every other filter shape.
+        When the filter pins ``prosumer_ids``, ``grid_nodes`` or ``states``,
+        only the candidate rows from the corresponding hash indexes are
+        examined (intersected across filters) instead of scanning the whole
+        fact table; the linear scan remains the fallback for every other
+        filter shape.
         """
         query = query or FlexOfferFilter()
         fact = self.schema.table("fact_flexoffer")
         offers: list[FlexOffer] = []
         matched = 0
-        if query.prosumer_ids is not None and "prosumer_id" in fact.indexed_columns:
-            positions = sorted(
-                {p for pid in query.prosumer_ids for p in fact.lookup("prosumer_id", pid)}
-            )
+        positions = self._plan_positions(fact, query)
+        if positions is not None:
             candidate_rows = (fact.row(position) for position in positions)
             scanned = len(positions)
         else:

@@ -1,0 +1,314 @@
+"""Tests for the unified session facade (spec, builder, engines, views, CLI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FlexSession, QuerySpec, register_view
+from repro.app.cli import main as cli_main
+from repro.datagen.scenarios import ScenarioConfig, generate_scenario
+from repro.errors import SessionError
+from repro.flexoffer.model import FlexOfferState
+from repro.live.events import OfferWithdrawn
+from repro.session import VIEW_REGISTRY, OfferQuery, ResultSet
+from repro.session.spec import FRAME_COLUMNS
+from repro.views.framework import ViewKind, VisualAnalysisFramework
+
+
+@pytest.fixture(scope="module")
+def session() -> FlexSession:
+    return FlexSession(
+        generate_scenario(ScenarioConfig(prosumer_count=40, seed=5)), engine="batch"
+    )
+
+
+class TestQuerySpec:
+    def test_build_accepts_scalars_and_aliases(self):
+        spec = QuerySpec.build(state="assigned", region=("Capital",), grid_node="F X")
+        assert spec.states == ("assigned",)
+        assert spec.regions == ("Capital",)
+        assert spec.grid_nodes == ("F X",)
+
+    def test_build_accepts_state_enum_members(self):
+        spec = QuerySpec.build(states=[FlexOfferState.ASSIGNED, "accepted"])
+        assert spec.states == ("accepted", "assigned")
+
+    def test_build_rejects_unknown_filters(self):
+        with pytest.raises(SessionError):
+            QuerySpec.build(colour="red")
+
+    def test_build_rejects_alias_and_field_together(self):
+        with pytest.raises(SessionError):
+            QuerySpec.build(state="assigned", states=("accepted",))
+
+    def test_empty_filter_iterable_matches_nothing(self, session):
+        # An empty multi-select must not silently mean "everything".
+        assert session.offers().where(states=[]).count() == 0
+        assert QuerySpec.build(states=[]).states == ()
+
+    def test_spec_is_hashable_and_frozen(self):
+        spec = QuerySpec.build(state="assigned")
+        assert hash(spec) == hash(QuerySpec.build(states=("assigned",)))
+
+    def test_to_filter_round_trips_fields(self):
+        spec = QuerySpec.build(region="Capital", state="assigned", only_aggregates=False)
+        filt = spec.to_filter()
+        assert filt.regions == ("Capital",)
+        assert filt.states == ("assigned",)
+        assert filt.only_aggregates is False
+
+    def test_matches_mirrors_repository_semantics(self, session):
+        spec = QuerySpec.build(state="assigned")
+        expected = {o.id for o in session.repository.load(spec.to_filter()).offers}
+        via_predicate = {
+            o.id
+            for o in session.engine.offers()
+            if spec.matches(o, session.grid)
+        }
+        assert via_predicate == expected
+
+
+class TestFluentBuilder:
+    def test_builders_are_immutable(self, session):
+        base = session.offers()
+        refined = base.where(state="assigned")
+        assert base.spec != refined.spec
+        assert base.spec == QuerySpec()
+
+    def test_where_merges_and_replaces(self, session):
+        query = session.offers().where(state="assigned").where(region="Capital")
+        assert query.spec.states == ("assigned",)
+        assert query.spec.regions == ("Capital",)
+        narrowed = query.where(state="accepted")
+        assert narrowed.spec.states == ("accepted",)
+
+    def test_fetch_returns_resultset_envelope(self, session):
+        result = session.offers().where(state="assigned").fetch()
+        assert isinstance(result, ResultSet)
+        assert result.engine == "batch"
+        assert result.matched_rows == len(result)
+        assert all(o.state.value == "assigned" for o in result)
+
+    def test_limit_caps_in_id_order(self, session):
+        result = session.offers().limit(5).fetch()
+        assert [o.id for o in result] == sorted(o.id for o in result)
+        assert len(result) == 5
+
+    def test_aggregate_with_tolerances(self, session):
+        result = session.offers().aggregate(est_tolerance_slots=8).fetch()
+        assert result.spec.parameters.est_tolerance_slots == 8
+        assert result.aggregates
+        for aggregate in result.aggregates:
+            assert result.constituents_of(aggregate.id)
+
+    def test_aggregate_rejects_both_forms(self, session):
+        from repro.aggregation.parameters import AggregationParameters
+
+        with pytest.raises(SessionError):
+            session.offers().aggregate(AggregationParameters(), est_tolerance_slots=8)
+
+    def test_to_frame_has_stable_columns(self, session):
+        frame = session.offers().limit(3).to_frame()
+        assert len(frame) == 3
+        assert tuple(frame[0]) == FRAME_COLUMNS
+
+    def test_count(self, session):
+        assert session.offers().count() == len(session.engine.offers())
+
+
+class TestViews:
+    def test_every_registered_view_renders(self, session):
+        for name in session.view_names:
+            view = session.offers().limit(20).to_view(name)
+            assert "<svg" in view.to_svg()
+
+    def test_unknown_view_raises_with_choices(self, session):
+        with pytest.raises(SessionError, match="registered views"):
+            session.offers().to_view("hologram")
+
+    def test_custom_views_plug_in(self, session):
+        @register_view("offer-count")
+        def build(offers, owning_session, **options):
+            return len(offers)
+
+        try:
+            assert session.offers().where(state="assigned").to_view("offer-count") > 0
+        finally:
+            VIEW_REGISTRY.pop("offer-count")
+
+
+class TestEngines:
+    def test_batch_engine_rejects_events(self, session):
+        with pytest.raises(SessionError):
+            session.ingest(OfferWithdrawn(session.grid.to_datetime(0), 1))
+
+    def test_subscribe_requires_live_engine(self, session):
+        with pytest.raises(SessionError):
+            session.subscribe(QuerySpec(), lambda notification: None)
+
+    def test_unknown_engine_rejected(self, session):
+        with pytest.raises(SessionError):
+            session.use_engine("sharded")
+
+    def test_live_ingest_updates_queries_and_warehouse(self):
+        session = FlexSession(
+            generate_scenario(ScenarioConfig(prosumer_count=20, seed=3)), engine="live"
+        )
+        before = session.offers().count()
+        victim = session.engine.offers()[0]
+        session.ingest(OfferWithdrawn(victim.creation_time, victim.id))
+        assert session.offers().count() == before - 1
+        assert not session.repository.load_by_offer_ids([victim.id])
+
+    def test_spec_subscription_sees_matching_changes_only(self):
+        from dataclasses import replace
+
+        from tests.conftest import make_offer
+
+        # Two Capital offers share a grid cell (their aggregate stays pure
+        # Capital); the Zealand offer sits in a far-away cell of its own.
+        capital_a = make_offer(offer_id=101, earliest_start=40)
+        capital_b = make_offer(offer_id=102, earliest_start=41)
+        zealand = make_offer(offer_id=201, earliest_start=80, region="Zealand")
+        scenario = generate_scenario(ScenarioConfig(prosumer_count=5, seed=3))
+        session = FlexSession(
+            scenario.replace_offers([capital_a, capital_b, zealand]), engine="live"
+        )
+        notifications = []
+        session.subscribe(
+            session.offers().where(region="Capital").only_aggregates(),
+            notifications.append,
+        )
+        from repro.live.events import OfferUpdated
+
+        # A Zealand revision commits but must not wake the Capital listener.
+        session.ingest(
+            OfferUpdated(zealand.creation_time, replace(zealand, price_per_kwh=9.0))
+        )
+        session.commit()
+        assert notifications == []
+        # A Capital revision changes the Capital aggregate: one delivery.
+        session.ingest(
+            OfferUpdated(capital_a.creation_time, replace(capital_a, price_per_kwh=9.0))
+        )
+        session.commit()
+        assert len(notifications) == 1
+        assert [o.is_aggregate for o in notifications[0].changed] == [True]
+        assert notifications[0].changed[0].region == "Capital"
+        # Withdrawing one constituent retires the aggregate; the listener is
+        # told to drop exactly the output it was handed before.
+        mirrored_id = notifications[0].changed[0].id
+        session.ingest(OfferWithdrawn(capital_a.creation_time, capital_a.id))
+        session.commit()
+        assert len(notifications) == 2
+        assert [o.id for o in notifications[1].removed] == [mirrored_id]
+        assert notifications[1].changed == ()
+
+    def test_engine_switch_preserves_backends(self, session):
+        fresh = FlexSession(
+            generate_scenario(ScenarioConfig(prosumer_count=20, seed=3)), engine="batch"
+        )
+        live_backend = fresh.use_engine("live")
+        assert fresh.engine_name == "live"
+        fresh.use_engine("batch")
+        assert fresh.engine_name == "batch"
+        assert fresh.use_engine("live") is live_backend
+
+    def test_replay_on_preloaded_live_session_resets_state(self):
+        session = FlexSession(
+            generate_scenario(ScenarioConfig(prosumer_count=20, seed=3)), engine="live"
+        )
+        notifications = []
+        session.subscribe(QuerySpec(), notifications.append)
+        report = session.replay(seed=1)
+        assert report.events > 0
+        assert session.offers().count() == report.final_offers
+        assert notifications  # subscriptions survive the reset
+
+    def test_replay_explicit_stream_continues_or_resets(self):
+        from repro.live.replay import scenario_event_stream
+
+        session = FlexSession(
+            generate_scenario(ScenarioConfig(prosumer_count=20, seed=3)), engine="live"
+        )
+        # An explicit from-scratch log over the preloaded state needs reset=True.
+        log = scenario_event_stream(session.scenario, seed=1)
+        report = session.replay(log, reset=True)
+        assert report.events == len(log)
+        # Without reset, an explicit stream continues the current state.
+        victim = session.engine.offers()[0]
+        continuation = [OfferWithdrawn(victim.creation_time, victim.id)]
+        before = session.offers().count()
+        session.replay(continuation)
+        assert session.offers().count() == before - 1
+
+    def test_session_replay_routes_through_live_engine(self):
+        fresh = FlexSession(
+            generate_scenario(ScenarioConfig(prosumer_count=20, seed=3)),
+            engine="batch",
+            live_preload=False,
+        )
+        report = fresh.replay(update_fraction=0.1, withdraw_fraction=0.05, seed=1)
+        assert fresh.engine_name == "live"
+        assert report.events > 0
+        assert fresh.offers().count() == report.final_offers
+
+
+class TestFrameworkIntegration:
+    def test_framework_accepts_session(self, session):
+        framework = VisualAnalysisFramework(session)
+        assert framework.session is session
+        assert framework.repository is session.repository
+
+    def test_framework_accepts_bare_scenario(self):
+        scenario = generate_scenario(ScenarioConfig(prosumer_count=20, seed=3))
+        framework = VisualAnalysisFramework(scenario)
+        assert framework.session.scenario is scenario
+        tab = framework.open_tab_for_all()
+        assert len(tab.offers) == len(scenario.flex_offers)
+
+    def test_open_tab_for_query(self, session):
+        framework = session.framework()
+        tab = framework.open_tab_for_query(
+            session.offers().where(state="assigned"), kind=ViewKind.PROFILE
+        )
+        assert tab.kind is ViewKind.PROFILE
+        assert all(o.state.value == "assigned" for o in tab.offers)
+        assert "assigned" in tab.title
+
+
+class TestPackageSurface:
+    def test_headline_types_importable_from_repro(self):
+        import repro
+
+        for name in ("FlexSession", "QuerySpec", "ResultSet", "OfferQuery",
+                     "BatchEngine", "LiveEngine", "AggregationBackend"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+        assert isinstance(repro.FlexSession, type)
+        assert issubclass(OfferQuery, object)
+
+
+class TestSessionCli:
+    def test_session_smoke_command(self, capsys):
+        assert cli_main(["--prosumers", "25", "--seed", "3", "session", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "session smoke OK" in out
+
+    def test_session_query_command(self, capsys):
+        code = cli_main(
+            ["--prosumers", "25", "--seed", "3", "session", "--state", "assigned",
+             "--engine", "live", "--limit", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[live]" in out and "assigned" in out
+
+    def test_render_command_uses_registry(self, tmp_path, capsys):
+        out_path = tmp_path / "dash.svg"
+        code = cli_main(
+            ["--prosumers", "25", "--seed", "3", "render", "--view", "dashboard",
+             "--out", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.read_text().startswith("<?xml") or "<svg" in out_path.read_text()

@@ -97,6 +97,44 @@ class TestRepository:
         result = repo.load(FlexOfferFilter(cities=("Copenhagen",), appliance_types=("electric_vehicle",)))
         assert all(o.city == "Copenhagen" and o.appliance_type == "electric_vehicle" for o in result.offers)
 
+    def test_state_filter_is_index_planned(self, loaded, scenario):
+        _, repo = loaded
+        result = repo.load(FlexOfferFilter(states=(FlexOfferState.ASSIGNED.value,)))
+        # The state index narrows the scan to exactly the matching rows.
+        assert result.scanned_rows == result.matched_rows
+        assert result.scanned_rows < len(scenario.flex_offers)
+
+    def test_grid_node_filter_is_index_planned(self, loaded, scenario):
+        _, repo = loaded
+        node = scenario.flex_offers[0].grid_node
+        result = repo.load(FlexOfferFilter(grid_nodes=(node,)))
+        assert result.scanned_rows == result.matched_rows
+        assert all(offer.grid_node == node for offer in result.offers)
+
+    def test_intersected_index_plan(self, loaded, scenario):
+        _, repo = loaded
+        node = scenario.flex_offers[0].grid_node
+        per_node = repo.load(FlexOfferFilter(grid_nodes=(node,)))
+        both = repo.load(
+            FlexOfferFilter(grid_nodes=(node,), states=(FlexOfferState.ASSIGNED.value,))
+        )
+        # Candidates are the intersection of both index hits, so the combined
+        # plan scans no more rows than the narrower single-filter plan.
+        assert both.scanned_rows <= per_node.scanned_rows
+        assert both.scanned_rows == both.matched_rows
+        expected = sum(
+            1
+            for offer in scenario.flex_offers
+            if offer.grid_node == node and offer.state is FlexOfferState.ASSIGNED
+        )
+        assert len(both) == expected
+
+    def test_unindexed_filters_still_scan_correctly(self, loaded, scenario):
+        _, repo = loaded
+        result = repo.load(FlexOfferFilter(regions=("Capital",)))
+        # regions resolve through the geography dimension, not an index.
+        assert result.scanned_rows == len(scenario.flex_offers)
+
     def test_load_for_entity(self, loaded, scenario):
         _, repo = loaded
         prosumer = scenario.prosumers[0]
