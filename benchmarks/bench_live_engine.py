@@ -1,11 +1,23 @@
-"""LIVE bench: incremental dirty-group commits beat full re-aggregation.
+"""LIVE bench: incremental engines beat full re-aggregation — side by side.
 
-The live engine re-aggregates only the grid cells touched since the last
-commit, so commit cost scales with the touched fraction of the population
-while the batch pipeline always pays for everyone.  The sweep records commit
-time against a full re-aggregation for touched-offer fractions of 1%, 5% and
-25% of the large scenario; the headline requirement is a >=5x speedup at the
-1% point.
+The live-family engines re-aggregate only the grid cells touched since the
+last commit, so commit cost scales with the touched fraction of the
+population while the batch pipeline always pays for everyone.  The sweep
+records commit time against a full re-aggregation for touched-offer fractions
+of 1%, 5% and 25%, for every incremental engine:
+
+* ``live``    — the single-grid dirty-cell engine (PR 1);
+* ``sharded`` — the hash-partitioned engine (independent shard commits);
+* ``async``   — the bounded-queue worker over sharded state; its "commit"
+  column is the *barrier latency* the caller still pays after ingesting
+  (the worker usually committed already — that is the point).
+
+The headline requirement stays: >=5x over full re-aggregation when 1% of the
+offers are touched, for the live and the sharded engine.
+
+Standalone mode (CI): ``python -m benchmarks.bench_live_engine --quick
+--engine all --json BENCH_live.json`` writes the machine-readable summary the
+benchmark-trajectory gate (``benchmarks/check_bench_trajectory.py``) consumes.
 """
 
 from __future__ import annotations
@@ -19,16 +31,34 @@ import pytest
 
 from benchmarks.conftest import record
 from repro.aggregation.aggregate import aggregate
+from repro.live.asynccommit import AsyncCommitEngine
 from repro.live.engine import LiveAggregationEngine
 from repro.live.events import OfferAdded, OfferUpdated
 from repro.live.replay import replay, scenario_event_stream
+from repro.live.sharded import ShardedAggregationEngine
 
 #: Touched-offer fractions the acceptance sweep covers.
 FRACTIONS = (0.01, 0.05, 0.25)
 
+#: The incremental engines benchmarked side by side (batch is the baseline).
+ENGINES = ("live", "sharded", "async")
 
-def _seeded_engine(offers) -> LiveAggregationEngine:
-    engine = LiveAggregationEngine()
+
+def make_engine(name: str, micro_batch_size: int = 0):
+    """One fresh incremental engine by CLI/CI name."""
+    if name == "live":
+        return LiveAggregationEngine(micro_batch_size=micro_batch_size)
+    if name == "sharded":
+        return ShardedAggregationEngine(micro_batch_size=micro_batch_size)
+    if name == "async":
+        return AsyncCommitEngine(
+            ShardedAggregationEngine(), drain_batch=micro_batch_size or 64
+        )
+    raise ValueError(f"unknown engine {name!r}; choose from {ENGINES}")
+
+
+def _seeded_engine(offers, name: str = "live"):
+    engine = make_engine(name)
     for offer in offers:
         engine.apply(OfferAdded(offer.creation_time, offer))
     engine.commit()
@@ -63,56 +93,108 @@ def _commit_seconds(engine, offers, fraction: float, rng, rounds: int = 9) -> fl
     return statistics.median(timings)
 
 
-def test_live_incremental_vs_batch_sweep(benchmark, large_offer_scenario):
+def _sweep_engine(name, offers, full_seconds, rounds: int = 9) -> dict:
+    """The touched-fraction sweep for one engine; returns the JSON row."""
+    return sweep_engines((name,), offers, full_seconds, rounds=rounds)[name]
+
+
+def sweep_engines(names, offers, full_seconds, rounds: int = 9) -> dict:
+    """The touched-fraction sweep, engines *interleaved* round by round.
+
+    Timing the engines back to back folds slow in-process drift (allocator
+    growth, clock scaling) into whichever engine runs later; alternating the
+    engines within every round spreads that drift evenly, so the medians
+    compare engines, not process phases.
+    """
+    engines = {name: _seeded_engine(offers, name) for name in names}
+    rngs = {name: np.random.default_rng(7) for name in names}
+    results: dict[str, dict] = {name: {} for name in names}
+    for fraction in FRACTIONS:
+        touched = max(1, int(len(offers) * fraction))
+        timings: dict[str, list[float]] = {name: [] for name in names}
+        for _ in range(rounds):
+            for name in names:
+                engine, rng = engines[name], rngs[name]
+                for position in rng.choice(len(offers), size=touched, replace=False):
+                    current = engine.offer(offers[position].id)
+                    engine.apply(
+                        OfferUpdated(
+                            current.creation_time,
+                            replace(
+                                current,
+                                price_per_kwh=current.price_per_kwh * 1.01 + 0.001,
+                            ),
+                        )
+                    )
+                started = time.perf_counter()
+                engine.commit()
+                timings[name].append(time.perf_counter() - started)
+        for name in names:
+            incremental = statistics.median(timings[name])
+            results[name][f"{fraction:g}"] = {
+                "touched_offers": touched,
+                "commit_ms": round(incremental * 1000, 3),
+                "speedup_vs_batch": round(full_seconds / incremental, 1),
+            }
+    for engine in engines.values():
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+    return results
+
+
+def _replay_report(name, scenario, micro_batch_size: int = 64):
+    engine = make_engine(name, micro_batch_size=micro_batch_size)
+    log = scenario_event_stream(
+        scenario, update_fraction=0.1, withdraw_fraction=0.05, seed=7
+    )
+    report = replay(log, engine)
+    close = getattr(engine, "close", None)
+    if close is not None:
+        close()
+    return report
+
+
+@pytest.mark.parametrize("engine_name", ("live", "sharded"))
+def test_incremental_vs_batch_sweep(benchmark, large_offer_scenario, engine_name):
     """Commit time vs full re-aggregation across touched-offer fractions."""
     offers = large_offer_scenario.flex_offers
 
     def sweep():
         full = _batch_seconds(offers)
-        engine = _seeded_engine(offers)
-        rng = np.random.default_rng(7)
-        rows = {}
-        for fraction in FRACTIONS:
-            incremental = _commit_seconds(engine, offers, fraction, rng)
-            rows[fraction] = {
-                "touched_offers": max(1, int(len(offers) * fraction)),
-                "commit_ms": round(incremental * 1000, 3),
-                "full_reaggregation_ms": round(full * 1000, 3),
-                "speedup": round(full / incremental, 1),
-            }
+        rows = _sweep_engine(engine_name, offers, full)
+        for values in rows.values():
+            values["full_reaggregation_ms"] = round(full * 1000, 3)
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     record(
         benchmark,
         {
+            "engine": engine_name,
             "offer_count": len(offers),
-            **{f"touched_{fraction:.0%}": str(values) for fraction, values in rows.items()},
+            **{f"touched_{key}": str(values) for key, values in rows.items()},
             "claim": "incremental commits beat full re-aggregation as touched fraction shrinks",
         },
-        "LIVE: incremental vs batch re-aggregation",
+        f"LIVE: {engine_name} vs batch re-aggregation",
     )
     # Monotonic: the smaller the touched fraction, the larger the speedup.
-    speedups = [rows[fraction]["speedup"] for fraction in FRACTIONS]
+    speedups = [rows[f"{fraction:g}"]["speedup_vs_batch"] for fraction in FRACTIONS]
     assert speedups[0] >= speedups[-1]
     # Headline acceptance: >=5x when 1% of the offers are touched.
     assert speedups[0] >= 5.0
 
 
-def test_live_replay_throughput(benchmark, paper_scenario):
+@pytest.mark.parametrize("engine_name", ENGINES)
+def test_replay_throughput(benchmark, paper_scenario, engine_name):
     """Full lifecycle replay (adds, revisions, transitions, withdrawals)."""
-
-    def run():
-        engine = LiveAggregationEngine(micro_batch_size=64)
-        log = scenario_event_stream(
-            paper_scenario, update_fraction=0.1, withdraw_fraction=0.05, seed=7
-        )
-        return replay(log, engine)
-
-    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    report = benchmark.pedantic(
+        lambda: _replay_report(engine_name, paper_scenario), rounds=3, iterations=1
+    )
     record(
         benchmark,
         {
+            "engine": engine_name,
             "events": report.events,
             "commits": report.commit_count,
             "events_per_second": round(report.events_per_second),
@@ -120,7 +202,7 @@ def test_live_replay_throughput(benchmark, paper_scenario):
             "p95_commit_ms": round(report.p95_commit_ms, 3),
             "max_commit_ms": round(report.max_commit_ms, 3),
         },
-        "LIVE: event replay throughput",
+        f"LIVE: {engine_name} event replay throughput",
     )
     assert report.events_per_second > 0
 
@@ -133,10 +215,12 @@ def main(argv=None) -> int:
 
     ``--quick`` shrinks the scenario and the timing rounds so the sweep
     finishes in a few seconds — a functional smoke of the whole live path
-    (stream synthesis, engine, commit timing), not a performance gate:
-    wall-clock assertions stay in the pytest-benchmark tests.
+    (stream synthesis, engines, commit timing).  Wall-clock assertions stay
+    in the pytest-benchmark tests; CI gates only on the *relative ratios*
+    inside the ``--json`` summary (see ``check_bench_trajectory.py``).
     """
     import argparse
+    import json
 
     from repro.datagen.scenarios import ScenarioConfig, generate_scenario
 
@@ -144,30 +228,62 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true", help="small scenario, few rounds")
     parser.add_argument("--prosumers", type=int, default=1000)
     parser.add_argument("--seed", type=int, default=43)
+    parser.add_argument(
+        "--engine",
+        choices=(*ENGINES, "all"),
+        default="all",
+        help="which incremental engine(s) to sweep (default: all, side by side)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the machine-readable summary to PATH"
+    )
     args = parser.parse_args(argv)
     prosumers = 200 if args.quick else args.prosumers
-    rounds = 3 if args.quick else 9
+    # The quick scenario's commits are tiny (a few dirty cells), so medians
+    # need more rounds to be stable enough for the CI trajectory gate.
+    rounds = 15 if args.quick else 9
+    names = ENGINES if args.engine == "all" else (args.engine,)
 
     scenario = generate_scenario(ScenarioConfig(prosumer_count=prosumers, seed=args.seed))
     offers = scenario.flex_offers
     full = _batch_seconds(offers, rounds=rounds)
-    engine = _seeded_engine(offers)
-    rng = np.random.default_rng(7)
+    summary = {
+        "schema": 1,
+        "quick": bool(args.quick),
+        "offer_count": len(offers),
+        "full_reaggregation_ms": round(full * 1000, 3),
+        "engines": {},
+    }
     print(f"[LIVE sweep] {len(offers)} offers, full re-aggregation {full * 1000:.3f} ms")
-    for fraction in FRACTIONS:
-        incremental = _commit_seconds(engine, offers, fraction, rng, rounds=rounds)
+    sweeps = sweep_engines(names, offers, full, rounds=rounds)
+    for name in names:
+        fractions = sweeps[name]
+        for key, values in fractions.items():
+            label = float(key)
+            print(
+                f"  {name:>7} touched {label:>4.0%}: commit {values['commit_ms']:8.3f} ms, "
+                f"speedup {values['speedup_vs_batch']:6.1f}x"
+            )
+        report = _replay_report(name, scenario)
         print(
-            f"  touched {fraction:>4.0%}: commit {incremental * 1000:8.3f} ms, "
-            f"speedup {full / incremental:6.1f}x"
+            f"  {name:>7} replay: {report.events} events, {report.commit_count} commits, "
+            f"{report.events_per_second:,.0f} events/s"
         )
-    report = replay(
-        scenario_event_stream(scenario, update_fraction=0.1, withdraw_fraction=0.05, seed=7),
-        LiveAggregationEngine(micro_batch_size=64),
-    )
-    print(
-        f"  replay: {report.events} events, {report.commit_count} commits, "
-        f"{report.events_per_second:,.0f} events/s"
-    )
+        summary["engines"][name] = {
+            "sweep": fractions,
+            "replay": {
+                "events": report.events,
+                "commits": report.commit_count,
+                "events_per_second": round(report.events_per_second, 1),
+                "mean_commit_ms": round(report.mean_commit_ms, 3),
+                "p95_commit_ms": round(report.p95_commit_ms, 3),
+            },
+        }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 

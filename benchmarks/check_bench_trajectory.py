@@ -1,0 +1,149 @@
+"""Gate the live-engine perf trajectory on *relative* benchmark ratios.
+
+CI runs ``python -m benchmarks.bench_live_engine --quick --engine all --json
+BENCH_live.json`` and then this checker against the committed baseline
+(``benchmarks/BENCH_live_baseline.json``).  Wall-clock milliseconds are
+meaningless across runner generations, so they are printed but never gate;
+what gates are machine-independent *ratios*:
+
+* ``speedup_vs_batch`` at the 1% touched point for the sharded engine — how
+  much the incremental commit beats a full re-aggregation.  A drop of more
+  than ``TOLERANCE`` (25%) against the committed baseline fails the job:
+  someone made commits relatively more expensive.  (The async engine's
+  commit column is *barrier latency* — dominated by worker-thread wakeup
+  jitter at quick-sweep scale — so it is reported but not gated.)
+* replay throughput of sharded/async *relative to the live engine* — the
+  partitioned and asynchronous paths must not drift behind the single-grid
+  engine they generalize.
+* the standing contract that the sharded engine stays at parity-or-better
+  with the live engine at the 1% touched point — the whole point of
+  partitioning the grid.  Gated *relative to the baseline's own
+  sharded/live ratio* (with ``TOLERANCE``), like every other gate: quick-
+  sweep medians cover only a few touched offers, so an absolute threshold
+  would flake on noisy shared runners; the absolute comparison is printed
+  for the artifact reader (``PARITY_SLACK`` marks when it merely warns).
+
+Exit code 0 = trajectory healthy, 1 = regression, 2 = malformed input.
+
+Refreshing the baseline after an *intentional* change: run the quick sweep
+locally and commit the JSON it writes::
+
+    python -m benchmarks.bench_live_engine --quick --engine all \
+        --json benchmarks/BENCH_live_baseline.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Engines gated on the 1%-touched commit speedup (async's commit is a
+#: barrier, not a drain — too jitter-prone to gate; see module docstring).
+SPEEDUP_GATED = ("sharded",)
+
+#: Engines gated on replay throughput relative to the live engine.
+REPLAY_GATED = ("sharded", "async")
+
+#: Fraction key of the headline sweep point (1% of the offers touched).
+HEADLINE = "0.01"
+
+#: How much a relative ratio may regress vs the committed baseline.
+TOLERANCE = 0.25
+
+#: Noise allowance for the sharded-vs-live parity check at the 1% point.
+PARITY_SLACK = 0.10
+
+
+def _speedup(summary: dict, engine: str, fraction: str = HEADLINE) -> float:
+    return float(summary["engines"][engine]["sweep"][fraction]["speedup_vs_batch"])
+
+
+def _replay_ratio(summary: dict, engine: str) -> float:
+    live = float(summary["engines"]["live"]["replay"]["events_per_second"])
+    return float(summary["engines"][engine]["replay"]["events_per_second"]) / live
+
+
+def check(current: dict, baseline: dict) -> list[str]:
+    """Return the list of gate failures (empty = healthy)."""
+    failures: list[str] = []
+    floor = 1.0 - TOLERANCE
+    for engine in SPEEDUP_GATED:
+        now, then = _speedup(current, engine), _speedup(baseline, engine)
+        print(
+            f"  {engine:>7} speedup@1%      : {now:6.1f}x (baseline {then:.1f}x, "
+            f"floor {then * floor:.1f}x)"
+        )
+        if now < then * floor:
+            failures.append(
+                f"{engine}: speedup@1% regressed >{TOLERANCE:.0%} "
+                f"({now:.1f}x vs baseline {then:.1f}x)"
+            )
+    for engine in REPLAY_GATED:
+        now_r, then_r = _replay_ratio(current, engine), _replay_ratio(baseline, engine)
+        print(
+            f"  {engine:>7} replay vs live  : {now_r:6.2f} (baseline {then_r:.2f}, "
+            f"floor {then_r * floor:.2f})"
+        )
+        if now_r < then_r * floor:
+            failures.append(
+                f"{engine}: replay throughput vs live regressed >{TOLERANCE:.0%} "
+                f"({now_r:.2f} vs baseline {then_r:.2f})"
+            )
+    sharded, live = _speedup(current, "sharded"), _speedup(current, "live")
+    parity = sharded / live
+    parity_then = _speedup(baseline, "sharded") / _speedup(baseline, "live")
+    print(
+        f"  sharded vs live @1%     : {sharded:6.1f}x vs {live:.1f}x "
+        f"(ratio {parity:.2f}, baseline {parity_then:.2f}, "
+        f"floor {parity_then * floor:.2f})"
+    )
+    if parity < parity_then * floor:
+        failures.append(
+            f"sharded fell behind live at the 1% point "
+            f"(ratio {parity:.2f} vs baseline {parity_then:.2f}, "
+            f"tolerance {TOLERANCE:.0%})"
+        )
+    elif parity < 1.0 - PARITY_SLACK:
+        print(
+            f"  WARNING: sharded below live parity this run "
+            f"({parity:.2f} < {1.0 - PARITY_SLACK:.2f}) — noise or a creeping "
+            f"regression; within baseline tolerance, not gating"
+        )
+    # Informational only: absolute wall clock, for the artifact reader.
+    for engine in ("live", *REPLAY_GATED):
+        row = current["engines"][engine]["sweep"][HEADLINE]
+        print(
+            f"  {engine:>7} commit@1% wall  : {row['commit_ms']:8.3f} ms "
+            f"(informational, not gated)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print(
+            "usage: python -m benchmarks.check_bench_trajectory CURRENT.json BASELINE.json",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with open(argv[0], encoding="utf-8") as handle:
+            current = json.load(handle)
+        with open(argv[1], encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        print(f"[bench trajectory] current={argv[0]} baseline={argv[1]}")
+        failures = check(current, baseline)
+    except (OSError, KeyError, ValueError, ZeroDivisionError) as exc:
+        print(f"malformed benchmark summary: {exc!r}", file=sys.stderr)
+        return 2
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("trajectory OK: no relative regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.aggregation import AggregationParameters, aggregate, disaggregate, evaluate
+from repro.aggregation import aggregate, disaggregate, evaluate
 from repro.datagen import ScenarioConfig, generate_scenario
 from repro.flexoffer import FlexOfferState
 from repro.scheduling import GreedyScheduler, make_target, schedule_offers

@@ -66,7 +66,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "session", help="run a fluent offer query through the FlexSession facade"
     )
     session.add_argument(
-        "--engine", choices=("batch", "live"), default="batch", help="which engine answers"
+        "--engine",
+        choices=("batch", "live", "sharded", "async"),
+        default="batch",
+        help="which engine answers",
     )
     session.add_argument("--state", action="append", help="filter by offer state (repeatable)")
     session.add_argument("--region", action="append", help="filter by region (repeatable)")
@@ -85,6 +88,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     live = subparsers.add_parser(
         "live", help="replay a scenario as an event stream through the live engine"
+    )
+    live.add_argument(
+        "--engine",
+        choices=("live", "sharded", "async"),
+        default="live",
+        help="which incremental engine replays the stream",
     )
     live.add_argument(
         "--batch-size", type=int, default=64, help="micro-batch size (events per commit)"
@@ -207,7 +216,13 @@ def _command_session(args: argparse.Namespace) -> int:
 
 
 def _session_smoke(session: FlexSession, args: argparse.Namespace) -> int:
-    """The batch≡live contract, end to end: same spec, both engines, equal results."""
+    """The equivalence contract, end to end: same spec, two engines, equal results.
+
+    Compares the batch snapshot against the selected live-family engine
+    (``--engine sharded`` checks batch≡sharded; plain ``--engine batch``
+    defaults the counterpart to the live engine).
+    """
+    counterpart = args.engine if args.engine != "batch" else "live"
     checks = []
     for label, query in (
         ("filtered read", _session_query(session, args)),
@@ -216,13 +231,13 @@ def _session_smoke(session: FlexSession, args: argparse.Namespace) -> int:
         spec = query.spec
         session.use_engine("batch")
         batch_result = session.query(spec)
-        session.use_engine("live")
+        session.use_engine(counterpart)
         live_result = session.query(spec)
         ok = batch_result.matches(live_result)
         checks.append(ok)
         print(
             f"{'ok ' if ok else 'FAIL'} {label:<14} "
-            f"batch={len(batch_result)} live={len(live_result)} "
+            f"batch={len(batch_result)} {counterpart}={len(live_result)} "
             f"spec=({spec.describe() or 'all flex-offers'})"
         )
     if all(checks):
@@ -242,7 +257,7 @@ def _command_live(args: argparse.Namespace) -> int:
         print("error: --batch-size must be >= 0 (0 = single commit at the end)", file=sys.stderr)
         return 2
     session = _make_session(
-        args, engine="live", micro_batch_size=args.batch_size, live_preload=False
+        args, engine=args.engine, micro_batch_size=args.batch_size, live_preload=False
     )
     log = scenario_event_stream(
         session.scenario, update_fraction=args.update, withdraw_fraction=args.withdraw, seed=args.seed

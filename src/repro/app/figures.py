@@ -10,15 +10,12 @@ functions, so paper figures are regenerated from a single code path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from datetime import datetime
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.aggregation.parameters import AggregationParameters
 from repro.datagen.scenarios import Scenario, ScenarioConfig, generate_scenario
 from repro.enterprise.planning import PlanningReport, run_planning_cycle
 from repro.flexoffer.model import count_by_state
-from repro.olap.cube import FlexOfferCube, GroupBy
-from repro.olap.pivot import pivot
 from repro.render.svg import render_svg
 from repro.scheduling.greedy import GreedyScheduler
 from repro.views.aggregation_panel import AggregationPanel, AggregationPanelView

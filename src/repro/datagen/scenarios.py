@@ -9,7 +9,7 @@ paper's tool loads from the MIRABEL DW.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -20,7 +20,7 @@ from repro.datagen.grid import GridTopology, generate_grid
 from repro.datagen.prosumers import Prosumer, generate_prosumers
 from repro.datagen.res import total_res_production
 from repro.errors import DataGenerationError
-from repro.flexoffer.model import FlexOffer, FlexOfferState, Schedule
+from repro.flexoffer.model import FlexOffer, Schedule
 from repro.timeseries.grid import TimeGrid
 from repro.timeseries.series import TimeSeries
 

@@ -9,10 +9,17 @@ Layers, bottom up:
   the star schema via upsert/delete, keeping repository queries fresh.
 * :mod:`repro.live.subscriptions` — ``SubscriptionHub``: commit fan-out to
   views and monitoring alert rules.
+* :mod:`repro.live.sharded` — ``ShardedAggregationEngine``: the grouping grid
+  hash-partitioned into independent shards, committed in parallel and merged
+  into one logical commit.
+* :mod:`repro.live.asynccommit` — ``AsyncCommitEngine``: a bounded-queue
+  background worker that drains events and commits off the caller's thread,
+  with ``flush()``/``close()`` barriers.
 * :mod:`repro.live.replay` — scenarios replayed as timestamped event streams,
   with commit-latency reporting.
 """
 
+from repro.live.asynccommit import AsyncCommitEngine
 from repro.live.engine import (
     CommitResult,
     LiveAggregationEngine,
@@ -32,6 +39,11 @@ from repro.live.events import (
     event_to_dict,
 )
 from repro.live.replay import ReplayReport, replay, scenario_event_stream
+from repro.live.sharded import (
+    ShardedAggregationEngine,
+    ShardedCommitResult,
+    shard_of_cell,
+)
 from repro.live.subscriptions import (
     ChangeCollector,
     CommitNotification,
@@ -42,6 +54,10 @@ from repro.live.subscriptions import (
 from repro.live.warehouse import LiveWarehouse
 
 __all__ = [
+    "AsyncCommitEngine",
+    "ShardedAggregationEngine",
+    "ShardedCommitResult",
+    "shard_of_cell",
     "CommitResult",
     "LiveAggregationEngine",
     "assert_batch_equivalent",

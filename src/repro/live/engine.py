@@ -162,9 +162,30 @@ class LiveAggregationEngine:
         return len(self._dirty)
 
     @property
+    def has_pending_changes(self) -> bool:
+        """Whether a commit would find anything to re-aggregate or retire."""
+        return bool(self._dirty or self._dirty_passthrough or self._removed_passthrough)
+
+    @property
     def cell_count(self) -> int:
         """Number of non-empty grouping-grid cells."""
         return len(self._cells)
+
+    def owns_aggregate_id(self, offer_id: int) -> bool:
+        """Whether ``offer_id`` was ever allocated to one of this engine's aggregates."""
+        return offer_id in self._reserved_ids
+
+    def cell_outputs(self) -> dict[GroupKey, list[FlexOffer]]:
+        """Committed outputs per grid cell (a live view — do not mutate)."""
+        return self._outputs
+
+    def passthrough_offers(self) -> list[FlexOffer]:
+        """The live passthrough aggregates, sorted by id."""
+        return [self._passthrough[offer_id] for offer_id in sorted(self._passthrough)]
+
+    def constituent_map(self) -> dict[int, list[FlexOffer]]:
+        """Provenance of every committed aggregate (a live view — do not mutate)."""
+        return self._constituents
 
     def offers(self) -> list[FlexOffer]:
         """The surviving raw offers, sorted by id (batch-pipeline input order)."""
@@ -212,7 +233,7 @@ class LiveAggregationEngine:
                 results.append(result)
         return results
 
-    def _insert(self, offer: FlexOffer) -> None:
+    def _insert(self, offer: FlexOffer, cell: GroupKey | None = None) -> None:
         if offer.id in self._offers or offer.id in self._passthrough:
             raise LiveEngineError(f"offer id {offer.id} is already live; use OfferUpdated")
         if offer.id in self._reserved_ids:
@@ -227,7 +248,8 @@ class LiveAggregationEngine:
             self._dirty_passthrough.add(offer.id)
             self._removed_passthrough.pop(offer.id, None)
             return
-        cell = group_key(offer, self.parameters)
+        if cell is None:
+            cell = group_key(offer, self.parameters)
         self._offers[offer.id] = offer
         self._cells.setdefault(cell, set()).add(offer.id)
         self._cell_of[offer.id] = cell
@@ -276,6 +298,37 @@ class LiveAggregationEngine:
         clean cells keep their committed output objects untouched.
         """
         started = time.perf_counter()
+        events_applied = self._pending_events
+        dirty, changed, removed = self.commit_core()
+        # A raw offer migrating between cells in one commit leaves its old cell
+        # (removed) and enters its new one (changed); it is still live, so it
+        # must not be reported as removed or mirrors would drop it.
+        changed_ids = {offer.id for offer in changed}
+        removed = [offer for offer in removed if offer.id not in changed_ids]
+        self._commit_count += 1
+        result = CommitResult(
+            sequence=self._commit_count,
+            events_applied=events_applied,
+            dirty_cells=dirty,
+            changed=changed,
+            removed=removed,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        if self.hub is not None:
+            self.hub.publish(result)
+        return result
+
+    def commit_core(self) -> tuple[tuple[GroupKey, ...], list[FlexOffer], list[FlexOffer]]:
+        """Drain the dirty state; returns ``(dirty_cells, changed, removed)``.
+
+        The engine-composition seam: :meth:`commit` wraps this with timing,
+        migration filtering, sequence numbering and hub publication, and the
+        sharded engine fans it out per shard so those per-commit fixed costs
+        are paid once per *logical* commit, not once per shard.  ``removed``
+        is unfiltered — an offer that migrated cells appears in both lists;
+        callers apply the changed-wins rule over their merged result.
+        Resets the dirty sets and the pending-event counter.
+        """
         changed: list[FlexOffer] = []
         removed: list[FlexOffer] = []
         dirty = tuple(sorted(self._dirty))
@@ -319,27 +372,11 @@ class LiveAggregationEngine:
         for offer_id in sorted(self._removed_passthrough):
             removed.append(self._removed_passthrough[offer_id])
             self._committed_passthrough.pop(offer_id, None)
-        # A raw offer migrating between cells in one commit leaves its old cell
-        # (removed) and enters its new one (changed); it is still live, so it
-        # must not be reported as removed or mirrors would drop it.
-        changed_ids = {offer.id for offer in changed}
-        removed = [offer for offer in removed if offer.id not in changed_ids]
         self._dirty.clear()
         self._dirty_passthrough.clear()
         self._removed_passthrough.clear()
-        self._commit_count += 1
-        result = CommitResult(
-            sequence=self._commit_count,
-            events_applied=self._pending_events,
-            dirty_cells=dirty,
-            changed=changed,
-            removed=removed,
-            elapsed_seconds=time.perf_counter() - started,
-        )
         self._pending_events = 0
-        if self.hub is not None:
-            self.hub.publish(result)
-        return result
+        return dirty, changed, removed
 
     # ------------------------------------------------------------------
     # Aggregated state

@@ -163,40 +163,69 @@ def replay(
 ) -> ReplayReport:
     """Drive ``engine`` (and optionally ``warehouse``) through an event stream.
 
-    ``engine`` may be a bare :class:`LiveAggregationEngine`, a session-layer
-    ``LiveEngine`` backend, or a whole ``FlexSession`` — the session forms
-    bring their own live warehouse, which is mirrored unless ``warehouse``
-    overrides it.  Events are consumed in replay order (timestamp, then
-    arrival).  When a ``warehouse`` is mirrored it receives every event plus
-    every commit's aggregate changes directly — do not *also* subscribe it to
-    the engine's hub, or commits would be mirrored twice.
+    ``engine`` may be a bare incremental engine (``LiveAggregationEngine``,
+    ``ShardedAggregationEngine``, ``AsyncCommitEngine``), a session-layer
+    ``LiveEngine``-family backend, or a whole ``FlexSession`` — the session
+    forms bring their own live warehouse, which is mirrored unless
+    ``warehouse`` overrides it.  Events are consumed in replay order
+    (timestamp, then arrival).  When a ``warehouse`` is mirrored it receives
+    every event plus every commit's aggregate changes directly — do not
+    *also* subscribe it to the engine's hub, or commits would be mirrored
+    twice.  Session-layer async backends mirror their warehouse from the
+    worker thread via their own hooks, so no caller-side mirroring happens
+    for them; a warehouse passed *explicitly* alongside a bare async engine
+    is mirrored on the calling thread instead (events during the loop,
+    aggregate changes after the flush barrier).  Async commits are gathered
+    from the worker's log once the barrier returns.
     """
-    if not isinstance(engine, LiveAggregationEngine):
-        # FlexSession (has use_engine) or session LiveEngine backend (has
-        # .engine/.warehouse); duck-typed so this module never imports the
-        # session layer at import time.
-        backend = engine.use_engine("live") if hasattr(engine, "use_engine") else engine
-        if warehouse is None:
+    if hasattr(engine, "use_engine"):
+        # A FlexSession: replay through its active live-family engine (or the
+        # plain live engine when a non-committing backend is active).
+        active = engine.engine
+        backend = active if hasattr(active, "commit") else engine.use_engine("live")
+    else:
+        backend = engine
+    if not isinstance(backend, LiveAggregationEngine) and hasattr(backend, "engine"):
+        # A session backend (duck-typed so this module never imports the
+        # session layer at import time).
+        if warehouse is None and not hasattr(backend.engine, "flush"):
             warehouse = getattr(backend, "warehouse", None)
-        engine = backend.engine
+        backend = backend.engine
+    engine = backend
     ordered = events.replay_order() if isinstance(events, EventLog) else list(events)
     report = ReplayReport(events=len(ordered))
     started = time.perf_counter()
-    for event in ordered:
-        # The engine is the stricter validator: apply there first, so an event
-        # it rejects never reaches (and diverges) the warehouse mirror.
-        result = engine.apply(event)
+    if hasattr(engine, "flush"):
+        # Async-commit engine: the worker applies and commits; the flush
+        # barrier makes the final state (and the commit log) complete.  An
+        # explicitly passed warehouse cannot ride the worker's hooks, so it is
+        # mirrored on this thread: events during the loop, aggregate changes
+        # from the drained commits after the barrier — same end state.
+        for event in ordered:
+            engine.apply(event)
+            if warehouse is not None:
+                warehouse.apply(event)
+        engine.flush()
+        report.commits.extend(engine.drain_commits())
         if warehouse is not None:
-            warehouse.apply(event)
-        if result is not None:
+            for commit in report.commits:
+                warehouse.apply_commit(commit)
+    else:
+        for event in ordered:
+            # The engine is the stricter validator: apply there first, so an
+            # event it rejects never reaches (and diverges) the warehouse mirror.
+            result = engine.apply(event)
+            if warehouse is not None:
+                warehouse.apply(event)
+            if result is not None:
+                report.commits.append(result)
+                if warehouse is not None:
+                    warehouse.apply_commit(result)
+        if engine.pending_events or engine.has_pending_changes:
+            result = engine.commit()
             report.commits.append(result)
             if warehouse is not None:
                 warehouse.apply_commit(result)
-    if engine.pending_events or engine.dirty_cell_count:
-        result = engine.commit()
-        report.commits.append(result)
-        if warehouse is not None:
-            warehouse.apply_commit(result)
     report.total_seconds = time.perf_counter() - started
     report.final_offers = len(engine)
     report.final_outputs = len(engine.aggregated_offers())

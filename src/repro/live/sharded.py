@@ -1,0 +1,423 @@
+"""Hash-partitioned sharded flex-offer aggregation engine.
+
+:class:`~repro.live.engine.LiveAggregationEngine` keeps one grouping grid and
+one dirty set, so a commit walks every dirty cell in one sequence.  The
+sharded engine partitions the grid by *cell-key hash* into ``shard_count``
+independent shards — each a plain live engine with its own grid, dirty set,
+commit sequence and aggregate-id allocator — and commits dirty shards
+independently (thread-pool fan-out for large commits, inline otherwise),
+merging the per-shard results into **one logical commit**.
+
+Invariants the partitioning preserves:
+
+* *Routing is a pure function of the cell key* (`crc32`, not the salted
+  builtin ``hash``), so every offer of a cell lands in the same shard and the
+  shard layout is reproducible across processes.
+* *Aggregate ids never collide across shards*: shard ``i`` only allocates ids
+  congruent to ``i`` modulo ``shard_count`` (see :class:`_ShardEngine`), so
+  the merged output keeps the live engine's stable-id contract.
+* *Subscribers see logical commits, not shards*: the sharded engine owns the
+  :class:`~repro.live.subscriptions.SubscriptionHub`; shards run hubless and
+  the merged :class:`ShardedCommitResult` is published exactly once.
+* *Batch equivalence* is inherited: each shard upholds the dirty-cell
+  contract for its cells, and the merge is a disjoint union, so
+  :meth:`aggregated_offers` equals the batch pipeline over the surviving
+  offers (checked by :func:`~repro.live.engine.assert_batch_equivalent` and
+  the four-engine equivalence suite).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.aggregation.aggregate import AggregationResult
+from repro.aggregation.grouping import GroupKey, group_key
+from repro.aggregation.parameters import AggregationParameters
+from repro.errors import LiveEngineError
+from repro.flexoffer.model import FlexOffer
+from repro.live.engine import CommitResult, LiveAggregationEngine, cell_key_string
+from repro.live.events import (
+    OfferAdded,
+    OfferEvent,
+    OfferStateChanged,
+    OfferUpdated,
+    OfferWithdrawn,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.live.subscriptions import SubscriptionHub
+
+
+def shard_of_cell(cell: GroupKey, shard_count: int) -> int:
+    """The shard index of one grid cell — stable across processes and runs."""
+    return zlib.crc32(cell_key_string(cell).encode()) % shard_count
+
+
+@dataclass
+class ShardedCommitResult(CommitResult):
+    """One logical commit, merged from the independent per-shard drains.
+
+    ``sequence``/``events_applied`` are the sharded engine's own counters;
+    ``dirty_cells``/``changed``/``removed`` are the merged union, with the
+    same migration rule the base engine applies (an offer that left one shard
+    and entered another within the commit is changed, never removed).
+    """
+
+    #: Indices of the shards this logical commit drained (dirty shards only).
+    shard_indices: tuple[int, ...] = ()
+
+    @property
+    def committed_shards(self) -> int:
+        return len(self.shard_indices)
+
+
+class _ShardEngine(LiveAggregationEngine):
+    """One shard: a hubless live engine allocating ids in its congruence class."""
+
+    def __init__(
+        self,
+        parameters: AggregationParameters,
+        id_offset: int,
+        shard_index: int,
+        shard_count: int,
+    ) -> None:
+        super().__init__(parameters, micro_batch_size=0, id_offset=id_offset, hub=None)
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+
+    def _allocate_id(self) -> int:
+        # Round up to the next id ≡ shard_index (mod shard_count).  Input
+        # offers bump `_next_id` past their own ids (inherited behaviour), so
+        # rounding — rather than a fixed stride — keeps cross-shard ids
+        # disjoint no matter which ids the inputs occupied.
+        allocated = self._next_id + (self.shard_index - self._next_id) % self.shard_count
+        self._next_id = allocated + 1
+        self._reserved_ids.add(allocated)
+        return allocated
+
+
+class ShardedAggregationEngine:
+    """The hash-partitioned counterpart of :class:`LiveAggregationEngine`.
+
+    Drop-in for the live engine everywhere the session layer cares: the same
+    event vocabulary, commit semantics (no-op suppression, stable aggregate
+    ids, migration handling) and read API, with commits fanned out over
+    independent shards.
+
+    Parameters
+    ----------
+    shard_count:
+        Number of hash partitions (default 8).
+    parallel:
+        Commit dirty shards on a thread pool when the commit is large enough;
+        small commits always run inline — the fan-out overhead would dominate.
+    parallel_min_cells:
+        Minimum total dirty cells before the thread pool is used.
+    """
+
+    def __init__(
+        self,
+        parameters: AggregationParameters | None = None,
+        shard_count: int = 8,
+        micro_batch_size: int = 0,
+        id_offset: int = 1_000_000,
+        hub: "SubscriptionHub | None" = None,
+        parallel: bool = True,
+        parallel_min_cells: int = 64,
+        max_workers: int | None = None,
+    ) -> None:
+        if shard_count < 1:
+            raise LiveEngineError("shard_count must be >= 1")
+        if micro_batch_size < 0:
+            raise LiveEngineError("micro_batch_size must be >= 0")
+        self.parameters = parameters or AggregationParameters()
+        self.shard_count = shard_count
+        self.micro_batch_size = micro_batch_size
+        self.id_offset = id_offset
+        self.hub = hub
+        self.parallel = parallel
+        self.parallel_min_cells = parallel_min_cells
+        self._max_workers = max_workers or min(shard_count, os.cpu_count() or 2)
+        self._shards = [
+            _ShardEngine(self.parameters, id_offset, index, shard_count)
+            for index in range(shard_count)
+        ]
+        #: Owning shard index per live offer id (raw offers and passthroughs).
+        self._owner: dict[int, int] = {}
+        #: Shard indices touched since the last commit (saves the commit-time scan).
+        self._dirty_shards: set[int] = set()
+        #: Memoized cell → shard routing (cells repeat; tuple hash beats crc32).
+        self._shard_by_cell: dict[GroupKey, int] = {}
+        self._executor: ThreadPoolExecutor | None = None
+        self._pending_events = 0
+        self._commit_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of live raw offers (passthrough aggregates included)."""
+        return len(self._owner)
+
+    @property
+    def shards(self) -> tuple[LiveAggregationEngine, ...]:
+        """The shard engines, in shard-index order (read-only introspection)."""
+        return tuple(self._shards)
+
+    @property
+    def pending_events(self) -> int:
+        """Events applied since the last logical commit."""
+        return self._pending_events
+
+    @property
+    def dirty_cell_count(self) -> int:
+        return sum(shard.dirty_cell_count for shard in self._shards)
+
+    @property
+    def dirty_shard_count(self) -> int:
+        return len(self._dirty_shards)
+
+    @property
+    def has_pending_changes(self) -> bool:
+        return bool(self._dirty_shards)
+
+    @property
+    def cell_count(self) -> int:
+        return sum(shard.cell_count for shard in self._shards)
+
+    def shard_of(self, offer_id: int) -> int | None:
+        """The shard index currently owning an offer (``None`` when unknown)."""
+        return self._owner.get(offer_id)
+
+    def offers(self) -> list[FlexOffer]:
+        """The surviving raw offers across all shards, sorted by id."""
+        combined = [offer for shard in self._shards for offer in shard.offers()]
+        return sorted(combined, key=lambda offer: offer.id)
+
+    def offer(self, offer_id: int) -> FlexOffer:
+        """One raw offer by id; raises :class:`LiveEngineError` when unknown."""
+        return self._owning_shard(offer_id).offer(offer_id)
+
+    def cell_of(self, offer_id: int) -> GroupKey | None:
+        """The grid cell an offer sits in (``None`` for passthroughs/unknown)."""
+        index = self._owner.get(offer_id)
+        return None if index is None else self._shards[index].cell_of(offer_id)
+
+    # ------------------------------------------------------------------
+    # Event application: route by cell-key hash
+    # ------------------------------------------------------------------
+    def _owning_shard(self, offer_id: int) -> LiveAggregationEngine:
+        index = self._owner.get(offer_id)
+        if index is None:
+            raise LiveEngineError(f"unknown offer id {offer_id}")
+        return self._shards[index]
+
+    def _route_cell(self, cell: GroupKey) -> int:
+        index = self._shard_by_cell.get(cell)
+        if index is None:
+            index = self._shard_by_cell[cell] = shard_of_cell(cell, self.shard_count)
+        return index
+
+    def _vet_input_id(self, offer_id: int) -> None:
+        """Reject reserved ids and fence every shard's allocator against this one."""
+        for shard in self._shards:
+            if shard.owns_aggregate_id(offer_id):
+                raise LiveEngineError(
+                    f"offer id {offer_id} collides with an engine-allocated aggregate id"
+                )
+        # The base engine bumps its allocator past every input id; here only
+        # the shard whose congruence class contains the id could ever allocate
+        # it, so bump that shard — even when the offer's cell routes elsewhere.
+        congruent = self._shards[offer_id % self.shard_count]
+        congruent._next_id = max(congruent._next_id, offer_id + 1)
+
+    def apply(self, event: OfferEvent) -> ShardedCommitResult | None:
+        """Apply one event; returns a commit result when micro-batching fired.
+
+        Routing calls the shard's mutators directly — the event was already
+        dispatched (and, for inserts, the grid cell already computed) here, so
+        going through the shard's own ``apply`` would pay for both twice.
+        """
+        if isinstance(event, OfferAdded):
+            self._route_insert(event)
+        elif isinstance(event, OfferUpdated):
+            self._route_update(event)
+        elif isinstance(event, OfferWithdrawn):
+            index = self._owner.get(event.offer_id)
+            if index is None:
+                raise LiveEngineError(f"unknown offer id {event.offer_id}")
+            self._shards[index]._remove(event.offer_id)
+            self._dirty_shards.add(index)
+            del self._owner[event.offer_id]
+        elif isinstance(event, OfferStateChanged):
+            # State never enters the grouping key, so the owner cannot change.
+            index = self._owner.get(event.offer_id)
+            if index is None:
+                raise LiveEngineError(f"unknown offer id {event.offer_id}")
+            self._shards[index]._change_state(event)
+            self._dirty_shards.add(index)
+        else:
+            raise LiveEngineError(f"unknown event type {type(event).__name__}")
+        self._pending_events += 1
+        if self.micro_batch_size and self._pending_events >= self.micro_batch_size:
+            return self.commit()
+        return None
+
+    def apply_many(self, events: Iterable[OfferEvent]) -> list[ShardedCommitResult]:
+        """Apply a batch of events; returns any micro-batch commit results."""
+        results = []
+        for event in events:
+            result = self.apply(event)
+            if result is not None:
+                results.append(result)
+        return results
+
+    def _route_insert(self, event: OfferAdded) -> None:
+        offer = event.offer
+        if offer.id in self._owner:
+            raise LiveEngineError(f"offer id {offer.id} is already live; use OfferUpdated")
+        # The owning shard checks its own reservations; a collision with an id
+        # *another* shard allocated must be caught here.
+        self._vet_input_id(offer.id)
+        if offer.is_aggregate:
+            index, cell = offer.id % self.shard_count, None
+        else:
+            cell = group_key(offer, self.parameters)
+            index = self._route_cell(cell)
+        self._shards[index]._insert(offer, cell)
+        self._dirty_shards.add(index)
+        self._owner[offer.id] = index
+
+    def _route_update(self, event: OfferUpdated) -> None:
+        offer = event.offer
+        index = self._owner.get(offer.id)
+        if index is None:
+            raise LiveEngineError(f"unknown offer id {offer.id}")
+        if offer.is_aggregate:
+            target, cell = offer.id % self.shard_count, None
+        else:
+            cell = group_key(offer, self.parameters)
+            target = self._route_cell(cell)
+        # An update is remove+insert, exactly as in the base engine; when the
+        # revision moved the offer to a cell another shard owns, the two
+        # halves hit different shards and the merged commit applies the same
+        # migration rule — the offer is reported changed, never removed.
+        self._shards[index]._remove(offer.id)
+        self._shards[target]._insert(offer, cell)
+        self._dirty_shards.add(index)
+        self._dirty_shards.add(target)
+        self._owner[offer.id] = target
+
+    # ------------------------------------------------------------------
+    # Commit: fan out over dirty shards, merge into one logical commit
+    # ------------------------------------------------------------------
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_workers, thread_name_prefix="shard-commit"
+            )
+        return self._executor
+
+    def commit(self) -> ShardedCommitResult:
+        """Commit every dirty shard and merge the results into one logical commit.
+
+        Shard commits are independent (disjoint cells, disjoint id ranges), so
+        they may run concurrently; results are merged in shard-index order for
+        determinism.  The merged result is published to the hub exactly once.
+        """
+        started = time.perf_counter()
+        dirty_shards = [(index, self._shards[index]) for index in sorted(self._dirty_shards)]
+        self._dirty_shards.clear()
+        use_pool = (
+            self.parallel
+            and len(dirty_shards) > 1
+            and sum(shard.dirty_cell_count for _, shard in dirty_shards)
+            >= self.parallel_min_cells
+        )
+        # Shards drain through commit_core(): the per-commit fixed costs
+        # (timing, migration filter, result object, hub publication) are paid
+        # once here per *logical* commit, not once per shard.
+        if use_pool:
+            drains = list(
+                self._pool().map(lambda pair: pair[1].commit_core(), dirty_shards)
+            )
+        else:
+            drains = [shard.commit_core() for _, shard in dirty_shards]
+        changed: list[FlexOffer] = []
+        removed: list[FlexOffer] = []
+        dirty_cells: list[GroupKey] = []
+        for shard_dirty, shard_changed, shard_removed in drains:
+            changed.extend(shard_changed)
+            removed.extend(shard_removed)
+            dirty_cells.extend(shard_dirty)
+        # The changed-wins migration rule over the merged result: an offer that
+        # migrated cells — within a shard or across shards — is still live.
+        changed_ids = {offer.id for offer in changed}
+        removed = [offer for offer in removed if offer.id not in changed_ids]
+        self._commit_count += 1
+        result = ShardedCommitResult(
+            sequence=self._commit_count,
+            events_applied=self._pending_events,
+            dirty_cells=tuple(sorted(dirty_cells)),
+            changed=changed,
+            removed=removed,
+            elapsed_seconds=time.perf_counter() - started,
+            shard_indices=tuple(index for index, _ in dirty_shards),
+        )
+        self._pending_events = 0
+        if self.hub is not None:
+            self.hub.publish(result)
+        return result
+
+    def close(self) -> None:
+        """Shut the commit thread pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Aggregated state: disjoint union of the shard outputs
+    # ------------------------------------------------------------------
+    def aggregated_offers(self) -> list[FlexOffer]:
+        """The committed output across all shards, in the base engine's layout:
+        cells in globally sorted key order, passthrough aggregates last."""
+        by_cell: dict[GroupKey, list[FlexOffer]] = {}
+        passthrough: list[FlexOffer] = []
+        for shard in self._shards:
+            by_cell.update(shard.cell_outputs())
+            passthrough.extend(shard.passthrough_offers())
+        output: list[FlexOffer] = []
+        for cell in sorted(by_cell):
+            output.extend(by_cell[cell])
+        output.extend(sorted(passthrough, key=lambda offer: offer.id))
+        return output
+
+    def constituents_of(self, aggregate_id: int) -> list[FlexOffer]:
+        """Provenance of one committed aggregate (empty when unknown).
+
+        Engine-allocated ids are congruent to their shard index, so the lookup
+        is a single-shard dict hit.
+        """
+        return self._shards[aggregate_id % self.shard_count].constituents_of(aggregate_id)
+
+    def result(self) -> AggregationResult:
+        """The committed state as a batch-compatible :class:`AggregationResult`."""
+        result = AggregationResult()
+        result.offers = self.aggregated_offers()
+        result.constituents = {
+            aggregate_id: list(group)
+            for shard in self._shards
+            for aggregate_id, group in shard.constituent_map().items()
+        }
+        return result
+
+    def batch_equivalent(self) -> AggregationResult:
+        """Run the *batch* pipeline over the surviving offers (equivalence checks)."""
+        from repro.aggregation.aggregate import aggregate
+
+        return aggregate(self.offers(), self.parameters, id_offset=self.id_offset)

@@ -12,7 +12,6 @@ flex-offers, a warehouse filter and a ready-to-render basic view.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.datagen.scenarios import Scenario
 from repro.enterprise.planning import PlanningReport

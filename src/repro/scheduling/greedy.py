@@ -11,7 +11,6 @@ offer and is the reference point the stochastic scheduler improves upon.
 from __future__ import annotations
 
 import time
-from typing import Sequence
 
 import numpy as np
 

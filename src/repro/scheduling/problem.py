@@ -12,7 +12,6 @@ offer so the scheduled flexible load tracks the target as closely as possible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 

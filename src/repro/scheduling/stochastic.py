@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.flexoffer.model import FlexOffer, Schedule
+from repro.flexoffer.model import Schedule
 from repro.scheduling.greedy import GreedyScheduler, _collect_slices, _per_slot_bounds
 from repro.scheduling.problem import BalancingProblem, BalancingSolution
 

@@ -12,8 +12,10 @@
 
 from repro.session.engines import (
     AggregationBackend,
+    AsyncEngine,
     BatchEngine,
     LiveEngine,
+    ShardedEngine,
     subscribe_spec,
 )
 from repro.session.facade import ENGINE_FACTORIES, FlexSession
@@ -28,8 +30,10 @@ from repro.session.views import (
 
 __all__ = [
     "AggregationBackend",
+    "AsyncEngine",
     "BatchEngine",
     "LiveEngine",
+    "ShardedEngine",
     "subscribe_spec",
     "ENGINE_FACTORIES",
     "FlexSession",

@@ -14,12 +14,22 @@ active:
   grouping grid, a :class:`~repro.live.warehouse.LiveWarehouse` kept fresh
   under the same events, and a :class:`~repro.live.subscriptions.SubscriptionHub`
   for commit fan-out.
+* :class:`ShardedEngine` swaps the inner engine for the hash-partitioned
+  :class:`~repro.live.sharded.ShardedAggregationEngine` — same events, same
+  warehouse mirror, commits fanned out over independent shards and merged
+  into one logical commit.
+* :class:`AsyncEngine` layers the bounded-queue
+  :class:`~repro.live.asynccommit.AsyncCommitEngine` worker over sharded
+  state: ``ingest`` only enqueues; the worker applies, mirrors the warehouse
+  and commits in the background; reads flush first, so queries stay
+  deterministic.
 
 The interchangeability contract: one :class:`~repro.session.spec.QuerySpec`
-executed against both engines over the same offer population yields
-equivalent :class:`~repro.session.spec.ResultSet` envelopes — bit-identical
-aggregate profiles, ids modulo :func:`~repro.live.engine.canonical_form`
-(property-tested in ``tests/test_session_equivalence.py``).
+executed against any engine over the same offer population yields equivalent
+:class:`~repro.session.spec.ResultSet` envelopes — bit-identical aggregate
+profiles, ids modulo :func:`~repro.live.engine.canonical_form`
+(property-tested across all four engines in
+``tests/test_session_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -30,8 +40,10 @@ from repro.aggregation.aggregate import AggregationResult, aggregate
 from repro.aggregation.parameters import AggregationParameters
 from repro.errors import SessionError
 from repro.flexoffer.model import FlexOffer
+from repro.live.asynccommit import AsyncCommitEngine
 from repro.live.engine import CommitResult, LiveAggregationEngine
 from repro.live.events import OfferAdded, OfferEvent
+from repro.live.sharded import ShardedAggregationEngine
 from repro.live.subscriptions import CommitNotification, Subscription, SubscriptionHub
 from repro.live.warehouse import LiveWarehouse
 from repro.warehouse.loader import load_scenario
@@ -138,19 +150,26 @@ class LiveEngine:
         self.scenario = scenario
         self.grid = scenario.grid
         self.parameters = parameters or AggregationParameters()
+        self.micro_batch_size = micro_batch_size
         self.hub = SubscriptionHub()
-        self.engine = LiveAggregationEngine(
-            self.parameters, micro_batch_size=micro_batch_size, hub=self.hub
-        )
+        # The warehouse first: engine builders (the async worker's mirroring
+        # hooks) may need it.
         self.warehouse = LiveWarehouse(
             load_scenario(scenario.replace_offers([])), self.grid, self.parameters
         )
+        self.engine = self._build_engine()
         if preload:
             self.ingest_many(
                 OfferAdded(offer.creation_time, offer)
                 for offer in scenario.offers_in_arrival_order()
             )
             self.commit()
+
+    def _build_engine(self):
+        """The inner incremental engine; subclasses swap the implementation."""
+        return LiveAggregationEngine(
+            self.parameters, micro_batch_size=self.micro_batch_size, hub=self.hub
+        )
 
     @property
     def schema(self) -> StarSchema:
@@ -192,7 +211,7 @@ class LiveEngine:
 
     def refresh(self) -> None:
         """Commit if anything is pending, so reads see the latest state."""
-        if self.engine.pending_events or self.engine.dirty_cell_count:
+        if self.engine.pending_events or self.engine.has_pending_changes:
             self.commit()
 
     def reset(self) -> None:
@@ -201,12 +220,17 @@ class LiveEngine:
         The hub — and with it every registered subscription — survives, so
         standing queries keep firing on the commits of the new stream.
         """
-        self.engine = LiveAggregationEngine(
-            self.parameters, micro_batch_size=self.engine.micro_batch_size, hub=self.hub
-        )
+        self.close()
         self.warehouse = LiveWarehouse(
             load_scenario(self.scenario.replace_offers([])), self.grid, self.parameters
         )
+        self.engine = self._build_engine()
+
+    def close(self) -> None:
+        """Release engine-owned resources (worker threads, commit pools)."""
+        close_engine = getattr(self.engine, "close", None)
+        if close_engine is not None:
+            close_engine()
 
     # ------------------------------------------------------------------
     # Read path
@@ -246,6 +270,102 @@ class LiveEngine:
         }:
             return self.engine.result()
         return aggregate(offers, parameters, id_offset=self.engine.id_offset)
+
+
+class ShardedEngine(LiveEngine):
+    """The live backend over the hash-partitioned sharded engine.
+
+    Identical session semantics to :class:`LiveEngine` — same event vocabulary,
+    warehouse mirror and subscriptions — with commits fanned out over
+    ``shard_count`` independent shards and merged into one logical commit
+    (published to the hub exactly once).
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        scenario: "Scenario",
+        parameters: AggregationParameters | None = None,
+        micro_batch_size: int = 0,
+        preload: bool = True,
+        shard_count: int = 8,
+    ) -> None:
+        self.shard_count = shard_count
+        super().__init__(
+            scenario, parameters, micro_batch_size=micro_batch_size, preload=preload
+        )
+
+    def _build_engine(self):
+        return ShardedAggregationEngine(
+            self.parameters,
+            shard_count=self.shard_count,
+            micro_batch_size=self.micro_batch_size,
+            hub=self.hub,
+        )
+
+
+class AsyncEngine(LiveEngine):
+    """The live backend with ingestion decoupled from commits.
+
+    ``ingest`` only enqueues onto the async worker's bounded queue; the worker
+    applies events to the sharded state, mirrors the live warehouse and
+    commits in the background.  Every read path flushes first (the
+    :meth:`refresh` barrier), so queries observe exactly the synchronous
+    engines' state — the interchangeability contract is unchanged, only the
+    thread that pays for commits moves.
+    """
+
+    name = "async"
+
+    def __init__(
+        self,
+        scenario: "Scenario",
+        parameters: AggregationParameters | None = None,
+        micro_batch_size: int = 0,
+        preload: bool = True,
+        shard_count: int = 8,
+        queue_size: int = 1024,
+    ) -> None:
+        self.shard_count = shard_count
+        self.queue_size = queue_size
+        super().__init__(
+            scenario, parameters, micro_batch_size=micro_batch_size, preload=preload
+        )
+
+    def _build_engine(self):
+        inner = ShardedAggregationEngine(
+            self.parameters, shard_count=self.shard_count, hub=self.hub
+        )
+        return AsyncCommitEngine(
+            inner,
+            queue_size=self.queue_size,
+            # micro_batch_size maps onto the worker's drain batch: the latency
+            # bound between commits under sustained load.
+            drain_batch=self.micro_batch_size or 64,
+            on_event=self._mirror_event,
+            on_commit=self._mirror_commit,
+        )
+
+    # The warehouse is mirrored by the worker (these hooks run on its thread);
+    # the synchronous LiveEngine write path must not mirror a second time.
+    def _mirror_event(self, event: OfferEvent) -> None:
+        self.warehouse.apply(event)
+
+    def _mirror_commit(self, result: CommitResult) -> None:
+        self.warehouse.apply_commit(result)
+
+    def ingest(self, event: OfferEvent) -> CommitResult | None:
+        """Enqueue one event; the worker applies, mirrors and commits it."""
+        return self.engine.apply(event)
+
+    def commit(self) -> CommitResult:
+        """Barrier commit: drain the queue and return the newest logical commit."""
+        return self.engine.commit()
+
+    def refresh(self) -> None:
+        """The flush barrier: reads wait for the worker to drain and commit."""
+        self.engine.flush()
 
 
 def subscribe_spec(

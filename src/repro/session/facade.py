@@ -12,10 +12,11 @@ exposes every workflow the scattered entry points used to cover:
 Engines are pluggable behind the
 :class:`~repro.session.engines.AggregationBackend` protocol: ``"batch"`` is a
 read-only snapshot of the scenario, ``"live"`` the event-driven incremental
-subsystem (preloaded with the scenario's offers so the two start
-interchangeable).  Both are kept per session, so switching back and forth is
-free after first use.  Future backends (the roadmap's sharded and
-async-commit engines) plug into the same registry.
+subsystem, ``"sharded"`` its hash-partitioned variant and ``"async"`` the
+bounded-queue background-commit variant (live-family engines are preloaded
+with the scenario's offers so all engines start interchangeable).  Engines
+are kept per session, so switching back and forth is free after first use;
+downstream backends register through the same :data:`ENGINE_FACTORIES`.
 """
 
 from __future__ import annotations
@@ -29,8 +30,10 @@ from repro.live.events import EventLog, OfferEvent
 from repro.live.replay import ReplayReport, replay, scenario_event_stream
 from repro.session.engines import (
     AggregationBackend,
+    AsyncEngine,
     BatchEngine,
     LiveEngine,
+    ShardedEngine,
     subscribe_spec,
 )
 from repro.session.query import OfferQuery, execute
@@ -45,10 +48,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.views.base import FlexOfferView
     from repro.views.framework import VisualAnalysisFramework
 
-#: Engine factories by name; sessions instantiate lazily and cache.
+#: Engine factories by name; sessions instantiate lazily and cache.  Factories
+#: that subclass :class:`LiveEngine` receive the session's stream options
+#: (``micro_batch_size``, ``preload``); anything else gets (scenario, parameters).
 ENGINE_FACTORIES: dict[str, Callable[..., AggregationBackend]] = {
     "batch": BatchEngine,
     "live": LiveEngine,
+    "sharded": ShardedEngine,
+    "async": AsyncEngine,
 }
 
 
@@ -105,18 +112,62 @@ class FlexSession:
                 f"unknown engine {name!r}; available: {sorted(ENGINE_FACTORIES)}"
             )
         if name not in self._engines:
-            if name == "live":
-                backend = LiveEngine(
+            factory = ENGINE_FACTORIES[name]
+            if isinstance(factory, type) and issubclass(factory, LiveEngine):
+                backend = factory(
                     self.scenario,
                     self.parameters,
                     micro_batch_size=self.micro_batch_size,
                     preload=self.live_preload,
                 )
             else:
-                backend = ENGINE_FACTORIES[name](self.scenario, self.parameters)
+                backend = factory(self.scenario, self.parameters)
             self._engines[name] = backend
         self._active = name
         return self._engines[name]
+
+    def close(self) -> None:
+        """Release every cached engine's resources (worker threads, pools).
+
+        The sharded engine owns a commit thread pool and the async engine a
+        worker thread; sessions that create them should be closed (or used as
+        a context manager) instead of relying on process exit.  Closed
+        engines stay cached — the live-family ones rebuild their inner engine
+        on :meth:`~repro.session.engines.LiveEngine.reset`, but the usual
+        pattern is one close at the end of the session's life.
+        """
+        for backend in self._engines.values():
+            close_backend = getattr(backend, "close", None)
+            if close_backend is not None:
+                close_backend()
+
+    def __enter__(self) -> "FlexSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def snapshot(self) -> BatchEngine:
+        """Rebuild the batch snapshot from the active live engine's *surviving* offers.
+
+        The batch backend is otherwise frozen at the scenario the session was
+        opened over: events ingested through a live-family engine never reach
+        it.  ``snapshot()`` re-reads the live population (passthrough
+        aggregates included), rebuilds the batch engine over it and replaces
+        the cached backend, so the next ``use_engine("batch")`` — and every
+        batch query after it — sees exactly the offers that survived the
+        stream.  Called with a batch-family engine active it simply rebuilds
+        from the original scenario.  The active engine is not switched.
+        """
+        backend = self.engine
+        if isinstance(backend, LiveEngine):
+            backend.refresh()
+            scenario = self.scenario.replace_offers(backend.offers())
+        else:
+            scenario = self.scenario
+        fresh = BatchEngine(scenario, self.parameters)
+        self._engines["batch"] = fresh
+        return fresh
 
     @property
     def live(self) -> LiveEngine:
@@ -213,8 +264,9 @@ class FlexSession:
         withdraw_fraction: float = 0.0,
         seed: int = 0,
         reset: bool | None = None,
+        engine: str | None = None,
     ) -> ReplayReport:
-        """Replay an event stream through the live engine (and its warehouse).
+        """Replay an event stream through a live-family engine (and its warehouse).
 
         With ``events=None`` the session's scenario is reconstructed as a
         timestamped stream first (see
@@ -225,10 +277,17 @@ class FlexSession:
         replaying it over the preloaded state would collide.  An explicit
         ``events`` stream is treated as a *continuation* of the current live
         state; pass ``reset=True`` when it is a from-scratch log (e.g. the
-        full scenario stream against a preloaded engine).  The live engine
-        is created if needed and becomes the active engine.
+        full scenario stream against a preloaded engine).  ``engine`` picks
+        the replaying backend (``"live"``/``"sharded"``/``"async"``); the
+        default keeps the active engine when it is a live-family one and
+        falls back to ``"live"`` otherwise.  The chosen engine is created if
+        needed and becomes the active engine.
         """
-        backend = self.use_engine("live")
+        if engine is None:
+            engine = self._active if isinstance(self.engine, LiveEngine) else "live"
+        backend = self.use_engine(engine)
+        if not isinstance(backend, LiveEngine):
+            raise SessionError(f"engine {engine!r} cannot replay events; it never commits")
         should_reset = reset if reset is not None else events is None
         if should_reset and len(backend.engine.offers()):
             backend.reset()

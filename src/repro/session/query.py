@@ -13,7 +13,7 @@ it against its hash indexes; the resulting
 from __future__ import annotations
 
 from datetime import datetime
-from typing import TYPE_CHECKING, Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.aggregation.parameters import AggregationParameters
 from repro.errors import SessionError

@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field, replace
 from datetime import datetime
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterator
 
 from repro.aggregation.parameters import AggregationParameters
 from repro.errors import SessionError

@@ -22,13 +22,13 @@ from repro.flexoffer.model import FlexOffer
 from repro.timeseries.grid import TimeGrid
 from repro.views.aggregation_panel import AggregationPanel
 from repro.views.base import FlexOfferView
-from repro.views.basic import BasicView, BasicViewOptions
-from repro.views.dashboard import DashboardOptions, DashboardView
+from repro.views.basic import BasicView
+from repro.views.dashboard import DashboardView
 from repro.views.loading import LoadedDataset, LoadingWorkflow
-from repro.views.map_view import MapView, MapViewOptions
-from repro.views.pivot_view import PivotView, PivotViewOptions
-from repro.views.profile_view import ProfileView, ProfileViewOptions
-from repro.views.schematic import SchematicView, SchematicViewOptions
+from repro.views.map_view import MapView
+from repro.views.pivot_view import PivotView
+from repro.views.profile_view import ProfileView
+from repro.views.schematic import SchematicView
 from repro.views.selection import SelectionModel
 from repro.views.tooltip import FlexOfferDetails, describe
 

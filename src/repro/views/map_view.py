@@ -16,7 +16,7 @@ from repro.datagen.geography import Geography
 from repro.errors import ViewError
 from repro.flexoffer.model import FlexOffer, FlexOfferState
 from repro.olap.cube import FlexOfferCube, GroupBy
-from repro.render.axes import PlotArea, legend
+from repro.render.axes import legend
 from repro.render.color import Palette
 from repro.render.scales import LinearScale
 from repro.render.scene import Circle, Group, Rect, Scene, Style, Text

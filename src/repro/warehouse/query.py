@@ -11,9 +11,9 @@ energy type, prosumer type, appliance type, state) and reconstruction of full
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import datetime
-from typing import Any, Callable, Sequence
+from typing import Any, Sequence
 
 from repro.errors import WarehouseError
 from repro.flexoffer.model import FlexOffer

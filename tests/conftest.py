@@ -2,14 +2,24 @@
 
 from __future__ import annotations
 
-from datetime import datetime, timedelta
+import os
+from datetime import timedelta
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.datagen.scenarios import Scenario, ScenarioConfig, generate_scenario
 from repro.flexoffer.model import Direction, FlexOffer, ProfileSlice, Schedule
 from repro.timeseries.grid import TimeGrid
 from repro.timeseries.series import TimeSeries
+
+# Property-test example budgets, selected via HYPOTHESIS_PROFILE: "dev" keeps
+# the local suite fast, "ci" is the default pull-request budget, "extended" is
+# the scheduled CI job's raised budget for the equivalence contract.
+hypothesis_settings.register_profile("dev", max_examples=25, deadline=None)
+hypothesis_settings.register_profile("ci", max_examples=50, deadline=None)
+hypothesis_settings.register_profile("extended", max_examples=300, deadline=None)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

@@ -148,7 +148,7 @@ class TestEngines:
 
     def test_unknown_engine_rejected(self, session):
         with pytest.raises(SessionError):
-            session.use_engine("sharded")
+            session.use_engine("clustered")
 
     def test_live_ingest_updates_queries_and_warehouse(self):
         session = FlexSession(
@@ -203,6 +203,36 @@ class TestEngines:
         assert len(notifications) == 2
         assert [o.id for o in notifications[1].removed] == [mirrored_id]
         assert notifications[1].changed == ()
+
+    @pytest.mark.parametrize("engine", ("live", "sharded", "async"))
+    def test_snapshot_rebuilds_batch_from_surviving_offers(self, engine):
+        session = FlexSession(
+            generate_scenario(ScenarioConfig(prosumer_count=20, seed=3)), engine=engine
+        )
+        victims = session.engine.offers()[:4]
+        for victim in victims:
+            session.ingest(OfferWithdrawn(victim.creation_time, victim.id))
+        session.commit()
+        survivors = session.offers().count()
+        # Without a snapshot the batch engine stays frozen at the scenario.
+        stale = session.use_engine("batch")
+        assert len(stale.offers()) == survivors + len(victims)
+        session.use_engine(engine)
+        fresh = session.snapshot()
+        # The cached batch backend was replaced; batch queries now see exactly
+        # the offers that survived the stream, and the contract still holds.
+        assert session.use_engine("batch") is fresh
+        assert session.offers().count() == survivors
+        batch_result = session.query(QuerySpec())
+        session.use_engine(engine)
+        assert batch_result.matches(session.query(QuerySpec()))
+
+    def test_snapshot_on_batch_engine_rebuilds_from_scenario(self, session):
+        assert session.engine_name == "batch"
+        before = session.offers().count()
+        fresh = session.snapshot()
+        assert session.use_engine("batch") is fresh
+        assert session.offers().count() == before
 
     def test_engine_switch_preserves_backends(self, session):
         fresh = FlexSession(

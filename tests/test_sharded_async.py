@@ -1,0 +1,370 @@
+"""The sharded and async-commit engines: partitioning, merging, delivery.
+
+The contract under test: hash-partitioning the grouping grid and moving the
+commit off the caller's thread are *invisible* to consumers — subscribers see
+exactly one notification per logical commit carrying the merged dirty-cell
+set, aggregate ids stay stable and collision-free across shards, and the
+aggregated state always equals the batch pipeline over the surviving offers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.scenarios import ScenarioConfig, generate_scenario
+from repro.errors import LiveEngineError
+from repro.live.asynccommit import AsyncCommitEngine
+from repro.live.engine import LiveAggregationEngine, assert_batch_equivalent
+from repro.live.events import OfferAdded, OfferUpdated, OfferWithdrawn
+from repro.live.sharded import ShardedAggregationEngine, shard_of_cell
+from repro.live.subscriptions import ChangeCollector, SubscriptionHub
+from repro.session import FlexSession, QuerySpec
+from tests.conftest import make_offer
+
+
+def _offers_in_distinct_shards(engine, count=3, start=10):
+    """Build offers guaranteed to land in ``count`` different shards."""
+    offers, seen = [], set()
+    offer_id, earliest = 1, start
+    while len(offers) < count:
+        offer = make_offer(offer_id=offer_id, earliest_start=earliest)
+        from repro.aggregation.grouping import group_key
+
+        shard = shard_of_cell(group_key(offer, engine.parameters), engine.shard_count)
+        if shard not in seen:
+            seen.add(shard)
+            offers.append(offer)
+        offer_id += 1
+        earliest += engine.parameters.est_tolerance_slots  # next grid cell
+    return offers
+
+
+class TestShardedEngine:
+    def test_routing_is_stable_and_partitions_cells(self):
+        engine = ShardedAggregationEngine(shard_count=4)
+        offers = _offers_in_distinct_shards(engine, count=3)
+        for offer in offers:
+            engine.apply(OfferAdded(offer.creation_time, offer))
+        assert engine.dirty_shard_count == 3
+        engine.commit()
+        # Each offer's cell lives in exactly one shard, owner map agrees.
+        for offer in offers:
+            index = engine.shard_of(offer.id)
+            assert engine.shards[index].cell_of(offer.id) is not None
+            assert engine.offer(offer.id) == offer
+
+    def test_merged_commit_spans_shards_and_publishes_once(self):
+        hub = SubscriptionHub()
+        collector = ChangeCollector()
+        hub.subscribe(collector, name="all")
+        engine = ShardedAggregationEngine(shard_count=4, hub=hub)
+        offers = _offers_in_distinct_shards(engine, count=3)
+        for offer in offers:
+            engine.apply(OfferAdded(offer.creation_time, offer))
+        result = engine.commit()
+        # One logical commit merged from three shard commits, published once.
+        assert result.committed_shards == 3
+        assert len(result.dirty_cells) == 3
+        assert hub.published_commits == 1
+        assert len(collector.notifications) == 1
+        assert collector.notifications[0].commit is result
+
+    def test_aggregate_ids_disjoint_across_shards_and_stable(self):
+        engine = ShardedAggregationEngine(shard_count=4)
+        offers = []
+        # Two cellmates per cell so every cell yields a true aggregate.
+        for base_id, earliest in ((10, 8), (20, 16), (30, 24), (40, 32)):
+            offers.append(make_offer(offer_id=base_id, earliest_start=earliest))
+            offers.append(make_offer(offer_id=base_id + 1, earliest_start=earliest))
+        for offer in offers:
+            engine.apply(OfferAdded(offer.creation_time, offer))
+        engine.commit()
+        aggregates = [offer for offer in engine.aggregated_offers() if offer.is_aggregate]
+        ids = [aggregate.id for aggregate in aggregates]
+        assert len(ids) == len(set(ids))
+        # Ids are congruent to their shard index — the collision-free invariant.
+        for aggregate in aggregates:
+            members = engine.constituents_of(aggregate.id)
+            assert members, "congruence lookup must find the owning shard"
+            owner = engine.shard_of(members[0].id)
+            assert aggregate.id % engine.shard_count == owner
+        # Re-touching a cell keeps its aggregate id (stability across commits).
+        victim = offers[0]
+        engine.apply(
+            OfferUpdated(victim.creation_time, make_offer(offer_id=victim.id, earliest_start=8))
+        )
+        engine.commit()
+        after = {o.id for o in engine.aggregated_offers() if o.is_aggregate}
+        assert after == set(ids)
+
+    def test_cross_shard_migration_reported_as_changed_not_removed(self):
+        from repro.aggregation.grouping import group_key
+
+        engine = ShardedAggregationEngine(shard_count=4)
+        mover = make_offer(offer_id=1, earliest_start=8)
+        engine.apply(OfferAdded(mover.creation_time, mover))
+        engine.commit()
+        source = engine.shard_of(mover.id)
+        # Find an *empty* cell owned by a different shard: the offer stays a
+        # singleton output there, so it migrates instead of being folded away.
+        earliest = mover.earliest_start_slot
+        while True:
+            earliest += engine.parameters.est_tolerance_slots
+            moved = make_offer(offer_id=mover.id, earliest_start=earliest)
+            if shard_of_cell(group_key(moved, engine.parameters), engine.shard_count) != source:
+                break
+        engine.apply(OfferUpdated(mover.creation_time, moved))
+        result = engine.commit()
+        assert engine.shard_of(mover.id) != source
+        # The old shard dropped it, the new shard re-emitted it: the merged
+        # commit reports it changed, never removed — it is still live.
+        assert mover.id in {offer.id for offer in result.changed}
+        assert mover.id not in {offer.id for offer in result.removed}
+        assert len(engine.shards[source]) == 0
+        assert_batch_equivalent(engine)
+
+    def test_withdrawal_emptying_a_shard_delivers_removal(self):
+        hub = SubscriptionHub()
+        collector = ChangeCollector()
+        hub.subscribe(collector, name="all")
+        engine = ShardedAggregationEngine(shard_count=4, hub=hub)
+        offers = _offers_in_distinct_shards(engine, count=2)
+        for offer in offers:
+            engine.apply(OfferAdded(offer.creation_time, offer))
+        engine.commit()
+        lonely = offers[0]
+        index = engine.shard_of(lonely.id)
+        engine.apply(OfferWithdrawn(lonely.creation_time, lonely.id))
+        engine.commit()
+        # The shard is now empty and the subscriber dropped the output.
+        assert len(engine.shards[index]) == 0
+        assert engine.shards[index].cell_count == 0
+        assert lonely.id not in collector.offers
+        assert hub.published_commits == 2
+
+    def test_parallel_and_inline_commits_agree(self):
+        scenario = generate_scenario(ScenarioConfig(prosumer_count=30, seed=13))
+        inline = ShardedAggregationEngine(shard_count=4, parallel=False)
+        threaded = ShardedAggregationEngine(shard_count=4, parallel=True, parallel_min_cells=0)
+        for engine in (inline, threaded):
+            for offer in scenario.offers_in_arrival_order():
+                engine.apply(OfferAdded(offer.creation_time, offer))
+            engine.commit()
+        assert inline.aggregated_offers() == threaded.aggregated_offers()
+        assert_batch_equivalent(threaded)
+        threaded.close()
+
+    def test_input_ids_fence_every_shards_allocator(self):
+        from repro.aggregation.grouping import group_key
+
+        engine = ShardedAggregationEngine(shard_count=4, id_offset=1_000_000)
+        # A raw offer carrying a high id in one shard's congruence class but
+        # whose *cell* routes to a different shard — without the cross-shard
+        # fence, the congruent shard would later re-allocate that id.
+        offer_id, earliest = 1_000_001, 8
+        while True:
+            probe = make_offer(offer_id=offer_id, earliest_start=earliest)
+            if shard_of_cell(group_key(probe, engine.parameters), 4) != offer_id % 4:
+                break
+            offer_id += 1
+        engine.apply(OfferAdded(probe.creation_time, probe))
+        # Force the congruent shard to allocate an aggregate id.
+        congruent, earliest = offer_id % 4, 8
+        while True:
+            mate_a = make_offer(offer_id=1, earliest_start=earliest)
+            if shard_of_cell(group_key(mate_a, engine.parameters), 4) == congruent:
+                break
+            earliest += engine.parameters.est_tolerance_slots
+        mate_b = make_offer(offer_id=2, earliest_start=earliest)
+        for offer in (mate_a, mate_b):
+            engine.apply(OfferAdded(offer.creation_time, offer))
+        engine.commit()
+        outputs = engine.aggregated_offers()
+        assert len({o.id for o in outputs}) == len(outputs)
+        (aggregate,) = [o for o in outputs if o.is_aggregate]
+        assert aggregate.id > offer_id
+
+    def test_duplicate_and_unknown_ids_rejected(self):
+        engine = ShardedAggregationEngine(shard_count=4)
+        offer = make_offer(offer_id=5)
+        engine.apply(OfferAdded(offer.creation_time, offer))
+        with pytest.raises(LiveEngineError):
+            engine.apply(OfferAdded(offer.creation_time, offer))
+        with pytest.raises(LiveEngineError):
+            engine.apply(OfferWithdrawn(offer.creation_time, 999))
+        with pytest.raises(LiveEngineError):
+            engine.apply(OfferUpdated(offer.creation_time, make_offer(offer_id=999)))
+
+
+class TestAsyncCommitEngine:
+    def test_worker_commits_and_flush_is_a_barrier(self):
+        engine = AsyncCommitEngine(LiveAggregationEngine(), drain_batch=4)
+        offers = [make_offer(offer_id=i, earliest_start=8 * i) for i in range(1, 9)]
+        for offer in offers:
+            assert engine.apply(OfferAdded(offer.creation_time, offer)) is None
+        engine.flush()
+        assert len(engine) == len(offers)
+        assert not engine.has_pending_changes
+        assert engine.commit_count >= 1
+        assert_batch_equivalent(engine)
+        engine.close()
+
+    def test_callbacks_fire_once_per_logical_commit(self):
+        hub = SubscriptionHub()
+        collector = ChangeCollector()
+        hub.subscribe(collector, name="all")
+        inner = ShardedAggregationEngine(shard_count=4, hub=hub)
+        engine = AsyncCommitEngine(inner, drain_batch=1024)
+        offers = _offers_in_distinct_shards(inner, count=3)
+        for offer in offers:
+            engine.apply(OfferAdded(offer.creation_time, offer))
+        engine.flush()
+        # The worker drains eagerly, so the burst may split into a few logical
+        # commits — but notifications match logical commits one-to-one, never
+        # one per shard.
+        assert hub.published_commits == len(engine.drain_commits()) >= 1
+        assert len(collector.notifications) <= hub.published_commits
+        assert set(collector.offers) == {offer.id for offer in offers}
+        engine.close()
+
+    def test_close_drains_the_queue(self):
+        engine = AsyncCommitEngine(LiveAggregationEngine(), queue_size=2)
+        offers = [make_offer(offer_id=i, earliest_start=8 * i) for i in range(1, 6)]
+        for offer in offers:
+            engine.apply(OfferAdded(offer.creation_time, offer))  # backpressures
+        engine.close()
+        assert len(engine) == len(offers)
+        with pytest.raises(LiveEngineError):
+            engine.apply(OfferWithdrawn(offers[0].creation_time, offers[0].id))
+
+    def test_worker_error_poisons_the_engine(self):
+        engine = AsyncCommitEngine(LiveAggregationEngine())
+        offer = make_offer(offer_id=1)
+        engine.apply(OfferAdded(offer.creation_time, offer))
+        engine.apply(OfferAdded(offer.creation_time, offer))  # duplicate: worker fails
+        with pytest.raises(LiveEngineError):
+            engine.flush()
+        with pytest.raises(LiveEngineError):
+            engine.flush()  # stays poisoned
+
+    def test_micro_batching_inner_rejected(self):
+        with pytest.raises(LiveEngineError):
+            AsyncCommitEngine(LiveAggregationEngine(micro_batch_size=8))
+
+    def test_replay_mirrors_an_explicit_warehouse(self):
+        """A warehouse passed alongside a bare async engine is kept in sync."""
+        from repro.aggregation.parameters import AggregationParameters
+        from repro.live.replay import replay, scenario_event_stream
+        from repro.live.warehouse import LiveWarehouse
+        from repro.warehouse.loader import load_scenario
+
+        scenario = generate_scenario(ScenarioConfig(prosumer_count=15, seed=9))
+        engine = AsyncCommitEngine(ShardedAggregationEngine(), drain_batch=16)
+        warehouse = LiveWarehouse(
+            load_scenario(scenario.replace_offers([])),
+            scenario.grid,
+            AggregationParameters(),
+        )
+        log = scenario_event_stream(scenario, withdraw_fraction=0.2, seed=2)
+        report = replay(log, engine, warehouse=warehouse)
+        assert report.commit_count >= 1
+        assert warehouse.offer_count() == len(engine.offers())
+        aggregates = [o for o in engine.aggregated_offers() if o.is_aggregate]
+        assert warehouse.aggregate_count() == len(aggregates)
+        engine.close()
+
+
+def test_session_close_releases_engine_workers():
+    """Closing the session stops the async worker; the context form does too."""
+    scenario = generate_scenario(ScenarioConfig(prosumer_count=10, seed=3))
+    with FlexSession(scenario, engine="async") as session:
+        assert session.offers().count() > 0
+        inner = session.engine.engine
+    assert inner.closed
+    with pytest.raises(LiveEngineError):
+        inner.apply(OfferWithdrawn(scenario.flex_offers[0].creation_time, 1))
+
+
+def _capital_pairs(parameters, shard_count, cells=3):
+    """Pairs of Capital offers in ``cells`` distinct cells on distinct shards.
+
+    Two cellmates per cell keep every cell's aggregate pure Capital, so a
+    ``region="Capital"`` spec stays interested in all of them.
+    """
+    from repro.aggregation.grouping import group_key
+
+    offers, seen, offer_id, earliest = [], set(), 101, 8
+    while len(seen) < cells:
+        probe = make_offer(offer_id=offer_id, earliest_start=earliest)
+        shard = shard_of_cell(group_key(probe, parameters), shard_count)
+        if shard not in seen:
+            seen.add(shard)
+            offers.append(probe)
+            offers.append(make_offer(offer_id=offer_id + 1, earliest_start=earliest + 1))
+        offer_id += 2
+        earliest += parameters.est_tolerance_slots
+    return offers
+
+
+class TestSessionDelivery:
+    """Spec-filtered subscriptions through the sharded/async session backends."""
+
+    def _session(self, engine):
+        from repro.aggregation.parameters import AggregationParameters
+
+        scenario = generate_scenario(ScenarioConfig(prosumer_count=5, seed=3))
+        offers = _capital_pairs(AggregationParameters(), shard_count=8)
+        return FlexSession(scenario.replace_offers(offers), engine=engine), offers
+
+    def test_sharded_commit_touching_many_shards_notifies_once(self):
+        from dataclasses import replace
+
+        session, offers = self._session("sharded")
+        collector = ChangeCollector()
+        session.subscribe(session.offers().where(region="Capital").spec, collector)
+        # Revise one offer in every cell: three shards turn dirty at once.
+        for offer in offers[::2]:
+            session.ingest(OfferUpdated(offer.creation_time, replace(offer, price_per_kwh=9.0)))
+        result = session.commit()
+        # One logical commit merged from three shard commits → ONE callback
+        # carrying the merged dirty-cell set, not one callback per shard.
+        assert result.committed_shards == 3
+        assert len(collector.notifications) == 1
+        notification = collector.notifications[0]
+        assert notification.commit is result
+        assert len(notification.commit.dirty_cells) == 3
+        changed_aggregates = [offer for offer in notification.changed if offer.is_aggregate]
+        assert len(changed_aggregates) == 3
+        assert all(offer.region == "Capital" for offer in changed_aggregates)
+
+    @pytest.mark.parametrize("engine", ("sharded", "async"))
+    def test_withdrawals_emptying_shards_deliver_removals(self, engine):
+        session, offers = self._session(engine)
+        backend = session.engine
+        collector = ChangeCollector()
+        session.subscribe(session.offers().where(region="Capital").spec, collector)
+        # Prime the mirror: a price revision hands the subscriber every aggregate.
+        from dataclasses import replace
+
+        for offer in offers[::2]:
+            session.ingest(OfferUpdated(offer.creation_time, replace(offer, price_per_kwh=9.0)))
+        session.commit()
+        assert len(collector.offers) == 3
+        published_before = backend.hub.published_commits
+        # Withdraw everything: every cell (and its whole shard) empties.
+        for offer in offers:
+            session.ingest(OfferWithdrawn(offer.creation_time, offer.id))
+        session.commit()
+        backend.refresh()
+        published = backend.hub.published_commits - published_before
+        # Logical commits, not per-shard ones: the synchronous sharded backend
+        # publishes exactly one; the async worker may split the burst, but
+        # callbacks still match logical commits one-to-one.
+        if engine == "sharded":
+            assert published == 1
+            assert len(collector.notifications) == 2
+        assert 1 <= published <= len(offers)
+        # Every mirrored aggregate was delivered back as a removal.
+        assert collector.offers == {}
+        assert backend.engine.aggregated_offers() == []
+        assert session.query(QuerySpec.build(region="Capital")).offers == []
