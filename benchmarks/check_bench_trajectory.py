@@ -1,8 +1,11 @@
 """Gate the live-engine perf trajectory on *relative* benchmark ratios.
 
 CI runs ``python -m benchmarks.bench_live_engine --quick --engine all --json
-BENCH_live.json`` and then this checker against the committed baseline
-(``benchmarks/BENCH_live_baseline.json``).  Wall-clock milliseconds are
+BENCH_live.json`` (and, since the durability subsystem,
+``python -m benchmarks.bench_recovery --quick --json BENCH_recovery.json``)
+and then this checker against the committed baselines
+(``benchmarks/BENCH_live_baseline.json`` /
+``benchmarks/BENCH_recovery_baseline.json``).  Wall-clock milliseconds are
 meaningless across runner generations, so they are printed but never gate;
 what gates are machine-independent *ratios*:
 
@@ -23,13 +26,20 @@ what gates are machine-independent *ratios*:
   would flake on noisy shared runners; the absolute comparison is printed
   for the artifact reader (``PARITY_SLACK`` marks when it merely warns).
 
+* the recovery ratios (when the optional third/fourth arguments name the
+  recovery summaries): snapshot+tail restore speedup over cold replay, and
+  warehouse delete-throughput scaling across table sizes — both gated
+  relative to their committed baseline with the same ``TOLERANCE``.
+
 Exit code 0 = trajectory healthy, 1 = regression, 2 = malformed input.
 
-Refreshing the baseline after an *intentional* change: run the quick sweep
-locally and commit the JSON it writes::
+Refreshing the baselines after an *intentional* change: run the quick sweeps
+locally and commit the JSON they write::
 
     python -m benchmarks.bench_live_engine --quick --engine all \
         --json benchmarks/BENCH_live_baseline.json
+    python -m benchmarks.bench_recovery --quick \
+        --json benchmarks/BENCH_recovery_baseline.json
 """
 
 from __future__ import annotations
@@ -119,11 +129,45 @@ def check(current: dict, baseline: dict) -> list[str]:
     return failures
 
 
+def check_recovery(current: dict, baseline: dict) -> list[str]:
+    """Gate the durability ratios (restore speedup, delete scaling)."""
+    failures: list[str] = []
+    floor = 1.0 - TOLERANCE
+    now = float(current["recovery"]["speedup"])
+    then = float(baseline["recovery"]["speedup"])
+    print(
+        f"  restore vs cold replay  : {now:6.1f}x (baseline {then:.1f}x, "
+        f"floor {then * floor:.1f}x)"
+    )
+    if now < then * floor:
+        failures.append(
+            f"recovery: snapshot+tail restore speedup regressed >{TOLERANCE:.0%} "
+            f"({now:.1f}x vs baseline {then:.1f}x)"
+        )
+    now_s = float(current["deletes"]["scaling"])
+    then_s = float(baseline["deletes"]["scaling"])
+    print(
+        f"  delete scaling 4x table : {now_s:6.2f} (baseline {then_s:.2f}, "
+        f"floor {then_s * floor:.2f})"
+    )
+    if now_s < then_s * floor:
+        failures.append(
+            f"recovery: delete throughput degrades with table size again "
+            f"(scaling {now_s:.2f} vs baseline {then_s:.2f})"
+        )
+    print(
+        f"  restore wall            : {current['recovery']['restore_ms']:8.1f} ms vs "
+        f"cold {current['recovery']['cold_replay_ms']:.1f} ms (informational)"
+    )
+    return failures
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    if len(argv) != 2:
+    if len(argv) not in (2, 4):
         print(
-            "usage: python -m benchmarks.check_bench_trajectory CURRENT.json BASELINE.json",
+            "usage: python -m benchmarks.check_bench_trajectory CURRENT.json BASELINE.json "
+            "[RECOVERY_CURRENT.json RECOVERY_BASELINE.json]",
             file=sys.stderr,
         )
         return 2
@@ -134,6 +178,13 @@ def main(argv=None) -> int:
             baseline = json.load(handle)
         print(f"[bench trajectory] current={argv[0]} baseline={argv[1]}")
         failures = check(current, baseline)
+        if len(argv) == 4:
+            with open(argv[2], encoding="utf-8") as handle:
+                recovery_current = json.load(handle)
+            with open(argv[3], encoding="utf-8") as handle:
+                recovery_baseline = json.load(handle)
+            print(f"[recovery trajectory] current={argv[2]} baseline={argv[3]}")
+            failures.extend(check_recovery(recovery_current, recovery_baseline))
     except (OSError, KeyError, ValueError, ZeroDivisionError) as exc:
         print(f"malformed benchmark summary: {exc!r}", file=sys.stderr)
         return 2

@@ -15,6 +15,12 @@ unified facade over scenario, warehouse, engines and views:
   print the result frame; ``--smoke`` checks batch≡live interchangeability.
 * ``flexviz live`` — replay a scenario as a timestamped offer-event stream
   through the incremental aggregation engine and report commit latencies.
+* ``flexviz checkpoint`` — stream a scenario into the segmented event log,
+  checkpoint mid-stream (snapshot + warehouse + log offset), optionally
+  compact the closed segments.
+* ``flexviz restore`` — rebuild a session from a checkpoint plus its log
+  tail; ``--smoke`` proves the recovery contract (restore ≡ batch rebuild ≡
+  cold replay) and exits non-zero on divergence.
 """
 
 from __future__ import annotations
@@ -108,6 +114,58 @@ def _build_parser() -> argparse.ArgumentParser:
         "--with-warehouse",
         action="store_true",
         help="deprecated: the session's live engine always maintains its warehouse",
+    )
+
+    checkpoint = subparsers.add_parser(
+        "checkpoint",
+        help="stream a scenario, persist the event log and write a mid-stream checkpoint",
+    )
+    checkpoint.add_argument("--out", default="checkpoint", help="durability directory")
+    checkpoint.add_argument(
+        "--engine",
+        choices=("live", "sharded", "async"),
+        default="live",
+        help="which incremental engine consumes the stream",
+    )
+    checkpoint.add_argument(
+        "--tail",
+        type=float,
+        default=0.1,
+        help="fraction of the stream left beyond the checkpoint (default 0.1)",
+    )
+    checkpoint.add_argument(
+        "--update", type=float, default=0.1, help="fraction of offers revised mid-stream"
+    )
+    checkpoint.add_argument(
+        "--withdraw", type=float, default=0.05, help="fraction of offers withdrawn"
+    )
+    checkpoint.add_argument(
+        "--batch-size", type=int, default=64, help="micro-batch size (events per commit)"
+    )
+    checkpoint.add_argument(
+        "--segment-size", type=int, default=512, help="events per log segment file"
+    )
+    checkpoint.add_argument(
+        "--compact",
+        action="store_true",
+        help="compact the closed log segments after checkpointing",
+    )
+
+    restore = subparsers.add_parser(
+        "restore", help="rebuild a session from a checkpoint directory plus its log tail"
+    )
+    restore.add_argument("--from", dest="source", default="checkpoint", help="durability directory")
+    restore.add_argument(
+        "--engine",
+        choices=("live", "sharded", "async"),
+        default=None,
+        help="rebuild with this engine (default: the one that wrote the checkpoint)",
+    )
+    restore.add_argument(
+        "--smoke",
+        action="store_true",
+        help="prove the recovery contract (restore ≡ batch rebuild ≡ cold replay) "
+        "and exit non-zero on divergence",
     )
     return parser
 
@@ -280,6 +338,110 @@ def _command_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_checkpoint(args: argparse.Namespace) -> int:
+    from repro.live.replay import scenario_event_stream
+    from repro.store import RecoveryManager
+
+    if not 0.0 <= args.tail < 1.0:
+        print("error: --tail must be in [0, 1)", file=sys.stderr)
+        return 2
+    manager = RecoveryManager(args.out, segment_size=args.segment_size)
+    if manager.snapshots.exists() or manager.log.segments():
+        # Appending a second stream to an old log while the offset counter
+        # restarts would leave an unrestorable directory; refuse instead.
+        print(
+            f"error: {args.out}/ already holds a checkpoint or event log; "
+            "pick a fresh --out directory",
+            file=sys.stderr,
+        )
+        return 2
+    session = _make_session(
+        args, engine=args.engine, micro_batch_size=args.batch_size, live_preload=False
+    )
+    log = scenario_event_stream(
+        session.scenario,
+        update_fraction=args.update,
+        withdraw_fraction=args.withdraw,
+        seed=args.seed,
+    )
+    ordered = log.replay_order()
+    cut = len(ordered) - int(len(ordered) * args.tail)
+    manager.record(ordered)
+    session.replay(ordered[:cut])
+    checkpoint = manager.checkpoint(session)
+    segments = len(manager.log.segments())
+    print(f"event log             : {len(ordered)} events in {segments} segments")
+    print(f"checkpoint offset     : {checkpoint.log_offset} (tail of {len(ordered) - cut} events)")
+    print(
+        f"snapshot              : {checkpoint.manifest['offer_count']} offers + "
+        f"{checkpoint.manifest['aggregate_count']} aggregates ({args.engine} engine)"
+    )
+    if args.compact:
+        dropped = manager.compact()
+        print(f"compaction            : dropped {dropped} dead events from closed segments")
+    print(f"wrote checkpoint to {args.out}/")
+    session.close()
+    return 0
+
+
+def _command_restore(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.errors import ReproError
+    from repro.live.engine import canonical_form
+    from repro.store import RecoveryManager
+
+    manager = RecoveryManager(args.source)
+    try:
+        session = manager.restore(engine=args.engine)
+    except ReproError as exc:
+        # Not just StoreError: a corrupt or mismatched log surfaces as e.g. a
+        # LiveEngineError from the tail replay, and deserves the same exit.
+        print(f"restore failed: {exc}", file=sys.stderr)
+        return 1
+    report = manager.last_restore
+    print(report.describe())
+    if not args.smoke:
+        session.close()
+        return 0
+    # The recovery contract, end to end: the restored engine must equal the
+    # batch pipeline over the surviving offers AND a cold replay from seq 0.
+    try:
+        manager.verify(session)
+    except ReproError as exc:
+        print(f"restore smoke FAILED: {exc}", file=sys.stderr)
+        session.close()
+        return 1
+    # Cold replay over the *checkpoint's* scenario and aggregation parameters
+    # (the restored session carries both), not whatever --prosumers/--seed
+    # happen to be — a different grouping grid would falsely fail the smoke.
+    cold = FlexSession(
+        session.scenario,
+        engine=session.engine_name,
+        parameters=session.parameters,
+        live_preload=False,
+    )
+    cold.replay(list(manager.log.events()))
+    cold.engine.refresh()
+    session.engine.refresh()
+    restored_state = Counter(
+        canonical_form(o) for o in session.engine.engine.aggregated_offers()
+    )
+    cold_state = Counter(canonical_form(o) for o in cold.engine.engine.aggregated_offers())
+    ok = restored_state == cold_state
+    print(
+        f"{'ok ' if ok else 'FAIL'} restore ≡ cold replay "
+        f"({sum(restored_state.values())} outputs vs {sum(cold_state.values())})"
+    )
+    cold.close()
+    session.close()
+    if not ok:
+        print("restore smoke FAILED: snapshot+tail diverges from cold replay", file=sys.stderr)
+        return 1
+    print("restore smoke OK: snapshot + log tail ≡ full replay ≡ batch rebuild")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -292,6 +454,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "mdx": _command_mdx,
         "session": _command_session,
         "live": _command_live,
+        "checkpoint": _command_checkpoint,
+        "restore": _command_restore,
     }
     return commands[args.command](args)
 

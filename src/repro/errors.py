@@ -97,3 +97,12 @@ class LiveEngineError(ReproError):
     state-change event that is infeasible for the current offer (assigning
     without a schedule).
     """
+
+
+class StoreError(ReproError):
+    """Raised by the durability subsystem (:mod:`repro.store`).
+
+    Examples: loading a checkpoint written by an unknown format version, a
+    snapshot whose recorded aggregates disagree with its offer population, or
+    a restored engine whose state fails the recovery equivalence check.
+    """

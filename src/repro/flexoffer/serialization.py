@@ -25,7 +25,10 @@ def _format_time(value: datetime) -> str:
 
 
 def _parse_time(value: str) -> datetime:
-    return datetime.strptime(value, _TIME_FORMAT)
+    # The stored format is a strict ISO prefix, so the C-level fromisoformat
+    # applies (~10x faster than strptime — offer parsing is the hot path of
+    # snapshot restores and event-log replays).
+    return datetime.fromisoformat(value)
 
 
 def flex_offer_to_dict(offer: FlexOffer) -> dict[str, Any]:

@@ -34,9 +34,12 @@ from repro.live.events import (
     OfferStateChanged,
     OfferUpdated,
     OfferWithdrawn,
+    append_jsonl,
     apply_transition,
     event_from_dict,
     event_to_dict,
+    read_jsonl,
+    write_jsonl,
 )
 from repro.live.replay import ReplayReport, replay, scenario_event_stream
 from repro.live.sharded import (
@@ -69,9 +72,12 @@ __all__ = [
     "OfferStateChanged",
     "OfferUpdated",
     "OfferWithdrawn",
+    "append_jsonl",
     "apply_transition",
     "event_from_dict",
     "event_to_dict",
+    "read_jsonl",
+    "write_jsonl",
     "ReplayReport",
     "replay",
     "scenario_event_stream",

@@ -14,8 +14,10 @@ helpers), so an :class:`EventLog` can be persisted and replayed losslessly.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from datetime import datetime
+from pathlib import Path
 from typing import Any, Iterable, Iterator
 
 from dataclasses import replace as _replace
@@ -224,9 +226,71 @@ class EventLog:
     # ------------------------------------------------------------------
     def to_dicts(self) -> list[dict[str, Any]]:
         """The whole log as JSON-serializable dictionaries (in arrival order)."""
-        return [event_to_dict(event) for event in self._events]
+        return list(self.iter_dicts())
+
+    def iter_dicts(self) -> Iterator[dict[str, Any]]:
+        """Stream the log as JSON-serializable dictionaries (arrival order).
+
+        Unlike :meth:`to_dicts` nothing is materialized, so a large log can be
+        written out line by line (see :meth:`to_jsonl`).
+        """
+        for event in self._events:
+            yield event_to_dict(event)
 
     @classmethod
     def from_dicts(cls, payloads: Iterable[dict[str, Any]]) -> "EventLog":
         """Rebuild a log from :meth:`to_dicts` output."""
+        return cls.from_iter(payloads)
+
+    @classmethod
+    def from_iter(cls, payloads: Iterable[dict[str, Any]]) -> "EventLog":
+        """Rebuild a log from a (possibly lazy) stream of event dictionaries."""
         return cls(event_from_dict(payload) for payload in payloads)
+
+    def to_jsonl(self, path: str | Path) -> int:
+        """Write the log as JSON Lines; returns the number of events written."""
+        return write_jsonl(path, self.iter_dicts())
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "EventLog":
+        """Rebuild a log from a :meth:`to_jsonl` file without materializing it twice."""
+        return cls.from_iter(read_jsonl(path))
+
+
+def _dump_jsonl(path: str | Path, payloads: Iterable[dict[str, Any]], mode: str) -> int:
+    count = 0
+    with open(path, mode, encoding="utf-8") as handle:
+        for payload in payloads:
+            handle.write(json.dumps(payload, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def write_jsonl(path: str | Path, payloads: Iterable[dict[str, Any]]) -> int:
+    """Write one JSON document per line; returns the line count.
+
+    Shared by :meth:`EventLog.to_jsonl` and the segment store of
+    :mod:`repro.store` — the payloads stream through, so writing a large log
+    never holds it in memory.
+    """
+    return _dump_jsonl(path, payloads, "w")
+
+
+def append_jsonl(path: str | Path, payloads: Iterable[dict[str, Any]]) -> int:
+    """Append one JSON document per line; returns the appended line count."""
+    return _dump_jsonl(path, payloads, "a")
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Stream the JSON documents of a JSON-Lines file, one per line."""
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError as exc:
+                raise LiveEngineError(f"malformed JSONL line in {path}: {exc}") from exc
+            yield payload

@@ -19,6 +19,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.datagen.scenarios import Scenario
+from repro.errors import LiveEngineError
 from repro.flexoffer.model import FlexOffer, FlexOfferState, ProfileSlice
 from repro.live.engine import CommitResult, LiveAggregationEngine
 from repro.live.events import (
@@ -112,6 +113,8 @@ class ReplayReport:
     total_seconds: float = 0.0
     final_offers: int = 0
     final_outputs: int = 0
+    #: Events skipped at the head of the stream (resume-from-checkpoint).
+    resumed_from: int = 0
 
     @property
     def commit_count(self) -> int:
@@ -160,6 +163,7 @@ def replay(
     events: EventLog | Iterable[OfferEvent],
     engine,
     warehouse: LiveWarehouse | None = None,
+    resume_from: int = 0,
 ) -> ReplayReport:
     """Drive ``engine`` (and optionally ``warehouse``) through an event stream.
 
@@ -177,6 +181,12 @@ def replay(
     is mirrored on the calling thread instead (events during the loop,
     aggregate changes after the flush barrier).  Async commits are gathered
     from the worker's log once the barrier returns.
+
+    ``resume_from`` skips that many events at the head of the (ordered)
+    stream — the resume-from-checkpoint entry point: an engine restored from
+    a snapshot taken after ``n`` consumed events continues with
+    ``replay(stream, engine, resume_from=n)`` instead of re-consuming the
+    whole stream from sequence 0.
     """
     if hasattr(engine, "use_engine"):
         # A FlexSession: replay through its active live-family engine (or the
@@ -193,7 +203,11 @@ def replay(
         backend = backend.engine
     engine = backend
     ordered = events.replay_order() if isinstance(events, EventLog) else list(events)
-    report = ReplayReport(events=len(ordered))
+    if resume_from:
+        if resume_from < 0:
+            raise LiveEngineError("resume_from must be >= 0")
+        ordered = ordered[resume_from:]
+    report = ReplayReport(events=len(ordered), resumed_from=resume_from)
     started = time.perf_counter()
     if hasattr(engine, "flush"):
         # Async-commit engine: the worker applies and commits; the flush

@@ -401,9 +401,19 @@ class ShardedAggregationEngine:
         """Provenance of one committed aggregate (empty when unknown).
 
         Engine-allocated ids are congruent to their shard index, so the lookup
-        is a single-shard dict hit.
+        is a single-shard dict hit.  Ids outside their shard's congruence
+        class — possible after restoring a checkpoint another engine family
+        wrote (see :mod:`repro.store.state`) — fall back to probing every
+        shard.
         """
-        return self._shards[aggregate_id % self.shard_count].constituents_of(aggregate_id)
+        hit = self._shards[aggregate_id % self.shard_count].constituents_of(aggregate_id)
+        if hit:
+            return hit
+        for shard in self._shards:
+            hit = shard.constituents_of(aggregate_id)
+            if hit:
+                return hit
+        return []
 
     def result(self) -> AggregationResult:
         """The committed state as a batch-compatible :class:`AggregationResult`."""

@@ -49,8 +49,8 @@ class LiveWarehouse:
         self.repository = FlexOfferRepository(schema, grid)
         self._geo_ids = geography_ids(schema)
         schema.table("fact_flexoffer_slice").create_index("offer_id")
-        self._known_energy_types = set(schema.table("dim_energy_type").column("energy_type"))
-        self._known_appliance_types = set(schema.table("dim_appliance").column("appliance_type"))
+        self._known_energy_types = set(schema.table("dim_energy_type").values("energy_type"))
+        self._known_appliance_types = set(schema.table("dim_appliance").values("appliance_type"))
         self._assign_group_cells()
 
     def _group_cell(self, offer: FlexOffer) -> str:
@@ -71,7 +71,7 @@ class LiveWarehouse:
         flexibility = fact.column("time_flexibility_slots")
         direction = fact.column("direction")
         is_aggregate = fact.column("is_aggregate")
-        for position in range(len(fact)):
+        for position in fact.live_positions():
             if cells[position] or is_aggregate[position]:
                 continue
             fact.set_value(

@@ -152,6 +152,9 @@ class LiveEngine:
         self.parameters = parameters or AggregationParameters()
         self.micro_batch_size = micro_batch_size
         self.hub = SubscriptionHub()
+        #: Events this backend consumed since construction/reset — the
+        #: event-log offset checkpoints record (see :mod:`repro.store`).
+        self._events_ingested = 0
         # The warehouse first: engine builders (the async worker's mirroring
         # hooks) may need it.
         self.warehouse = LiveWarehouse(
@@ -186,10 +189,26 @@ class LiveEngine:
     # ------------------------------------------------------------------
     # Event write path (engine first — it is the stricter validator)
     # ------------------------------------------------------------------
+    @property
+    def events_ingested(self) -> int:
+        """Events consumed since construction (or the last :meth:`reset`)."""
+        return self._events_ingested
+
+    def note_ingested(self, count: int) -> None:
+        """Advance the ingested-event counter for events applied out of band.
+
+        :func:`repro.live.replay.replay` feeds the inner engine directly for
+        its commit-cadence bookkeeping; callers that route streams through it
+        (the session facade, the recovery manager) report the consumed count
+        here so checkpoints record the right log offset.
+        """
+        self._events_ingested += count
+
     def ingest(self, event: OfferEvent) -> CommitResult | None:
         """Apply one event to the engine and mirror it into the warehouse."""
         result = self.engine.apply(event)
         self.warehouse.apply(event)
+        self._events_ingested += 1
         if result is not None:
             self.warehouse.apply_commit(result)
         return result
@@ -225,6 +244,7 @@ class LiveEngine:
             load_scenario(self.scenario.replace_offers([])), self.grid, self.parameters
         )
         self.engine = self._build_engine()
+        self._events_ingested = 0
 
     def close(self) -> None:
         """Release engine-owned resources (worker threads, commit pools)."""
@@ -357,7 +377,9 @@ class AsyncEngine(LiveEngine):
 
     def ingest(self, event: OfferEvent) -> CommitResult | None:
         """Enqueue one event; the worker applies, mirrors and commits it."""
-        return self.engine.apply(event)
+        result = self.engine.apply(event)
+        self._events_ingested += 1
+        return result
 
     def commit(self) -> CommitResult:
         """Barrier commit: drain the queue and return the newest logical commit."""

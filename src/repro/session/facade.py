@@ -265,6 +265,7 @@ class FlexSession:
         seed: int = 0,
         reset: bool | None = None,
         engine: str | None = None,
+        resume_from: int = 0,
     ) -> ReplayReport:
         """Replay an event stream through a live-family engine (and its warehouse).
 
@@ -281,7 +282,10 @@ class FlexSession:
         the replaying backend (``"live"``/``"sharded"``/``"async"``); the
         default keeps the active engine when it is a live-family one and
         falls back to ``"live"`` otherwise.  The chosen engine is created if
-        needed and becomes the active engine.
+        needed and becomes the active engine.  ``resume_from`` skips that many
+        events at the head of the ordered stream — the continuation entry
+        point for engines restored from a checkpoint (see
+        :meth:`FlexSession.restore`).
         """
         if engine is None:
             engine = self._active if isinstance(self.engine, LiveEngine) else "live"
@@ -298,7 +302,50 @@ class FlexSession:
                 withdraw_fraction=withdraw_fraction,
                 seed=seed,
             )
-        return replay(events, backend)
+        report = replay(events, backend, resume_from=resume_from)
+        # The replay loop feeds the inner engine directly; keep the backend's
+        # event-offset counter (what checkpoints record) in step.
+        backend.note_ingested(report.events)
+        return report
+
+    # ------------------------------------------------------------------
+    # Durability (the repro.store subsystem)
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str, offset: int | None = None):
+        """Write a checkpoint of the active live-family engine to ``path``.
+
+        Serializes the committed engine state (grouping grid + aggregate-id
+        allocator), the live warehouse's star schema and the event-log offset
+        (``offset`` or the backend's own ingested-event counter) into a
+        versioned checkpoint directory.  Returns the loaded-back
+        :class:`~repro.store.snapshot.Checkpoint`.
+        """
+        from repro.store.recovery import RecoveryManager
+
+        return RecoveryManager(path).checkpoint(self, offset=offset)
+
+    @classmethod
+    def restore(
+        cls,
+        path: str,
+        engine: str | None = None,
+        scenario: "Scenario | None" = None,
+        **session_options: Any,
+    ) -> "FlexSession":
+        """Rebuild a session from a checkpoint directory plus its log tail.
+
+        ``engine`` picks any live-family backend (default: the family that
+        wrote the checkpoint); events recorded past the checkpoint's offset
+        are replayed through it, so the restored session is observably
+        equivalent to one that consumed the whole stream (the recovery
+        contract, enforced by ``tests/test_store_recovery.py`` and
+        ``flexviz restore --smoke``).
+        """
+        from repro.store.recovery import RecoveryManager
+
+        return RecoveryManager(path).restore(
+            engine=engine, scenario=scenario, **session_options
+        )
 
     # ------------------------------------------------------------------
     # Shared read-side conveniences

@@ -1,0 +1,274 @@
+"""Segmented event-log persistence with compaction.
+
+The in-memory :class:`~repro.live.events.EventLog` holds the whole stream;
+for a long-running service the log must live on disk and must not grow
+forever.  :class:`SegmentStore` persists events as JSON-Lines *segments*
+(``events-00000000.jsonl``, ``events-00000512.jsonl``, ...; file named by the
+first sequence number it was opened for) of at most ``segment_size`` records
+each.  Every record carries its global sequence number, so a checkpoint can
+say "I contain everything before sequence N" and a restore replays exactly
+the tail ``[N, ...)``.
+
+:meth:`SegmentStore.compact` rewrites the *closed* segments (every file but
+the newest) keeping only the events that still matter: events of surviving
+offers, events at or past the protected ``before`` offset (the latest
+checkpoint's), and events of any offer the unprotected suffix still mentions.
+Sequence numbers are preserved, so tails remain addressable after any number
+of compactions, and a cold replay of the compacted log ends in the same state
+as a cold replay of the full one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.errors import StoreError
+from repro.live.events import (
+    OfferEvent,
+    append_jsonl,
+    event_from_dict,
+    event_to_dict,
+    read_jsonl,
+    write_jsonl,
+)
+
+_SEGMENT_PREFIX = "events-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+
+def _subject_of(event_payload: dict[str, Any]) -> int:
+    """The subject offer id of one serialized event (no object rebuild)."""
+    if "offer_id" in event_payload:
+        return int(event_payload["offer_id"])
+    try:
+        return int(event_payload["offer"]["id"])
+    except (KeyError, TypeError) as exc:
+        raise StoreError(f"malformed event record: {event_payload!r}") from exc
+
+
+class SegmentStore:
+    """An on-disk, sequence-numbered offer-event log split into segments.
+
+    Events are appended in the order the engine consumes them, so the
+    sequence number doubles as the replay offset: a checkpoint taken after
+    the engine ingested ``n`` events records ``log_offset=n`` and a restore
+    replays :meth:`tail`\\ ``(n)``.
+    """
+
+    def __init__(self, directory: str | Path, segment_size: int = 512) -> None:
+        if segment_size < 1:
+            raise StoreError("segment_size must be >= 1")
+        self.directory = Path(directory)
+        self.segment_size = segment_size
+        self._active: Path | None = None
+        self._active_count = 0
+        self._next_sequence = 0
+        segments = self.segments()
+        if segments:
+            self._active = segments[-1]
+            self._repair_torn_tail(self._active)
+            last_sequence = -1
+            for sequence, _ in self._records(self._active):
+                last_sequence = max(last_sequence, sequence)
+                self._active_count += 1
+            if last_sequence < 0:
+                # An empty active segment resumes at the sequence in its name.
+                last_sequence = self._first_sequence(self._active) - 1
+            self._next_sequence = last_sequence + 1
+
+    def _repair_torn_tail(self, path: Path) -> None:
+        """Drop a partially written final line left by a crash mid-append.
+
+        Only the *final* line of the *active* segment can legitimately be
+        torn (appends go nowhere else; compaction renames atomically), and
+        the torn event was never acknowledged, so truncating it — atomically,
+        keeping every complete line — lets the log reopen and reissue its
+        sequence number.  A malformed line anywhere else is real corruption
+        and still raises on read.
+        """
+        raw = path.read_text(encoding="utf-8")
+        lines = [line for line in raw.split("\n") if line.strip()]
+        if not lines:
+            return
+        try:
+            json.loads(lines[-1])
+        except ValueError:
+            staged = path.with_suffix(".jsonl.tmp")
+            staged.write_text(
+                "".join(line + "\n" for line in lines[:-1]), encoding="utf-8"
+            )
+            os.replace(staged, path)
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def segments(self) -> list[Path]:
+        """The segment files, oldest first (the last one is the active one).
+
+        Ordered by the sequence number in the file name, not lexically —
+        zero padding runs out past 8 digits, the log must not.
+        """
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            (
+                path
+                for path in self.directory.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}")
+                if path.is_file()
+            ),
+            key=self._first_sequence,
+        )
+
+    @staticmethod
+    def _first_sequence(path: Path) -> int:
+        text = path.name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+        try:
+            return int(text)
+        except ValueError as exc:
+            raise StoreError(f"malformed segment file name {path.name!r}") from exc
+
+    @staticmethod
+    def _records(path: Path) -> Iterator[tuple[int, dict[str, Any]]]:
+        for payload in read_jsonl(path):
+            try:
+                yield int(payload["seq"]), payload["event"]
+            except (KeyError, TypeError) as exc:
+                raise StoreError(f"malformed segment record in {path}: {exc}") from exc
+
+    @property
+    def next_sequence(self) -> int:
+        """The sequence number the next appended event will receive."""
+        return self._next_sequence
+
+    @property
+    def stored_events(self) -> int:
+        """Records currently on disk (compaction makes this < next_sequence)."""
+        return sum(1 for _ in self.records())
+
+    def records(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Every stored ``(sequence, event payload)`` pair, oldest first."""
+        for path in self.segments():
+            yield from self._records(path)
+
+    # ------------------------------------------------------------------
+    # Append path
+    # ------------------------------------------------------------------
+    def append(self, event: OfferEvent) -> int:
+        """Persist one event; returns its sequence number."""
+        sequence = self._next_sequence
+        self.extend([event])
+        return sequence
+
+    def extend(self, events: Iterable[OfferEvent]) -> int:
+        """Persist many events (one file open per touched segment); returns the count."""
+        # Created on first write, so pure read paths (a restore from a
+        # mistyped directory, an existence probe) never leave dirs behind.
+        self.directory.mkdir(parents=True, exist_ok=True)
+        appended = 0
+        batch: list[dict[str, Any]] = []
+        for event in events:
+            if self._active is None or self._active_count >= self.segment_size:
+                if batch:
+                    append_jsonl(self._active, batch)
+                    batch = []
+                self._active = self.directory / (
+                    f"{_SEGMENT_PREFIX}{self._next_sequence:08d}{_SEGMENT_SUFFIX}"
+                )
+                self._active_count = 0
+            batch.append({"seq": self._next_sequence, "event": event_to_dict(event)})
+            self._next_sequence += 1
+            self._active_count += 1
+            appended += 1
+        if batch:
+            append_jsonl(self._active, batch)
+        return appended
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def tail(self, from_sequence: int = 0) -> Iterator[OfferEvent]:
+        """Stream the stored events with sequence >= ``from_sequence``.
+
+        Segments wholly before the cut are skipped without being read — the
+        point of segmenting: a restore touches only the tail's files.
+        """
+        paths = self.segments()
+        for position, path in enumerate(paths):
+            following = position + 1
+            if following < len(paths) and self._first_sequence(paths[following]) <= from_sequence:
+                continue
+            for sequence, payload in self._records(path):
+                if sequence >= from_sequence:
+                    yield event_from_dict(payload)
+
+    def events(self) -> Iterator[OfferEvent]:
+        """Stream every stored event, oldest first."""
+        return self.tail(0)
+
+    def surviving_subjects(self) -> set[int]:
+        """Offer ids alive at the end of the stored log.
+
+        Adds and updates make a subject alive, withdrawals kill it; state
+        changes leave liveness untouched.  Computed from the serialized
+        records directly — no offers are rebuilt.
+        """
+        alive: set[int] = set()
+        for _, payload in self.records():
+            subject = _subject_of(payload)
+            if payload.get("type") == "withdrawn":
+                alive.discard(subject)
+            elif payload.get("type") in ("added", "updated"):
+                alive.add(subject)
+        return alive
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self, surviving_ids: Iterable[int], before: int | None = None) -> int:
+        """Rewrite closed segments dropping events that no longer matter.
+
+        A record is dropped when its sequence precedes ``before`` (default:
+        everything) *and* its subject is neither in ``surviving_ids`` nor
+        mentioned at/after ``before`` nor in the active segment.  The two
+        extra keep-rules make the result self-consistent: a cold replay never
+        sees an event whose offer's earlier lifecycle was dropped, and a
+        restore-plus-tail never loses an event past its checkpoint.  Returns
+        the number of dropped records; closed segments that end up empty are
+        deleted.
+        """
+        segment_paths = self.segments()
+        if len(segment_paths) <= 1:
+            return 0
+        closed, active = segment_paths[:-1], segment_paths[-1]
+        if before is None:
+            before = self._next_sequence
+        keep = set(surviving_ids)
+        for _, payload in self._records(active):
+            keep.add(_subject_of(payload))
+        for path in closed:
+            for sequence, payload in self._records(path):
+                if sequence >= before:
+                    keep.add(_subject_of(payload))
+        dropped = 0
+        for path in closed:
+            kept: list[dict[str, Any]] = []
+            total = 0
+            for sequence, payload in self._records(path):
+                total += 1
+                if sequence >= before or _subject_of(payload) in keep:
+                    kept.append({"seq": sequence, "event": payload})
+            if len(kept) == total:
+                continue
+            dropped += total - len(kept)
+            if kept:
+                # Rewrite via a temp file + atomic rename: a crash mid-compaction
+                # must never truncate the only copy of a segment.
+                staged = path.with_suffix(".jsonl.tmp")
+                write_jsonl(staged, kept)
+                os.replace(staged, path)
+            else:
+                path.unlink()
+        return dropped

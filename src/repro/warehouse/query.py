@@ -87,9 +87,11 @@ class QueryResult:
 #: fact_flexoffer columns the repository keeps hash indexes on.  ``prosumer_id``
 #: serves the Figure 7 entity lookup and the live path's per-prosumer refresh,
 #: ``offer_id`` the live warehouse's upsert/delete, ``group_cell`` the
-#: dirty-cell lookups of the live aggregation engine, and ``state`` /
-#: ``grid_node`` the session query builder's most common filters.
-INDEXED_FACT_COLUMNS = ("prosumer_id", "offer_id", "group_cell", "state", "grid_node")
+#: dirty-cell lookups of the live aggregation engine, ``state`` /
+#: ``grid_node`` the session query builder's most common filters, and
+#: ``geo_id`` the geography pushdown (regions/cities/districts resolve to
+#: geo ids through the dimension, then hit this index).
+INDEXED_FACT_COLUMNS = ("prosumer_id", "offer_id", "group_cell", "state", "grid_node", "geo_id")
 
 #: (indexed column, filter attribute) pairs :meth:`FlexOfferRepository.load`
 #: can plan with: when the filter pins any of these, the candidate row set is
@@ -98,6 +100,14 @@ PLANNABLE_FILTERS = (
     ("prosumer_id", "prosumer_ids"),
     ("grid_node", "grid_nodes"),
     ("state", "states"),
+)
+
+#: Geography filter attributes and the ``dim_geography`` column each resolves
+#: through; all three push down onto the fact table's ``geo_id`` index.
+GEO_FILTERS = (
+    ("regions", "region"),
+    ("cities", "city"),
+    ("districts", "district"),
 )
 
 
@@ -124,9 +134,8 @@ class FlexOfferRepository:
 
     def known_values(self, column: str) -> list[Any]:
         """Distinct values of a fact_flexoffer column (for filter pick lists)."""
-        values = self.schema.table("fact_flexoffer").column(column)
         seen: list[Any] = []
-        for value in values:
+        for value in self.schema.table("fact_flexoffer").values(column):
             if value not in seen:
                 seen.append(value)
         return seen
@@ -151,7 +160,7 @@ class FlexOfferRepository:
         if query.only_aggregates is not None and bool(row["is_aggregate"]) != query.only_aggregates:
             return False
         if query.regions or query.cities or query.districts:
-            geo = self._geo_lookup().get(row["geo_id"])
+            geo = self._geo_lookup()["by_id"].get(row["geo_id"])
             if geo is None:
                 return False
             if query.regions is not None and geo["region"] not in query.regions:
@@ -171,9 +180,25 @@ class FlexOfferRepository:
                 return False
         return True
 
-    def _geo_lookup(self) -> dict[int, dict[str, Any]]:
+    def _geo_lookup(self) -> dict[str, dict]:
+        """The cached two-way geography index.
+
+        ``by_id`` maps geo_id -> dimension row (the row-match path);
+        ``region``/``city``/``district`` each map an attribute value -> the
+        set of geo ids carrying it (the pushdown path).  Rebuilt from scratch
+        whenever the live warehouse appends a geography row (it deletes
+        ``_geo_cache``).
+        """
         if not hasattr(self, "_geo_cache"):
-            self._geo_cache = {row["geo_id"]: row for row in self.schema.table("dim_geography").rows()}
+            by_id: dict[int, dict[str, Any]] = {}
+            reverse: dict[str, dict[Any, set[int]]] = {
+                column: {} for _, column in GEO_FILTERS
+            }
+            for row in self.schema.table("dim_geography").rows():
+                by_id[row["geo_id"]] = row
+                for _, column in GEO_FILTERS:
+                    reverse[column].setdefault(row[column], set()).add(row["geo_id"])
+            self._geo_cache = {"by_id": by_id, **reverse}
         return self._geo_cache
 
     def _plan_positions(self, fact, query: FlexOfferFilter) -> list[int] | None:
@@ -182,7 +207,9 @@ class FlexOfferRepository:
         Every plannable filter present in the query contributes the union of
         its per-value index hits; the candidate set is the intersection across
         filters (the filters are conjunctive), so e.g. ``states + grid_nodes``
-        examines only rows satisfying both.
+        examines only rows satisfying both.  Geography filters participate by
+        resolving their values to geo ids through the dimension and hitting
+        the fact table's ``geo_id`` index.
         """
         positions: set[int] | None = None
         for column, attribute in PLANNABLE_FILTERS:
@@ -193,16 +220,27 @@ class FlexOfferRepository:
             positions = hits if positions is None else positions & hits
             if not positions:
                 break
+        if "geo_id" in fact.indexed_columns:
+            for attribute, geo_column in GEO_FILTERS:
+                values = getattr(query, attribute)
+                if values is None or (positions is not None and not positions):
+                    continue
+                ids_by_value = self._geo_lookup()[geo_column]
+                geo_ids = {gid for value in values for gid in ids_by_value.get(value, ())}
+                hits = {p for gid in geo_ids for p in fact.lookup("geo_id", gid)}
+                positions = hits if positions is None else positions & hits
         return None if positions is None else sorted(positions)
 
     def load(self, query: FlexOfferFilter | None = None) -> QueryResult:
         """Load flex-offers matching ``query`` (all offers when ``None``).
 
-        When the filter pins ``prosumer_ids``, ``grid_nodes`` or ``states``,
-        only the candidate rows from the corresponding hash indexes are
-        examined (intersected across filters) instead of scanning the whole
-        fact table; the linear scan remains the fallback for every other
-        filter shape.
+        When the filter pins ``prosumer_ids``, ``grid_nodes``, ``states`` or
+        a geography level (``regions``/``cities``/``districts``, pushed down
+        through the geo dimension onto the ``geo_id`` index), only the
+        candidate rows from the corresponding hash indexes are examined
+        (intersected across filters) instead of scanning the whole fact
+        table; the linear scan remains the fallback for every other filter
+        shape.
         """
         query = query or FlexOfferFilter()
         fact = self.schema.table("fact_flexoffer")
@@ -236,7 +274,7 @@ class FlexOfferRepository:
         if "fact_flexoffer_aggregate" not in self.schema.tables:
             return []
         return self.offers_from_payloads(
-            self.schema.table("fact_flexoffer_aggregate").column("payload")
+            self.schema.table("fact_flexoffer_aggregate").values("payload")
         )
 
     def load_by_offer_ids(self, offer_ids: Sequence[int]) -> list[FlexOffer]:
@@ -282,7 +320,7 @@ class FlexOfferRepository:
         """Row counts plus offer-state distribution of the whole warehouse."""
         fact = self.schema.table("fact_flexoffer")
         states: dict[str, int] = {}
-        for state in fact.column("state"):
+        for state in fact.values("state"):
             states[state] = states.get(state, 0) + 1
         return {
             "row_counts": self.schema.row_counts(),

@@ -23,9 +23,22 @@ class Table:
     The table is append-mostly; :meth:`delete_where` and :meth:`set_value`
     exist for the live warehouse's event-driven updates.  Secondary indexes map a
     column value to the list of row positions holding it, turning equality
-    lookups into dict hits.  Appends maintain indexes incrementally; deletes
-    invalidate them and the next lookup rebuilds lazily.
+    lookups into dict hits.  Appends maintain indexes incrementally.
+
+    Deletes are *tombstoned*: :meth:`delete_where` only marks the row
+    positions dead, which keeps every index valid (lookups skip tombstoned
+    positions) and makes a delete O(matched rows) instead of O(table).  Once
+    tombstones pile past :data:`COMPACT_MIN_TOMBSTONES` *and* half the
+    physical rows, :meth:`compact` rewrites the columns — so the rewrite cost
+    is amortized over the deletes that caused it.  Positions returned by
+    :meth:`lookup` are *physical* and stay valid until the next compaction.
     """
+
+    #: Tombstones needed before an automatic compaction is even considered.
+    COMPACT_MIN_TOMBSTONES = 64
+    #: Automatic compaction triggers once tombstones exceed this fraction of
+    #: the physical rows (and the minimum above).
+    COMPACT_FRACTION = 0.5
 
     def __init__(self, name: str, columns: Sequence[str]) -> None:
         if len(set(columns)) != len(columns):
@@ -35,10 +48,15 @@ class Table:
         self._data: dict[str, list[Any]] = {column: [] for column in columns}
         #: column -> (value -> row positions); ``None`` marks a stale index.
         self._indexes: dict[str, dict[Any, list[int]] | None] = {}
+        #: Physical positions of deleted-but-not-yet-compacted rows.
+        self._tombstones: set[int] = set()
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def _physical_len(self) -> int:
+        return len(self._data[self.columns[0]]) if self.columns else 0
+
     def append(self, row: Mapping[str, Any]) -> None:
         """Append one row given as a mapping; missing columns raise."""
         missing = [column for column in self.columns if column not in row]
@@ -46,7 +64,7 @@ class Table:
             raise UnknownColumnError(f"row for table {self.name!r} misses columns {missing}")
         for column in self.columns:
             self._data[column].append(row[column])
-        position = len(self) - 1
+        position = self._physical_len() - 1
         for column, index in self._indexes.items():
             if index is not None:
                 index.setdefault(row[column], []).append(position)
@@ -56,22 +74,71 @@ class Table:
         for row in rows:
             self.append(row)
 
-    def delete_where(self, column: str, value: Any) -> int:
-        """Delete all rows whose ``column`` equals ``value``; returns the count."""
-        positions = set(self.lookup(column, value))
-        if not positions:
-            return 0
-        for name, values in self._data.items():
-            self._data[name] = [v for i, v in enumerate(values) if i not in positions]
+    def install_columns(self, data: Mapping[str, list[Any]]) -> None:
+        """Replace the table contents with whole columns (bulk-load fast path).
+
+        Every declared column must be present and all columns equal-length.
+        The CSV loader uses this to skip per-row dict building and index
+        upkeep entirely; indexes rebuild lazily on the next lookup.
+        """
+        missing = [column for column in self.columns if column not in data]
+        if missing:
+            raise UnknownColumnError(f"bulk load for table {self.name!r} misses columns {missing}")
+        lengths = {len(data[column]) for column in self.columns}
+        if len(lengths) > 1:
+            raise WarehouseError(f"bulk load for table {self.name!r} has ragged columns")
+        self._data = {column: list(data[column]) for column in self.columns}
+        self._tombstones.clear()
         for indexed in self._indexes:
             self._indexes[indexed] = None
+
+    def delete_where(self, column: str, value: Any) -> int:
+        """Tombstone all rows whose ``column`` equals ``value``; returns the count.
+
+        The rows only disappear logically; the physical rewrite happens in the
+        (auto-triggered) :meth:`compact`, so repeated deletes on a large table
+        stay amortized O(matched rows) rather than O(table) each.
+        """
+        positions = self.lookup(column, value)
+        if not positions:
+            return 0
+        self._tombstones.update(positions)
+        self._maybe_compact()
         return len(positions)
+
+    @property
+    def tombstone_count(self) -> int:
+        """Rows deleted but not yet physically removed."""
+        return len(self._tombstones)
+
+    def _maybe_compact(self) -> None:
+        if (
+            len(self._tombstones) >= self.COMPACT_MIN_TOMBSTONES
+            and len(self._tombstones) >= self._physical_len() * self.COMPACT_FRACTION
+        ):
+            self.compact()
+
+    def compact(self) -> int:
+        """Physically drop tombstoned rows; returns how many were removed.
+
+        Indexes are invalidated (rebuilt lazily on the next lookup) because
+        every physical position after the first tombstone shifts.
+        """
+        if not self._tombstones:
+            return 0
+        removed = len(self._tombstones)
+        for name, values in self._data.items():
+            self._data[name] = [v for i, v in enumerate(values) if i not in self._tombstones]
+        self._tombstones.clear()
+        for indexed in self._indexes:
+            self._indexes[indexed] = None
+        return removed
 
     def set_value(self, column: str, position: int, value: Any) -> None:
         """Overwrite one cell in place, keeping any index on ``column`` honest."""
         if column not in self._data:
             raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
-        if not 0 <= position < len(self):
+        if not 0 <= position < self._physical_len():
             raise WarehouseError(f"row index {position} out of range for table {self.name!r}")
         self._data[column][position] = value
         self.invalidate_index(column)
@@ -100,43 +167,76 @@ class Table:
         if index is None:
             index = {}
             for position, value in enumerate(self._data[column]):
-                index.setdefault(value, []).append(position)
+                if position not in self._tombstones:
+                    index.setdefault(value, []).append(position)
             self._indexes[column] = index
         return index
 
     def lookup(self, column: str, value: Any) -> list[int]:
-        """Row positions whose ``column`` equals ``value``.
+        """Physical positions of the *live* rows whose ``column`` equals ``value``.
 
         A dict hit when ``column`` is indexed; a linear scan otherwise (the
-        fallback keeps the method usable on any column).
+        fallback keeps the method usable on any column).  Tombstoned rows are
+        skipped either way — incrementally maintained indexes may still hold
+        their positions, so index hits are filtered against the tombstone set.
         """
         if column not in self._data:
             raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
         if column in self._indexes:
-            return list(self._index(column).get(value, ()))
-        return [i for i, v in enumerate(self._data[column]) if v == value]
+            hits = self._index(column).get(value, ())
+            if not self._tombstones:
+                return list(hits)
+            return [p for p in hits if p not in self._tombstones]
+        return [
+            i
+            for i, v in enumerate(self._data[column])
+            if v == value and i not in self._tombstones
+        ]
 
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._data[self.columns[0]]) if self.columns else 0
+        """Number of *live* rows (tombstoned rows excluded)."""
+        return self._physical_len() - len(self._tombstones)
+
+    def live_positions(self) -> Iterator[int]:
+        """The physical positions of the live rows, ascending."""
+        if not self._tombstones:
+            yield from range(self._physical_len())
+            return
+        for position in range(self._physical_len()):
+            if position not in self._tombstones:
+                yield position
 
     def column(self, name: str) -> list[Any]:
-        """Return the values of one column (the live list; do not mutate)."""
+        """The *physical* value list of one column (the live list; do not mutate).
+
+        Positions from :meth:`lookup` index into this list directly.  When the
+        table holds tombstones the list still contains the dead rows' values —
+        full iterations should use :meth:`values` (or :meth:`rows`) instead.
+        """
         if name not in self._data:
             raise UnknownColumnError(f"table {self.name!r} has no column {name!r}")
         return self._data[name]
 
+    def values(self, name: str) -> Iterator[Any]:
+        """Iterate one column's live values (tombstoned rows skipped)."""
+        column = self.column(name)
+        for position in self.live_positions():
+            yield column[position]
+
     def row(self, index: int) -> dict[str, Any]:
-        """Return row ``index`` as a dictionary."""
-        if not 0 <= index < len(self):
+        """Return the row at *physical* position ``index`` as a dictionary."""
+        if not 0 <= index < self._physical_len():
             raise WarehouseError(f"row index {index} out of range for table {self.name!r}")
+        if index in self._tombstones:
+            raise WarehouseError(f"row {index} of table {self.name!r} is deleted")
         return {column: self._data[column][index] for column in self.columns}
 
     def rows(self) -> Iterator[dict[str, Any]]:
-        """Iterate over all rows as dictionaries."""
-        for index in range(len(self)):
+        """Iterate over all live rows as dictionaries."""
+        for index in self.live_positions():
             yield self.row(index)
 
     # ------------------------------------------------------------------
@@ -188,7 +288,7 @@ class Table:
             if column not in self._data:
                 raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
         result = Table(self.name, columns)
-        for index in range(len(self)):
+        for index in self.live_positions():
             result.append({column: self._data[column][index] for column in columns})
         return result
 
@@ -196,7 +296,7 @@ class Table:
         """Return a copy sorted by ``column``."""
         if column not in self._data:
             raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
-        order = sorted(range(len(self)), key=lambda i: self._data[column][i], reverse=reverse)
+        order = sorted(self.live_positions(), key=lambda i: self._data[column][i], reverse=reverse)
         result = Table(self.name, self.columns)
         for index in order:
             result.append(self.row(index))

@@ -127,3 +127,25 @@ class TestCli:
         assert main(["--prosumers", "20", "figures", "--out", str(tmp_path / "figs")]) == 0
         assert len(list((tmp_path / "figs").glob("*.svg"))) == 12
         assert "wrote 12 figures" in capsys.readouterr().out
+
+    def test_checkpoint_restore_round_trip(self, tmp_path, capsys):
+        out = str(tmp_path / "ckpt")
+        argv = ["--prosumers", "15", "--seed", "4", "checkpoint", "--out", out]
+        assert main([*argv, "--tail", "0.2", "--segment-size", "32", "--compact"]) == 0
+        assert "wrote checkpoint" in capsys.readouterr().out
+        assert main(["restore", "--from", out, "--smoke"]) == 0
+        assert "restore smoke OK" in capsys.readouterr().out
+
+    def test_checkpoint_refuses_reused_directory(self, tmp_path, capsys):
+        out = str(tmp_path / "ckpt")
+        argv = ["--prosumers", "15", "--seed", "4", "checkpoint", "--out", out]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # A second stream appended to the old log with a restarted offset
+        # would be unrestorable; the CLI must refuse the reused directory.
+        assert main(argv) == 2
+        assert "already holds" in capsys.readouterr().err
+
+    def test_restore_reports_missing_checkpoint(self, tmp_path, capsys):
+        assert main(["restore", "--from", str(tmp_path / "nothing")]) == 1
+        assert "restore failed" in capsys.readouterr().err

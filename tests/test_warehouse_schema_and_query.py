@@ -129,10 +129,30 @@ class TestRepository:
         )
         assert len(both) == expected
 
-    def test_unindexed_filters_still_scan_correctly(self, loaded, scenario):
+    def test_geo_filters_push_down_onto_geo_id_index(self, loaded, scenario):
         _, repo = loaded
         result = repo.load(FlexOfferFilter(regions=("Capital",)))
-        # regions resolve through the geography dimension, not an index.
+        # regions resolve through the geography dimension onto the geo_id
+        # index: only the candidate rows are examined, not the whole table.
+        assert result.scanned_rows == result.matched_rows
+        assert result.scanned_rows < len(scenario.flex_offers)
+        expected = [o for o in scenario.flex_offers if o.region == "Capital"]
+        assert sorted(o.id for o in result.offers) == sorted(o.id for o in expected)
+
+    def test_geo_pushdown_matches_scan_fallback(self, loaded, scenario):
+        _, repo = loaded
+        cities = tuple(sorted({offer.city for offer in scenario.flex_offers})[:2])
+        pushed = repo.load(FlexOfferFilter(cities=cities, states=("assigned",)))
+        expected = [
+            o for o in scenario.flex_offers if o.city in cities and o.state.value == "assigned"
+        ]
+        assert sorted(o.id for o in pushed.offers) == sorted(o.id for o in expected)
+        assert pushed.scanned_rows <= len(scenario.flex_offers)
+
+    def test_unindexed_filters_still_scan_correctly(self, loaded, scenario):
+        _, repo = loaded
+        result = repo.load(FlexOfferFilter(energy_types=("grid",)))
+        # energy_type has no index; the linear scan remains the fallback.
         assert result.scanned_rows == len(scenario.flex_offers)
 
     def test_load_for_entity(self, loaded, scenario):

@@ -160,15 +160,43 @@ class TestIndexesAndMutation:
     def test_delete_where(self, people):
         assert people.delete_where("city", "Aalborg") == 2
         assert len(people) == 2
-        assert people.column("name") == ["bo", "dan"]
+        assert list(people.values("name")) == ["bo", "dan"]
         assert people.delete_where("city", "Aalborg") == 0
 
-    def test_delete_rebuilds_index_lazily(self, people):
+    def test_delete_tombstones_keep_positions_stable(self, people):
         people.create_index("city")
         people.lookup("city", "Odense")
         people.delete_where("name", "ana")
-        # Positions shifted down by one after the delete.
+        # The delete is a tombstone: physical positions do not shift until a
+        # compaction, so index hits stay valid without a rebuild.
+        assert people.lookup("city", "Odense") == [3]
+        assert people.tombstone_count == 1
+        assert [row["name"] for row in people.rows()] == ["bo", "cia", "dan"]
+        # Compaction physically removes the dead row; positions shift now.
+        assert people.compact() == 1
+        assert people.tombstone_count == 0
         assert people.lookup("city", "Odense") == [2]
+
+    def test_deleted_rows_skipped_everywhere(self, people):
+        people.create_index("city")
+        people.delete_where("city", "Aalborg")
+        assert len(people.where(city="Aalborg")) == 0
+        assert [row["name"] for row in people.sort_by("age").rows()] == ["bo", "dan"]
+        assert list(people.select(["name"]).values("name")) == ["bo", "dan"]
+        assert "ana" not in people.to_csv()
+        with pytest.raises(WarehouseError):
+            people.row(0)  # tombstoned physical position
+
+    def test_auto_compaction_amortizes_deletes(self):
+        table = Table("facts", ["offer_id", "value"])
+        table.create_index("offer_id")
+        table.extend({"offer_id": i, "value": i * 2} for i in range(200))
+        threshold = max(Table.COMPACT_MIN_TOMBSTONES, 200 * Table.COMPACT_FRACTION)
+        for offer_id in range(150):
+            table.delete_where("offer_id", offer_id)
+            assert table.tombstone_count < threshold + 1
+        assert len(table) == 50
+        assert list(table.values("offer_id")) == list(range(150, 200))
 
     def test_set_value_updates_cell_and_index(self, people):
         people.create_index("city")
