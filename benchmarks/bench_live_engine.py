@@ -31,6 +31,8 @@ import pytest
 
 from benchmarks.conftest import record
 from repro.aggregation.aggregate import aggregate
+from repro.aggregation.parameters import AggregationParameters
+from repro.flexoffer.model import Direction
 from repro.live.asynccommit import AsyncCommitEngine
 from repro.live.engine import LiveAggregationEngine
 from repro.live.events import OfferAdded, OfferUpdated
@@ -141,6 +143,93 @@ def sweep_engines(names, offers, full_seconds, rounds: int = 9) -> dict:
         if close is not None:
             close()
     return results
+
+
+def chunked_workload(offers, chunk_size: int = 32, chunks: int = 16, rounds: int = 9) -> dict:
+    """The chunk-granularity sweep: commit cost scales with *touched chunks*.
+
+    Builds one grouping-grid cell holding ``chunks`` aggregation chunks of
+    ``chunk_size`` offers each (``max_group_size=chunk_size``), then times
+
+    * ``one_chunk_ms``  — a commit after mutating a single offer (1 of
+      ``chunks`` chunks dirty; the ledger skips the rest), against
+    * ``full_cell_ms`` — a commit after mutating one offer in *every* chunk,
+      which is exactly what the pre-ledger engine paid for any single
+      mutation (a dirty cell re-aggregated all of its chunks).
+
+    ``speedup`` is their ratio — the headline of ROADMAP live item (c),
+    gated ≥3x (and against the committed baseline) in
+    ``check_bench_trajectory.py``.
+    """
+    population = []
+    for index in range(chunk_size * chunks):
+        base = offers[index % len(offers)]
+        population.append(
+            replace(
+                base,
+                id=index + 1,
+                earliest_start_slot=40,
+                latest_start_slot=48,
+                direction=Direction.CONSUMPTION,
+                # Scenario offers may carry schedules anchored to their real
+                # start window; the forced window would invalidate them.
+                schedule=None,
+            )
+        )
+    engine = LiveAggregationEngine(AggregationParameters(max_group_size=chunk_size))
+    for offer in population:
+        engine.apply(OfferAdded(offer.creation_time, offer))
+    engine.commit()
+
+    def mutate(offer_id: int) -> None:
+        current = engine.offer(offer_id)
+        engine.apply(
+            OfferUpdated(
+                current.creation_time,
+                replace(current, price_per_kwh=current.price_per_kwh * 1.01 + 0.001),
+            )
+        )
+
+    one_timings, full_timings = [], []
+    for round_index in range(rounds):
+        # One offer touched -> one dirty chunk of `chunks`.
+        mutate(round_index % len(population) + 1)
+        started = time.perf_counter()
+        result = engine.commit()
+        one_timings.append(time.perf_counter() - started)
+        assert result.chunks_reaggregated == 1 and result.chunks_skipped == chunks - 1
+        # One offer touched per chunk -> every chunk dirty (pre-change cost).
+        for chunk_index in range(chunks):
+            mutate(chunk_index * chunk_size + round_index % chunk_size + 1)
+        started = time.perf_counter()
+        result = engine.commit()
+        full_timings.append(time.perf_counter() - started)
+        assert result.chunks_reaggregated == chunks and result.chunks_skipped == 0
+    one = statistics.median(one_timings)
+    full = statistics.median(full_timings)
+    return {
+        "chunks": chunks,
+        "chunk_size": chunk_size,
+        "one_chunk_ms": round(one * 1000, 3),
+        "full_cell_ms": round(full * 1000, 3),
+        "speedup": round(full / one, 1),
+    }
+
+
+def test_chunked_commit_granularity(benchmark, large_offer_scenario):
+    """Commit cost tracks touched chunks, not cell size (>=3x at 1 of 16)."""
+    rows = benchmark.pedantic(
+        lambda: chunked_workload(large_offer_scenario.flex_offers), rounds=1, iterations=1
+    )
+    record(
+        benchmark,
+        {
+            **rows,
+            "claim": "chunk-granular commits re-aggregate only perturbed chunks",
+        },
+        "LIVE: chunk-granular commit vs whole-cell re-aggregation",
+    )
+    assert rows["speedup"] >= 3.0
 
 
 def _replay_report(name, scenario, micro_batch_size: int = 64):
@@ -279,6 +368,15 @@ def main(argv=None) -> int:
                 "p95_commit_ms": round(report.p95_commit_ms, 3),
             },
         }
+    # The chunk-granularity workload: one touched chunk of 16 vs the whole
+    # cell (what any single mutation cost before the chunk ledger).
+    chunk_size = 16 if args.quick else 32
+    chunked = chunked_workload(offers, chunk_size=chunk_size, rounds=rounds)
+    summary["chunked"] = chunked
+    print(
+        f"  chunked workload: 1 of {chunked['chunks']} chunks {chunked['one_chunk_ms']:.3f} ms, "
+        f"full cell {chunked['full_cell_ms']:.3f} ms, speedup {chunked['speedup']:.1f}x"
+    )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)

@@ -26,6 +26,13 @@ what gates are machine-independent *ratios*:
   would flake on noisy shared runners; the absolute comparison is printed
   for the artifact reader (``PARITY_SLACK`` marks when it merely warns).
 
+* the chunked-workload speedup — a commit touching 1 chunk of 16 vs the
+  whole-cell re-aggregation any mutation cost before the chunk-granular
+  dirty ledger.  Gated relative to the baseline like the other ratios *and*
+  against the absolute ``CHUNKED_FLOOR`` (3x) acceptance criterion: this
+  ratio compares two commits of the same engine in the same process, so it
+  is machine-independent enough for an absolute floor.
+
 * the recovery ratios (when the optional third/fourth arguments name the
   recovery summaries): snapshot+tail restore speedup over cold replay, and
   warehouse delete-throughput scaling across table sizes — both gated
@@ -62,6 +69,10 @@ TOLERANCE = 0.25
 
 #: Noise allowance for the sharded-vs-live parity check at the 1% point.
 PARITY_SLACK = 0.10
+
+#: Absolute floor on the chunked-workload speedup (1 touched chunk of 16 vs
+#: whole-cell re-aggregation) — the ROADMAP live (c) acceptance criterion.
+CHUNKED_FLOOR = 3.0
 
 
 def _speedup(summary: dict, engine: str, fraction: str = HEADLINE) -> float:
@@ -119,6 +130,31 @@ def check(current: dict, baseline: dict) -> list[str]:
             f"({parity:.2f} < {1.0 - PARITY_SLACK:.2f}) — noise or a creeping "
             f"regression; within baseline tolerance, not gating"
         )
+    # Chunk-granular commits: cost must scale with touched chunks, not cell
+    # size.  Gated both relative to the committed baseline (like every other
+    # ratio) and against the absolute CHUNKED_FLOOR acceptance criterion.
+    if "chunked" not in current:
+        failures.append("chunked workload summary missing from the current sweep")
+    else:
+        # The absolute floor gates unconditionally — it is machine- and
+        # baseline-independent (two commits of the same engine, same process).
+        now_c = float(current["chunked"]["speedup"])
+        then_c = float(baseline["chunked"]["speedup"]) if "chunked" in baseline else None
+        print(
+            f"  chunked 1-of-{current['chunked']['chunks']} speedup: {now_c:6.1f}x "
+            f"(baseline {then_c or 0.0:.1f}x, floor "
+            f"{max(then_c * floor if then_c else 0.0, CHUNKED_FLOOR):.1f}x)"
+        )
+        if now_c < CHUNKED_FLOOR:
+            failures.append(
+                f"chunked: 1-touched-chunk speedup {now_c:.1f}x fell below the "
+                f"absolute {CHUNKED_FLOOR:.0f}x acceptance floor"
+            )
+        elif then_c is not None and now_c < then_c * floor:
+            failures.append(
+                f"chunked: speedup regressed >{TOLERANCE:.0%} "
+                f"({now_c:.1f}x vs baseline {then_c:.1f}x)"
+            )
     # Informational only: absolute wall clock, for the artifact reader.
     for engine in ("live", *REPLAY_GATED):
         row = current["engines"][engine]["sweep"][HEADLINE]

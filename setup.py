@@ -20,7 +20,7 @@ setup(
     python_requires=">=3.10",
     install_requires=["numpy", "networkx"],
     extras_require={
-        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        "test": ["pytest", "hypothesis", "pytest-benchmark", "pytest-cov"],
     },
     entry_points={
         "console_scripts": [

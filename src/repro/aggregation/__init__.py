@@ -4,10 +4,20 @@ from repro.aggregation.aggregate import AggregationResult, aggregate, aggregate_
 from repro.aggregation.disaggregate import disaggregate, disaggregation_error
 from repro.aggregation.grouping import (
     cell_for,
+    chunk_assignment,
+    chunk_count,
     chunk_group,
+    chunks_from,
     group_key,
     group_offers,
     reduction_ratio,
+)
+from repro.aggregation.kernel import (
+    force_kernel,
+    numpy_available,
+    profile_bounds,
+    profile_bounds_numpy,
+    profile_bounds_scalar,
 )
 from repro.aggregation.metrics import AggregationMetrics, evaluate
 from repro.aggregation.parameters import AggregationParameters
@@ -17,8 +27,16 @@ __all__ = [
     "group_offers",
     "group_key",
     "cell_for",
+    "chunk_assignment",
+    "chunk_count",
     "chunk_group",
+    "chunks_from",
     "reduction_ratio",
+    "force_kernel",
+    "numpy_available",
+    "profile_bounds",
+    "profile_bounds_numpy",
+    "profile_bounds_scalar",
     "aggregate",
     "aggregate_group",
     "AggregationResult",

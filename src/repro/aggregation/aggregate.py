@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.aggregation.grouping import group_offers
+from repro.aggregation.kernel import profile_bounds
 from repro.aggregation.parameters import AggregationParameters
 from repro.errors import AggregationError
 from repro.flexoffer.model import Direction, FlexOffer, ProfileSlice
@@ -51,17 +52,9 @@ def aggregate_group(group: Sequence[FlexOffer], aggregate_id: int) -> FlexOffer:
         offset + offer.profile_duration_slots for offset, offer in zip(offsets, group)
     )
 
-    min_energy = [0.0] * length
-    max_energy = [0.0] * length
-    for offset, offer in zip(offsets, group):
-        position = offset
-        for piece in offer.profile:
-            share_min = piece.min_energy / piece.duration_slots
-            share_max = piece.max_energy / piece.duration_slots
-            for extra in range(piece.duration_slots):
-                min_energy[position + extra] += share_min
-                max_energy[position + extra] += share_max
-            position += piece.duration_slots
+    # The hot loop lives in the kernel: numpy when available and worthwhile,
+    # the scalar reference otherwise — bit-identical either way.
+    min_energy, max_energy = profile_bounds(group, offsets, length)
 
     profile = tuple(
         ProfileSlice(min_energy=min_energy[index], max_energy=max_energy[index])

@@ -10,6 +10,7 @@ of ``max_group_size``.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Sequence
 
 from repro.aggregation.parameters import AggregationParameters
@@ -59,6 +60,47 @@ def chunk_group(members: Sequence[FlexOffer], max_group_size: int) -> list[list[
             for start in range(0, len(members), max_group_size)
         ]
     return [list(members)]
+
+
+def chunk_count(member_count: int, max_group_size: int) -> int:
+    """How many chunks :func:`chunk_group` cuts ``member_count`` members into."""
+    if member_count == 0:
+        return 0
+    if max_group_size <= 0:
+        return 1
+    return -(-member_count // max_group_size)
+
+
+def chunk_assignment(member_ids: Sequence[int], offer_id: int, max_group_size: int) -> int:
+    """The chunk index ``offer_id`` occupies within a cell's sorted membership.
+
+    ``member_ids`` must be the cell's member ids in ascending order — the
+    order both :func:`chunk_group` callers (batch grouping and the live
+    engine's commit) chunk in, so this is *the* mapping from a member
+    mutation to the one chunk it perturbs.  ``max_group_size == 0``
+    (unlimited) always maps to chunk 0.
+    """
+    if max_group_size <= 0:
+        return 0
+    return bisect_left(member_ids, offer_id) // max_group_size
+
+
+def chunks_from(member_ids: Sequence[int], offer_id: int, max_group_size: int) -> range:
+    """Chunk indices perturbed when ``offer_id`` enters or leaves a cell.
+
+    Inserting or withdrawing a member shifts the rank of every larger id, so
+    chunk membership changes from the chunk containing the insertion point
+    onwards; chunks before it keep their exact member list (the stability
+    rule the live engine's chunk-granular dirty ledger relies on).
+    ``member_ids`` is the *surviving* sorted membership — for an insert the
+    id is already present, for a withdrawal ``bisect_left`` lands on the slot
+    the id vacated, so one formula covers both.
+    """
+    total = chunk_count(len(member_ids), max_group_size)
+    if max_group_size <= 0:
+        return range(0, total)
+    first = bisect_left(member_ids, offer_id) // max_group_size
+    return range(min(first, total), total)
 
 
 def group_offers(

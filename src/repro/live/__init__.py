@@ -21,6 +21,7 @@ Layers, bottom up:
 
 from repro.live.asynccommit import AsyncCommitEngine
 from repro.live.engine import (
+    ChunkStats,
     CommitResult,
     LiveAggregationEngine,
     assert_batch_equivalent,
@@ -61,6 +62,7 @@ __all__ = [
     "ShardedAggregationEngine",
     "ShardedCommitResult",
     "shard_of_cell",
+    "ChunkStats",
     "CommitResult",
     "LiveAggregationEngine",
     "assert_batch_equivalent",

@@ -265,6 +265,12 @@ class AsyncCommitEngine:
             return self.inner.dirty_cell_count
 
     @property
+    def dirty_chunk_count(self) -> int:
+        """Chunks the inner engine's next commit would re-aggregate (racy)."""
+        with self._lock:
+            return self.inner.dirty_chunk_count
+
+    @property
     def has_pending_changes(self) -> bool:
         with self._lock:
             return self._queue.qsize() > 0 or self.inner.has_pending_changes

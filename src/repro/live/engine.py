@@ -20,11 +20,12 @@ the id-insensitive normal form the equivalence tests compare under.
 from __future__ import annotations
 
 import time
+from bisect import bisect_left
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable
 
 from repro.aggregation.aggregate import aggregate_group, AggregationResult
-from repro.aggregation.grouping import GroupKey, chunk_group, group_key
+from repro.aggregation.grouping import GroupKey, chunk_group, chunks_from, group_key
 from repro.aggregation.parameters import AggregationParameters
 from repro.errors import LiveEngineError
 from repro.flexoffer.model import FlexOffer
@@ -59,6 +60,46 @@ def canonical_form(offer: FlexOffer) -> FlexOffer:
     return replace(offer, id=0, constituent_ids=tuple(sorted(offer.constituent_ids)))
 
 
+class _CellDirt:
+    """Per-cell dirt accumulated between commits — the chunk-granular ledger.
+
+    Two kinds of dirt, resolved to chunk indices at commit time (when the
+    sorted membership is in hand anyway):
+
+    * ``touched`` — member ids revised *in place* (price, state, profile;
+      same grid cell), each perturbing exactly the chunk containing it;
+    * ``structural_from`` — the smallest id inserted into or withdrawn from
+      the cell; ranks shift from that id onwards, so every chunk from the one
+      containing its insertion point to the end changes membership, while
+      chunks before it keep their exact member list (the stability rule).
+    """
+
+    __slots__ = ("touched", "structural_from")
+
+    def __init__(self) -> None:
+        self.touched: set[int] = set()
+        self.structural_from: int | None = None
+
+    def note_structural(self, offer_id: int) -> None:
+        if self.structural_from is None or offer_id < self.structural_from:
+            self.structural_from = offer_id
+
+
+@dataclass(frozen=True)
+class ChunkStats:
+    """Chunk-granularity instrumentation of one commit drain."""
+
+    #: Chunks whose aggregate was recomputed this commit.
+    reaggregated: int = 0
+    #: Chunks inside dirty cells that were proven clean and reused untouched.
+    skipped: int = 0
+
+    def __add__(self, other: "ChunkStats") -> "ChunkStats":
+        return ChunkStats(
+            self.reaggregated + other.reaggregated, self.skipped + other.skipped
+        )
+
+
 @dataclass
 class CommitResult:
     """Outcome of one engine commit: what changed, and how long it took."""
@@ -67,7 +108,8 @@ class CommitResult:
     sequence: int
     #: Number of events applied since the previous commit.
     events_applied: int
-    #: Grid cells that were re-aggregated.
+    #: Grid cells the commit examined (any dirt; a cell can appear here with
+    #: zero re-aggregated chunks, e.g. a withdrawal that only retired a chunk).
     dirty_cells: tuple[GroupKey, ...]
     #: Output offers that are new or changed (aggregates and passthroughs).
     changed: list[FlexOffer] = field(default_factory=list)
@@ -76,6 +118,10 @@ class CommitResult:
     removed: list[FlexOffer] = field(default_factory=list)
     #: Wall-clock seconds the commit took.
     elapsed_seconds: float = 0.0
+    #: Chunks recomputed by this commit (granularity instrumentation).
+    chunks_reaggregated: int = 0
+    #: Chunks in dirty cells reused untouched (the chunk ledger's savings).
+    chunks_skipped: int = 0
 
     @property
     def changed_ids(self) -> tuple[int, ...]:
@@ -130,8 +176,9 @@ class LiveAggregationEngine:
         #: The persistent grouping grid: cell -> member offer ids.
         self._cells: dict[GroupKey, set[int]] = {}
         self._cell_of: dict[int, GroupKey] = {}
-        #: Cells whose membership (or a member) changed since the last commit.
-        self._dirty: set[GroupKey] = set()
+        #: The chunk-granular dirty ledger: cell -> accumulated dirt, resolved
+        #: to the perturbed chunk indices at commit time.
+        self._dirty: dict[GroupKey, _CellDirt] = {}
         self._dirty_passthrough: set[int] = set()
         self._removed_passthrough: dict[int, FlexOffer] = {}
         #: Committed aggregation output per cell.
@@ -160,6 +207,14 @@ class LiveAggregationEngine:
     @property
     def dirty_cell_count(self) -> int:
         return len(self._dirty)
+
+    @property
+    def dirty_chunk_count(self) -> int:
+        """Chunks the next commit would re-aggregate (resolved on demand)."""
+        return sum(
+            len(self._dirty_chunks(cell, dirt, sorted(self._cells.get(cell, ()))))
+            for cell, dirt in self._dirty.items()
+        )
 
     @property
     def has_pending_changes(self) -> bool:
@@ -211,8 +266,7 @@ class LiveAggregationEngine:
         if isinstance(event, OfferAdded):
             self._insert(event.offer)
         elif isinstance(event, OfferUpdated):
-            self._remove(event.offer.id)
-            self._insert(event.offer)
+            self._update(event.offer)
         elif isinstance(event, OfferWithdrawn):
             self._remove(event.offer_id)
         elif isinstance(event, OfferStateChanged):
@@ -232,6 +286,14 @@ class LiveAggregationEngine:
             if result is not None:
                 results.append(result)
         return results
+
+    def _mark_structural(self, cell: GroupKey, offer_id: int) -> None:
+        """Record a membership change (insert/withdraw) of ``offer_id`` in ``cell``."""
+        self._dirty.setdefault(cell, _CellDirt()).note_structural(offer_id)
+
+    def _mark_touched(self, cell: GroupKey, offer_id: int) -> None:
+        """Record an in-place revision of ``offer_id`` (cell membership unchanged)."""
+        self._dirty.setdefault(cell, _CellDirt()).touched.add(offer_id)
 
     def _insert(self, offer: FlexOffer, cell: GroupKey | None = None) -> None:
         if offer.id in self._offers or offer.id in self._passthrough:
@@ -253,7 +315,25 @@ class LiveAggregationEngine:
         self._offers[offer.id] = offer
         self._cells.setdefault(cell, set()).add(offer.id)
         self._cell_of[offer.id] = cell
-        self._dirty.add(cell)
+        self._mark_structural(cell, offer.id)
+
+    def _update(self, offer: FlexOffer, cell: GroupKey | None = None) -> None:
+        """Apply a revision: in place when the grid cell is unchanged.
+
+        A revision that keeps the offer in its cell leaves the membership —
+        and therefore the chunk layout — untouched, so only the one chunk
+        containing the offer needs re-aggregation.  Anything else (cell
+        migration, passthrough, unknown id) falls back to remove + insert.
+        """
+        if not offer.is_aggregate and offer.id in self._offers:
+            if cell is None:
+                cell = group_key(offer, self.parameters)
+            if self._cell_of[offer.id] == cell:
+                self._offers[offer.id] = offer
+                self._mark_touched(cell, offer.id)
+                return
+        self._remove(offer.id)
+        self._insert(offer, cell)
 
     def _remove(self, offer_id: int) -> None:
         if offer_id in self._passthrough:
@@ -268,7 +348,7 @@ class LiveAggregationEngine:
         if not members:
             del self._cells[cell]
         del self._offers[offer_id]
-        self._dirty.add(cell)
+        self._mark_structural(cell, offer_id)
 
     def _change_state(self, event: OfferStateChanged) -> None:
         offer = self.offer(event.offer_id)
@@ -277,10 +357,11 @@ class LiveAggregationEngine:
             self._passthrough[offer.id] = transitioned
             self._dirty_passthrough.add(offer.id)
             return
-        # State does not enter the grouping key, so the cell stays put; the
-        # cell is still dirtied because its aggregate's metadata may change.
+        # State does not enter the grouping key, so the cell — and with it the
+        # chunk layout — stays put; only the offer's own chunk is perturbed
+        # (its aggregate's metadata may change).
         self._offers[offer.id] = transitioned
-        self._dirty.add(self._cell_of[offer.id])
+        self._mark_touched(self._cell_of[offer.id], offer.id)
 
     # ------------------------------------------------------------------
     # Commit: re-aggregate only the dirty cells
@@ -299,7 +380,7 @@ class LiveAggregationEngine:
         """
         started = time.perf_counter()
         events_applied = self._pending_events
-        dirty, changed, removed = self.commit_core()
+        dirty, changed, removed, stats = self.commit_core()
         # A raw offer migrating between cells in one commit leaves its old cell
         # (removed) and enters its new one (changed); it is still live, so it
         # must not be reported as removed or mirrors would drop it.
@@ -313,13 +394,41 @@ class LiveAggregationEngine:
             changed=changed,
             removed=removed,
             elapsed_seconds=time.perf_counter() - started,
+            chunks_reaggregated=stats.reaggregated,
+            chunks_skipped=stats.skipped,
         )
         if self.hub is not None:
             self.hub.publish(result)
         return result
 
-    def commit_core(self) -> tuple[tuple[GroupKey, ...], list[FlexOffer], list[FlexOffer]]:
-        """Drain the dirty state; returns ``(dirty_cells, changed, removed)``.
+    def _dirty_chunks(
+        self, cell: GroupKey, dirt: _CellDirt, member_ids: list[int]
+    ) -> set[int]:
+        """Resolve one cell's accumulated dirt to the perturbed chunk indices.
+
+        ``member_ids`` is the *surviving* sorted membership.  Structural dirt
+        perturbs every chunk from the smallest inserted/withdrawn id's
+        insertion point onwards (:func:`chunks_from`); in-place touches
+        perturb exactly the chunk containing the member
+        (:func:`chunk_assignment`).  Touched ids that were later withdrawn
+        are covered by the structural range and skipped here.
+        """
+        max_group_size = self.parameters.max_group_size
+        dirty_chunks: set[int] = set()
+        if dirt.structural_from is not None:
+            dirty_chunks.update(chunks_from(member_ids, dirt.structural_from, max_group_size))
+        for offer_id in dirt.touched:
+            # One bisect does both jobs: membership check and chunk rank
+            # (the rank is chunk_assignment's formula inlined).
+            index = bisect_left(member_ids, offer_id)
+            if index < len(member_ids) and member_ids[index] == offer_id:
+                dirty_chunks.add(index // max_group_size if max_group_size > 0 else 0)
+        return dirty_chunks
+
+    def commit_core(
+        self,
+    ) -> tuple[tuple[GroupKey, ...], list[FlexOffer], list[FlexOffer], ChunkStats]:
+        """Drain the dirty state; returns ``(dirty_cells, changed, removed, stats)``.
 
         The engine-composition seam: :meth:`commit` wraps this with timing,
         migration filtering, sequence numbering and hub publication, and the
@@ -327,18 +436,33 @@ class LiveAggregationEngine:
         are paid once per *logical* commit, not once per shard.  ``removed``
         is unfiltered — an offer that migrated cells appears in both lists;
         callers apply the changed-wins rule over their merged result.
-        Resets the dirty sets and the pending-event counter.
+        Resets the dirty ledger and the pending-event counter.
+
+        Within each dirty cell only the *perturbed* chunks re-aggregate; a
+        clean chunk's committed output object is reused untouched — its
+        member list is provably identical (see :class:`_CellDirt`).  The
+        split is reported through ``stats``.
         """
         changed: list[FlexOffer] = []
         removed: list[FlexOffer] = []
+        reaggregated = 0
+        skipped = 0
         dirty = tuple(sorted(self._dirty))
         for cell in dirty:
             old_outputs = self._outputs.get(cell, [])
-            members = [self._offers[i] for i in sorted(self._cells.get(cell, ()))]
+            member_ids = sorted(self._cells.get(cell, ()))
+            members = [self._offers[i] for i in member_ids]
+            dirty_chunks = self._dirty_chunks(cell, self._dirty[cell], member_ids)
+            chunks = chunk_group(members, self.parameters.max_group_size) if members else []
             new_outputs: list[FlexOffer] = []
-            for chunk_index, group in enumerate(chunk_group(members, self.parameters.max_group_size)):
-                if not group:
+            for chunk_index, group in enumerate(chunks):
+                if chunk_index not in dirty_chunks and chunk_index < len(old_outputs):
+                    # Clean chunk: the stability rule guarantees its member
+                    # list is exactly the committed one — reuse the output.
+                    new_outputs.append(old_outputs[chunk_index])
+                    skipped += 1
                     continue
+                reaggregated += 1
                 if len(group) == 1:
                     # Mirror the batch pipeline: 1-offer groups pass through raw.
                     new_outputs.append(group[0])
@@ -352,7 +476,8 @@ class LiveAggregationEngine:
             old_by_id = {offer.id: offer for offer in old_outputs}
             new_by_id = {offer.id: offer for offer in new_outputs}
             for offer_id, offer in new_by_id.items():
-                if old_by_id.get(offer_id) != offer:
+                previous = old_by_id.get(offer_id)
+                if previous is not offer and previous != offer:
                     changed.append(offer)
             for offer_id, offer in old_by_id.items():
                 if offer_id not in new_by_id:
@@ -376,7 +501,7 @@ class LiveAggregationEngine:
         self._dirty_passthrough.clear()
         self._removed_passthrough.clear()
         self._pending_events = 0
-        return dirty, changed, removed
+        return dirty, changed, removed, ChunkStats(reaggregated, skipped)
 
     # ------------------------------------------------------------------
     # Aggregated state

@@ -40,7 +40,12 @@ from repro.aggregation.grouping import GroupKey, group_key
 from repro.aggregation.parameters import AggregationParameters
 from repro.errors import LiveEngineError
 from repro.flexoffer.model import FlexOffer
-from repro.live.engine import CommitResult, LiveAggregationEngine, cell_key_string
+from repro.live.engine import (
+    ChunkStats,
+    CommitResult,
+    LiveAggregationEngine,
+    cell_key_string,
+)
 from repro.live.events import (
     OfferAdded,
     OfferEvent,
@@ -179,6 +184,11 @@ class ShardedAggregationEngine:
         return sum(shard.dirty_cell_count for shard in self._shards)
 
     @property
+    def dirty_chunk_count(self) -> int:
+        """Chunks the next logical commit would re-aggregate, across shards."""
+        return sum(shard.dirty_chunk_count for shard in self._shards)
+
+    @property
     def dirty_shard_count(self) -> int:
         return len(self._dirty_shards)
 
@@ -303,8 +313,14 @@ class ShardedAggregationEngine:
         else:
             cell = group_key(offer, self.parameters)
             target = self._route_cell(cell)
-        # An update is remove+insert, exactly as in the base engine; when the
-        # revision moved the offer to a cell another shard owns, the two
+        if target == index:
+            # Same shard: the shard's own update path keeps the revision
+            # in place when the cell is unchanged, so only the one chunk
+            # containing the offer turns dirty.
+            self._shards[index]._update(offer, cell)
+            self._dirty_shards.add(index)
+            return
+        # The revision moved the offer to a cell another shard owns: the two
         # halves hit different shards and the merged commit applies the same
         # migration rule — the offer is reported changed, never removed.
         self._shards[index]._remove(offer.id)
@@ -351,10 +367,12 @@ class ShardedAggregationEngine:
         changed: list[FlexOffer] = []
         removed: list[FlexOffer] = []
         dirty_cells: list[GroupKey] = []
-        for shard_dirty, shard_changed, shard_removed in drains:
+        stats = ChunkStats()
+        for shard_dirty, shard_changed, shard_removed, shard_stats in drains:
             changed.extend(shard_changed)
             removed.extend(shard_removed)
             dirty_cells.extend(shard_dirty)
+            stats = stats + shard_stats
         # The changed-wins migration rule over the merged result: an offer that
         # migrated cells — within a shard or across shards — is still live.
         changed_ids = {offer.id for offer in changed}
@@ -367,6 +385,8 @@ class ShardedAggregationEngine:
             changed=changed,
             removed=removed,
             elapsed_seconds=time.perf_counter() - started,
+            chunks_reaggregated=stats.reaggregated,
+            chunks_skipped=stats.skipped,
             shard_indices=tuple(index for index, _ in dirty_shards),
         )
         self._pending_events = 0

@@ -155,6 +155,10 @@ class LiveEngine:
         #: Events this backend consumed since construction/reset — the
         #: event-log offset checkpoints record (see :mod:`repro.store`).
         self._events_ingested = 0
+        #: Cumulative chunk-granularity counters over every commit this
+        #: backend observed (the async backend feeds them from its worker).
+        self._chunks_reaggregated = 0
+        self._chunks_skipped = 0
         # The warehouse first: engine builders (the async worker's mirroring
         # hooks) may need it.
         self.warehouse = LiveWarehouse(
@@ -204,12 +208,30 @@ class LiveEngine:
         """
         self._events_ingested += count
 
+    @property
+    def dirty_chunk_count(self) -> int:
+        """Chunks the next commit would re-aggregate (0 when clean)."""
+        return getattr(self.engine, "dirty_chunk_count", 0)
+
+    @property
+    def chunk_stats(self) -> dict[str, int]:
+        """Cumulative ``chunks_reaggregated`` / ``chunks_skipped`` totals."""
+        return {
+            "chunks_reaggregated": self._chunks_reaggregated,
+            "chunks_skipped": self._chunks_skipped,
+        }
+
+    def _note_commit(self, result: CommitResult) -> None:
+        self._chunks_reaggregated += result.chunks_reaggregated
+        self._chunks_skipped += result.chunks_skipped
+
     def ingest(self, event: OfferEvent) -> CommitResult | None:
         """Apply one event to the engine and mirror it into the warehouse."""
         result = self.engine.apply(event)
         self.warehouse.apply(event)
         self._events_ingested += 1
         if result is not None:
+            self._note_commit(result)
             self.warehouse.apply_commit(result)
         return result
 
@@ -225,6 +247,7 @@ class LiveEngine:
     def commit(self) -> CommitResult:
         """Commit pending events and mirror the aggregate changes."""
         result = self.engine.commit()
+        self._note_commit(result)
         self.warehouse.apply_commit(result)
         return result
 
@@ -245,6 +268,8 @@ class LiveEngine:
         )
         self.engine = self._build_engine()
         self._events_ingested = 0
+        self._chunks_reaggregated = 0
+        self._chunks_skipped = 0
 
     def close(self) -> None:
         """Release engine-owned resources (worker threads, commit pools)."""
@@ -373,6 +398,7 @@ class AsyncEngine(LiveEngine):
         self.warehouse.apply(event)
 
     def _mirror_commit(self, result: CommitResult) -> None:
+        self._note_commit(result)
         self.warehouse.apply_commit(result)
 
     def ingest(self, event: OfferEvent) -> CommitResult | None:

@@ -373,6 +373,11 @@ class FlexSession:
         summary = self.repository.summary()
         summary["engine"] = self.engine_name
         summary["views"] = list(self.view_names)
+        chunk_stats = getattr(self.engine, "chunk_stats", None)
+        if chunk_stats is not None:
+            # Chunk-granularity instrumentation of the live-family backends:
+            # how much work the dirty ledger actually did vs skipped.
+            summary.update(chunk_stats)
         return summary
 
     def describe(self) -> str:

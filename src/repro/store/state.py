@@ -171,6 +171,9 @@ def _restore_grid(
     engine._committed_passthrough.clear()
     engine._cells.clear()
     engine._cell_of.clear()
+    # The chunk-granular dirty ledger restores *clean*: the snapshot describes
+    # a committed state, so the first post-restore commit must re-aggregate
+    # only what the replayed tail actually perturbs — never the whole grid.
     engine._dirty.clear()
     engine._dirty_passthrough.clear()
     engine._removed_passthrough.clear()
@@ -212,6 +215,8 @@ def _restore_grid(
             engine._constituents[aggregate.id] = list(group)
             outputs.append(aggregate)
             used.add(key)
+        # ``outputs`` is chunk-index aligned — the invariant the engine's
+        # clean-chunk reuse (``commit_core``) depends on.
         engine._outputs[cell] = outputs
     stale = set(recorded) - used
     if stale:

@@ -264,3 +264,148 @@ class TestMetrics:
         metrics = evaluate(offer_batch, result)
         assert metrics.aggregated_count == metrics.original_count
         assert metrics.time_flexibility_loss_ratio == 0.0
+
+
+class TestKernel:
+    """Numpy kernel ≡ scalar fallback, bit for bit, and the fallback story."""
+
+    def _adversarial_groups(self):
+        """Groups built to stress the kernels: empty-band slices, singletons,
+        misaligned multi-slot durations, ragged profile lengths."""
+        from dataclasses import replace as dc_replace
+
+        from repro.flexoffer.model import ProfileSlice
+
+        zero_band = dc_replace(
+            make_offer(offer_id=1, earliest_start=40, time_flexibility=6),
+            profile=(ProfileSlice(0.0, 0.0), ProfileSlice(0.0, 2.5)),
+        )
+        misaligned = dc_replace(
+            make_offer(offer_id=2, earliest_start=41, time_flexibility=7),
+            profile=(ProfileSlice(1.0, 2.0, 3), ProfileSlice(0.7, 0.9)),
+        )
+        long_tail = dc_replace(
+            make_offer(offer_id=3, earliest_start=40, time_flexibility=9),
+            profile=tuple(
+                ProfileSlice(0.1 * i, 0.1 * i + 1e-9, 1 + i % 4) for i in range(12)
+            ),
+        )
+        plain = make_offer(offer_id=4, earliest_start=42, time_flexibility=8)
+        return [
+            [zero_band],
+            [plain, misaligned],
+            [zero_band, misaligned, long_tail, plain],
+            [make_offer(offer_id=i, earliest_start=40 + i % 3, time_flexibility=5)
+             for i in range(10, 60)],
+        ]
+
+    def test_numpy_and_scalar_are_bit_identical(self):
+        import struct
+
+        from repro.aggregation import kernel
+
+        if not kernel.numpy_available():
+            pytest.skip("numpy unavailable")
+        for group in self._adversarial_groups():
+            with kernel.force_kernel("scalar"):
+                expected = aggregate_group(group, 77)
+            with kernel.force_kernel("numpy"):
+                actual = aggregate_group(group, 77)
+            assert actual == expected
+            # Equality on floats can hide signed zeros; compare raw bits too.
+            for ours, theirs in zip(actual.profile, expected.profile):
+                assert struct.pack("<dd", ours.min_energy, ours.max_energy) == struct.pack(
+                    "<dd", theirs.min_energy, theirs.max_energy
+                )
+
+    def test_profile_bounds_property_bit_identity(self):
+        from repro.aggregation import kernel
+
+        if not kernel.numpy_available():
+            pytest.skip("numpy unavailable")
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from dataclasses import replace as dc_replace
+
+        from repro.flexoffer.model import ProfileSlice
+
+        slices = st.tuples(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            st.integers(min_value=1, max_value=4),
+        )
+
+        @given(
+            profiles=st.lists(st.lists(slices, min_size=1, max_size=6), min_size=1, max_size=8),
+            starts=st.lists(st.integers(min_value=40, max_value=47), min_size=8, max_size=8),
+        )
+        @settings(deadline=None, max_examples=40)
+        def check(profiles, starts):
+            group = []
+            for index, pieces in enumerate(profiles):
+                profile = tuple(
+                    ProfileSlice(min(low, high), max(low, high), duration)
+                    for low, high, duration in pieces
+                )
+                group.append(
+                    dc_replace(
+                        make_offer(
+                            offer_id=index + 1,
+                            earliest_start=starts[index],
+                            time_flexibility=5,
+                        ),
+                        profile=profile,
+                    )
+                )
+            anchor = min(offer.earliest_start_slot for offer in group)
+            offsets = [offer.earliest_start_slot - anchor for offer in group]
+            length = max(
+                offset + offer.profile_duration_slots
+                for offset, offer in zip(offsets, group)
+            )
+            scalar = kernel.profile_bounds_scalar(group, offsets, length)
+            vectorized = kernel.profile_bounds_numpy(group, offsets, length)
+            assert vectorized == scalar
+
+        check()
+
+    def test_fallback_engages_without_numpy(self, monkeypatch):
+        from repro.aggregation import kernel
+
+        group = [
+            make_offer(offer_id=i, earliest_start=40, time_flexibility=5)
+            for i in range(1, 80)  # big enough that auto mode would pick numpy
+        ]
+        with kernel.force_kernel("scalar"):
+            expected = aggregate_group(group, 5)
+        monkeypatch.setattr(kernel, "_np", None)
+        result = aggregate_group(group, 5)
+        assert kernel.last_kernel_used() == "scalar"
+        assert result == expected
+        # Explicitly requesting the numpy kernel without numpy must raise, not
+        # silently fall back: callers asked for something impossible.
+        with pytest.raises(AggregationError):
+            kernel.profile_bounds_numpy(group, [0] * len(group), 3)
+
+    def test_auto_dispatch_picks_numpy_for_large_groups(self):
+        from repro.aggregation import kernel
+
+        if not kernel.numpy_available():
+            pytest.skip("numpy unavailable")
+        small = [make_offer(offer_id=1, earliest_start=40, time_flexibility=5)]
+        large = [
+            make_offer(offer_id=i, earliest_start=40, time_flexibility=5)
+            for i in range(1, 80)
+        ]
+        aggregate_group(large, 9)
+        assert kernel.last_kernel_used() == "numpy"
+        aggregate_group(small, 9)
+        assert kernel.last_kernel_used() == "scalar"
+
+    def test_force_kernel_rejects_unknown_mode(self):
+        from repro.aggregation import kernel
+
+        with pytest.raises(AggregationError):
+            with kernel.force_kernel("simd"):
+                pass

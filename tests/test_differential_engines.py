@@ -1,0 +1,197 @@
+"""Black-box differential stress harness over all four engines.
+
+In the spirit of black-box checkers that validate engine behaviour purely
+through observable results, this harness never reaches into an engine's
+private state: it keeps its own mirror of the live population, feeds
+randomized event interleavings — inserts, in-place mutations, cell
+migrations, withdrawals, mid-stream flush/commit points, varied
+``max_group_size`` — to every incremental engine (live, sharded, async) side
+by side, and checks observables only:
+
+* **bit-identical aggregate profiles** — at every commit point each engine's
+  output must equal the *batch oracle*
+  (:func:`repro.aggregation.aggregate.aggregate` over the surviving offers)
+  on the id-insensitive :func:`~repro.live.engine.canonical_form` multiset:
+  exact float equality, no tolerance;
+* **stable ids** — an aggregate whose grid cell saw no event between two
+  commit points must reappear *identically* (same id, same profile, same
+  constituents): neither the chunk-granular dirty ledger nor the sharded
+  fan-out may disturb untouched output;
+* **cross-kernel bit-identity** — the oracle is pinned to one
+  :mod:`repro.aggregation.kernel` path while the engines run the other, so
+  any drift between the scalar and numpy kernels fails on realistic
+  workloads, not just on synthetic profiles.
+
+Registered in the weekly ``HYPOTHESIS_PROFILE=extended`` CI run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import replace
+from datetime import timedelta
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation.aggregate import aggregate
+from repro.aggregation.grouping import group_key
+from repro.aggregation.kernel import force_kernel, numpy_available
+from repro.aggregation.parameters import AggregationParameters
+from repro.live.asynccommit import AsyncCommitEngine
+from repro.live.engine import LiveAggregationEngine, canonical_form
+from repro.live.events import OfferAdded, OfferUpdated, OfferWithdrawn
+from repro.live.sharded import ShardedAggregationEngine
+from tests.conftest import make_offer
+
+#: Interleaved op codes the random scripts are built from.
+INSERT, MUTATE, MIGRATE, WITHDRAW, COMMIT, FLUSH = range(6)
+
+#: One scripted op: (op code, selector int, magnitude int).  Weighted toward
+#: mutations and commits — that is where chunk reuse and id stability break.
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            (INSERT, INSERT, MUTATE, MUTATE, MUTATE, MIGRATE, WITHDRAW, COMMIT, COMMIT, FLUSH)
+        ),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=400),
+    ),
+    min_size=4,
+    max_size=60,
+)
+
+
+def _fresh_engines(parameters: AggregationParameters):
+    """The three incremental engines under test, keyed by name."""
+    return {
+        "live": LiveAggregationEngine(parameters),
+        "sharded": ShardedAggregationEngine(parameters, shard_count=3, parallel=False),
+        "async": AsyncCommitEngine(
+            ShardedAggregationEngine(parameters, shard_count=2), drain_batch=5
+        ),
+    }
+
+
+def _canonical(offers) -> Counter:
+    return Counter(canonical_form(offer) for offer in offers)
+
+
+def run_differential(ops, max_group_size, engine_kernel, oracle_kernel) -> None:
+    """Drive one random script through all engines; check at every commit."""
+    parameters = AggregationParameters(max_group_size=max_group_size)
+    engines = _fresh_engines(parameters)
+    #: The harness's own population mirror (black-box ground truth).
+    population: dict[int, object] = {}
+    order: list[int] = []
+    #: Grid cells any event touched since the last commit point.
+    affected_cells: set = set()
+    #: Aggregates each engine reported at its previous commit point.
+    previous_aggregates: dict[str, list] = {name: [] for name in engines}
+    next_id = 1
+    try:
+        with force_kernel(engine_kernel):
+            for op, selector, magnitude in ops:
+                if op == FLUSH:
+                    engines["async"].flush()
+                    continue
+                if op == COMMIT:
+                    for name, engine in engines.items():
+                        engine.commit()
+                        output = engine.aggregated_offers()
+                        current = {offer for offer in output if offer.is_aggregate}
+                        for prior in previous_aggregates[name]:
+                            member = population.get(prior.constituent_ids[0])
+                            if member is None:
+                                continue  # a constituent was withdrawn: touched
+                            if group_key(member, parameters) in affected_cells:
+                                continue
+                            assert prior in current, (
+                                f"{name}: untouched aggregate {prior.id} "
+                                f"(constituents {sorted(prior.constituent_ids)}) was disturbed"
+                            )
+                        previous_aggregates[name] = [
+                            offer for offer in output if offer.is_aggregate
+                        ]
+                    affected_cells.clear()
+                    continue
+                if op == INSERT or not order:
+                    offer = make_offer(
+                        offer_id=next_id,
+                        earliest_start=36 + selector % 12,
+                        time_flexibility=4 + selector % 6,
+                        prosumer_id=selector % 5 + 1,
+                    )
+                    next_id += 1
+                    population[offer.id] = offer
+                    order.append(offer.id)
+                    affected_cells.add(group_key(offer, parameters))
+                    event = OfferAdded(offer.creation_time, offer)
+                elif op in (MUTATE, MIGRATE):
+                    target = order[selector % len(order)]
+                    current = population[target]
+                    revised = replace(
+                        current, price_per_kwh=current.price_per_kwh + magnitude / 100.0
+                    )
+                    if op == MIGRATE:
+                        # Shift the start enough to change the grid cell (and,
+                        # for the sharded engine, possibly the owning shard).
+                        revised = replace(
+                            revised,
+                            earliest_start_slot=current.earliest_start_slot + magnitude,
+                            latest_start_slot=current.latest_start_slot + magnitude,
+                        )
+                    population[target] = revised
+                    affected_cells.add(group_key(current, parameters))
+                    affected_cells.add(group_key(revised, parameters))
+                    event = OfferUpdated(current.creation_time, revised)
+                else:  # WITHDRAW
+                    target = order.pop(selector % len(order))
+                    offer = population.pop(target)
+                    affected_cells.add(group_key(offer, parameters))
+                    event = OfferWithdrawn(
+                        offer.assignment_deadline + timedelta(minutes=15), target
+                    )
+                for engine in engines.values():
+                    engine.apply(event)
+            # Final barrier: every engine commits and must agree with the
+            # batch oracle bit for bit, on an identical surviving population.
+            states = {}
+            surviving = None
+            for name, engine in engines.items():
+                engine.commit()
+                states[name] = _canonical(engine.aggregated_offers())
+                offers = engine.offers()
+                assert [o.id for o in offers] == sorted(population), (
+                    f"{name}: surviving population diverged from the mirror"
+                )
+                surviving = offers
+        with force_kernel(oracle_kernel):
+            oracle = _canonical(aggregate(surviving, parameters, id_offset=1_000_000).offers)
+        for name, state in states.items():
+            assert state == oracle, f"{name} diverged from the batch oracle"
+    finally:
+        for engine in engines.values():
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+
+
+@pytest.mark.parametrize("max_group_size", (0, 1, 3, 5))
+@given(ops=_ops)
+@settings(deadline=None)
+def test_random_interleavings_stay_equivalent(max_group_size, ops):
+    """Random scripts: engines ≡ batch oracle, untouched output undisturbed."""
+    run_differential(ops, max_group_size, engine_kernel=None, oracle_kernel="scalar")
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy kernel unavailable")
+@pytest.mark.parametrize(
+    "engine_kernel,oracle_kernel", (("numpy", "scalar"), ("scalar", "numpy"))
+)
+@given(ops=_ops)
+@settings(deadline=None, max_examples=25)
+def test_cross_kernel_bit_identity(engine_kernel, oracle_kernel, ops):
+    """Engines on one kernel, oracle on the other: still bit-identical."""
+    run_differential(ops, 3, engine_kernel=engine_kernel, oracle_kernel=oracle_kernel)

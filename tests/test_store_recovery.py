@@ -407,3 +407,53 @@ def test_session_checkpoint_records_backend_offset(tmp_path):
     assert checkpoint.log_offset == 30
     assert checkpoint.manifest["version"] == 1
     session.close()
+
+
+@pytest.mark.parametrize("target_engine", ("live", "sharded"))
+def test_restore_rebuilds_chunk_ledger_clean(target_engine):
+    """Restore must not cause spurious first-commit re-aggregation.
+
+    Regression test for the chunk-granular dirty ledger: a restored engine
+    is a *committed* state, so an immediate commit re-aggregates nothing,
+    and the first real mutation re-aggregates exactly the one chunk it
+    perturbs — the clean chunks of the restored cell are reused, proving
+    the per-(cell, chunk) outputs were rebuilt chunk-index aligned.
+    """
+    from dataclasses import replace
+
+    from repro.aggregation.parameters import AggregationParameters
+    from repro.live.engine import LiveAggregationEngine
+    from repro.live.events import OfferAdded, OfferUpdated
+    from repro.live.sharded import ShardedAggregationEngine
+    from tests.conftest import make_offer
+
+    parameters = AggregationParameters(max_group_size=4)
+    source = LiveAggregationEngine(parameters)
+    for index in range(1, 65):  # one cell, 16 chunks of 4
+        offer = make_offer(offer_id=index, earliest_start=40, time_flexibility=8)
+        source.apply(OfferAdded(offer.creation_time, offer))
+    source.commit()
+    state = capture_engine_state(source)
+
+    restored = (
+        LiveAggregationEngine(parameters)
+        if target_engine == "live"
+        else ShardedAggregationEngine(parameters, shard_count=3, parallel=False)
+    )
+    restore_engine_state(restored, state)
+    assert restored.dirty_chunk_count == 0
+    clean = restored.commit()
+    assert clean.chunks_reaggregated == 0
+    assert clean.chunks_skipped == 0
+    assert clean.dirty_cells == ()
+
+    current = restored.offer(42)
+    restored.apply(
+        OfferUpdated(current.creation_time, replace(current, price_per_kwh=55.5))
+    )
+    result = restored.commit()
+    assert result.chunks_reaggregated == 1
+    assert result.chunks_skipped == 15
+    state_live = Counter(canonical_form(o) for o in restored.aggregated_offers())
+    state_batch = Counter(canonical_form(o) for o in restored.batch_equivalent().offers)
+    assert state_live == state_batch
