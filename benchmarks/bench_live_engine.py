@@ -232,6 +232,90 @@ def test_chunked_commit_granularity(benchmark, large_offer_scenario):
     assert rows["speedup"] >= 3.0
 
 
+def obs_overhead(offers, rounds: int = 15, fraction: float = 0.05) -> dict:
+    """Enabled-vs-disabled observability cost on the commit path, interleaved.
+
+    Two identical live engines run the same revise-and-commit workload; one
+    commits with :mod:`repro.obs` enabled, the other with it disabled, rounds
+    alternating so process drift lands on both equally.  The JSON row carries
+    ``throughput_ratio = disabled_ms / enabled_ms`` — a same-process,
+    machine-independent ratio the trajectory gate holds above its absolute
+    floor (enabled commits must keep >=90% of disabled throughput).
+    """
+    from repro import obs
+
+    modes = ("disabled", "enabled")
+    engines = {mode: _seeded_engine(offers) for mode in modes}
+    rngs = {mode: np.random.default_rng(11) for mode in modes}
+    touched = max(1, int(len(offers) * fraction))
+    timings: dict[str, list[float]] = {mode: [] for mode in modes}
+    obs.reset()
+    try:
+        for _ in range(rounds):
+            for mode in modes:
+                engine, rng = engines[mode], rngs[mode]
+                for position in rng.choice(len(offers), size=touched, replace=False):
+                    current = engine.offer(offers[position].id)
+                    engine.apply(
+                        OfferUpdated(
+                            current.creation_time,
+                            replace(
+                                current,
+                                price_per_kwh=current.price_per_kwh * 1.01 + 0.001,
+                            ),
+                        )
+                    )
+                if mode == "enabled":
+                    obs.enable()
+                started = time.perf_counter()
+                engine.commit()
+                timings[mode].append(time.perf_counter() - started)
+                obs.disable()
+    finally:
+        obs.disable()
+        obs.reset()
+    disabled = statistics.median(timings["disabled"])
+    enabled = statistics.median(timings["enabled"])
+    return {
+        "touched_offers": touched,
+        "rounds": rounds,
+        "disabled_commit_ms": round(disabled * 1000, 3),
+        "enabled_commit_ms": round(enabled * 1000, 3),
+        "throughput_ratio": round(disabled / enabled, 3),
+    }
+
+
+def stage_breakdown(scenario, engine_name: str = "live") -> dict:
+    """Per-stage latency rows from one instrumented replay-and-query pass.
+
+    Goes through a :class:`FlexSession` (not a bare engine) so the commit,
+    kernel *and* query stages all record — the trajectory gate requires all
+    three to stay present in the ``--json`` summary.
+    """
+    from benchmarks.conftest import stage_rows
+    from repro import obs
+    from repro.session import FlexSession
+
+    obs.reset()
+    obs.enable()
+    try:
+        session = FlexSession(
+            scenario, engine=engine_name, micro_batch_size=64, live_preload=False
+        )
+        log = scenario_event_stream(
+            scenario, update_fraction=0.1, withdraw_fraction=0.05, seed=7
+        )
+        session.replay(log.replay_order())
+        session.offers().where(state="assigned").fetch()
+        session.offers().aggregate().fetch()
+        session.close()
+    finally:
+        obs.disable()
+    rows = stage_rows(obs.get_registry())
+    obs.reset()
+    return rows
+
+
 def _replay_report(name, scenario, micro_batch_size: int = 64):
     engine = make_engine(name, micro_batch_size=micro_batch_size)
     log = scenario_event_stream(
@@ -377,6 +461,22 @@ def main(argv=None) -> int:
         f"  chunked workload: 1 of {chunked['chunks']} chunks {chunked['one_chunk_ms']:.3f} ms, "
         f"full cell {chunked['full_cell_ms']:.3f} ms, speedup {chunked['speedup']:.1f}x"
     )
+    # Observability overhead: enabled commits must stay within 10% of disabled.
+    overhead = obs_overhead(offers, rounds=rounds)
+    summary["obs"] = overhead
+    print(
+        f"  obs overhead: disabled {overhead['disabled_commit_ms']:.3f} ms, "
+        f"enabled {overhead['enabled_commit_ms']:.3f} ms, "
+        f"throughput ratio {overhead['throughput_ratio']:.3f}"
+    )
+    # Per-stage latency breakdown from one instrumented replay.
+    stages = stage_breakdown(scenario)
+    summary["stages"] = stages
+    for stage, row in sorted(stages.items()):
+        print(
+            f"  stage {stage:<42} n={row['count']:<5} mean {row['mean_ms']:8.4f} ms "
+            f"p95 {row['p95_ms']:8.4f} ms"
+        )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)

@@ -125,6 +125,43 @@ def recovery_summary(scenario, rounds: int = 3) -> dict:
     }
 
 
+def store_stage_breakdown(scenario) -> dict:
+    """Per-stage store latency rows from one instrumented checkpoint cycle.
+
+    Runs record -> checkpoint -> compact -> restore once with :mod:`repro.obs`
+    enabled and returns the ``store.*`` histograms as JSON-ready rows, so the
+    trajectory gate can require the durability stages to stay instrumented.
+    """
+    from benchmarks.conftest import stage_rows
+    from repro import obs
+
+    ordered = _event_stream(scenario, churn_rounds=2)
+    obs.reset()
+    obs.enable()
+    try:
+        with tempfile.TemporaryDirectory(prefix="bench-obs-store-") as directory:
+            writer = FlexSession(
+                scenario, engine="live", micro_batch_size=BATCH_SIZE, live_preload=False
+            )
+            manager = RecoveryManager(directory)
+            manager.record(ordered)
+            writer.replay(ordered)
+            manager.checkpoint(writer)
+            manager.compact()
+            writer.close()
+            session = manager.restore(scenario=scenario, micro_batch_size=BATCH_SIZE)
+            session.close()
+    finally:
+        obs.disable()
+    rows = {
+        name: row
+        for name, row in stage_rows(obs.get_registry()).items()
+        if name.startswith("repro.store.")
+    }
+    obs.reset()
+    return rows
+
+
 def _delete_throughput(row_count: int) -> float:
     """Deletes per second over a fully indexed table of ``row_count`` rows."""
     table = Table("facts", ["offer_id", "state", "payload"])
@@ -229,11 +266,18 @@ def main(argv=None) -> int:
         f"{deletes['large_rows']} rows {deletes['large_deletes_per_s']:,}/s "
         f"-> scaling {deletes['scaling']:.2f}"
     )
+    stages = store_stage_breakdown(scenario)
+    for stage, row in sorted(stages.items()):
+        print(
+            f"  stage {stage:<32} n={row['count']:<3} mean {row['mean_ms']:8.3f} ms "
+            f"max {row['max_ms']:8.3f} ms"
+        )
     summary = {
         "schema": 1,
         "quick": bool(args.quick),
         "recovery": recovery,
         "deletes": deletes,
+        "stages": stages,
     }
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:

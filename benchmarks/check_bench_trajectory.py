@@ -38,6 +38,14 @@ what gates are machine-independent *ratios*:
   warehouse delete-throughput scaling across table sizes — both gated
   relative to their committed baseline with the same ``TOLERANCE``.
 
+* the observability contract: enabled-vs-disabled commit throughput must
+  stay above the absolute ``OBS_FLOOR`` (0.9 — instrumentation may cost at
+  most 10% of commit throughput; same-engine same-process ratio, so an
+  absolute floor is safe), and the per-stage latency breakdown must keep
+  covering the required stages (commit, kernel, query in the live summary;
+  checkpoint and restore in the recovery summary) — an instrumented path
+  silently losing its instruments is a regression even when it gets faster.
+
 Exit code 0 = trajectory healthy, 1 = regression, 2 = malformed input.
 
 Refreshing the baselines after an *intentional* change: run the quick sweeps
@@ -73,6 +81,35 @@ PARITY_SLACK = 0.10
 #: Absolute floor on the chunked-workload speedup (1 touched chunk of 16 vs
 #: whole-cell re-aggregation) — the ROADMAP live (c) acceptance criterion.
 CHUNKED_FLOOR = 3.0
+
+#: Absolute floor on enabled/disabled commit throughput — instrumentation may
+#: cost at most 10% (same engine, same process: machine-independent ratio).
+OBS_FLOOR = 0.9
+
+#: Stage histograms the live sweep's instrumented replay must cover; each
+#: entry is a group of acceptable names (any one present satisfies the group).
+LIVE_REQUIRED_STAGES = (
+    ("repro.live.commit.seconds",),
+    (
+        "repro.aggregation.kernel.numpy.seconds",
+        "repro.aggregation.kernel.scalar.seconds",
+    ),
+    ("repro.session.query.seconds",),
+)
+
+#: Stage histograms the recovery bench's instrumented cycle must cover.
+RECOVERY_REQUIRED_STAGES = (
+    ("repro.store.checkpoint.seconds",),
+    ("repro.store.restore.seconds",),
+)
+
+
+def _missing_stages(stages: dict, required) -> list[str]:
+    return [
+        " | ".join(group)
+        for group in required
+        if not any(name in stages for name in group)
+    ]
 
 
 def _speedup(summary: dict, engine: str, fraction: str = HEADLINE) -> float:
@@ -155,6 +192,30 @@ def check(current: dict, baseline: dict) -> list[str]:
                 f"chunked: speedup regressed >{TOLERANCE:.0%} "
                 f"({now_c:.1f}x vs baseline {then_c:.1f}x)"
             )
+    # Observability: instrumentation overhead and stage coverage.  Both gate
+    # on the *current* run only (absolute, machine-independent contracts), so
+    # pre-obs baselines stay readable.
+    if "obs" not in current:
+        failures.append("observability overhead row missing from the current sweep")
+    else:
+        ratio = float(current["obs"]["throughput_ratio"])
+        print(
+            f"  obs enabled/disabled    : {ratio:6.3f} "
+            f"(absolute floor {OBS_FLOOR:.2f})"
+        )
+        if ratio < OBS_FLOOR:
+            failures.append(
+                f"obs: instrumentation costs >{1 - OBS_FLOOR:.0%} of commit "
+                f"throughput (enabled/disabled ratio {ratio:.3f} < {OBS_FLOOR:.2f})"
+            )
+    stages = current.get("stages", {})
+    missing = _missing_stages(stages, LIVE_REQUIRED_STAGES)
+    print(
+        f"  obs stage coverage      : {len(stages)} stages recorded, "
+        f"{len(missing)} required group(s) missing"
+    )
+    for group in missing:
+        failures.append(f"obs: no observations for required stage [{group}]")
     # Informational only: absolute wall clock, for the artifact reader.
     for engine in ("live", *REPLAY_GATED):
         row = current["engines"][engine]["sweep"][HEADLINE]
@@ -191,6 +252,14 @@ def check_recovery(current: dict, baseline: dict) -> list[str]:
             f"recovery: delete throughput degrades with table size again "
             f"(scaling {now_s:.2f} vs baseline {then_s:.2f})"
         )
+    stages = current.get("stages", {})
+    missing = _missing_stages(stages, RECOVERY_REQUIRED_STAGES)
+    print(
+        f"  obs store stages        : {len(stages)} recorded, "
+        f"{len(missing)} required missing"
+    )
+    for group in missing:
+        failures.append(f"obs: no observations for required store stage [{group}]")
     print(
         f"  restore wall            : {current['recovery']['restore_ms']:8.1f} ms vs "
         f"cold {current['recovery']['cold_replay_ms']:.1f} ms (informational)"

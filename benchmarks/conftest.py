@@ -33,3 +33,28 @@ def record(benchmark, summary: dict, label: str) -> None:
     print(f"\n[{label}]")
     for key, value in summary.items():
         print(f"  {key:<38} {value}")
+
+
+def stage_rows(registry) -> dict:
+    """Latency histograms with data as JSON-ready per-stage rows (ms).
+
+    Shared by the live and recovery benches: both run part of their workload
+    with :mod:`repro.obs` enabled and persist the per-stage breakdown into
+    their ``--json`` summaries, which ``check_bench_trajectory.py`` gates on
+    stage presence and share drift.
+    """
+    from repro.obs.metrics import Histogram
+
+    rows: dict[str, dict] = {}
+    for instrument in registry.instruments():
+        if not isinstance(instrument, Histogram):
+            continue
+        if not instrument.name.endswith(".seconds") or not instrument.count:
+            continue
+        rows[instrument.name] = {
+            "count": instrument.count,
+            "mean_ms": round(instrument.mean * 1000, 4),
+            "p95_ms": round(instrument.quantile(0.95) * 1000, 4),
+            "max_ms": round(instrument.snapshot()["max"] * 1000, 4),
+        }
+    return rows

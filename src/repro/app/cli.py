@@ -21,6 +21,11 @@ unified facade over scenario, warehouse, engines and views:
 * ``flexviz restore`` — rebuild a session from a checkpoint plus its log
   tail; ``--smoke`` proves the recovery contract (restore ≡ batch rebuild ≡
   cold replay) and exits non-zero on divergence.
+* ``flexviz stats`` — replay a scenario with observability enabled, exercise
+  the query and durability paths, and print the per-stage latency table
+  (commit, kernel dispatch, query, checkpoint/restore); ``--export-jsonl`` /
+  ``--export-prom`` dump the registry through the exporters, ``--smoke``
+  exits non-zero when a required stage recorded nothing.
 """
 
 from __future__ import annotations
@@ -166,6 +171,45 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="prove the recovery contract (restore ≡ batch rebuild ≡ cold replay) "
         "and exit non-zero on divergence",
+    )
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="replay with observability enabled and print the per-stage latency table",
+    )
+    stats.add_argument(
+        "--engine",
+        choices=("live", "sharded", "async"),
+        default="live",
+        help="which incremental engine replays the stream",
+    )
+    stats.add_argument(
+        "--batch-size", type=int, default=64, help="micro-batch size (events per commit)"
+    )
+    stats.add_argument(
+        "--update", type=float, default=0.1, help="fraction of offers revised mid-stream"
+    )
+    stats.add_argument(
+        "--withdraw", type=float, default=0.05, help="fraction of offers withdrawn"
+    )
+    stats.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="measure the scalar/numpy kernel crossover first and dispatch with it",
+    )
+    stats.add_argument(
+        "--export-jsonl", metavar="PATH", help="dump every metric and span as JSON lines"
+    )
+    stats.add_argument(
+        "--export-prom",
+        metavar="PATH",
+        help="dump the registry in the Prometheus text exposition format",
+    )
+    stats.add_argument(
+        "--smoke",
+        action="store_true",
+        help="exit non-zero when a required stage (commit, kernel, query, "
+        "checkpoint/restore) recorded no observations",
     )
     return parser
 
@@ -442,6 +486,142 @@ def _command_restore(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Stages the latency table must cover; ``--smoke`` fails when any recorded
+#: nothing.  Kernel dispatch is one logical stage served by two histograms
+#: (numpy/scalar) — at least one of the pair must have data.
+_REQUIRED_STAGE_GROUPS: tuple[tuple[str, ...], ...] = (
+    # live commits and sharded logical commits record under different names;
+    # the async engine's worker commits land in all three.
+    (
+        "repro.live.commit.seconds",
+        "repro.live.sharded.commit.seconds",
+        "repro.live.async.worker.commit.seconds",
+    ),
+    ("repro.aggregation.kernel.numpy.seconds", "repro.aggregation.kernel.scalar.seconds"),
+    ("repro.session.query.seconds",),
+    ("repro.store.checkpoint.seconds",),
+    ("repro.store.restore.seconds",),
+)
+
+
+def _print_stage_table(registry) -> list[str]:
+    """Print one row per latency histogram with data; returns the names printed."""
+    from repro.obs.metrics import Histogram
+
+    header = (
+        f"{'stage':<34} {'count':>7} {'mean ms':>10} {'p50 ms':>10} "
+        f"{'p95 ms':>10} {'max ms':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    printed = []
+    for instrument in registry.instruments():
+        if not isinstance(instrument, Histogram):
+            continue
+        if not instrument.name.endswith(".seconds") or not instrument.count:
+            continue
+        stage = instrument.name.removeprefix("repro.").removesuffix(".seconds")
+        print(
+            f"{stage:<34} {instrument.count:>7} "
+            f"{instrument.mean * 1000:>10.3f} "
+            f"{instrument.quantile(0.5) * 1000:>10.3f} "
+            f"{instrument.quantile(0.95) * 1000:>10.3f} "
+            f"{instrument.snapshot()['max'] * 1000:>10.3f}"
+        )
+        printed.append(instrument.name)
+    return printed
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    """Replay + query + checkpoint/restore under observability, then report.
+
+    One run exercises every instrumented stage: the event stream drives the
+    commit and kernel paths, two queries the select/aggregate split, and a
+    scratch-directory checkpoint/compact/restore cycle the durability path.
+    The table is computed from the same registry ``--export-*`` dumps, so
+    what the operator reads is exactly what a scrape would ship.
+    """
+    import tempfile
+
+    from repro import obs
+    from repro.live.replay import scenario_event_stream
+    from repro.store import RecoveryManager
+
+    if args.batch_size < 0:
+        print("error: --batch-size must be >= 0", file=sys.stderr)
+        return 2
+    obs.reset()
+    obs.enable()
+    try:
+        if args.calibrate:
+            from repro.aggregation import kernel
+
+            threshold = kernel.calibrate()
+            print(f"kernel calibration    : numpy dispatch at >= {threshold} profile pieces")
+        session = _make_session(
+            args, engine=args.engine, micro_batch_size=args.batch_size, live_preload=False
+        )
+        log = scenario_event_stream(
+            session.scenario,
+            update_fraction=args.update,
+            withdraw_fraction=args.withdraw,
+            seed=args.seed,
+        )
+        ordered = log.replay_order()
+        report = session.replay(ordered)
+        print(report.describe())
+        # The query path: one filtered read, one full aggregation.
+        session.offers().where(state="assigned").fetch()
+        session.offers().aggregate().fetch()
+        # The durability path, in a scratch directory.
+        with tempfile.TemporaryDirectory(prefix="flexviz-stats-") as scratch:
+            manager = RecoveryManager(scratch)
+            manager.record(ordered)
+            manager.checkpoint(session)
+            manager.compact()
+            restored = manager.restore(engine=args.engine, scenario=session.scenario)
+            restored.close()
+        session.close()
+        print()
+        registry = obs.get_registry()
+        recorded = set(_print_stage_table(registry))
+        summary = session.summary()
+        print()
+        print(
+            f"backlog               : pending={summary.get('pending_events', 0)} "
+            f"dirty_cells={summary.get('dirty_cells', 0)} "
+            f"dirty_shards={summary.get('dirty_shards', '-')} "
+            f"queue_depth={summary.get('queue_depth', '-')}"
+        )
+        print(f"tracing spans         : {len(obs.get_tracer().finished())} finished")
+        if args.export_jsonl:
+            lines = obs.export_jsonl(args.export_jsonl, registry, obs.get_tracer())
+            print(f"wrote {lines} JSONL records to {args.export_jsonl}")
+        if args.export_prom:
+            from pathlib import Path
+
+            Path(args.export_prom).write_text(
+                obs.to_prometheus_text(registry), encoding="utf-8"
+            )
+            print(f"wrote Prometheus text format to {args.export_prom}")
+        if args.smoke:
+            missing = [
+                " or ".join(group)
+                for group in _REQUIRED_STAGE_GROUPS
+                if not any(name in recorded for name in group)
+            ]
+            if missing:
+                print(
+                    "stats smoke FAILED: no observations for: " + "; ".join(missing),
+                    file=sys.stderr,
+                )
+                return 1
+            print("stats smoke OK: every required stage recorded observations")
+        return 0
+    finally:
+        obs.disable()
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -456,6 +636,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "live": _command_live,
         "checkpoint": _command_checkpoint,
         "restore": _command_restore,
+        "stats": _command_stats,
     }
     return commands[args.command](args)
 

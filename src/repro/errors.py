@@ -99,6 +99,16 @@ class LiveEngineError(ReproError):
     """
 
 
+class ObservabilityError(ReproError):
+    """Raised by the observability layer (:mod:`repro.obs`).
+
+    Examples: registering the same metric name as two different kinds,
+    decreasing a counter, or a histogram with non-increasing bucket
+    boundaries.  Never raised from a disabled-mode fast path — misuse fails
+    at instrument definition time, not in production hot loops.
+    """
+
+
 class StoreError(ReproError):
     """Raised by the durability subsystem (:mod:`repro.store`).
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Callable, Iterable
 
 from repro.aggregation.aggregate import AggregationResult
@@ -36,9 +37,30 @@ from repro.errors import LiveEngineError
 from repro.flexoffer.model import FlexOffer
 from repro.live.engine import CommitResult
 from repro.live.events import OfferEvent
+from repro.obs import get_registry, get_tracer
+from repro.obs.metrics import COUNT_BUCKETS
 
 #: Queue sentinel telling the worker to exit its loop.
 _STOP = object()
+
+# ----------------------------------------------------------------------
+# Observability: queue depth and worker-side commit cadence.  The worker
+# thread traces its commits on its own thread-local span stack.
+# ----------------------------------------------------------------------
+_OBS = get_registry()
+_TRACER = get_tracer()
+_QUEUE_DEPTH_GAUGE = _OBS.gauge(
+    "repro.live.async.queue_depth", "events enqueued but not yet applied"
+)
+_DRAIN_BATCH_EVENTS = _OBS.histogram(
+    "repro.live.async.drain_batch.events",
+    "events applied between worker commits",
+    COUNT_BUCKETS,
+)
+_WORKER_COMMIT_SECONDS = _OBS.histogram(
+    "repro.live.async.worker.commit.seconds",
+    "worker-side commit latency (inner commit + mirroring hooks)",
+)
 
 
 class AsyncCommitEngine:
@@ -118,7 +140,9 @@ class AsyncCommitEngine:
                 self._error = exc
             finally:
                 self._queue.task_done()
+            _QUEUE_DEPTH_GAUGE.track(self._queue.qsize())
             if applied and (applied >= self.drain_batch or self._queue.empty()):
+                _DRAIN_BATCH_EVENTS.observe(applied)
                 try:
                     self._commit_if_dirty()
                 except BaseException as exc:  # noqa: BLE001
@@ -133,10 +157,19 @@ class AsyncCommitEngine:
             return self._commit_inner()
 
     def _commit_inner(self) -> CommitResult:
-        """One mirrored, logged inner commit (callers hold the lock)."""
-        result = self.inner.commit()
-        if self.on_commit is not None:
-            self.on_commit(result)
+        """One mirrored, logged inner commit (callers hold the lock).
+
+        Instrumented as ``async.commit``: the latency covers the inner commit
+        *and* the mirroring hooks — what a flush barrier actually waits for.
+        The worker thread records on its own thread-local span stack.
+        """
+        started = time.perf_counter() if _OBS.enabled else 0.0
+        with _TRACER.span("async.commit"):
+            result = self.inner.commit()
+            if self.on_commit is not None:
+                self.on_commit(result)
+        if _OBS.enabled:
+            _WORKER_COMMIT_SECONDS.observe(time.perf_counter() - started)
         self._commit_log.append(result)
         self._last_commit = result
         self._total_commits += 1
@@ -159,6 +192,7 @@ class AsyncCommitEngine:
             raise LiveEngineError("the async-commit engine is closed")
         self._raise_pending_error()
         self._queue.put(event)
+        _QUEUE_DEPTH_GAUGE.track(self._queue.qsize())
         return None
 
     def apply_many(self, events: Iterable[OfferEvent]) -> list[CommitResult]:

@@ -29,6 +29,8 @@ from repro.aggregation.grouping import GroupKey, chunk_group, chunks_from, group
 from repro.aggregation.parameters import AggregationParameters
 from repro.errors import LiveEngineError
 from repro.flexoffer.model import FlexOffer
+from repro.obs import get_registry, get_tracer
+from repro.obs.metrics import COUNT_BUCKETS
 from repro.live.events import (
     OfferAdded,
     OfferEvent,
@@ -40,6 +42,33 @@ from repro.live.events import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.live.subscriptions import SubscriptionHub
+
+
+# ----------------------------------------------------------------------
+# Observability: commit-path metrics and spans (disabled-mode cost is a
+# single attribute check per commit; see repro.obs).
+# ----------------------------------------------------------------------
+_OBS = get_registry()
+_TRACER = get_tracer()
+_COMMITS = _OBS.counter("repro.live.commit.count", "engine commits performed")
+_COMMIT_SECONDS = _OBS.histogram(
+    "repro.live.commit.seconds", "end-to-end commit latency (drain + publish)"
+)
+_COMMIT_EVENTS = _OBS.histogram(
+    "repro.live.commit.events", "events drained per commit", COUNT_BUCKETS
+)
+_DRAIN_SECONDS = _OBS.histogram(
+    "repro.live.commit.drain.seconds", "commit_core drain latency (per engine/shard)"
+)
+_PUBLISH_SECONDS = _OBS.histogram(
+    "repro.live.commit.publish.seconds", "subscription-hub publish latency"
+)
+_CHUNKS_REAGGREGATED = _OBS.counter(
+    "repro.live.chunks.reaggregated", "chunks whose aggregate was recomputed"
+)
+_CHUNKS_SKIPPED = _OBS.counter(
+    "repro.live.chunks.skipped", "chunks in dirty cells reused untouched"
+)
 
 
 def cell_key_string(key: GroupKey) -> str:
@@ -380,25 +409,37 @@ class LiveAggregationEngine:
         """
         started = time.perf_counter()
         events_applied = self._pending_events
-        dirty, changed, removed, stats = self.commit_core()
-        # A raw offer migrating between cells in one commit leaves its old cell
-        # (removed) and enters its new one (changed); it is still live, so it
-        # must not be reported as removed or mirrors would drop it.
-        changed_ids = {offer.id for offer in changed}
-        removed = [offer for offer in removed if offer.id not in changed_ids]
-        self._commit_count += 1
-        result = CommitResult(
-            sequence=self._commit_count,
-            events_applied=events_applied,
-            dirty_cells=dirty,
-            changed=changed,
-            removed=removed,
-            elapsed_seconds=time.perf_counter() - started,
-            chunks_reaggregated=stats.reaggregated,
-            chunks_skipped=stats.skipped,
-        )
-        if self.hub is not None:
-            self.hub.publish(result)
+        with _TRACER.span("live.commit"):
+            dirty, changed, removed, stats = self.commit_core()
+            # A raw offer migrating between cells in one commit leaves its old
+            # cell (removed) and enters its new one (changed); it is still
+            # live, so it must not be reported as removed or mirrors would
+            # drop it.
+            changed_ids = {offer.id for offer in changed}
+            removed = [offer for offer in removed if offer.id not in changed_ids]
+            self._commit_count += 1
+            result = CommitResult(
+                sequence=self._commit_count,
+                events_applied=events_applied,
+                dirty_cells=dirty,
+                changed=changed,
+                removed=removed,
+                elapsed_seconds=time.perf_counter() - started,
+                chunks_reaggregated=stats.reaggregated,
+                chunks_skipped=stats.skipped,
+            )
+            if self.hub is not None:
+                if _OBS.enabled:
+                    publish_started = time.perf_counter()
+                    with _TRACER.span("live.commit.publish"):
+                        self.hub.publish(result)
+                    _PUBLISH_SECONDS.observe(time.perf_counter() - publish_started)
+                else:
+                    self.hub.publish(result)
+        if _OBS.enabled:
+            _COMMITS.inc()
+            _COMMIT_SECONDS.observe(time.perf_counter() - started)
+            _COMMIT_EVENTS.observe(events_applied)
         return result
 
     def _dirty_chunks(
@@ -442,7 +483,28 @@ class LiveAggregationEngine:
         clean chunk's committed output object is reused untouched — its
         member list is provably identical (see :class:`_CellDirt`).  The
         split is reported through ``stats``.
+
+        Instrumented: the drain is a ``live.commit.drain`` span, its latency
+        lands in ``repro.live.commit.drain.seconds``, and the chunk split
+        feeds the reaggregated/skipped counters — recorded *here*, not in
+        :meth:`commit`, so the sharded engine's direct per-shard fan-out
+        calls are measured too.
         """
+        if not _OBS.enabled:
+            return self._drain()
+        started = time.perf_counter()
+        with _TRACER.span("live.commit.drain"):
+            outcome = self._drain()
+        _DRAIN_SECONDS.observe(time.perf_counter() - started)
+        stats = outcome[3]
+        _CHUNKS_REAGGREGATED.inc(stats.reaggregated)
+        _CHUNKS_SKIPPED.inc(stats.skipped)
+        return outcome
+
+    def _drain(
+        self,
+    ) -> tuple[tuple[GroupKey, ...], list[FlexOffer], list[FlexOffer], ChunkStats]:
+        """The uninstrumented drain body (see :meth:`commit_core`)."""
         changed: list[FlexOffer] = []
         removed: list[FlexOffer] = []
         reaggregated = 0

@@ -53,9 +53,34 @@ from repro.live.events import (
     OfferUpdated,
     OfferWithdrawn,
 )
+from repro.obs import get_registry, get_tracer
+from repro.obs.metrics import COUNT_BUCKETS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.live.subscriptions import SubscriptionHub
+
+# ----------------------------------------------------------------------
+# Observability: logical-commit metrics for the sharded engine.  The
+# per-shard drains are measured inside commit_core (see repro.live.engine);
+# here the fan-out and merge phases get their own series and spans.
+# ----------------------------------------------------------------------
+_OBS = get_registry()
+_TRACER = get_tracer()
+_SHARDED_COMMIT_SECONDS = _OBS.histogram(
+    "repro.live.sharded.commit.seconds", "logical sharded-commit latency"
+)
+_SHARDED_FANOUT_SECONDS = _OBS.histogram(
+    "repro.live.sharded.fanout.seconds", "per-shard drain fan-out latency (all shards)"
+)
+_SHARDED_MERGE_SECONDS = _OBS.histogram(
+    "repro.live.sharded.merge.seconds", "per-shard result merge latency"
+)
+_SHARDED_SHARDS = _OBS.histogram(
+    "repro.live.sharded.shards", "dirty shards drained per logical commit", COUNT_BUCKETS
+)
+_DIRTY_SHARDS_GAUGE = _OBS.gauge(
+    "repro.live.sharded.dirty_shards", "shards dirtied since the last logical commit"
+)
 
 
 def shard_of_cell(cell: GroupKey, shard_count: int) -> int:
@@ -274,6 +299,7 @@ class ShardedAggregationEngine:
         else:
             raise LiveEngineError(f"unknown event type {type(event).__name__}")
         self._pending_events += 1
+        _DIRTY_SHARDS_GAUGE.track(len(self._dirty_shards))
         if self.micro_batch_size and self._pending_events >= self.micro_batch_size:
             return self.commit()
         return None
@@ -349,21 +375,30 @@ class ShardedAggregationEngine:
         started = time.perf_counter()
         dirty_shards = [(index, self._shards[index]) for index in sorted(self._dirty_shards)]
         self._dirty_shards.clear()
+        _DIRTY_SHARDS_GAUGE.track(0)
         use_pool = (
             self.parallel
             and len(dirty_shards) > 1
             and sum(shard.dirty_cell_count for _, shard in dirty_shards)
             >= self.parallel_min_cells
         )
+        recording = _OBS.enabled
         # Shards drain through commit_core(): the per-commit fixed costs
         # (timing, migration filter, result object, hub publication) are paid
-        # once here per *logical* commit, not once per shard.
-        if use_pool:
-            drains = list(
-                self._pool().map(lambda pair: pair[1].commit_core(), dirty_shards)
-            )
-        else:
-            drains = [shard.commit_core() for _, shard in dirty_shards]
+        # once here per *logical* commit, not once per shard.  Each shard's
+        # drain records its own latency inside commit_core; the fan-out span
+        # covers all of them together (pool wait included).
+        fanout_started = time.perf_counter() if recording else 0.0
+        with _TRACER.span("sharded.commit.fanout"):
+            if use_pool:
+                drains = list(
+                    self._pool().map(lambda pair: pair[1].commit_core(), dirty_shards)
+                )
+            else:
+                drains = [shard.commit_core() for _, shard in dirty_shards]
+        if recording:
+            _SHARDED_FANOUT_SECONDS.observe(time.perf_counter() - fanout_started)
+        merge_started = time.perf_counter() if recording else 0.0
         changed: list[FlexOffer] = []
         removed: list[FlexOffer] = []
         dirty_cells: list[GroupKey] = []
@@ -377,6 +412,8 @@ class ShardedAggregationEngine:
         # migrated cells — within a shard or across shards — is still live.
         changed_ids = {offer.id for offer in changed}
         removed = [offer for offer in removed if offer.id not in changed_ids]
+        if recording:
+            _SHARDED_MERGE_SECONDS.observe(time.perf_counter() - merge_started)
         self._commit_count += 1
         result = ShardedCommitResult(
             sequence=self._commit_count,
@@ -392,6 +429,9 @@ class ShardedAggregationEngine:
         self._pending_events = 0
         if self.hub is not None:
             self.hub.publish(result)
+        if recording:
+            _SHARDED_COMMIT_SECONDS.observe(time.perf_counter() - started)
+            _SHARDED_SHARDS.observe(len(dirty_shards))
         return result
 
     def close(self) -> None:

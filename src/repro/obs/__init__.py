@@ -1,0 +1,96 @@
+"""``repro.obs`` — metrics, tracing spans and exporters for the whole engine.
+
+The system's hot paths (commit drains, kernel dispatch, query execution,
+checkpoint/restore) are instrumented against **one process-global registry**
+and **one tracer**, both disabled by default:
+
+>>> from repro import obs
+>>> obs.enable()
+>>> session.replay()                      # commits now record latencies
+>>> obs.get_registry().snapshot()         # every counter/gauge/histogram
+>>> obs.get_tracer().finished(limit=10)   # the most recent spans
+>>> print(obs.to_prometheus_text(obs.get_registry()))
+
+Disabled mode costs a single attribute check per instrumented site — the
+engines produce bit-identical output either way (differential-tested), and
+the CI bench trajectory gates the enabled-mode commit-throughput overhead.
+
+``flexviz stats`` is the operator's entry point: it replays a scenario with
+observability on and prints the per-stage latency table.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    export_jsonl,
+    prometheus_name,
+    read_jsonl_export,
+    to_prometheus_text,
+)
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import SpanRecord, Tracer
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "export_jsonl",
+    "get_registry",
+    "get_tracer",
+    "prometheus_name",
+    "read_jsonl_export",
+    "reset",
+    "to_prometheus_text",
+]
+
+#: The process-global default registry every instrumented module binds to.
+_REGISTRY = MetricsRegistry(enabled=False)
+
+#: The process-global tracer, sharing the registry's enabled switch.
+_TRACER = Tracer(_REGISTRY)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (shares the registry's enabled switch)."""
+    return _TRACER
+
+
+def enable() -> None:
+    """Flip observability on for the whole process."""
+    _REGISTRY.enable()
+
+
+def disable() -> None:
+    """Flip observability off (instruments keep their recorded state)."""
+    _REGISTRY.disable()
+
+
+def enabled() -> bool:
+    """Whether the process-global registry is currently recording."""
+    return _REGISTRY.enabled
+
+
+def reset() -> None:
+    """Zero every instrument and drop the finished-span log."""
+    _REGISTRY.reset()
+    _TRACER.clear()

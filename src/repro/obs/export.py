@@ -1,0 +1,119 @@
+"""Exporters: JSONL dumps and the Prometheus text exposition format.
+
+Two consumers, two formats:
+
+* :func:`export_jsonl` / :func:`read_jsonl_export` — a lossless dump of every
+  instrument and finished span, one JSON document per line.  This is the
+  faithful, timestamped operation history the black-box checkers in PAPERS.md
+  consume (and what the round-trip test parses back).
+* :func:`to_prometheus_text` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` / samples; histograms as cumulative ``_bucket``
+  series with ``le`` labels plus ``_sum``/``_count``), so a scrape endpoint
+  or a textfile collector can ship the same registry without translation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Iterable, TextIO
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import SpanRecord, Tracer
+
+
+def _format_value(value: float) -> str:
+    """One sample value in Prometheus text form (ints stay unscientific)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_name(name: str) -> str:
+    """A dotted metric name as a Prometheus identifier (dots → underscores)."""
+    sanitized = "".join(
+        ch if ch.isalnum() or ch in ("_", ":") else "_" for ch in name
+    )
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """The whole registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for instrument in registry.instruments():
+        name = prometheus_name(instrument.name)
+        if instrument.help:
+            lines.append(f"# HELP {name} {instrument.help}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, (Counter, Gauge)):
+            lines.append(f"{name} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            cumulative = instrument.cumulative_counts()
+            for boundary, count in zip(instrument.boundaries, cumulative):
+                lines.append(
+                    f'{name}_bucket{{le="{_format_value(boundary)}"}} {count}'
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {instrument.count}')
+            lines.append(f"{name}_sum {_format_value(instrument.sum)}")
+            lines.append(f"{name}_count {instrument.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def export_jsonl(
+    target: str | Path | TextIO,
+    registry: MetricsRegistry,
+    tracer: Tracer | None = None,
+) -> int:
+    """Dump every instrument (and finished span) as JSON lines.
+
+    Each line is ``{"record": "metric"|"span", ...}`` (``kind`` inside a
+    metric line keeps the instrument kind); metric lines carry the
+    instrument's full snapshot (histograms include boundaries and per-bucket
+    counts, so the dump is lossless).  Returns the number of lines written.
+    """
+    lines = [
+        {"record": "metric", **instrument.snapshot()}
+        for instrument in registry.instruments()
+    ]
+    if tracer is not None:
+        lines.extend({"record": "span", **span.to_dict()} for span in tracer.finished())
+    payload = "".join(json.dumps(line, sort_keys=True) + "\n" for line in lines)
+    if hasattr(target, "write"):
+        target.write(payload)
+    else:
+        Path(target).write_text(payload, encoding="utf-8")
+    return len(lines)
+
+
+def read_jsonl_export(
+    source: str | Path | Iterable[str],
+) -> tuple[dict[str, dict[str, Any]], list[SpanRecord]]:
+    """Parse a :func:`export_jsonl` dump back into ``(metrics, spans)``.
+
+    ``metrics`` maps instrument name → its snapshot dict; ``spans`` are the
+    finished spans in write (oldest-first) order.  The exporter round-trip
+    test feeds one into the other and compares against the live registry.
+    """
+    if isinstance(source, (str, Path)):
+        text = Path(source).read_text(encoding="utf-8")
+        rows = text.splitlines()
+    else:
+        rows = [str(row) for row in source]
+    metrics: dict[str, dict[str, Any]] = {}
+    spans: list[SpanRecord] = []
+    for row in rows:
+        row = row.strip()
+        if not row:
+            continue
+        payload = json.loads(row)
+        record = payload.pop("record", None)
+        if record == "metric":
+            metrics[payload["name"]] = payload
+        elif record == "span":
+            spans.append(SpanRecord.from_dict(payload))
+    return metrics, spans

@@ -1,0 +1,174 @@
+"""Lightweight nested timing spans.
+
+A span is one timed region of one thread — ``with tracer.span("live.commit"):``
+— and spans nest: a span opened while another is running records that parent
+and its depth, so the finished-span log reconstructs the call tree of a
+commit (drain → per-shard fan-out → kernel) without any global interpreter
+hooks.  Each thread keeps its own stack (the async worker traces its commits
+independently of the ingesting thread), and finished spans land in one
+bounded ring buffer shared by the process.
+
+The fast path mirrors the metrics registry: while the registry is disabled
+:meth:`Tracer.span` hands back a shared no-op context manager — one attribute
+check, no allocation, no clock read.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+
+#: How many finished spans the ring buffer retains (oldest evicted first).
+SPAN_BUFFER = 4096
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, as plain data."""
+
+    #: Dotted stage name (``live.commit.drain``).
+    name: str
+    #: ``perf_counter`` timestamp the span opened at (process-relative).
+    started: float
+    #: Wall-clock seconds the span covered.
+    duration: float
+    #: Nesting depth on its thread (0 = root span).
+    depth: int
+    #: Name of the enclosing span (``None`` for roots).
+    parent: str | None
+    #: Name of the thread the span ran on.
+    thread: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "started": self.started,
+            "duration": self.duration,
+            "depth": self.depth,
+            "parent": self.parent,
+            "thread": self.thread,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SpanRecord":
+        return cls(
+            name=str(payload["name"]),
+            started=float(payload["started"]),
+            duration=float(payload["duration"]),
+            depth=int(payload["depth"]),
+            parent=payload["parent"],
+            thread=str(payload["thread"]),
+        )
+
+
+class _NoopSpan:
+    """The shared disabled-mode context manager — enter/exit do nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """One live span; records itself into the tracer on exit.
+
+    Exceptions propagate untouched — the span still closes (its duration then
+    covers the raising region), so a failing commit leaves a trace instead of
+    a hole.
+    """
+
+    __slots__ = ("_tracer", "name", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self.name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._tracer._push(self)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        duration = time.perf_counter() - self._started
+        self._tracer._pop(self, duration)
+        return None
+
+
+class Tracer:
+    """Hands out spans and keeps the bounded finished-span log."""
+
+    def __init__(self, registry: MetricsRegistry, buffer: int = SPAN_BUFFER) -> None:
+        self._registry = registry
+        self._local = threading.local()
+        # deque appends are atomic under the GIL; maxlen gives the ring.
+        self._finished: deque[SpanRecord] = deque(maxlen=buffer)
+
+    # ------------------------------------------------------------------
+    # The span factory (the hot entry point)
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> "_Span | _NoopSpan":
+        """A context manager timing ``name``; no-op while disabled."""
+        if not self._registry.enabled:
+            return _NOOP
+        return _Span(self, name)
+
+    # ------------------------------------------------------------------
+    # Stack bookkeeping (called by _Span)
+    # ------------------------------------------------------------------
+    def _stack(self) -> list["_Span"]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: "_Span") -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: "_Span", duration: float) -> None:
+        stack = self._stack()
+        # The span being closed is the top of its thread's stack by
+        # construction (context managers unwind LIFO even on exceptions).
+        stack.pop()
+        parent = stack[-1].name if stack else None
+        self._finished.append(
+            SpanRecord(
+                name=span.name,
+                started=span._started,
+                duration=duration,
+                depth=len(stack),
+                parent=parent,
+                thread=threading.current_thread().name,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def finished(self, limit: int | None = None, name: str | None = None) -> list[SpanRecord]:
+        """The most recent finished spans, oldest first.
+
+        ``name`` filters to one stage; ``limit`` keeps the newest N after
+        filtering.
+        """
+        spans = list(self._finished)
+        if name is not None:
+            spans = [span for span in spans if span.name == name]
+        if limit is not None:
+            spans = spans[-limit:]
+        return spans
+
+    def clear(self) -> None:
+        self._finished.clear()

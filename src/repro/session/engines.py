@@ -46,6 +46,7 @@ from repro.live.events import OfferAdded, OfferEvent
 from repro.live.sharded import ShardedAggregationEngine
 from repro.live.subscriptions import CommitNotification, Subscription, SubscriptionHub
 from repro.live.warehouse import LiveWarehouse
+from repro.obs import get_registry
 from repro.warehouse.loader import load_scenario
 from repro.warehouse.query import FlexOfferRepository
 from repro.warehouse.schema import StarSchema
@@ -53,6 +54,14 @@ from repro.warehouse.schema import StarSchema
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.datagen.scenarios import Scenario
     from repro.session.spec import QuerySpec
+
+# The engine modules above registered these gauges at import time; fetching
+# them again by name returns the same instruments.  ``depth_stats`` refreshes
+# them with the unconditional ``set`` so the figures a summary reports are
+# truthful even while observability is disabled.
+_OBS = get_registry()
+_ASYNC_QUEUE_DEPTH = _OBS.gauge("repro.live.async.queue_depth")
+_SHARDED_DIRTY_SHARDS = _OBS.gauge("repro.live.sharded.dirty_shards")
 
 
 @runtime_checkable
@@ -221,6 +230,19 @@ class LiveEngine:
             "chunks_skipped": self._chunks_skipped,
         }
 
+    def depth_stats(self) -> dict[str, int]:
+        """Backlog figures of this backend (pending events, dirty cells/chunks).
+
+        Subclasses extend with their own depth — the async queue, the sharded
+        dirty-shard count — and refresh the matching :mod:`repro.obs` gauges
+        on the way out, so ``session.summary()`` and a metrics scrape agree.
+        """
+        return {
+            "pending_events": self.engine.pending_events,
+            "dirty_cells": self.engine.dirty_cell_count,
+            "dirty_chunks": self.engine.dirty_chunk_count,
+        }
+
     def _note_commit(self, result: CommitResult) -> None:
         self._chunks_reaggregated += result.chunks_reaggregated
         self._chunks_skipped += result.chunks_skipped
@@ -349,6 +371,12 @@ class ShardedEngine(LiveEngine):
             hub=self.hub,
         )
 
+    def depth_stats(self) -> dict[str, int]:
+        stats = super().depth_stats()
+        stats["dirty_shards"] = self.engine.dirty_shard_count
+        _SHARDED_DIRTY_SHARDS.set(stats["dirty_shards"])
+        return stats
+
 
 class AsyncEngine(LiveEngine):
     """The live backend with ingestion decoupled from commits.
@@ -414,6 +442,15 @@ class AsyncEngine(LiveEngine):
     def refresh(self) -> None:
         """The flush barrier: reads wait for the worker to drain and commit."""
         self.engine.flush()
+
+    def depth_stats(self) -> dict[str, int]:
+        stats = super().depth_stats()
+        # The inner engine is sharded; surface its shard backlog here too.
+        stats["dirty_shards"] = self.engine.inner.dirty_shard_count
+        stats["queue_depth"] = self.engine.queued_events
+        _SHARDED_DIRTY_SHARDS.set(stats["dirty_shards"])
+        _ASYNC_QUEUE_DEPTH.set(stats["queue_depth"])
+        return stats
 
 
 def subscribe_spec(

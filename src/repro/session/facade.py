@@ -369,7 +369,14 @@ class FlexSession:
         )
 
     def summary(self) -> dict[str, Any]:
-        """Warehouse row counts and state distribution, plus session facts."""
+        """Warehouse row counts and state distribution, plus session facts.
+
+        Live-family backends also contribute their backlog depth — pending
+        events, dirty cells/chunks, and on the sharded/async engines the
+        dirty-shard count and ingest queue depth.  The figures are pushed
+        through the :mod:`repro.obs` gauges on the way out, so this summary
+        and a metrics scrape can never disagree.
+        """
         summary = self.repository.summary()
         summary["engine"] = self.engine_name
         summary["views"] = list(self.view_names)
@@ -378,7 +385,35 @@ class FlexSession:
             # Chunk-granularity instrumentation of the live-family backends:
             # how much work the dirty ledger actually did vs skipped.
             summary.update(chunk_stats)
+        depth_stats = getattr(self.engine, "depth_stats", None)
+        if depth_stats is not None:
+            summary.update(depth_stats())
         return summary
+
+    # ------------------------------------------------------------------
+    # Observability (the repro.obs subsystem)
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict[str, dict[str, Any]]:
+        """Snapshot of the process-global metrics registry (see :mod:`repro.obs`).
+
+        Always readable; while observability is disabled the instruments are
+        registered but unmoving (counters at zero, histograms empty).  Call
+        ``repro.obs.enable()`` before the work you want measured.
+        """
+        from repro.obs import get_registry
+
+        return get_registry().snapshot()
+
+    def trace(self, limit: int | None = None, name: str | None = None):
+        """The most recent finished tracing spans, oldest first.
+
+        ``name`` filters to one stage (``"live.commit.drain"``); ``limit``
+        keeps the newest N after filtering.  Spans only accumulate while
+        observability is enabled.
+        """
+        from repro.obs import get_tracer
+
+        return get_tracer().finished(limit=limit, name=name)
 
     def describe(self) -> str:
         """One-line session description."""

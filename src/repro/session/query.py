@@ -12,12 +12,15 @@ it against its hash indexes; the resulting
 
 from __future__ import annotations
 
+import time
 from datetime import datetime
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.aggregation.parameters import AggregationParameters
 from repro.errors import SessionError
 from repro.flexoffer.model import FlexOffer
+from repro.obs import get_registry, get_tracer
+from repro.obs.metrics import COUNT_BUCKETS
 from repro.session.spec import QuerySpec, ResultSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -25,6 +28,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.session.facade import FlexSession
     from repro.live.subscriptions import Subscription
     from repro.views.base import FlexOfferView
+
+# ----------------------------------------------------------------------
+# Observability: the query path splits into *select* (index planning +
+# scan inside the backend) and *aggregate* (the optional aggregation of
+# the selection); both phases and the scan width get their own series.
+# ----------------------------------------------------------------------
+_OBS = get_registry()
+_TRACER = get_tracer()
+_QUERIES = _OBS.counter("repro.session.query.count", "queries executed")
+_QUERY_SECONDS = _OBS.histogram(
+    "repro.session.query.seconds", "end-to-end query latency"
+)
+_QUERY_SELECT_SECONDS = _OBS.histogram(
+    "repro.session.query.select.seconds", "selection (plan + scan) latency"
+)
+_QUERY_AGGREGATE_SECONDS = _OBS.histogram(
+    "repro.session.query.aggregate.seconds", "query-side aggregation latency"
+)
+_QUERY_ROWS_SCANNED = _OBS.histogram(
+    "repro.session.query.rows_scanned", "rows scanned per query", COUNT_BUCKETS
+)
 
 
 def execute(backend: "AggregationBackend", grid, spec: QuerySpec) -> ResultSet:
@@ -34,15 +58,37 @@ def execute(backend: "AggregationBackend", grid, spec: QuerySpec) -> ResultSet:
     that both engines chunk groups identically — this is what makes result
     sets interchangeable down to aggregate profiles.
     """
-    selected, scanned = backend.select(spec)
-    selected = sorted(selected, key=lambda offer: offer.id)
+    if not _OBS.enabled:
+        return _execute(backend, grid, spec)
+    started = time.perf_counter()
+    with _TRACER.span("session.query"):
+        result = _execute(backend, grid, spec)
+    _QUERY_SECONDS.observe(time.perf_counter() - started)
+    _QUERIES.inc()
+    _QUERY_ROWS_SCANNED.observe(result.scanned_rows)
+    return result
+
+
+def _execute(backend: "AggregationBackend", grid, spec: QuerySpec) -> ResultSet:
+    """The query body (see :func:`execute` for the instrumented entry point)."""
+    recording = _OBS.enabled
+    select_started = time.perf_counter() if recording else 0.0
+    with _TRACER.span("session.query.select"):
+        selected, scanned = backend.select(spec)
+        selected = sorted(selected, key=lambda offer: offer.id)
+    if recording:
+        _QUERY_SELECT_SECONDS.observe(time.perf_counter() - select_started)
     matched = len(selected)
     if spec.limit is not None:
         selected = selected[: spec.limit]
     constituents: dict[int, list[FlexOffer]] = {}
     offers = selected
     if spec.parameters is not None:
-        result = backend.aggregate(selected, spec.parameters)
+        aggregate_started = time.perf_counter() if recording else 0.0
+        with _TRACER.span("session.query.aggregate"):
+            result = backend.aggregate(selected, spec.parameters)
+        if recording:
+            _QUERY_AGGREGATE_SECONDS.observe(time.perf_counter() - aggregate_started)
         offers = list(result.offers)
         constituents = {key: list(value) for key, value in result.constituents.items()}
     return ResultSet(

@@ -19,6 +19,7 @@ equivalent to the batch pipeline over the surviving offers via
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
@@ -27,6 +28,7 @@ from repro.errors import StoreError
 from repro.live.events import OfferEvent
 from repro.live.replay import replay
 from repro.live.warehouse import LiveWarehouse
+from repro.obs import get_registry, get_tracer
 from repro.session.engines import LiveEngine
 from repro.session.facade import FlexSession
 from repro.session.query import execute
@@ -40,6 +42,30 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Subdirectory of the durability directory holding the segmented event log.
 EVENTS_SUBDIR = "events"
+
+# ----------------------------------------------------------------------
+# Observability: the durability path is cold compared to commits, but its
+# latencies bound recovery time — each operation gets a span + histogram,
+# and the segment count rides a gauge (refreshed unconditionally; these
+# operations are rare enough that truthfulness beats the guard).
+# ----------------------------------------------------------------------
+_OBS = get_registry()
+_TRACER = get_tracer()
+_CHECKPOINT_SECONDS = _OBS.histogram(
+    "repro.store.checkpoint.seconds", "snapshot (checkpoint) latency"
+)
+_RESTORE_SECONDS = _OBS.histogram(
+    "repro.store.restore.seconds", "snapshot + log-tail restore latency"
+)
+_COMPACT_SECONDS = _OBS.histogram(
+    "repro.store.compact.seconds", "segment-log compaction latency"
+)
+_COMPACT_DROPPED = _OBS.counter(
+    "repro.store.compact.dropped", "dead events dropped by compaction"
+)
+_SEGMENTS_GAUGE = _OBS.gauge(
+    "repro.store.segments", "segments currently in the event log"
+)
 
 
 @dataclass
@@ -94,18 +120,24 @@ class RecoveryManager:
         it defaults to the backend's own ingested-event counter, which is
         correct whenever the backend consumed exactly the recorded log.
         """
-        backend = _live_backend(session)
-        backend.refresh()
-        state = capture_engine_state(backend.engine)
-        if offset is None:
-            offset = backend.events_ingested
-        self.snapshots.save(
-            state,
-            log_offset=offset,
-            schema=backend.schema,
-            scenario_config=session.scenario.config,
-        )
-        return self.snapshots.load()
+        started = time.perf_counter() if _OBS.enabled else 0.0
+        with _TRACER.span("store.checkpoint"):
+            backend = _live_backend(session)
+            backend.refresh()
+            state = capture_engine_state(backend.engine)
+            if offset is None:
+                offset = backend.events_ingested
+            self.snapshots.save(
+                state,
+                log_offset=offset,
+                schema=backend.schema,
+                scenario_config=session.scenario.config,
+            )
+            checkpoint = self.snapshots.load()
+        if _OBS.enabled:
+            _CHECKPOINT_SECONDS.observe(time.perf_counter() - started)
+        _SEGMENTS_GAUGE.set(len(self.log.segments()))
+        return checkpoint
 
     def compact(self) -> int:
         """Drop dead events from closed segments; returns the dropped count.
@@ -115,10 +147,17 @@ class RecoveryManager:
         replay and a snapshot+tail restore keep working (see
         :meth:`~repro.store.segments.SegmentStore.compact`).
         """
-        before = None
-        if self.snapshots.exists():
-            before = self.snapshots.load().log_offset
-        return self.log.compact(self.log.surviving_subjects(), before=before)
+        started = time.perf_counter() if _OBS.enabled else 0.0
+        with _TRACER.span("store.compact"):
+            before = None
+            if self.snapshots.exists():
+                before = self.snapshots.load().log_offset
+            dropped = self.log.compact(self.log.surviving_subjects(), before=before)
+        if _OBS.enabled:
+            _COMPACT_SECONDS.observe(time.perf_counter() - started)
+            _COMPACT_DROPPED.inc(dropped)
+        _SEGMENTS_GAUGE.set(len(self.log.segments()))
+        return dropped
 
     # ------------------------------------------------------------------
     # Restore side
@@ -139,48 +178,51 @@ class RecoveryManager:
         ``scenario`` defaults to regenerating the checkpoint's recorded
         scenario configuration.
         """
-        import time
-
         started = time.perf_counter()
-        checkpoint = self.snapshots.load()
-        engine = engine or checkpoint.engine
-        if scenario is None:
-            config = checkpoint.scenario_config()
-            if config is None:
-                raise StoreError(
-                    "checkpoint records no scenario configuration; pass scenario="
-                )
-            from repro.datagen.scenarios import generate_scenario
+        with _TRACER.span("store.restore"):
+            checkpoint = self.snapshots.load()
+            engine = engine or checkpoint.engine
+            if scenario is None:
+                config = checkpoint.scenario_config()
+                if config is None:
+                    raise StoreError(
+                        "checkpoint records no scenario configuration; pass scenario="
+                    )
+                from repro.datagen.scenarios import generate_scenario
 
-            scenario = generate_scenario(config)
-        session = FlexSession(
-            scenario,
-            engine=engine,
-            parameters=checkpoint.state.parameters,
-            live_preload=False,
-            **session_options,
-        )
-        backend = _live_backend(session)
-        restore_engine_state(backend.engine, checkpoint.state)
-        if checkpoint.schema is not None:
-            backend.warehouse = LiveWarehouse(
-                checkpoint.schema, session.grid, checkpoint.state.parameters
+                scenario = generate_scenario(config)
+            session = FlexSession(
+                scenario,
+                engine=engine,
+                parameters=checkpoint.state.parameters,
+                live_preload=False,
+                **session_options,
             )
-        else:
-            self._rebuild_warehouse(backend)
-        backend._events_ingested = checkpoint.log_offset
-        tail_events = 0
-        if self.log.segments():
-            report = replay(self.log.tail(checkpoint.log_offset), backend)
-            tail_events = report.events
-            backend.note_ingested(tail_events)
+            backend = _live_backend(session)
+            restore_engine_state(backend.engine, checkpoint.state)
+            if checkpoint.schema is not None:
+                backend.warehouse = LiveWarehouse(
+                    checkpoint.schema, session.grid, checkpoint.state.parameters
+                )
+            else:
+                self._rebuild_warehouse(backend)
+            backend._events_ingested = checkpoint.log_offset
+            tail_events = 0
+            if self.log.segments():
+                report = replay(self.log.tail(checkpoint.log_offset), backend)
+                tail_events = report.events
+                backend.note_ingested(tail_events)
+        elapsed = time.perf_counter() - started
+        if _OBS.enabled:
+            _RESTORE_SECONDS.observe(elapsed)
+        _SEGMENTS_GAUGE.set(len(self.log.segments()))
         self.last_restore = RestoreReport(
             engine=engine,
             log_offset=checkpoint.log_offset,
             tail_events=tail_events,
             offers=len(backend.offers()),
             aggregates=len(backend.engine.aggregated_offers()),
-            seconds=time.perf_counter() - started,
+            seconds=elapsed,
         )
         return session
 
