@@ -38,6 +38,13 @@ what gates are machine-independent *ratios*:
   warehouse delete-throughput scaling across table sizes — both gated
   relative to their committed baseline with the same ``TOLERANCE``.
 
+* the versioned-read-path storm (``storm`` in the live summary): the
+  cached read of an untouched aggregation spec must beat recomputing it
+  (``CACHE_SPEEDUP_FLOOR``, 5x), the region-confined write workload must
+  keep the result cache hot (``STORM_HIT_FLOOR``) and the concurrent
+  reader pool must outpace recomputation (``STORM_THROUGHPUT_FLOOR``) —
+  all same-process ratios gated as absolute floors on the current run.
+
 * the observability contract: enabled-vs-disabled commit throughput must
   stay above the absolute ``OBS_FLOOR`` (0.9 — instrumentation may cost at
   most 10% of commit throughput; same-engine same-process ratio, so an
@@ -86,6 +93,23 @@ CHUNKED_FLOOR = 3.0
 #: cost at most 10% (same engine, same process: machine-independent ratio).
 OBS_FLOOR = 0.9
 
+#: Absolute floor on the storm's cached-vs-uncached read latency ratio — a
+#: cache hit on an untouched aggregation spec must beat recomputing it >=5x
+#: (the readpath acceptance criterion; same spec, same snapshot, same
+#: process, so an absolute floor is safe).
+CACHE_SPEEDUP_FLOOR = 5.0
+
+#: Absolute floor on the storm's cache hit ratio: with the writer confined to
+#: one region and the reader specs covering the others, commits must keep
+#: carrying the untouched entries — a ratio this low means invalidation went
+#: spec-blind.  Observed quick-sweep values sit above 0.95.
+STORM_HIT_FLOOR = 0.5
+
+#: Absolute floor on reads the storm pool serves per uncached-recompute time.
+#: The raw qps figures jitter with thread scheduling, but the pool beating
+#: one recomputation 5x is the minimum for "concurrent reads pay off".
+STORM_THROUGHPUT_FLOOR = 5.0
+
 #: Stage histograms the live sweep's instrumented replay must cover; each
 #: entry is a group of acceptable names (any one present satisfies the group).
 LIVE_REQUIRED_STAGES = (
@@ -95,6 +119,10 @@ LIVE_REQUIRED_STAGES = (
         "repro.aggregation.kernel.scalar.seconds",
     ),
     ("repro.session.query.seconds",),
+    # The versioned read path: snapshot publication on commit and the
+    # cache-fronted read (every default-consistency query probes the cache).
+    ("repro.readpath.snapshot.build.seconds",),
+    ("repro.readpath.cache.lookup.seconds",),
 )
 
 #: Stage histograms the recovery bench's instrumented cycle must cover.
@@ -207,6 +235,47 @@ def check(current: dict, baseline: dict) -> list[str]:
             failures.append(
                 f"obs: instrumentation costs >{1 - OBS_FLOOR:.0%} of commit "
                 f"throughput (enabled/disabled ratio {ratio:.3f} < {OBS_FLOOR:.2f})"
+            )
+    # The versioned read path's storm: cached reads must beat recomputation,
+    # the writer-confined workload must keep the cache hot, and the reader
+    # pool must outpace recomputation while commits land underneath it.  All
+    # three are same-process ratios gated on the *current* run only (absolute
+    # floors, like the obs contract), so pre-readpath baselines stay readable.
+    if "storm" not in current:
+        failures.append("query-storm summary missing from the current sweep")
+    else:
+        storm = current["storm"]
+        speedup = float(storm["cache_speedup"])
+        hit_ratio = float(storm["hit_ratio"])
+        throughput = float(storm["throughput_vs_recompute"])
+        print(
+            f"  storm cached vs uncached: {speedup:6.1f}x "
+            f"(absolute floor {CACHE_SPEEDUP_FLOOR:.0f}x)"
+        )
+        print(
+            f"  storm cache hit ratio   : {hit_ratio:6.3f} "
+            f"(absolute floor {STORM_HIT_FLOOR:.2f}, "
+            f"{storm['commits_during_storm']} commits mid-storm)"
+        )
+        print(
+            f"  storm pool vs recompute : {throughput:6.1f}x "
+            f"(absolute floor {STORM_THROUGHPUT_FLOOR:.0f}x; "
+            f"{storm['storm_qps']:,.0f} reads/s raw, informational)"
+        )
+        if speedup < CACHE_SPEEDUP_FLOOR:
+            failures.append(
+                f"storm: cached untouched-spec read only {speedup:.1f}x the "
+                f"uncached recomputation (floor {CACHE_SPEEDUP_FLOOR:.0f}x)"
+            )
+        if hit_ratio < STORM_HIT_FLOOR:
+            failures.append(
+                f"storm: cache hit ratio {hit_ratio:.3f} under the confined "
+                f"writer fell below the {STORM_HIT_FLOOR:.2f} floor"
+            )
+        if throughput < STORM_THROUGHPUT_FLOOR:
+            failures.append(
+                f"storm: reader pool served only {throughput:.1f}x one "
+                f"recompute time of reads (floor {STORM_THROUGHPUT_FLOOR:.0f}x)"
             )
     stages = current.get("stages", {})
     missing = _missing_stages(stages, LIVE_REQUIRED_STAGES)

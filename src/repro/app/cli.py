@@ -499,6 +499,10 @@ _REQUIRED_STAGE_GROUPS: tuple[tuple[str, ...], ...] = (
     ),
     ("repro.aggregation.kernel.numpy.seconds", "repro.aggregation.kernel.scalar.seconds"),
     ("repro.session.query.seconds",),
+    # The versioned read path: snapshot publication on commit, cache-fronted
+    # snapshot reads (every default-consistency query records a lookup).
+    ("repro.readpath.snapshot.build.seconds",),
+    ("repro.readpath.cache.lookup.seconds",),
     ("repro.store.checkpoint.seconds",),
     ("repro.store.restore.seconds",),
 )

@@ -109,6 +109,14 @@ class ObservabilityError(ReproError):
     """
 
 
+class ReadPathError(ReproError):
+    """Raised by the versioned read path (:mod:`repro.readpath`).
+
+    Examples: reading a snapshot version that was never published or has
+    been evicted from the retention ring, or pinning an unknown version.
+    """
+
+
 class StoreError(ReproError):
     """Raised by the durability subsystem (:mod:`repro.store`).
 

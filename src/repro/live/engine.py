@@ -22,7 +22,7 @@ from __future__ import annotations
 import time
 from bisect import bisect_left
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.aggregation.aggregate import aggregate_group, AggregationResult
 from repro.aggregation.grouping import GroupKey, chunk_group, chunks_from, group_key
@@ -220,6 +220,14 @@ class LiveAggregationEngine:
         self._next_id = id_offset
         self._pending_events = 0
         self._commit_count = 0
+        #: Called with every :class:`CommitResult` right after the commit is
+        #: final (sequence assigned, hub notified) and *before* control
+        #: returns to the committer — on whatever thread committed.  This is
+        #: the one hook that sees every commit path: session ingest/commit,
+        #: direct replay-driven commits, and the async worker's background
+        #: commits.  The session backends hang snapshot publication and
+        #: cumulative chunk accounting here (see :mod:`repro.readpath`).
+        self.commit_listener: "Callable[[CommitResult], None] | None" = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -258,6 +266,23 @@ class LiveAggregationEngine:
     def owns_aggregate_id(self, offer_id: int) -> bool:
         """Whether ``offer_id`` was ever allocated to one of this engine's aggregates."""
         return offer_id in self._reserved_ids
+
+    @property
+    def commit_count(self) -> int:
+        """Commits performed so far — the snapshot version sequence."""
+        return self._commit_count
+
+    def cells(self) -> list[GroupKey]:
+        """Every non-empty grid cell (the snapshot capture walk)."""
+        return list(self._cells)
+
+    def cell_members(self, cell: GroupKey) -> list[FlexOffer]:
+        """One cell's surviving raw members, sorted by id (chunk order)."""
+        return [self._offers[offer_id] for offer_id in sorted(self._cells.get(cell, ()))]
+
+    def outputs_of_cell(self, cell: GroupKey) -> list[FlexOffer]:
+        """One cell's committed aggregation outputs (copied, safe to keep)."""
+        return list(self._outputs.get(cell, ()))
 
     def cell_outputs(self) -> dict[GroupKey, list[FlexOffer]]:
         """Committed outputs per grid cell (a live view — do not mutate)."""
@@ -436,6 +461,8 @@ class LiveAggregationEngine:
                     _PUBLISH_SECONDS.observe(time.perf_counter() - publish_started)
                 else:
                     self.hub.publish(result)
+        if self.commit_listener is not None:
+            self.commit_listener(result)
         if _OBS.enabled:
             _COMMITS.inc()
             _COMMIT_SECONDS.observe(time.perf_counter() - started)

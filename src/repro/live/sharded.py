@@ -186,6 +186,13 @@ class ShardedAggregationEngine:
         self._executor: ThreadPoolExecutor | None = None
         self._pending_events = 0
         self._commit_count = 0
+        #: Same contract as :attr:`LiveAggregationEngine.commit_listener` —
+        #: called with every merged :class:`ShardedCommitResult` before
+        #: :meth:`commit` returns, on the committing thread.
+        self.commit_listener = None
+        #: Lazily bound per-shard labeled fan-out histograms (satellite obs:
+        #: one ``{shard="N"}`` series per shard next to the unlabeled total).
+        self._shard_fanout: dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -228,6 +235,37 @@ class ShardedAggregationEngine:
     def shard_of(self, offer_id: int) -> int | None:
         """The shard index currently owning an offer (``None`` when unknown)."""
         return self._owner.get(offer_id)
+
+    @property
+    def commit_count(self) -> int:
+        """Logical commits performed so far — the snapshot version sequence."""
+        return self._commit_count
+
+    def cells(self) -> list[GroupKey]:
+        """Every non-empty grid cell across all shards."""
+        return [cell for shard in self._shards for cell in shard.cells()]
+
+    def cell_members(self, cell: GroupKey) -> list[FlexOffer]:
+        """One cell's surviving raw members (routed to its owning shard)."""
+        return self._shards[self._route_cell(cell)].cell_members(cell)
+
+    def outputs_of_cell(self, cell: GroupKey) -> list[FlexOffer]:
+        """One cell's committed outputs (routed to its owning shard)."""
+        return self._shards[self._route_cell(cell)].outputs_of_cell(cell)
+
+    def passthrough_offers(self) -> list[FlexOffer]:
+        """The live passthrough aggregates across all shards, sorted by id."""
+        combined = [
+            offer for shard in self._shards for offer in shard.passthrough_offers()
+        ]
+        return sorted(combined, key=lambda offer: offer.id)
+
+    def constituent_map(self) -> dict[int, list[FlexOffer]]:
+        """Provenance of every committed aggregate, merged across shards."""
+        merged: dict[int, list[FlexOffer]] = {}
+        for shard in self._shards:
+            merged.update(shard.constituent_map())
+        return merged
 
     def offers(self) -> list[FlexOffer]:
         """The surviving raw offers across all shards, sorted by id."""
@@ -391,11 +429,9 @@ class ShardedAggregationEngine:
         fanout_started = time.perf_counter() if recording else 0.0
         with _TRACER.span("sharded.commit.fanout"):
             if use_pool:
-                drains = list(
-                    self._pool().map(lambda pair: pair[1].commit_core(), dirty_shards)
-                )
+                drains = list(self._pool().map(self._timed_drain, dirty_shards))
             else:
-                drains = [shard.commit_core() for _, shard in dirty_shards]
+                drains = [self._timed_drain(pair) for pair in dirty_shards]
         if recording:
             _SHARDED_FANOUT_SECONDS.observe(time.perf_counter() - fanout_started)
         merge_started = time.perf_counter() if recording else 0.0
@@ -429,10 +465,35 @@ class ShardedAggregationEngine:
         self._pending_events = 0
         if self.hub is not None:
             self.hub.publish(result)
+        if self.commit_listener is not None:
+            self.commit_listener(result)
         if recording:
             _SHARDED_COMMIT_SECONDS.observe(time.perf_counter() - started)
             _SHARDED_SHARDS.observe(len(dirty_shards))
         return result
+
+    def _shard_fanout_histogram(self, index: int):
+        """The ``{shard="N"}``-labeled drain-latency series of one shard."""
+        histogram = self._shard_fanout.get(index)
+        if histogram is None:
+            histogram = self._shard_fanout[index] = _OBS.histogram(
+                "repro.live.sharded.fanout.seconds",
+                "per-shard drain fan-out latency (all shards)",
+                labels={"shard": str(index)},
+            )
+        return histogram
+
+    def _timed_drain(self, pair):
+        """Drain one shard, recording its latency under its own shard label."""
+        index, shard = pair
+        if not _OBS.enabled:
+            return shard.commit_core()
+        drain_started = time.perf_counter()
+        outcome = shard.commit_core()
+        self._shard_fanout_histogram(index).observe(
+            time.perf_counter() - drain_started
+        )
+        return outcome
 
     def close(self) -> None:
         """Shut the commit thread pool down (idempotent)."""

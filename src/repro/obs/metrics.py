@@ -76,19 +76,48 @@ COUNT_BUCKETS: tuple[float, ...] = (
 )
 
 
+def render_labels(labels: dict[str, str] | None) -> str:
+    """Labels as the canonical ``k="v"`` list (sorted; empty string for none)."""
+    if not labels:
+        return ""
+    return ",".join(f'{key}="{value}"' for key, value in sorted(labels.items()))
+
+
+def instrument_key(name: str, labels: dict[str, str] | None) -> str:
+    """The registry cache key: the name, plus ``{k="v"}`` when labeled.
+
+    Labeled instruments are independent series sharing a base name —
+    ``repro.live.sharded.fanout.seconds{shard="3"}`` next to the unlabeled
+    total — exactly how the Prometheus exporter will emit them.
+    """
+    rendered = render_labels(labels)
+    return f"{name}{{{rendered}}}" if rendered else name
+
+
 class Counter:
     """A monotonically increasing total (events applied, chunks skipped...)."""
 
-    __slots__ = ("name", "help", "_registry", "_lock", "_value")
+    __slots__ = ("name", "help", "labels", "_registry", "_lock", "_value")
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str, registry: "MetricsRegistry") -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        registry: "MetricsRegistry",
+        labels: dict[str, str] | None = None,
+    ) -> None:
         self.name = name
         self.help = help
+        self.labels = dict(labels) if labels else {}
         self._registry = registry
         self._lock = threading.Lock()
         self._value = 0.0
+
+    @property
+    def key(self) -> str:
+        return instrument_key(self.name, self.labels)
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (no-op while the registry is disabled)."""
@@ -108,7 +137,15 @@ class Counter:
             self._value = 0.0
 
     def snapshot(self) -> dict[str, Any]:
-        return {"name": self.name, "kind": self.kind, "help": self.help, "value": self._value}
+        snap: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "value": self._value,
+        }
+        if self.labels:
+            snap["labels"] = dict(self.labels)
+        return snap
 
 
 class Gauge:
@@ -119,15 +156,26 @@ class Gauge:
     backlog figures stay truthful even with observability off.
     """
 
-    __slots__ = ("name", "help", "_registry", "_value")
+    __slots__ = ("name", "help", "labels", "_registry", "_value")
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str, registry: "MetricsRegistry") -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        registry: "MetricsRegistry",
+        labels: dict[str, str] | None = None,
+    ) -> None:
         self.name = name
         self.help = help
+        self.labels = dict(labels) if labels else {}
         self._registry = registry
         self._value = 0.0
+
+    @property
+    def key(self) -> str:
+        return instrument_key(self.name, self.labels)
 
     def track(self, value: float) -> None:
         """Hot-path set: one attribute check, then a plain store."""
@@ -147,7 +195,15 @@ class Gauge:
         self._value = 0.0
 
     def snapshot(self) -> dict[str, Any]:
-        return {"name": self.name, "kind": self.kind, "help": self.help, "value": self._value}
+        snap: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "value": self._value,
+        }
+        if self.labels:
+            snap["labels"] = dict(self.labels)
+        return snap
 
 
 class Histogram:
@@ -164,6 +220,7 @@ class Histogram:
     __slots__ = (
         "name",
         "help",
+        "labels",
         "boundaries",
         "_registry",
         "_lock",
@@ -182,6 +239,7 @@ class Histogram:
         help: str,
         registry: "MetricsRegistry",
         boundaries: Sequence[float] = LATENCY_BUCKETS,
+        labels: dict[str, str] | None = None,
     ) -> None:
         bounds = tuple(float(b) for b in boundaries)
         if not bounds:
@@ -192,6 +250,7 @@ class Histogram:
             )
         self.name = name
         self.help = help
+        self.labels = dict(labels) if labels else {}
         self.boundaries = bounds
         self._registry = registry
         self._lock = threading.Lock()
@@ -280,8 +339,12 @@ class Histogram:
             self._min = float("inf")
             self._max = float("-inf")
 
+    @property
+    def key(self) -> str:
+        return instrument_key(self.name, self.labels)
+
     def snapshot(self) -> dict[str, Any]:
-        return {
+        snap: dict[str, Any] = {
             "name": self.name,
             "kind": self.kind,
             "help": self.help,
@@ -292,6 +355,9 @@ class Histogram:
             "min": self._min if self._count else 0.0,
             "max": self._max if self._count else 0.0,
         }
+        if self.labels:
+            snap["labels"] = dict(self.labels)
+        return snap
 
 
 Instrument = Counter | Gauge | Histogram
@@ -324,33 +390,41 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Instrument factories (idempotent by name)
     # ------------------------------------------------------------------
-    def _get(self, name: str, kind: type, factory) -> Instrument:
+    def _get(self, key: str, kind: type, factory) -> Instrument:
         with self._lock:
-            existing = self._instruments.get(name)
+            existing = self._instruments.get(key)
             if existing is not None:
                 if not isinstance(existing, kind):
                     raise ObservabilityError(
-                        f"metric {name!r} is a {existing.kind}, not a {kind.kind}"
+                        f"metric {key!r} is a {existing.kind}, not a {kind.kind}"
                     )
                 return existing
             instrument = factory()
-            self._instruments[name] = instrument
+            self._instruments[key] = instrument
             return instrument
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get(name, Counter, lambda: Counter(name, help, self))
+    def counter(
+        self, name: str, help: str = "", labels: dict[str, str] | None = None
+    ) -> Counter:
+        key = instrument_key(name, labels)
+        return self._get(key, Counter, lambda: Counter(name, help, self, labels))
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get(name, Gauge, lambda: Gauge(name, help, self))
+    def gauge(
+        self, name: str, help: str = "", labels: dict[str, str] | None = None
+    ) -> Gauge:
+        key = instrument_key(name, labels)
+        return self._get(key, Gauge, lambda: Gauge(name, help, self, labels))
 
     def histogram(
         self,
         name: str,
         help: str = "",
         boundaries: Sequence[float] = LATENCY_BUCKETS,
+        labels: dict[str, str] | None = None,
     ) -> Histogram:
+        key = instrument_key(name, labels)
         instrument = self._get(
-            name, Histogram, lambda: Histogram(name, help, self, boundaries)
+            key, Histogram, lambda: Histogram(name, help, self, boundaries, labels)
         )
         if tuple(float(b) for b in boundaries) != instrument.boundaries:
             raise ObservabilityError(
@@ -361,19 +435,23 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def get(self, name: str) -> Instrument | None:
+    def get(
+        self, name: str, labels: dict[str, str] | None = None
+    ) -> Instrument | None:
         """The instrument registered under ``name`` (``None`` when absent)."""
-        return self._instruments.get(name)
+        return self._instruments.get(instrument_key(name, labels))
 
     def instruments(self) -> list[Instrument]:
-        """Every registered instrument, sorted by name."""
+        """Every registered instrument, sorted by key (labeled series after
+        their unlabeled base name)."""
         with self._lock:
-            return [self._instruments[name] for name in sorted(self._instruments)]
+            return [self._instruments[key] for key in sorted(self._instruments)]
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
-        """Every instrument's state as plain data, keyed by name."""
+        """Every instrument's state as plain data, keyed by instrument key
+        (the name, suffixed with ``{k="v"}`` for labeled series)."""
         return {
-            instrument.name: instrument.snapshot() for instrument in self.instruments()
+            instrument.key: instrument.snapshot() for instrument in self.instruments()
         }
 
     def reset(self, names: Iterable[str] | None = None) -> None:

@@ -53,6 +53,7 @@ from repro.warehouse.schema import StarSchema
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.datagen.scenarios import Scenario
+    from repro.readpath import ReadPath
     from repro.session.spec import QuerySpec
 
 # The engine modules above registered these gauges at import time; fetching
@@ -174,6 +175,10 @@ class LiveEngine:
             load_scenario(scenario.replace_offers([])), self.grid, self.parameters
         )
         self.engine = self._build_engine()
+        #: The versioned read path (snapshot ring + result cache) fed by the
+        #: inner engine's commit listener; rebuilt by :meth:`reseed_readpath`.
+        self.readpath: "ReadPath | None" = None
+        self.reseed_readpath()
         if preload:
             self.ingest_many(
                 OfferAdded(offer.creation_time, offer)
@@ -243,9 +248,48 @@ class LiveEngine:
             "dirty_chunks": self.engine.dirty_chunk_count,
         }
 
-    def _note_commit(self, result: CommitResult) -> None:
+    @property
+    def _state_engine(self):
+        """The engine holding grouped state (the async wrapper's inner)."""
+        return getattr(self.engine, "inner", self.engine)
+
+    def reseed_readpath(self) -> None:
+        """(Re)build the versioned read path from the engine's current state.
+
+        Attaches the commit listener on the *state* engine — the one whose
+        ``commit()`` every path (session writes, replay-driven commits, the
+        async worker) ultimately reaches — then publishes a baseline snapshot
+        at the engine's current commit sequence.  Called at construction,
+        after :meth:`reset`, and by the recovery manager once a checkpoint's
+        state has been restored.
+        """
+        # Imported here: repro.readpath reads specs through the session layer,
+        # so a module-level import would be circular.
+        from repro.readpath import ReadPath
+
+        engine = self._state_engine
+        self.readpath = ReadPath(self.grid, self.name, self.parameters)
+        engine.commit_listener = self._on_engine_commit
+        # The async wrapper commits on its worker thread under its own lock;
+        # take it so the baseline capture cannot interleave with a commit.
+        lock = getattr(self.engine, "_lock", None)
+        if lock is not None:
+            with lock:
+                self.readpath.seed(engine)
+        else:
+            self.readpath.seed(engine)
+
+    def _on_engine_commit(self, result: CommitResult) -> None:
+        """Commit listener: cumulative chunk totals + snapshot publication.
+
+        Runs on whichever thread committed (the caller for the synchronous
+        engines, the worker for the async engine — under the async lock, so
+        the delta capture reads a quiescent engine).
+        """
         self._chunks_reaggregated += result.chunks_reaggregated
         self._chunks_skipped += result.chunks_skipped
+        if self.readpath is not None:
+            self.readpath.on_commit(self._state_engine, result)
 
     def ingest(self, event: OfferEvent) -> CommitResult | None:
         """Apply one event to the engine and mirror it into the warehouse."""
@@ -253,7 +297,6 @@ class LiveEngine:
         self.warehouse.apply(event)
         self._events_ingested += 1
         if result is not None:
-            self._note_commit(result)
             self.warehouse.apply_commit(result)
         return result
 
@@ -269,7 +312,6 @@ class LiveEngine:
     def commit(self) -> CommitResult:
         """Commit pending events and mirror the aggregate changes."""
         result = self.engine.commit()
-        self._note_commit(result)
         self.warehouse.apply_commit(result)
         return result
 
@@ -292,6 +334,7 @@ class LiveEngine:
         self._events_ingested = 0
         self._chunks_reaggregated = 0
         self._chunks_skipped = 0
+        self.reseed_readpath()
 
     def close(self) -> None:
         """Release engine-owned resources (worker threads, commit pools)."""
@@ -426,7 +469,6 @@ class AsyncEngine(LiveEngine):
         self.warehouse.apply(event)
 
     def _mirror_commit(self, result: CommitResult) -> None:
-        self._note_commit(result)
         self.warehouse.apply_commit(result)
 
     def ingest(self, event: OfferEvent) -> CommitResult | None:

@@ -187,9 +187,51 @@ class FlexSession:
         """Start a fluent query over the active engine's offers."""
         return OfferQuery(self)
 
-    def query(self, spec: QuerySpec) -> ResultSet:
-        """Execute one explicit spec against the active engine."""
-        return execute(self.engine, self.grid, spec)
+    def query(
+        self,
+        spec: QuerySpec,
+        *,
+        at_version: int | None = None,
+        consistency: str = "snapshot",
+    ) -> ResultSet:
+        """Execute one explicit spec against the active engine.
+
+        Live-family engines answer through the versioned read path (see
+        :mod:`repro.readpath`): an immutable snapshot of the committed state,
+        fronted by a spec-keyed result cache.  ``consistency`` picks the
+        snapshot discipline:
+
+        * ``"snapshot"`` (default) — flush pending writes, then read the
+          newest snapshot: read-your-writes, same answers as before.
+        * ``"latest"`` — read the newest *published* snapshot without
+          flushing: lock-free, never blocks on the writer (concurrent
+          readers' bread and butter).
+        * ``"live"`` — bypass the read path and execute directly against the
+          engine (the legacy path).
+
+        ``at_version=`` pins the read to one retained historical snapshot
+        (overrides ``consistency``); the batch engine is an unversioned
+        snapshot, so it only supports the default direct path.
+        """
+        backend = self.engine
+        readpath = getattr(backend, "readpath", None)
+        if at_version is not None:
+            if readpath is None:
+                raise SessionError(
+                    "at_version= needs a live-family engine; the batch engine "
+                    "is an unversioned snapshot"
+                )
+            return readpath.read(readpath.manager.get(at_version), spec)
+        if consistency not in ("snapshot", "latest", "live"):
+            raise SessionError(
+                f"unknown consistency {consistency!r}; expected 'snapshot', "
+                "'latest' or 'live'"
+            )
+        if readpath is None or consistency == "live":
+            return execute(backend, self.grid, spec)
+        if consistency == "snapshot":
+            backend.refresh()
+        return readpath.read(readpath.manager.latest(), spec)
 
     # ------------------------------------------------------------------
     # Views
@@ -380,11 +422,30 @@ class FlexSession:
         summary = self.repository.summary()
         summary["engine"] = self.engine_name
         summary["views"] = list(self.view_names)
-        chunk_stats = getattr(self.engine, "chunk_stats", None)
-        if chunk_stats is not None:
+        if isinstance(self.engine, LiveEngine):
             # Chunk-granularity instrumentation of the live-family backends:
-            # how much work the dirty ledger actually did vs skipped.
-            summary.update(chunk_stats)
+            # how much work the dirty ledger actually did vs skipped.  Summed
+            # over *every* live-family backend this session created, so
+            # ``use_engine()``/``replay(engine=...)`` swaps never silently
+            # reset the session-level totals.
+            live_backends = [
+                backend
+                for backend in self._engines.values()
+                if isinstance(backend, LiveEngine)
+            ]
+            summary["events_ingested"] = sum(
+                backend.events_ingested for backend in live_backends
+            )
+            summary["chunks_reaggregated"] = sum(
+                backend.chunk_stats["chunks_reaggregated"] for backend in live_backends
+            )
+            summary["chunks_skipped"] = sum(
+                backend.chunk_stats["chunks_skipped"] for backend in live_backends
+            )
+        readpath = getattr(self.engine, "readpath", None)
+        if readpath is not None:
+            summary["snapshot_version"] = readpath.manager.latest_version
+            summary["result_cache"] = readpath.cache.stats()
         depth_stats = getattr(self.engine, "depth_stats", None)
         if depth_stats is not None:
             summary.update(depth_stats())

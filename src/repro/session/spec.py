@@ -252,6 +252,9 @@ class ResultSet:
     scanned_rows: int
     matched_rows: int
     constituents: dict[int, list[FlexOffer]] = field(default_factory=dict)
+    #: The snapshot version this result was served from (``None`` for direct
+    #: live/batch reads that bypassed the versioned read path).
+    version: int | None = None
 
     def __len__(self) -> int:
         return len(self.offers)

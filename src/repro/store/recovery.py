@@ -207,6 +207,10 @@ class RecoveryManager:
             else:
                 self._rebuild_warehouse(backend)
             backend._events_ingested = checkpoint.log_offset
+            # The read path seeded at construction saw an *empty* engine;
+            # re-seed so the baseline snapshot is the checkpointed state (at
+            # its restored commit sequence) and tail commits advance from it.
+            backend.reseed_readpath()
             tail_events = 0
             if self.log.segments():
                 report = replay(self.log.tail(checkpoint.log_offset), backend)

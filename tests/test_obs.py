@@ -268,7 +268,7 @@ _HELP_RE = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* \S.*$")
 _TYPE_RE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$")
 _SAMPLE_RE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
-    r'(_bucket\{le="(\+Inf|[0-9][0-9eE.+-]*)"\})?'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
     r" (\+Inf|-Inf|-?[0-9][0-9eE.+-]*)$"
 )
 
@@ -393,3 +393,78 @@ def test_flexviz_stats_smoke(global_obs, capsys):
     assert "stats smoke OK" in out
     # The command cleans up after itself: global observability is off again.
     assert not obs.enabled()
+
+
+# ----------------------------------------------------------------------
+# Labeled series (the sharded per-shard fan-out instrumentation)
+# ----------------------------------------------------------------------
+def test_labeled_instruments_are_independent_series(registry):
+    total = registry.counter("repro.test.fanout", "fan-out total")
+    shard0 = registry.counter("repro.test.fanout", "fan-out total", labels={"shard": "0"})
+    shard1 = registry.counter("repro.test.fanout", labels={"shard": "1"})
+    assert shard0 is not total and shard0 is not shard1
+    # Same (name, labels) pair returns the same instrument object.
+    assert registry.counter("repro.test.fanout", labels={"shard": "0"}) is shard0
+    assert registry.get("repro.test.fanout", {"shard": "1"}) is shard1
+    total.inc(1)
+    shard0.inc(2)
+    shard1.inc(3)
+    snapshot = registry.snapshot()
+    assert snapshot["repro.test.fanout"]["value"] == 1
+    assert "labels" not in snapshot["repro.test.fanout"]
+    assert snapshot['repro.test.fanout{shard="0"}']["value"] == 2
+    assert snapshot['repro.test.fanout{shard="0"}']["labels"] == {"shard": "0"}
+    assert snapshot['repro.test.fanout{shard="1"}']["value"] == 3
+
+
+def test_prometheus_labeled_series_share_one_header(registry):
+    base = registry.histogram("repro.test.fan.seconds", "per-shard drain")
+    shard = registry.histogram(
+        "repro.test.fan.seconds", "per-shard drain", labels={"shard": "3"}
+    )
+    base.observe(0.002)
+    shard.observe(0.004)
+    text = to_prometheus_text(registry)
+    # One HELP/TYPE header for the base name, labels only on sample lines.
+    assert text.count("# TYPE repro_test_fan_seconds histogram") == 1
+    assert text.count("# HELP repro_test_fan_seconds ") == 1
+    assert 'repro_test_fan_seconds_bucket{shard="3",le="' in text
+    assert 'repro_test_fan_seconds_sum{shard="3"}' in text
+    assert 'repro_test_fan_seconds_count{shard="3"} 1' in text
+    assert "repro_test_fan_seconds_count 1" in text  # the unlabeled series
+    for line in text.rstrip("\n").splitlines():
+        assert (
+            _HELP_RE.match(line) or _TYPE_RE.match(line) or _SAMPLE_RE.match(line)
+        ), f"not valid exposition format: {line!r}"
+
+
+def test_jsonl_round_trip_keeps_labels(registry):
+    shard = registry.counter("repro.test.fanout", "fan-out total", labels={"shard": "5"})
+    shard.inc(4)
+    buffer = StringIO()
+    export_jsonl(buffer, registry)
+    metrics, _ = read_jsonl_export(buffer.getvalue().splitlines())
+    key = 'repro.test.fanout{shard="5"}'
+    assert metrics[key]["value"] == 4
+    assert metrics[key]["labels"] == {"shard": "5"}
+
+
+def test_sharded_commit_records_per_shard_fanout_series(global_obs, scenario):
+    obs.enable()
+    session = FlexSession(scenario, engine="sharded")  # preload commits
+    obs.disable()
+    try:
+        snapshot = global_obs.snapshot()
+        keys = [
+            key
+            for key in snapshot
+            if key.startswith("repro.live.sharded.fanout.seconds{")
+        ]
+        assert keys, "no per-shard fan-out series recorded"
+        assert all(
+            re.fullmatch(r'repro\.live\.sharded\.fanout\.seconds\{shard="\d+"\}', key)
+            for key in keys
+        )
+        assert all(snapshot[key]["count"] >= 1 for key in keys)
+    finally:
+        session.close()
