@@ -1,55 +1,61 @@
-"""Synthetic data generation: geography, grid topology, prosumers, flex-offers, scenarios."""
+"""Synthetic data generation: geography, grid topology, prosumers, flex-offers, scenarios.
 
-from repro.datagen.appliances import ARCHETYPES, ApplianceArchetype, archetype_by_name, sample_archetype
-from repro.datagen.demand import base_demand_for_prosumer, spot_prices, total_base_demand
-from repro.datagen.flexoffers import (
-    FlexOfferGenerationConfig,
-    generate_flex_offer,
-    generate_flex_offers,
-)
-from repro.datagen.geography import City, District, Geography, Region, generate_geography
+Submodules are re-exported lazily (PEP 562): the generators are numpy-native,
+but consumers of the *data model* types (``GridTopology`` in the OLAP cube,
+``Scenario`` in session signatures) must stay importable without numpy.  Only
+``grid`` — pure stdlib — is imported eagerly.
+"""
+
 from repro.datagen.grid import GridLine, GridNode, GridTopology, NodeKind, generate_grid
-from repro.datagen.prosumers import Prosumer, ProsumerType, generate_prosumers, prosumers_by_type
-from repro.datagen.res import solar_production, total_res_production, wind_production
-from repro.datagen.scenarios import (
-    Scenario,
-    ScenarioConfig,
-    generate_scenario,
-    scenario_with_offer_count,
-    small_scenario,
-)
+
+_LAZY = {
+    "ARCHETYPES": "repro.datagen.appliances",
+    "ApplianceArchetype": "repro.datagen.appliances",
+    "archetype_by_name": "repro.datagen.appliances",
+    "sample_archetype": "repro.datagen.appliances",
+    "base_demand_for_prosumer": "repro.datagen.demand",
+    "total_base_demand": "repro.datagen.demand",
+    "spot_prices": "repro.datagen.demand",
+    "FlexOfferGenerationConfig": "repro.datagen.flexoffers",
+    "generate_flex_offer": "repro.datagen.flexoffers",
+    "generate_flex_offers": "repro.datagen.flexoffers",
+    "Geography": "repro.datagen.geography",
+    "Region": "repro.datagen.geography",
+    "City": "repro.datagen.geography",
+    "District": "repro.datagen.geography",
+    "generate_geography": "repro.datagen.geography",
+    "Prosumer": "repro.datagen.prosumers",
+    "ProsumerType": "repro.datagen.prosumers",
+    "generate_prosumers": "repro.datagen.prosumers",
+    "prosumers_by_type": "repro.datagen.prosumers",
+    "solar_production": "repro.datagen.res",
+    "wind_production": "repro.datagen.res",
+    "total_res_production": "repro.datagen.res",
+    "Scenario": "repro.datagen.scenarios",
+    "ScenarioConfig": "repro.datagen.scenarios",
+    "generate_scenario": "repro.datagen.scenarios",
+    "small_scenario": "repro.datagen.scenarios",
+    "scenario_with_offer_count": "repro.datagen.scenarios",
+}
 
 __all__ = [
-    "ARCHETYPES",
-    "ApplianceArchetype",
-    "archetype_by_name",
-    "sample_archetype",
-    "base_demand_for_prosumer",
-    "total_base_demand",
-    "spot_prices",
-    "FlexOfferGenerationConfig",
-    "generate_flex_offer",
-    "generate_flex_offers",
-    "Geography",
-    "Region",
-    "City",
-    "District",
-    "generate_geography",
     "GridTopology",
     "GridNode",
     "GridLine",
     "NodeKind",
     "generate_grid",
-    "Prosumer",
-    "ProsumerType",
-    "generate_prosumers",
-    "prosumers_by_type",
-    "solar_production",
-    "wind_production",
-    "total_res_production",
-    "Scenario",
-    "ScenarioConfig",
-    "generate_scenario",
-    "small_scenario",
-    "scenario_with_offer_count",
+    *_LAZY,
 ]
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

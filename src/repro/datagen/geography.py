@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.errors import DataGenerationError
 
 
@@ -120,6 +118,10 @@ def generate_geography(districts_per_city: int = 4, seed: int = 7) -> Geography:
         raise DataGenerationError(
             f"districts_per_city must be between 1 and {len(_DISTRICT_SUFFIXES)}"
         )
+    # Lazy: the data model above must stay importable without numpy (the grid
+    # topology rides it into the OLAP cube); only generation needs the rng.
+    import numpy as np
+
     rng = np.random.default_rng(seed)
     regions = []
     for region_name, cities in _LAYOUT:

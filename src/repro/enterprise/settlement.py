@@ -10,15 +10,16 @@ the dashboard view and the enterprise's imbalance costs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
-
-import numpy as np
+from typing import TYPE_CHECKING, Sequence
 
 from repro.flexoffer.model import FlexOffer, FlexOfferState, Schedule, total_scheduled_series
 from repro.olap.measures import MeasureContext
 from repro.timeseries.grid import TimeGrid
-from repro.timeseries.series import TimeSeries
-from repro.timeseries.statistics import plan_deviation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only.  The simulator imports
+    # numpy and the numpy-native series machinery lazily at call time so the
+    # enterprise package stays importable in the no-numpy fallback.
+    from repro.timeseries.series import TimeSeries
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,10 @@ def simulate_realization(
     config: RealizationConfig | None = None,
 ) -> SettlementResult:
     """Simulate how prosumers physically realize their assignments."""
+    import numpy as np
+
+    from repro.timeseries.statistics import plan_deviation
+
     config = config or RealizationConfig()
     rng = np.random.default_rng(config.seed)
 

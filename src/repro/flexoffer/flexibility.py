@@ -12,11 +12,14 @@ energy-flexibility components it combines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.flexoffer.model import FlexOffer
 from repro.timeseries.grid import TimeGrid
-from repro.timeseries.series import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; the envelope helper
+    # imports the numpy-native TimeSeries lazily at call time.
+    from repro.timeseries.series import TimeSeries
 
 
 @dataclass(frozen=True)
@@ -104,6 +107,8 @@ def flexibility_envelope(
     the dashboard and Figure 1 reproduction) how much room the enterprise has
     for shifting flexible demand.
     """
+    from repro.timeseries.series import TimeSeries
+
     low_total: TimeSeries | None = None
     high_total: TimeSeries | None = None
     for offer in offers:

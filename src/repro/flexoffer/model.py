@@ -19,11 +19,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from datetime import datetime
 from enum import Enum
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.errors import ValidationError
 from repro.timeseries.grid import TimeGrid
-from repro.timeseries.series import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only.  The series helpers
+    # import lazily at call time: TimeSeries is numpy-native, and the model
+    # itself must stay importable in the no-numpy fallback configuration.
+    from repro.timeseries.series import TimeSeries
 
 
 class FlexOfferState(str, Enum):
@@ -290,6 +294,8 @@ class FlexOffer:
         Slices spanning several slots spread their energy evenly.  The series
         is empty when the flex-offer has no schedule.
         """
+        from repro.timeseries.series import TimeSeries
+
         if self.schedule is None:
             return TimeSeries.zeros(grid, self.earliest_start_slot, 0, name=f"fo-{self.id}", unit="kWh")
         pairs: list[tuple[int, float]] = []
@@ -309,6 +315,8 @@ class FlexOffer:
         ``start_slot`` defaults to the scheduled start when available and the
         earliest start otherwise.
         """
+        from repro.timeseries.series import TimeSeries
+
         if start_slot is None:
             start_slot = (
                 self.schedule.start_slot if self.schedule is not None else self.earliest_start_slot
@@ -329,6 +337,8 @@ def total_scheduled_series(
     flex_offers: Iterable[FlexOffer], grid: TimeGrid, name: str = "scheduled"
 ) -> TimeSeries:
     """Sum the scheduled series of many flex-offers into one plan series."""
+    from repro.timeseries.series import TimeSeries
+
     total: TimeSeries | None = None
     for offer in flex_offers:
         series = offer.scheduled_series(grid)

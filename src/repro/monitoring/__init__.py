@@ -1,4 +1,10 @@
-"""Monitoring extension (the paper's future work): alerts and the control-platform drill-down."""
+"""Monitoring extension (the paper's future work): alerts and the control-platform drill-down.
+
+The platform layer is re-exported lazily (PEP 562): it pulls in the
+enterprise planning pipeline, which is numpy-native, while the alert rules
+themselves are pure Python.  Lazy loading keeps the live subsystem (which
+subscribes alert monitors to commit hubs) importable in the no-numpy CI leg.
+"""
 
 from repro.monitoring.alerts import (
     Alert,
@@ -7,7 +13,11 @@ from repro.monitoring.alerts import (
     AlertSeverity,
     AlertThresholds,
 )
-from repro.monitoring.platform import MonitoringPlatform, MonitoringReport
+
+_LAZY = {
+    "MonitoringPlatform": "repro.monitoring.platform",
+    "MonitoringReport": "repro.monitoring.platform",
+}
 
 __all__ = [
     "Alert",
@@ -15,6 +25,18 @@ __all__ = [
     "AlertSeverity",
     "AlertThresholds",
     "AlertMonitor",
-    "MonitoringPlatform",
-    "MonitoringReport",
+    *_LAZY,
 ]
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

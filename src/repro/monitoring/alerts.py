@@ -15,12 +15,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from datetime import datetime
 from enum import Enum
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.flexoffer.flexibility import flexibility_envelope
 from repro.flexoffer.model import FlexOffer
 from repro.timeseries.grid import TimeGrid
-from repro.timeseries.series import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (TimeSeries is
+    # numpy-native; alert rules only read the series passed to them)
+    from repro.timeseries.series import TimeSeries
 
 
 class AlertSeverity(str, Enum):

@@ -12,13 +12,17 @@ flex-offers, a warehouse filter and a ready-to-render basic view.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.datagen.scenarios import Scenario
 from repro.enterprise.planning import PlanningReport
 from repro.flexoffer.model import FlexOffer
 from repro.monitoring.alerts import Alert, AlertKind, AlertMonitor, AlertSeverity, AlertThresholds
 from repro.views.basic import BasicView
 from repro.warehouse.query import FlexOfferFilter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (datagen is numpy-native;
+    # the platform just reads the scenario's series and offers)
+    from repro.datagen.scenarios import Scenario
 
 
 @dataclass

@@ -1,0 +1,269 @@
+"""Binary, offset-indexed columnar snapshots of the warehouse star schema.
+
+The CSV checkpoint format (:mod:`repro.warehouse.persistence`) re-parses
+every cell as text on restore, which is the restore-time wall at 100k+
+offers.  This module stores each table as one ``<table>.fcb`` file laid out
+for zero-parse reads::
+
+    magic "FVCB" + u32 format version          (8-byte header)
+    column blocks, back to back                (raw bytes, see below)
+    footer JSON                                (the offset index)
+    u64 footer length + magic "FVCB"           (12-byte trailer)
+
+The footer records, per column, the *kind* of its block and the byte offsets
+needed to read it without touching anything else:
+
+* ``num`` — the live cells of an int64/float64/bool column as raw
+  little-endian array bytes.  With numpy available these are read back
+  through :func:`numpy.memmap` straight into the typed column arrays of
+  :class:`~repro.warehouse.table.Table` — no text parse, no per-cell Python.
+  Without numpy they decode through the stdlib ``array`` module.
+* ``str`` — everything else (strings, datetimes, nullable columns, demoted
+  typed columns): a ``(rows + 1)`` int64 offset array plus one UTF-8 blob.
+  Cells are written as exactly the text the CSV writer would have produced
+  (:func:`repro.warehouse.persistence._format`) and decoded with the same
+  per-column coercers CSV restores use — so a binary restore is
+  value-identical to a CSV restore *by construction*, which is what the
+  round-trip property suite pins.
+
+Like every checkpoint artifact the files are only made visible by the
+manifest rename in :class:`~repro.store.snapshot.SnapshotStore`; a torn
+write is never read.  Byte order is little-endian on disk; on a big-endian
+host without numpy the writer falls back to ``str`` blocks rather than
+produce unportable files.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+from array import array
+from pathlib import Path
+from typing import Any
+
+from repro.errors import StoreError
+from repro.warehouse.persistence import _column_coercer, _format, _missing_default
+from repro.warehouse.schema import DIMENSION_TABLES, FACT_TABLES, StarSchema
+from repro.warehouse.table import ColumnArray, Table, _fits, numpy_enabled
+
+try:  # Optional dependency: the array-module fallback reads the same bytes.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI leg
+    _np = None
+
+#: File magic and the on-disk format version.
+MAGIC = b"FVCB"
+FORMAT_VERSION = 1
+
+_TRAILER = struct.Struct("<Q4s")
+_HEADER = struct.Struct("<4sI")
+
+#: Column dtype -> (little-endian numpy dtype string, array-module typecode).
+_NUM_DTYPES: dict[str, tuple[str, str]] = {
+    "int64": ("<i8", "q"),
+    "float64": ("<f8", "d"),
+    "bool": ("|b1", "B"),
+}
+
+_SUFFIX = ".fcb"
+
+
+def _binary_capable() -> bool:
+    """Whether this host can write ``num`` blocks in the on-disk byte order."""
+    return _np is not None or sys.byteorder == "little"
+
+
+def _num_bytes(dtype: str, values: Any) -> bytes:
+    """Raw little-endian block bytes for a numeric column."""
+    np_dtype, typecode = _NUM_DTYPES[dtype]
+    if _np is not None:
+        return _np.ascontiguousarray(_np.asarray(values, dtype=dtype), dtype=np_dtype).tobytes()
+    if dtype == "bool":
+        return bytes(1 if value else 0 for value in values)
+    return array(typecode, values).tobytes()
+
+
+def _num_values(dtype: str, data: bytes, rows: int) -> Any:
+    """Decode a ``num`` block without numpy (the scalar fallback)."""
+    if dtype == "bool":
+        return [byte != 0 for byte in data]
+    _, typecode = _NUM_DTYPES[dtype]
+    decoded = array(typecode, data)
+    return decoded.tolist()
+
+
+def write_table(table: Table, path: str | Path) -> Path:
+    """Write one table's live rows as a columnar binary file."""
+    path = Path(path)
+    live = list(table.live_positions())
+    rows = len(live)
+    columns: list[dict[str, Any]] = []
+    with open(path, "wb") as handle:
+        handle.write(_HEADER.pack(MAGIC, FORMAT_VERSION))
+        offset = _HEADER.size
+        for name in table.columns:
+            backing = table.column(name)
+            dtype = table.dtypes.get(name)
+            values: Any = None
+            entry: dict[str, Any] = {"name": name}
+            if dtype is not None and isinstance(backing, ColumnArray):
+                values = backing.array
+                if table.tombstone_count:
+                    values = values[_np.asarray(live, dtype=_np.int64)]
+            else:
+                values = [backing[position] for position in live]
+                if not (
+                    dtype is not None
+                    and _binary_capable()
+                    and all(_fits(dtype, value) for value in values)
+                ):
+                    dtype = None
+            if dtype is not None:
+                block = _num_bytes(dtype, values)
+                entry.update(kind="num", dtype=dtype, offset=offset, length=len(block))
+                handle.write(block)
+                offset += len(block)
+            else:
+                encoded = [str(_format(value)).encode("utf-8") for value in values]
+                offsets = array("q", [0] * (rows + 1))
+                position = 0
+                for index, cell in enumerate(encoded):
+                    position += len(cell)
+                    offsets[index + 1] = position
+                offsets_block = _num_bytes("int64", offsets)
+                blob = b"".join(encoded)
+                entry.update(
+                    kind="str",
+                    offsets_offset=offset,
+                    blob_offset=offset + len(offsets_block),
+                    blob_length=len(blob),
+                )
+                handle.write(offsets_block)
+                handle.write(blob)
+                offset += len(offsets_block) + len(blob)
+            columns.append(entry)
+        footer = json.dumps(
+            {"table": table.name, "rows": rows, "columns": columns}, sort_keys=True
+        ).encode("utf-8")
+        handle.write(footer)
+        handle.write(_TRAILER.pack(len(footer), MAGIC))
+    return path
+
+
+def _read_footer(path: Path) -> dict[str, Any]:
+    size = path.stat().st_size
+    if size < _HEADER.size + _TRAILER.size:
+        raise StoreError(f"{path} is too short to be a columnar table file")
+    with open(path, "rb") as handle:
+        magic, version = _HEADER.unpack(handle.read(_HEADER.size))
+        if magic != MAGIC:
+            raise StoreError(f"{path} is not a columnar table file (bad magic)")
+        if version != FORMAT_VERSION:
+            raise StoreError(
+                f"columnar format version {version} is not supported "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        handle.seek(size - _TRAILER.size)
+        footer_length, trailer_magic = _TRAILER.unpack(handle.read(_TRAILER.size))
+        if trailer_magic != MAGIC or footer_length > size - _HEADER.size - _TRAILER.size:
+            raise StoreError(f"{path} has a torn or malformed footer")
+        handle.seek(size - _TRAILER.size - footer_length)
+        try:
+            return json.loads(handle.read(footer_length).decode("utf-8"))
+        except ValueError as exc:
+            raise StoreError(f"malformed columnar footer in {path}: {exc}") from exc
+
+
+def _read_block(path: Path, offset: int, length: int) -> bytes:
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        return handle.read(length)
+
+
+def read_table(path: str | Path, memmap: bool = True) -> tuple[str, int, dict[str, Any]]:
+    """Read one columnar file: ``(table name, row count, column -> values)``.
+
+    ``num`` blocks come back as numpy arrays — memory-mapped views when
+    ``memmap`` is true (the restore fast path: the bytes are adopted into
+    the table's typed columns with one copy, no text parse), eagerly read
+    otherwise — or as plain lists without numpy.  ``str`` blocks decode
+    through the CSV coercers, so values match a CSV restore exactly.
+    """
+    path = Path(path)
+    footer = _read_footer(path)
+    rows = int(footer["rows"])
+    data: dict[str, Any] = {}
+    for entry in footer["columns"]:
+        name = entry["name"]
+        kind = entry["kind"]
+        if kind == "num":
+            dtype = entry["dtype"]
+            if dtype not in _NUM_DTYPES:
+                raise StoreError(f"{path}: column {name!r} has unknown dtype {dtype!r}")
+            np_dtype, _ = _NUM_DTYPES[dtype]
+            if _np is not None:
+                if rows == 0:
+                    data[name] = _np.empty(0, dtype=dtype)
+                elif memmap:
+                    data[name] = _np.memmap(
+                        path, dtype=np_dtype, mode="r", offset=entry["offset"], shape=(rows,)
+                    )
+                else:
+                    with open(path, "rb") as handle:
+                        handle.seek(entry["offset"])
+                        data[name] = _np.fromfile(handle, dtype=np_dtype, count=rows)
+            else:
+                data[name] = _num_values(
+                    dtype, _read_block(path, entry["offset"], entry["length"]), rows
+                )
+        elif kind == "str":
+            offsets = _num_values(
+                "int64", _read_block(path, entry["offsets_offset"], 8 * (rows + 1)), rows + 1
+            )
+            blob = _read_block(path, entry["blob_offset"], entry["blob_length"])
+            cells = [
+                blob[offsets[index] : offsets[index + 1]].decode("utf-8")
+                for index in range(rows)
+            ]
+            coercer = _column_coercer(name)
+            data[name] = [coercer(cell) for cell in cells] if coercer else cells
+        else:
+            raise StoreError(f"{path}: column {name!r} has unknown block kind {kind!r}")
+    return str(footer["table"]), rows, data
+
+
+def save_schema_columnar(schema: StarSchema, directory: str | Path) -> list[Path]:
+    """Write every table of ``schema`` as ``<directory>/<table>.fcb``."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    return [
+        write_table(table, target / f"{name}{_SUFFIX}")
+        for name, table in schema.tables.items()
+    ]
+
+
+def load_schema_columnar(directory: str | Path, memmap: bool = True) -> StarSchema:
+    """Rebuild a star schema from a directory written by :func:`save_schema_columnar`.
+
+    Mirrors :func:`repro.warehouse.persistence.load_schema`: unknown files
+    are ignored, tables absent from the directory stay empty, and columns
+    absent from an old dump backfill with the same defaults — so schema
+    growth keeps old binary checkpoints readable.
+    """
+    source = Path(directory)
+    if not source.is_dir():
+        raise StoreError(f"{source} is not a directory")
+    schema = StarSchema.empty()
+    for name in {**DIMENSION_TABLES, **FACT_TABLES}:
+        path = source / f"{name}{_SUFFIX}"
+        if not path.exists():
+            continue
+        target = schema.table(name)
+        _, rows, data = read_table(path, memmap=memmap)
+        data = {column: values for column, values in data.items() if column in target.columns}
+        for column in target.columns:
+            if column not in data:
+                data[column] = [_missing_default(column)] * rows
+        target.install_columns(data)
+    return schema

@@ -100,9 +100,14 @@ def _live_backend(session: FlexSession) -> LiveEngine:
 class RecoveryManager:
     """Checkpoint, compaction and restore over one durability directory."""
 
-    def __init__(self, directory: str | Path, segment_size: int = 512) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        segment_size: int = 512,
+        warehouse_format: str = "columnar",
+    ) -> None:
         self.directory = Path(directory)
-        self.snapshots = SnapshotStore(self.directory)
+        self.snapshots = SnapshotStore(self.directory, warehouse_format=warehouse_format)
         self.log = SegmentStore(self.directory / EVENTS_SUBDIR, segment_size=segment_size)
         self.last_restore: RestoreReport | None = None
 

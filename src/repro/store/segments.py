@@ -16,19 +16,28 @@ checkpoint's), and events of any offer the unprotected suffix still mentions.
 Sequence numbers are preserved, so tails remain addressable after any number
 of compactions, and a cold replay of the compacted log ends in the same state
 as a cold replay of the full one.
+
+Each segment carries a binary *offset-index sidecar* (``<segment>.idx``:
+little-endian ``(sequence, byte offset)`` pairs, appended in lockstep with
+the data lines).  :meth:`SegmentStore.tail` uses it to seek straight to the
+first record of the tail instead of parsing the segment's earlier lines —
+the same trade the columnar checkpoint format makes for warehouse columns.
+The sidecar is an accelerator, never a source of truth: a missing, stale or
+implausible index silently degrades to the full parse.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import struct
+from bisect import bisect_left
 from pathlib import Path
 from typing import Any, Iterable, Iterator
 
 from repro.errors import StoreError
 from repro.live.events import (
     OfferEvent,
-    append_jsonl,
     event_from_dict,
     event_to_dict,
     read_jsonl,
@@ -37,6 +46,8 @@ from repro.live.events import (
 
 _SEGMENT_PREFIX = "events-"
 _SEGMENT_SUFFIX = ".jsonl"
+_INDEX_SUFFIX = ".idx"
+_INDEX_ENTRY = struct.Struct("<qq")
 
 
 def _subject_of(event_payload: dict[str, Any]) -> int:
@@ -96,6 +107,7 @@ class SegmentStore:
         try:
             json.loads(lines[-1])
         except ValueError:
+            self._drop_index(path)
             staged = path.with_suffix(".jsonl.tmp")
             staged.write_text(
                 "".join(line + "\n" for line in lines[:-1]), encoding="utf-8"
@@ -172,7 +184,7 @@ class SegmentStore:
         for event in events:
             if self._active is None or self._active_count >= self.segment_size:
                 if batch:
-                    append_jsonl(self._active, batch)
+                    self._append_segment(self._active, batch)
                     batch = []
                 self._active = self.directory / (
                     f"{_SEGMENT_PREFIX}{self._next_sequence:08d}{_SEGMENT_SUFFIX}"
@@ -183,8 +195,77 @@ class SegmentStore:
             self._active_count += 1
             appended += 1
         if batch:
-            append_jsonl(self._active, batch)
+            self._append_segment(self._active, batch)
         return appended
+
+    def _append_segment(self, path: Path, batch: list[dict[str, Any]]) -> None:
+        """Append records to one segment and extend its offset-index sidecar.
+
+        The data lines land first, the index entries second — a crash in
+        between leaves a merely *stale* index, which :meth:`_seek_offset`
+        handles (it only ever seeks to a boundary at or before the target
+        and scans forward), never a wrong one.
+        """
+        base = path.stat().st_size if path.exists() else 0
+        entries = bytearray()
+        with open(path, "a", encoding="utf-8") as handle:
+            for record in batch:
+                line = json.dumps(record, sort_keys=True)
+                handle.write(line)
+                handle.write("\n")
+                entries += _INDEX_ENTRY.pack(int(record["seq"]), base)
+                base += len(line.encode("utf-8")) + 1
+        with open(self._index_path(path), "ab") as handle:
+            handle.write(entries)
+
+    @staticmethod
+    def _index_path(path: Path) -> Path:
+        return path.with_name(path.name + _INDEX_SUFFIX)
+
+    def _drop_index(self, path: Path) -> None:
+        self._index_path(path).unlink(missing_ok=True)
+
+    def _write_index(self, path: Path, records: list[dict[str, Any]]) -> None:
+        """Rebuild a segment's sidecar from scratch (after compaction)."""
+        entries = bytearray()
+        offset = 0
+        for record in records:
+            entries += _INDEX_ENTRY.pack(int(record["seq"]), offset)
+            offset += len(json.dumps(record, sort_keys=True).encode("utf-8")) + 1
+        self._index_path(path).write_bytes(bytes(entries))
+
+    def _seek_offset(self, path: Path, from_sequence: int) -> int:
+        """Byte offset to start scanning ``path`` at for ``tail(from_sequence)``.
+
+        Resolved through the sidecar index: the offset of the last record
+        with sequence <= the target (scanning forward from there filters any
+        earlier records away).  Returns 0 — the full parse — whenever the
+        index is missing, malformed or implausible for the current file.
+        """
+        try:
+            raw = self._index_path(path).read_bytes()
+        except OSError:
+            return 0
+        if not raw or len(raw) % _INDEX_ENTRY.size:
+            return 0
+        pairs = list(_INDEX_ENTRY.iter_unpack(raw))
+        sequences = [sequence for sequence, _ in pairs]
+        position = bisect_left(sequences, from_sequence)
+        if position < len(pairs) and sequences[position] == from_sequence:
+            offset = pairs[position][1]
+        elif position > 0:
+            offset = pairs[position - 1][1]
+        else:
+            return 0
+        if offset <= 0 or offset >= path.stat().st_size:
+            return 0
+        # The offset must land on a line boundary; anything else means the
+        # index belongs to an older incarnation of the file.
+        with open(path, "rb") as handle:
+            handle.seek(offset - 1)
+            if handle.read(1) != b"\n":
+                return 0
+        return offset
 
     # ------------------------------------------------------------------
     # Read path
@@ -192,17 +273,37 @@ class SegmentStore:
     def tail(self, from_sequence: int = 0) -> Iterator[OfferEvent]:
         """Stream the stored events with sequence >= ``from_sequence``.
 
-        Segments wholly before the cut are skipped without being read — the
-        point of segmenting: a restore touches only the tail's files.
+        Segments wholly before the cut are skipped without being read, and
+        within the first overlapping segment the offset-index sidecar seeks
+        past the already-checkpointed prefix — a restore parses only the
+        bytes it replays.
         """
         paths = self.segments()
         for position, path in enumerate(paths):
             following = position + 1
             if following < len(paths) and self._first_sequence(paths[following]) <= from_sequence:
                 continue
-            for sequence, payload in self._records(path):
-                if sequence >= from_sequence:
-                    yield event_from_dict(payload)
+            offset = self._seek_offset(path, from_sequence) if from_sequence > 0 else 0
+            if offset:
+                with open(path, encoding="utf-8") as handle:
+                    handle.seek(offset)
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            record = json.loads(line)
+                            sequence, payload = int(record["seq"]), record["event"]
+                        except (ValueError, KeyError, TypeError) as exc:
+                            raise StoreError(
+                                f"malformed segment record in {path}: {exc}"
+                            ) from exc
+                        if sequence >= from_sequence:
+                            yield event_from_dict(payload)
+            else:
+                for sequence, payload in self._records(path):
+                    if sequence >= from_sequence:
+                        yield event_from_dict(payload)
 
     def events(self) -> Iterator[OfferEvent]:
         """Stream every stored event, oldest first."""
@@ -263,12 +364,16 @@ class SegmentStore:
             if len(kept) == total:
                 continue
             dropped += total - len(kept)
+            # The sidecar goes first: a crash mid-rewrite must leave either
+            # no index (full-parse fallback) or one matching the new file.
+            self._drop_index(path)
             if kept:
                 # Rewrite via a temp file + atomic rename: a crash mid-compaction
                 # must never truncate the only copy of a segment.
                 staged = path.with_suffix(".jsonl.tmp")
                 write_jsonl(staged, kept)
                 os.replace(staged, path)
+                self._write_index(path, kept)
             else:
                 path.unlink()
         return dropped

@@ -10,9 +10,12 @@ A checkpoint directory is written by :class:`SnapshotStore` and contains:
   ``offers.jsonl`` (the surviving offers, one JSON document per line),
   ``aggregates.jsonl`` (the committed aggregate outputs with their grid
   cell, chunk index and stable id — see
-  :class:`~repro.store.state.AggregateRecord`) and ``warehouse/*.csv`` (the
-  live warehouse's star schema in the batch persistence format, so a
-  checkpointed warehouse is inspectable with the same tools as a batch dump).
+  :class:`~repro.store.state.AggregateRecord`) and a ``warehouse/`` directory
+  holding the live warehouse's star schema — ``*.fcb`` binary columnar files
+  (:mod:`repro.store.columnar`, the default: restores memmap the column
+  blocks instead of parsing text) or ``*.csv`` in the batch persistence
+  format (``warehouse_format="csv"``, and the read path for checkpoints
+  written before the manifest recorded a format).
 
 Saves are double-buffered: a new checkpoint is written into the buffer the
 current manifest does *not* reference, and the manifest — the commit point —
@@ -35,12 +38,19 @@ from repro.aggregation.parameters import AggregationParameters
 from repro.errors import StoreError
 from repro.flexoffer.serialization import flex_offer_from_dict, flex_offer_to_dict
 from repro.live.events import read_jsonl, write_jsonl
+from repro.store.columnar import load_schema_columnar, save_schema_columnar
 from repro.store.state import AggregateRecord, EngineState
 from repro.warehouse.persistence import load_schema, save_schema
 from repro.warehouse.schema import StarSchema
 
 #: Format version of the checkpoint directory layout.
 CHECKPOINT_VERSION = 1
+
+#: Supported warehouse serializations inside a checkpoint buffer:
+#: ``columnar`` is the binary offset-indexed format (:mod:`repro.store.columnar`,
+#: memmap restores), ``csv`` the text format batch dumps use.  Checkpoints
+#: written before the manifest recorded a format are read as ``csv``.
+WAREHOUSE_FORMATS = ("columnar", "csv")
 
 _MANIFEST = "manifest.json"
 _OFFERS = "offers.jsonl"
@@ -81,8 +91,14 @@ class Checkpoint:
 class SnapshotStore:
     """Reads and writes checkpoint directories."""
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(self, directory: str | Path, warehouse_format: str = "columnar") -> None:
+        if warehouse_format not in WAREHOUSE_FORMATS:
+            raise StoreError(
+                f"unknown warehouse format {warehouse_format!r} "
+                f"(supported: {', '.join(WAREHOUSE_FORMATS)})"
+            )
         self.directory = Path(directory)
+        self.warehouse_format = warehouse_format
 
     def exists(self) -> bool:
         """Whether the directory holds a committed (manifest-bearing) checkpoint."""
@@ -128,10 +144,14 @@ class SnapshotStore:
             (record.to_dict() for record in state.aggregates),
         )
         if schema is not None:
-            save_schema(schema, data_dir / _WAREHOUSE)
+            if self.warehouse_format == "columnar":
+                save_schema_columnar(schema, data_dir / _WAREHOUSE)
+            else:
+                save_schema(schema, data_dir / _WAREHOUSE)
         manifest = {
             "version": CHECKPOINT_VERSION,
             "data": buffer,
+            "warehouse_format": self.warehouse_format,
             "engine": state.engine,
             "parameters": asdict(state.parameters),
             "id_offset": state.id_offset,
@@ -201,5 +221,14 @@ class SnapshotStore:
             raise StoreError(f"malformed checkpoint in {self.directory}: {exc}") from exc
         schema = None
         if manifest.get("has_warehouse"):
-            schema = load_schema(data_dir / _WAREHOUSE)
+            # Checkpoints written before the format was recorded are CSV.
+            stored_format = manifest.get("warehouse_format", "csv")
+            if stored_format == "columnar":
+                schema = load_schema_columnar(data_dir / _WAREHOUSE)
+            elif stored_format == "csv":
+                schema = load_schema(data_dir / _WAREHOUSE)
+            else:
+                raise StoreError(
+                    f"checkpoint warehouse format {stored_format!r} is not supported"
+                )
         return Checkpoint(state=state, schema=schema, manifest=manifest)

@@ -1,32 +1,45 @@
-"""Regular time-series substrate: grids, series, resampling and statistics."""
+"""Regular time-series substrate: grids, series, resampling and statistics.
+
+Submodules are re-exported lazily (PEP 562): ``grid`` is pure stdlib, while
+``series``, ``resample`` and ``statistics`` are numpy-native.  Lazy loading
+keeps numpy-free consumers (flex-offer model, warehouse, store) importable in
+the no-numpy CI leg — they only touch :class:`TimeGrid`.
+"""
 
 from repro.timeseries.grid import DEFAULT_ORIGIN, DEFAULT_RESOLUTION, TimeGrid, hours_between
-from repro.timeseries.resample import ResampleKind, downsample, resample, upsample
-from repro.timeseries.series import TimeSeries, accumulate
-from repro.timeseries.statistics import (
-    SeriesSummary,
-    mean_absolute_error,
-    mean_absolute_percentage_error,
-    plan_deviation,
-    root_mean_squared_error,
-    total_absolute_deviation,
-)
+
+_LAZY = {
+    "TimeSeries": "repro.timeseries.series",
+    "accumulate": "repro.timeseries.series",
+    "ResampleKind": "repro.timeseries.resample",
+    "resample": "repro.timeseries.resample",
+    "downsample": "repro.timeseries.resample",
+    "upsample": "repro.timeseries.resample",
+    "SeriesSummary": "repro.timeseries.statistics",
+    "mean_absolute_error": "repro.timeseries.statistics",
+    "mean_absolute_percentage_error": "repro.timeseries.statistics",
+    "root_mean_squared_error": "repro.timeseries.statistics",
+    "plan_deviation": "repro.timeseries.statistics",
+    "total_absolute_deviation": "repro.timeseries.statistics",
+}
 
 __all__ = [
     "DEFAULT_ORIGIN",
     "DEFAULT_RESOLUTION",
     "TimeGrid",
     "hours_between",
-    "TimeSeries",
-    "accumulate",
-    "ResampleKind",
-    "resample",
-    "downsample",
-    "upsample",
-    "SeriesSummary",
-    "mean_absolute_error",
-    "mean_absolute_percentage_error",
-    "root_mean_squared_error",
-    "plan_deviation",
-    "total_absolute_deviation",
+    *_LAZY,
 ]
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from datetime import datetime
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.flexoffer.model import FlexOffer, FlexOfferState
 from repro.olap.cube import FlexOfferCube, GroupBy
@@ -22,8 +22,11 @@ from repro.render.color import Palette
 from repro.render.scales import LinearScale, SlotTimeScale
 from repro.render.scene import Group, Polyline, Rect, Scene, Style, Text, Wedge
 from repro.timeseries.grid import TimeGrid
-from repro.timeseries.series import TimeSeries
 from repro.views.base import FlexOfferView, ViewOptions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; rendering imports the
+    # numpy-native TimeSeries lazily at draw time.
+    from repro.timeseries.series import TimeSeries
 
 _STATE_ORDER = (FlexOfferState.ACCEPTED, FlexOfferState.ASSIGNED, FlexOfferState.REJECTED)
 
@@ -301,6 +304,8 @@ class BalanceView(FlexOfferView):
                     css_class=f"band {name}",
                 )
             )
+
+        from repro.timeseries.series import TimeSeries
 
         zero = TimeSeries.zeros(self.grid, self.base_demand.start_slot, len(self.base_demand))
         stacked_band(zero, self.base_demand, Palette.NON_FLEXIBLE_DEMAND, "non-flexible demand")

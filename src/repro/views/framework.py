@@ -13,10 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from datetime import datetime
 from enum import Enum
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.aggregation.parameters import AggregationParameters
-from repro.datagen.scenarios import Scenario
 from repro.errors import ViewError
 from repro.flexoffer.model import FlexOffer
 from repro.timeseries.grid import TimeGrid
@@ -31,6 +30,10 @@ from repro.views.profile_view import ProfileView
 from repro.views.schematic import SchematicView
 from repro.views.selection import SelectionModel
 from repro.views.tooltip import FlexOfferDetails, describe
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (datagen is numpy-native;
+    # the framework just holds a scenario reference for its tabs)
+    from repro.datagen.scenarios import Scenario
 
 
 class ViewKind(str, Enum):

@@ -10,12 +10,17 @@ JSON payload column so detail views can reconstruct it losslessly.
 from __future__ import annotations
 
 import json
+from typing import TYPE_CHECKING
 
-from repro.datagen.scenarios import Scenario
 from repro.flexoffer.model import FlexOffer
 from repro.flexoffer.serialization import flex_offer_to_dict
-from repro.timeseries.series import TimeSeries
 from repro.warehouse.schema import StarSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (keeps the module
+    # importable without numpy: datagen and timeseries are numpy-native,
+    # while warehouse loading itself only walks their objects)
+    from repro.datagen.scenarios import Scenario
+    from repro.timeseries.series import TimeSeries
 
 #: Energy types considered renewable by the dim_energy_type dimension.
 RENEWABLE_TYPES = {"hydro", "wind", "solar", "chp"}
@@ -105,7 +110,9 @@ def _load_prosumer_dimension(schema: StarSchema, scenario: Scenario) -> None:
 def _load_type_dimensions(schema: StarSchema, scenario: Scenario) -> None:
     energy_table = schema.table("dim_energy_type")
     appliance_table = schema.table("dim_appliance")
-    energy_types = sorted({offer.energy_type for offer in scenario.flex_offers if offer.energy_type})
+    energy_types = sorted(
+        {offer.energy_type for offer in scenario.flex_offers if offer.energy_type}
+    )
     for energy_type in energy_types:
         energy_table.append(
             {"energy_type": energy_type, "renewable": energy_type in RENEWABLE_TYPES}

@@ -13,14 +13,23 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from datetime import datetime
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.errors import WarehouseError
 from repro.flexoffer.model import FlexOffer
 from repro.flexoffer.serialization import flex_offer_from_dict
 from repro.timeseries.grid import TimeGrid
-from repro.timeseries.series import TimeSeries
 from repro.warehouse.schema import StarSchema
+from repro.warehouse.table import numpy_enabled
+
+try:  # Optional dependency: the planner intersects with sets without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI leg
+    _np = None
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; load_series imports the
+    # numpy-native TimeSeries lazily at call time.
+    from repro.timeseries.series import TimeSeries
 
 
 @dataclass(frozen=True)
@@ -209,27 +218,45 @@ class FlexOfferRepository:
         filters (the filters are conjunctive), so e.g. ``states + grid_nodes``
         examines only rows satisfying both.  Geography filters participate by
         resolving their values to geo ids through the dimension and hitting
-        the fact table's ``geo_id`` index.
+        the fact table's ``geo_id`` index.  With numpy available the
+        intersection runs through ``np.intersect1d`` over int64 position
+        arrays; the set-based fallback produces the identical sorted result.
         """
-        positions: set[int] | None = None
+        groups: list[list[int]] = []
         for column, attribute in PLANNABLE_FILTERS:
             values = getattr(query, attribute)
             if values is None or column not in fact.indexed_columns:
                 continue
-            hits = {p for value in values for p in fact.lookup(column, value)}
-            positions = hits if positions is None else positions & hits
-            if not positions:
-                break
+            hits = [p for value in values for p in fact.lookup(column, value)]
+            if not hits:
+                return []
+            groups.append(hits)
         if "geo_id" in fact.indexed_columns:
             for attribute, geo_column in GEO_FILTERS:
                 values = getattr(query, attribute)
-                if values is None or (positions is not None and not positions):
+                if values is None:
                     continue
                 ids_by_value = self._geo_lookup()[geo_column]
                 geo_ids = {gid for value in values for gid in ids_by_value.get(value, ())}
-                hits = {p for gid in geo_ids for p in fact.lookup("geo_id", gid)}
-                positions = hits if positions is None else positions & hits
-        return None if positions is None else sorted(positions)
+                hits = [p for gid in geo_ids for p in fact.lookup("geo_id", gid)]
+                if not hits:
+                    return []
+                groups.append(hits)
+        if not groups:
+            return None
+        if numpy_enabled():
+            # np.intersect1d returns sorted unique positions — the same
+            # normal form as the set-based fallback's ``sorted(set & ...)``.
+            result = _np.unique(_np.asarray(groups[0], dtype=_np.int64))
+            for hits in groups[1:]:
+                if result.size == 0:
+                    break
+                result = _np.intersect1d(result, _np.asarray(hits, dtype=_np.int64))
+            return result.tolist()
+        positions = set(groups[0])
+        for hits in groups[1:]:
+            positions &= set(hits)
+        return sorted(positions)
 
     def load(self, query: FlexOfferFilter | None = None) -> QueryResult:
         """Load flex-offers matching ``query`` (all offers when ``None``).
@@ -304,13 +331,17 @@ class FlexOfferRepository:
     # ------------------------------------------------------------------
     def load_series(self, kind: str) -> TimeSeries:
         """Reassemble one stored time series by its ``kind`` column."""
+        from repro.timeseries.series import TimeSeries
+
         table = self.schema.table("fact_timeseries").where(kind=kind)
         if len(table) == 0:
             raise WarehouseError(f"no time series of kind {kind!r} is stored")
         pairs = list(zip(table.column("slot"), table.column("value")))
         name = table.column("series_name")[0]
         unit = table.column("unit")[0]
-        series = TimeSeries.from_pairs(self.grid, [(int(s), float(v)) for s, v in pairs], name=name, unit=unit)
+        series = TimeSeries.from_pairs(
+            self.grid, [(int(s), float(v)) for s, v in pairs], name=name, unit=unit
+        )
         return series
 
     # ------------------------------------------------------------------

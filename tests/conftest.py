@@ -1,17 +1,26 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The numpy-native layers (datagen, time series) are imported lazily inside
+their fixtures: the no-numpy CI leg runs the pure-Python fallback suites with
+numpy uninstalled, and any test that genuinely needs a generated scenario or
+a ``TimeSeries`` skips there instead of failing collection.
+"""
 
 from __future__ import annotations
 
 import os
 from datetime import timedelta
+from typing import TYPE_CHECKING
 
 import pytest
 from hypothesis import settings as hypothesis_settings
 
-from repro.datagen.scenarios import Scenario, ScenarioConfig, generate_scenario
 from repro.flexoffer.model import Direction, FlexOffer, ProfileSlice, Schedule
 from repro.timeseries.grid import TimeGrid
-from repro.timeseries.series import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datagen.scenarios import Scenario
+    from repro.timeseries.series import TimeSeries
 
 # Property-test example budgets, selected via HYPOTHESIS_PROFILE: "dev" keeps
 # the local suite fast, "ci" is the default pull-request budget, "extended" is
@@ -116,16 +125,27 @@ def offer_batch() -> list[FlexOffer]:
 @pytest.fixture(scope="session")
 def scenario() -> Scenario:
     """A small but complete synthetic scenario (shared across the session)."""
-    return generate_scenario(ScenarioConfig(prosumer_count=60, offers_per_prosumer=1.4, seed=5))
+    scenarios = pytest.importorskip(
+        "repro.datagen.scenarios", reason="scenario generation needs numpy", exc_type=ImportError
+    )
+    return scenarios.generate_scenario(
+        scenarios.ScenarioConfig(prosumer_count=60, offers_per_prosumer=1.4, seed=5)
+    )
 
 
 @pytest.fixture(scope="session")
 def large_scenario() -> Scenario:
     """A larger scenario for integration-style tests."""
-    return generate_scenario(ScenarioConfig(prosumer_count=150, seed=9))
+    scenarios = pytest.importorskip(
+        "repro.datagen.scenarios", reason="scenario generation needs numpy", exc_type=ImportError
+    )
+    return scenarios.generate_scenario(scenarios.ScenarioConfig(prosumer_count=150, seed=9))
 
 
 @pytest.fixture
 def ramp_series(grid: TimeGrid) -> TimeSeries:
     """A simple increasing series 0..23 over 24 slots."""
-    return TimeSeries(grid, 0, list(range(24)), name="ramp", unit="kWh")
+    series = pytest.importorskip(
+        "repro.timeseries.series", reason="TimeSeries needs numpy", exc_type=ImportError
+    )
+    return series.TimeSeries(grid, 0, list(range(24)), name="ramp", unit="kWh")

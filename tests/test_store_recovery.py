@@ -16,6 +16,13 @@ import tempfile
 from collections import Counter
 
 import pytest
+
+pytest.importorskip(
+    "numpy",
+    reason="scenario-driven recovery tests need numpy (test_store_binary.py is the numpy-free leg)",
+    exc_type=ImportError,
+)
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import UnknownColumnError, WarehouseError
-from repro.warehouse.table import Table
+from repro.warehouse.table import ColumnArray, Table, force_backend, numpy_enabled
 
 
 @pytest.fixture
@@ -226,3 +226,114 @@ class TestCsv:
     def test_from_empty_csv_raises(self):
         with pytest.raises(WarehouseError):
             Table.from_csv("x", "")
+
+
+def _typed_table() -> Table:
+    table = Table(
+        "facts",
+        ["offer_id", "energy", "flag", "label"],
+        dtypes={"offer_id": "int64", "energy": "float64", "flag": "bool"},
+    )
+    table.extend(
+        {"offer_id": i, "energy": i * 0.5, "flag": i % 2 == 0, "label": f"o{i}"}
+        for i in range(20)
+    )
+    return table
+
+
+class TestTypedColumns:
+    """The numpy-backed typed columns and their pure-Python fallback."""
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(WarehouseError):
+            Table("bad", ["a"], dtypes={"a": "complex128"})
+
+    def test_typed_reads_are_plain_python(self):
+        table = _typed_table()
+        for value in table.column("offer_id")[:3]:
+            assert type(value) is int
+        assert type(table.column("energy")[1]) is float
+        assert type(table.column("flag")[0]) is bool
+        assert table.row(2) == {"offer_id": 2, "energy": 1.0, "flag": True, "label": "o2"}
+
+    def test_typed_columns_use_arrays_when_numpy_present(self):
+        table = _typed_table()
+        if numpy_enabled():
+            assert isinstance(table.column("offer_id"), ColumnArray)
+            assert table.column_array("offer_id") is not None
+        assert table.column_array("label") is None
+
+    def test_scalar_backend_is_bit_identical(self):
+        with force_backend("scalar"):
+            fallback = _typed_table()
+            assert not numpy_enabled()
+            assert isinstance(fallback.column("offer_id"), list)
+            scalar_rows = list(fallback.rows())
+            scalar_filtered = [
+                row["offer_id"] for row in fallback.where(flag=True).rows()
+            ]
+        table = _typed_table()
+        assert list(table.rows()) == scalar_rows
+        assert [row["offer_id"] for row in table.where(flag=True).rows()] == scalar_filtered
+
+    def test_force_backend_rejects_bad_mode(self):
+        with pytest.raises(WarehouseError):
+            with force_backend("gpu"):
+                pass
+
+    def test_non_conforming_cell_demotes_column(self):
+        table = _typed_table()
+        table.append({"offer_id": None, "energy": 0.0, "flag": False, "label": "x"})
+        assert isinstance(table.column("offer_id"), list)
+        assert table.column("offer_id")[-1] is None
+        # The other typed columns keep their backing.
+        if numpy_enabled():
+            assert isinstance(table.column("energy"), ColumnArray)
+
+    def test_set_value_demotes_on_type_change(self):
+        table = _typed_table()
+        table.set_value("energy", 3, "not-a-number")
+        assert isinstance(table.column("energy"), list)
+        assert table.column("energy")[3] == "not-a-number"
+
+    def test_vectorized_ops_match_scan(self):
+        table = _typed_table()
+        assert [r["offer_id"] for r in table.where(offer_id=7).rows()] == [7]
+        assert len(table.where_in("offer_id", [1, 5, 99])) == 2
+        assert len(table.where_between("energy", 1.0, 3.0)) == 5
+        assert table.lookup("offer_id", 13) == [13]
+        assert table.sort_by("energy").column("energy")[0] == 0.0
+
+    def test_cross_type_equality_keeps_python_semantics(self):
+        # Python's ``1 == 1.0`` and ``0 == False`` must keep holding even for
+        # array-backed columns: mismatched query types take the scan path.
+        table = _typed_table()
+        assert len(table.where(offer_id=7.0)) == 1
+        assert len(table.where(flag=0)) == 10
+
+    def test_compact_preserves_typed_backing(self):
+        table = _typed_table()
+        table.create_index("offer_id")
+        for offer_id in range(10):
+            table.delete_where("offer_id", offer_id)
+        table.compact()
+        assert list(table.values("offer_id")) == list(range(10, 20))
+        if numpy_enabled():
+            assert isinstance(table.column("offer_id"), ColumnArray)
+
+    def test_subset_preserves_dtypes(self):
+        table = _typed_table()
+        filtered = table.where_between("offer_id", 5, 15)
+        if numpy_enabled():
+            assert isinstance(filtered.column("energy"), ColumnArray)
+        assert [type(v) for v in filtered.column("offer_id")[:2]] == [int, int]
+
+    def test_install_columns_adopts_conforming_lists(self):
+        table = Table("t", ["a", "b"], dtypes={"a": "int64"})
+        table.install_columns({"a": [1, 2, 3], "b": ["x", "y", "z"]})
+        assert list(table.values("a")) == [1, 2, 3]
+        if numpy_enabled():
+            assert isinstance(table.column("a"), ColumnArray)
+        table_with_none = Table("t", ["a"], dtypes={"a": "int64"})
+        table_with_none.install_columns({"a": [1, None, 3]})
+        assert isinstance(table_with_none.column("a"), list)
