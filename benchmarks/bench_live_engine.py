@@ -314,18 +314,21 @@ def scaling_sweep(offers, rungs, touched: int = 256, rounds: int = 5) -> dict:
 
 
 def obs_overhead(offers, rounds: int = 15, fraction: float = 0.05) -> dict:
-    """Enabled-vs-disabled observability cost on the commit path, interleaved.
+    """Observability cost on the commit path — off, fully on, and sampled.
 
-    Two identical live engines run the same revise-and-commit workload; one
-    commits with :mod:`repro.obs` enabled, the other with it disabled, rounds
-    alternating so process drift lands on both equally.  The JSON row carries
-    ``throughput_ratio = disabled_ms / enabled_ms`` — a same-process,
-    machine-independent ratio the trajectory gate holds above its absolute
-    floor (enabled commits must keep >=90% of disabled throughput).
+    Three identical live engines run the same revise-and-commit workload,
+    rounds interleaved so process drift lands on all equally: one commits
+    with :mod:`repro.obs` disabled, one fully enabled, one enabled under a
+    head-based 1-in-16 :class:`~repro.obs.Sampler` (the production
+    "always-on" posture: metrics stay exact, only traces are thinned).  The
+    JSON row carries two same-process, machine-independent ratios the
+    trajectory gate holds above absolute floors: ``throughput_ratio =
+    disabled_ms / enabled_ms`` (>= 90%) and ``sampled_ratio = disabled_ms /
+    sampled_ms`` (>= 95% — sampling must recover most of the tracing cost).
     """
     from repro import obs
 
-    modes = ("disabled", "enabled")
+    modes = ("disabled", "enabled", "sampled")
     engines = {mode: _seeded_engine(offers) for mode in modes}
     rngs = {mode: np.random.default_rng(11) for mode in modes}
     touched = max(1, int(len(offers) * fraction))
@@ -348,21 +351,28 @@ def obs_overhead(offers, rounds: int = 15, fraction: float = 0.05) -> dict:
                     )
                 if mode == "enabled":
                     obs.enable()
+                elif mode == "sampled":
+                    obs.enable()
+                    obs.set_sampler(obs.Sampler(default_rate=16))
                 started = time.perf_counter()
                 engine.commit()
                 timings[mode].append(time.perf_counter() - started)
+                obs.set_sampler(None)
                 obs.disable()
     finally:
         obs.disable()
         obs.reset()
     disabled = statistics.median(timings["disabled"])
     enabled = statistics.median(timings["enabled"])
+    sampled = statistics.median(timings["sampled"])
     return {
         "touched_offers": touched,
         "rounds": rounds,
         "disabled_commit_ms": round(disabled * 1000, 3),
         "enabled_commit_ms": round(enabled * 1000, 3),
+        "sampled_commit_ms": round(sampled * 1000, 3),
         "throughput_ratio": round(disabled / enabled, 3),
+        "sampled_ratio": round(disabled / sampled, 3),
     }
 
 
@@ -741,7 +751,9 @@ def main(argv=None) -> int:
     print(
         f"  obs overhead: disabled {overhead['disabled_commit_ms']:.3f} ms, "
         f"enabled {overhead['enabled_commit_ms']:.3f} ms, "
-        f"throughput ratio {overhead['throughput_ratio']:.3f}"
+        f"sampled {overhead['sampled_commit_ms']:.3f} ms, "
+        f"ratios enabled {overhead['throughput_ratio']:.3f} / "
+        f"sampled {overhead['sampled_ratio']:.3f}"
     )
     # The versioned-read-path storm: cached reads vs recomputation, reader
     # scaling, and the cache hit ratio under a region-confined writer.
@@ -755,9 +767,13 @@ def main(argv=None) -> int:
         f"({storm['throughput_vs_recompute']:.0f}x the recompute rate, "
         f"{storm['commits_during_storm']} commits mid-storm)"
     )
-    # Per-stage latency breakdown from one instrumented replay.
+    # Per-stage latency breakdown from one instrumented replay, plus each
+    # stage's share of the total — the shape the drift gate holds in a band.
+    from benchmarks.conftest import stage_shares
+
     stages = stage_breakdown(scenario)
     summary["stages"] = stages
+    summary["stage_shares"] = stage_shares(stages)
     for stage, row in sorted(stages.items()):
         print(
             f"  stage {stage:<42} n={row['count']:<5} mean {row['mean_ms']:8.4f} ms "

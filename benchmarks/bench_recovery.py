@@ -330,6 +330,8 @@ def main(argv=None) -> int:
             f"  stage {stage:<32} n={row['count']:<3} mean {row['mean_ms']:8.3f} ms "
             f"max {row['max_ms']:8.3f} ms"
         )
+    from benchmarks.conftest import stage_shares
+
     summary = {
         "schema": 1,
         "quick": bool(args.quick),
@@ -337,6 +339,7 @@ def main(argv=None) -> int:
         "formats": formats,
         "deletes": deletes,
         "stages": stages,
+        "stage_shares": stage_shares(stages),
     }
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:

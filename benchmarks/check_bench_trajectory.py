@@ -64,10 +64,21 @@ what gates are machine-independent *ratios*:
 * the observability contract: enabled-vs-disabled commit throughput must
   stay above the absolute ``OBS_FLOOR`` (0.9 — instrumentation may cost at
   most 10% of commit throughput; same-engine same-process ratio, so an
-  absolute floor is safe), and the per-stage latency breakdown must keep
-  covering the required stages (commit, kernel, query in the live summary;
-  checkpoint and restore in the recovery summary) — an instrumented path
-  silently losing its instruments is a regression even when it gets faster.
+  absolute floor is safe), the head-sampled posture (1-in-16 traces,
+  metrics untouched) must recover most of that cost (``sampled_ratio``
+  against the absolute ``SAMPLED_FLOOR``, 0.95), and the per-stage latency
+  breakdown must keep covering the required stages (commit, kernel, query
+  in the live summary; checkpoint and restore in the recovery summary) —
+  an instrumented path silently losing its instruments is a regression
+  even when it gets faster.
+
+* stage-share drift: once a committed baseline carries ``stage_shares``
+  (each stage's fraction of the total instrumented time), the required
+  stage groups' shares must stay within ``STAGE_SHARE_TOLERANCE`` (an
+  absolute band of share points) of the baseline — a stage silently
+  ballooning relative to its peers fails CI even when absolute wall clock
+  moved with the runner.  Baselines without the section (pre-tracing) fall
+  back to the presence-only check.
 
 Exit code 0 = trajectory healthy, 1 = regression, 2 = malformed input.
 
@@ -108,6 +119,18 @@ CHUNKED_FLOOR = 3.0
 #: Absolute floor on enabled/disabled commit throughput — instrumentation may
 #: cost at most 10% (same engine, same process: machine-independent ratio).
 OBS_FLOOR = 0.9
+
+#: Absolute floor on the head-sampled (1-in-16 traces, exact metrics) vs
+#: disabled commit throughput — the production always-on posture must keep
+#: >=95% of uninstrumented throughput.
+SAMPLED_FLOOR = 0.95
+
+#: How far a required stage group's share of total instrumented time may move
+#: from the committed baseline, in absolute share points.  Generous on
+#: purpose: quick sweeps are short and shares jitter; the gate exists to
+#: catch a stage ballooning (or vanishing) by a workload-shape margin, not
+#: to pin scheduler noise.
+STAGE_SHARE_TOLERANCE = 0.20
 
 #: Absolute ceiling on the scaling sweep's commit-latency ratio between the
 #: largest and smallest population rung (10x apart).  A truly flat commit
@@ -165,6 +188,38 @@ def _missing_stages(stages: dict, required) -> list[str]:
         for group in required
         if not any(name in stages for name in group)
     ]
+
+
+def _share_drift(current: dict, baseline: dict, required, label: str) -> list[str]:
+    """Gate required stage groups' share of instrumented time vs the baseline.
+
+    Relative gate with a graceful ramp: it only engages once the committed
+    baseline carries a ``stage_shares`` section (pre-tracing baselines keep
+    passing on the presence-only check).  Shares are summed per group, so
+    e.g. the two kernel histograms count as one stage.
+    """
+    then_shares = baseline.get("stage_shares")
+    if not then_shares:
+        print(f"  {label} share drift     : baseline has no stage_shares (presence-only)")
+        return []
+    now_shares = current.get("stage_shares", {})
+    failures = []
+    for group in required:
+        now = sum(float(now_shares.get(name, 0.0)) for name in group)
+        then = sum(float(then_shares.get(name, 0.0)) for name in group)
+        drift = now - then
+        flag = "DRIFT" if abs(drift) > STAGE_SHARE_TOLERANCE else "ok"
+        print(
+            f"  share {group[0].removeprefix('repro.').removesuffix('.seconds'):<24}: "
+            f"{now:6.3f} (baseline {then:.3f}, drift {drift:+.3f}, "
+            f"band ±{STAGE_SHARE_TOLERANCE:.2f}) {flag}"
+        )
+        if abs(drift) > STAGE_SHARE_TOLERANCE:
+            failures.append(
+                f"{label}: stage [{' | '.join(group)}] share of instrumented time "
+                f"drifted {drift:+.3f} vs baseline (band ±{STAGE_SHARE_TOLERANCE:.2f})"
+            )
+    return failures
 
 
 def _speedup(summary: dict, engine: str, fraction: str = HEADLINE) -> float:
@@ -288,6 +343,20 @@ def check(current: dict, baseline: dict) -> list[str]:
                 f"obs: instrumentation costs >{1 - OBS_FLOOR:.0%} of commit "
                 f"throughput (enabled/disabled ratio {ratio:.3f} < {OBS_FLOOR:.2f})"
             )
+        if "sampled_ratio" not in current["obs"]:
+            failures.append("obs: sampled (1-in-16) leg missing from the current sweep")
+        else:
+            sampled = float(current["obs"]["sampled_ratio"])
+            print(
+                f"  obs sampled/disabled    : {sampled:6.3f} "
+                f"(absolute floor {SAMPLED_FLOOR:.2f})"
+            )
+            if sampled < SAMPLED_FLOOR:
+                failures.append(
+                    f"obs: head-sampled tracing costs >{1 - SAMPLED_FLOOR:.0%} of "
+                    f"commit throughput (sampled/disabled ratio {sampled:.3f} "
+                    f"< {SAMPLED_FLOOR:.2f})"
+                )
     # The versioned read path's storm: cached reads must beat recomputation,
     # the writer-confined workload must keep the cache hot, and the reader
     # pool must outpace recomputation while commits land underneath it.  All
@@ -337,6 +406,7 @@ def check(current: dict, baseline: dict) -> list[str]:
     )
     for group in missing:
         failures.append(f"obs: no observations for required stage [{group}]")
+    failures.extend(_share_drift(current, baseline, LIVE_REQUIRED_STAGES, "live"))
     # Informational only: absolute wall clock, for the artifact reader.
     for engine in ("live", *REPLAY_GATED):
         row = current["engines"][engine]["sweep"][HEADLINE]
@@ -408,6 +478,9 @@ def check_recovery(current: dict, baseline: dict) -> list[str]:
     )
     for group in missing:
         failures.append(f"obs: no observations for required store stage [{group}]")
+    failures.extend(
+        _share_drift(current, baseline, RECOVERY_REQUIRED_STAGES, "recovery")
+    )
     print(
         f"  restore wall            : {current['recovery']['restore_ms']:8.1f} ms vs "
         f"cold {current['recovery']['cold_replay_ms']:.1f} ms (informational)"

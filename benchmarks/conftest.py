@@ -58,3 +58,19 @@ def stage_rows(registry) -> dict:
             "max_ms": round(instrument.snapshot()["max"] * 1000, 4),
         }
     return rows
+
+
+def stage_shares(stages: dict) -> dict:
+    """Each stage's share of the total instrumented time, from ``stage_rows``.
+
+    ``share = count * mean_ms / sum over all stages`` — a machine-independent
+    shape of where the workload's time goes.  The trajectory checker compares
+    these shares against the committed baseline inside a tolerance band, so a
+    stage silently ballooning (or a refactor silently un-instrumenting one)
+    fails CI even when absolute latencies moved with the hardware.
+    """
+    totals = {name: row["count"] * row["mean_ms"] for name, row in stages.items()}
+    grand = sum(totals.values())
+    if grand <= 0:
+        return {}
+    return {name: round(total / grand, 4) for name, total in totals.items()}

@@ -24,8 +24,14 @@ unified facade over scenario, warehouse, engines and views:
 * ``flexviz stats`` — replay a scenario with observability enabled, exercise
   the query and durability paths, and print the per-stage latency table
   (commit, kernel dispatch, query, checkpoint/restore); ``--export-jsonl`` /
-  ``--export-prom`` dump the registry through the exporters, ``--smoke``
-  exits non-zero when a required stage recorded nothing.
+  ``--export-prom`` dump the registry through the exporters, ``--flame`` /
+  ``--folded`` dump the finished spans as a Chrome ``trace_event`` JSON
+  (load it in Perfetto / ``chrome://tracing``) and as folded stacks
+  (speedscope / ``flamegraph.pl``), ``--smoke`` exits non-zero when a
+  required stage recorded nothing.
+* ``flexviz trace`` — print one trace from a ``--export-jsonl`` dump as an
+  indented span tree (``latest`` or a numeric trace id); ``--list``
+  summarizes every trace in the dump.
 """
 
 from __future__ import annotations
@@ -206,10 +212,46 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dump the registry in the Prometheus text exposition format",
     )
     stats.add_argument(
+        "--flame",
+        metavar="PATH",
+        help="dump the finished spans as Chrome trace_event JSON (Perfetto-loadable)",
+    )
+    stats.add_argument(
+        "--folded",
+        metavar="PATH",
+        help="dump the finished spans as folded stacks (speedscope / flamegraph.pl)",
+    )
+    stats.add_argument(
+        "--sample",
+        type=int,
+        metavar="N",
+        default=0,
+        help="head-sample root spans 1-in-N (0 = record every trace)",
+    )
+    stats.add_argument(
         "--smoke",
         action="store_true",
         help="exit non-zero when a required stage (commit, kernel, query, "
         "checkpoint/restore) recorded no observations",
+    )
+
+    trace = subparsers.add_parser(
+        "trace", help="print one trace from a stats --export-jsonl dump as a span tree"
+    )
+    trace.add_argument(
+        "trace_id",
+        nargs="?",
+        default="latest",
+        help="numeric trace id, or 'latest' (default) for the newest trace in the dump",
+    )
+    trace.add_argument(
+        "--input",
+        default="obs.jsonl",
+        metavar="PATH",
+        help="JSONL dump written by flexviz stats --export-jsonl (default obs.jsonl)",
+    )
+    trace.add_argument(
+        "--list", action="store_true", help="summarize every trace in the dump instead"
     )
     return parser
 
@@ -554,8 +596,14 @@ def _command_stats(args: argparse.Namespace) -> int:
     if args.batch_size < 0:
         print("error: --batch-size must be >= 0", file=sys.stderr)
         return 2
+    if args.sample < 0:
+        print("error: --sample must be >= 0 (0 = record every trace)", file=sys.stderr)
+        return 2
     obs.reset()
     obs.enable()
+    if args.sample:
+        obs.set_sampler(obs.Sampler(default_rate=args.sample))
+        print(f"trace sampling        : head-sampling roots 1-in-{args.sample}")
     try:
         if args.calibrate:
             from repro.aggregation import kernel
@@ -608,6 +656,12 @@ def _command_stats(args: argparse.Namespace) -> int:
                 obs.to_prometheus_text(registry), encoding="utf-8"
             )
             print(f"wrote Prometheus text format to {args.export_prom}")
+        if args.flame:
+            events = obs.export_chrome_trace(args.flame, obs.get_tracer().finished())
+            print(f"wrote {events} span events (Chrome trace_event JSON) to {args.flame}")
+        if args.folded:
+            stacks = obs.write_folded(args.folded, obs.get_tracer().finished())
+            print(f"wrote {stacks} folded stack lines to {args.folded}")
         if args.smoke:
             missing = [
                 " or ".join(group)
@@ -626,6 +680,54 @@ def _command_stats(args: argparse.Namespace) -> int:
         obs.disable()
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    """Print one trace (or a summary of all of them) from a JSONL dump.
+
+    Works offline on the artifact ``flexviz stats --export-jsonl`` wrote —
+    the tracer in *this* process has recorded nothing.
+    """
+    from repro import obs
+
+    try:
+        _, spans = obs.read_jsonl_export(args.input)
+    except OSError as exc:
+        print(f"error: cannot read {args.input}: {exc}", file=sys.stderr)
+        return 2
+    summaries = obs.trace_summaries(spans)
+    if args.list:
+        if not summaries:
+            print(f"no traces in {args.input}")
+            return 0
+        header = f"{'trace':>8} {'spans':>6} {'duration ms':>12}  root"
+        print(header)
+        print("-" * len(header))
+        for row in summaries:
+            print(
+                f"{row['trace_id']:>8} {row['spans']:>6} "
+                f"{row['duration'] * 1000:>12.3f}  {row['root']}"
+            )
+        return 0
+    if args.trace_id == "latest":
+        if not summaries:
+            print(f"error: no traces in {args.input}", file=sys.stderr)
+            return 1
+        trace_id = summaries[-1]["trace_id"]
+    else:
+        try:
+            trace_id = int(args.trace_id)
+        except ValueError:
+            print(
+                f"error: trace_id must be an integer or 'latest', got {args.trace_id!r}",
+                file=sys.stderr,
+            )
+            return 2
+    if not any(row["trace_id"] == trace_id for row in summaries):
+        print(f"error: trace {trace_id} is not in {args.input}", file=sys.stderr)
+        return 1
+    print(obs.format_trace(spans, trace_id))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -641,6 +743,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "checkpoint": _command_checkpoint,
         "restore": _command_restore,
         "stats": _command_stats,
+        "trace": _command_trace,
     }
     return commands[args.command](args)
 

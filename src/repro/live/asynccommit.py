@@ -105,6 +105,12 @@ class AsyncCommitEngine:
         self.on_event = on_event
         self.on_commit = on_commit
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        #: The most recent producer-side trace context (captured by ``apply``
+        #: while the ingesting thread had a span open).  The worker attaches
+        #: its next commit to it — an explicit handoff, so the asynchronous
+        #: commit lands in the trace of the operation that caused it instead
+        #: of starting an unexplained root on the worker thread.
+        self._ingest_context = None
         #: Serializes every touch of ``inner`` (worker commits vs caller reads).
         self._lock = threading.RLock()
         self._commit_log: list[CommitResult] = []
@@ -161,13 +167,19 @@ class AsyncCommitEngine:
 
         Instrumented as ``async.commit``: the latency covers the inner commit
         *and* the mirroring hooks — what a flush barrier actually waits for.
-        The worker thread records on its own thread-local span stack.
+        A commit running on the worker thread attaches to the trace context
+        the producer handed off at enqueue time (when there was one); barrier
+        commits run on the caller's thread and nest there naturally.
         """
         started = time.perf_counter() if _OBS.enabled else 0.0
-        with _TRACER.span("async.commit"):
-            result = self.inner.commit()
-            if self.on_commit is not None:
-                self.on_commit(result)
+        handoff = None
+        if threading.current_thread() is self._worker:
+            handoff, self._ingest_context = self._ingest_context, None
+        with _TRACER.attach(handoff):
+            with _TRACER.span("async.commit"):
+                result = self.inner.commit()
+                if self.on_commit is not None:
+                    self.on_commit(result)
         if _OBS.enabled:
             _WORKER_COMMIT_SECONDS.observe(time.perf_counter() - started)
         self._commit_log.append(result)
@@ -191,6 +203,15 @@ class AsyncCommitEngine:
         if self._closed:
             raise LiveEngineError("the async-commit engine is closed")
         self._raise_pending_error()
+        if _OBS.enabled:
+            # Hand the producer's open span (if any) to the worker so the
+            # resulting asynchronous commit joins this operation's trace.
+            # Last-writer-wins is deliberate: the worker's next commit covers
+            # every event applied since its last one, and the newest enqueue
+            # is that batch's most recent cause.
+            context = _TRACER.context()
+            if context is not None:
+                self._ingest_context = context
         self._queue.put(event)
         _QUEUE_DEPTH_GAUGE.track(self._queue.qsize())
         return None

@@ -461,8 +461,11 @@ class LiveAggregationEngine:
                     _PUBLISH_SECONDS.observe(time.perf_counter() - publish_started)
                 else:
                     self.hub.publish(result)
-        if self.commit_listener is not None:
-            self.commit_listener(result)
+            # Inside the commit span on purpose: the listener is the read
+            # path's snapshot publication + cache advance, causally part of
+            # this commit — its spans belong in this trace.
+            if self.commit_listener is not None:
+                self.commit_listener(result)
         if _OBS.enabled:
             _COMMITS.inc()
             _COMMIT_SECONDS.observe(time.perf_counter() - started)

@@ -33,6 +33,7 @@ import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import TYPE_CHECKING, Iterable
 
 from repro.aggregation.aggregate import AggregationResult
@@ -426,47 +427,58 @@ class ShardedAggregationEngine:
         # once here per *logical* commit, not once per shard.  Each shard's
         # drain records its own latency inside commit_core; the fan-out span
         # covers all of them together (pool wait included).
-        fanout_started = time.perf_counter() if recording else 0.0
-        with _TRACER.span("sharded.commit.fanout"):
-            if use_pool:
-                drains = list(self._pool().map(self._timed_drain, dirty_shards))
-            else:
-                drains = [self._timed_drain(pair) for pair in dirty_shards]
-        if recording:
-            _SHARDED_FANOUT_SECONDS.observe(time.perf_counter() - fanout_started)
-        merge_started = time.perf_counter() if recording else 0.0
-        changed: list[FlexOffer] = []
-        removed: list[FlexOffer] = []
-        dirty_cells: list[GroupKey] = []
-        stats = ChunkStats()
-        for shard_dirty, shard_changed, shard_removed, shard_stats in drains:
-            changed.extend(shard_changed)
-            removed.extend(shard_removed)
-            dirty_cells.extend(shard_dirty)
-            stats = stats + shard_stats
-        # The changed-wins migration rule over the merged result: an offer that
-        # migrated cells — within a shard or across shards — is still live.
-        changed_ids = {offer.id for offer in changed}
-        removed = [offer for offer in removed if offer.id not in changed_ids]
-        if recording:
-            _SHARDED_MERGE_SECONDS.observe(time.perf_counter() - merge_started)
-        self._commit_count += 1
-        result = ShardedCommitResult(
-            sequence=self._commit_count,
-            events_applied=self._pending_events,
-            dirty_cells=tuple(sorted(dirty_cells)),
-            changed=changed,
-            removed=removed,
-            elapsed_seconds=time.perf_counter() - started,
-            chunks_reaggregated=stats.reaggregated,
-            chunks_skipped=stats.skipped,
-            shard_indices=tuple(index for index, _ in dirty_shards),
-        )
-        self._pending_events = 0
-        if self.hub is not None:
-            self.hub.publish(result)
-        if self.commit_listener is not None:
-            self.commit_listener(result)
+        with _TRACER.span("sharded.commit"):
+            fanout_started = time.perf_counter() if recording else 0.0
+            with _TRACER.span("sharded.commit.fanout"):
+                if use_pool:
+                    # The pool threads must join THIS logical commit's trace:
+                    # capture the fan-out span as an explicit context and ship
+                    # it with the work — worker-thread-local state is not ours.
+                    handoff = _TRACER.context()
+                    drains = list(
+                        self._pool().map(
+                            partial(self._timed_drain, context=handoff), dirty_shards
+                        )
+                    )
+                else:
+                    drains = [self._timed_drain(pair) for pair in dirty_shards]
+            if recording:
+                _SHARDED_FANOUT_SECONDS.observe(time.perf_counter() - fanout_started)
+            merge_started = time.perf_counter() if recording else 0.0
+            with _TRACER.span("sharded.commit.merge"):
+                changed: list[FlexOffer] = []
+                removed: list[FlexOffer] = []
+                dirty_cells: list[GroupKey] = []
+                stats = ChunkStats()
+                for shard_dirty, shard_changed, shard_removed, shard_stats in drains:
+                    changed.extend(shard_changed)
+                    removed.extend(shard_removed)
+                    dirty_cells.extend(shard_dirty)
+                    stats = stats + shard_stats
+                # The changed-wins migration rule over the merged result: an
+                # offer that migrated cells — within a shard or across shards —
+                # is still live.
+                changed_ids = {offer.id for offer in changed}
+                removed = [offer for offer in removed if offer.id not in changed_ids]
+            if recording:
+                _SHARDED_MERGE_SECONDS.observe(time.perf_counter() - merge_started)
+            self._commit_count += 1
+            result = ShardedCommitResult(
+                sequence=self._commit_count,
+                events_applied=self._pending_events,
+                dirty_cells=tuple(sorted(dirty_cells)),
+                changed=changed,
+                removed=removed,
+                elapsed_seconds=time.perf_counter() - started,
+                chunks_reaggregated=stats.reaggregated,
+                chunks_skipped=stats.skipped,
+                shard_indices=tuple(index for index, _ in dirty_shards),
+            )
+            self._pending_events = 0
+            if self.hub is not None:
+                self.hub.publish(result)
+            if self.commit_listener is not None:
+                self.commit_listener(result)
         if recording:
             _SHARDED_COMMIT_SECONDS.observe(time.perf_counter() - started)
             _SHARDED_SHARDS.observe(len(dirty_shards))
@@ -483,13 +495,21 @@ class ShardedAggregationEngine:
             )
         return histogram
 
-    def _timed_drain(self, pair):
-        """Drain one shard, recording its latency under its own shard label."""
+    def _timed_drain(self, pair, context=None):
+        """Drain one shard, recording its latency under its own shard label.
+
+        ``context`` is the fan-out span's :class:`~repro.obs.TraceContext`
+        when this call runs on a pool thread: attaching it makes the drain
+        span (and the kernel spans under it) children of the logical commit's
+        trace.  Inline drains pass no context — they already nest naturally.
+        """
         index, shard = pair
         if not _OBS.enabled:
             return shard.commit_core()
         drain_started = time.perf_counter()
-        outcome = shard.commit_core()
+        with _TRACER.attach(context):
+            with _TRACER.span("sharded.shard.drain"):
+                outcome = shard.commit_core()
         self._shard_fanout_histogram(index).observe(
             time.perf_counter() - drain_started
         )

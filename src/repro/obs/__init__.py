@@ -22,10 +22,19 @@ observability on and prints the per-stage latency table.
 from __future__ import annotations
 
 from repro.obs.export import (
+    export_chrome_trace,
     export_jsonl,
     prometheus_name,
     read_jsonl_export,
+    to_chrome_trace,
     to_prometheus_text,
+)
+from repro.obs.flame import (
+    folded_stacks,
+    format_trace,
+    to_folded_text,
+    trace_summaries,
+    write_folded,
 )
 from repro.obs.metrics import (
     COUNT_BUCKETS,
@@ -35,7 +44,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.trace import SpanRecord, Tracer
+from repro.obs.trace import Sampler, SpanRecord, TraceContext, Tracer
 
 __all__ = [
     "COUNT_BUCKETS",
@@ -44,18 +53,28 @@ __all__ = [
     "Histogram",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
+    "Sampler",
     "SpanRecord",
+    "TraceContext",
     "Tracer",
     "disable",
     "enable",
     "enabled",
+    "export_chrome_trace",
     "export_jsonl",
+    "folded_stacks",
+    "format_trace",
     "get_registry",
     "get_tracer",
     "prometheus_name",
     "read_jsonl_export",
     "reset",
+    "set_sampler",
+    "to_chrome_trace",
+    "to_folded_text",
     "to_prometheus_text",
+    "trace_summaries",
+    "write_folded",
 ]
 
 #: The process-global default registry every instrumented module binds to.
@@ -90,7 +109,18 @@ def enabled() -> bool:
     return _REGISTRY.enabled
 
 
+def set_sampler(sampler: "Sampler | None") -> None:
+    """Install (or remove, with ``None``) the head-based trace sampler.
+
+    Sampling gates only the span log: a sampled-out operation still records
+    every histogram and counter, so metrics stay exact while always-on
+    tracing stays cheap.
+    """
+    _TRACER.set_sampler(sampler)
+
+
 def reset() -> None:
-    """Zero every instrument and drop the finished-span log."""
+    """Zero every instrument, drop the finished-span log and the sampler."""
     _REGISTRY.reset()
+    _TRACER.set_sampler(None)
     _TRACER.clear()

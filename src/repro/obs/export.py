@@ -1,6 +1,6 @@
-"""Exporters: JSONL dumps and the Prometheus text exposition format.
+"""Exporters: JSONL dumps, Prometheus text and Chrome ``trace_event`` JSON.
 
-Two consumers, two formats:
+Three consumers, three formats:
 
 * :func:`export_jsonl` / :func:`read_jsonl_export` — a lossless dump of every
   instrument and finished span, one JSON document per line.  This is the
@@ -10,14 +10,20 @@ Two consumers, two formats:
   (``# HELP`` / ``# TYPE`` / samples; histograms as cumulative ``_bucket``
   series with ``le`` labels plus ``_sum``/``_count``), so a scrape endpoint
   or a textfile collector can ship the same registry without translation.
+* :func:`to_chrome_trace` / :func:`export_chrome_trace` — the Chrome
+  ``trace_event`` JSON object format (complete ``"ph": "X"`` events with
+  microsecond ``ts``/``dur``, one ``tid`` lane per engine thread), loadable
+  directly in Perfetto or ``chrome://tracing`` — the timeline twin of the
+  folded-stack flamegraph in :mod:`repro.obs.flame`.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 from pathlib import Path
-from typing import Any, Iterable, TextIO
+from typing import Any, Iterable, Sequence, TextIO
 
 from repro.obs.metrics import (
     Counter,
@@ -107,6 +113,65 @@ def export_jsonl(
     else:
         Path(target).write_text(payload, encoding="utf-8")
     return len(lines)
+
+
+def to_chrome_trace(spans: Sequence[SpanRecord], pid: int | None = None) -> dict[str, Any]:
+    """The finished spans as a Chrome ``trace_event`` JSON object.
+
+    Every span becomes one *complete* event (``"ph": "X"``) with the fields
+    the Trace Event format requires — ``name``, ``ph``, integer ``pid`` and
+    ``tid``, microsecond ``ts`` and ``dur`` — plus the trace/span/parent ids
+    under ``args`` so the Perfetto UI can slice one logical operation out of
+    the timeline.  Thread names map to stable integer ``tid`` lanes (first
+    appearance order) and are declared through ``thread_name`` metadata
+    events, the way Chrome's own traces do it.
+    """
+    process = os.getpid() if pid is None else pid
+    lanes: dict[str, int] = {}
+    events: list[dict[str, Any]] = []
+    for span in spans:
+        tid = lanes.setdefault(span.thread, len(lanes) + 1)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": span.started * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": process,
+                "tid": tid,
+                "args": {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "depth": span.depth,
+                },
+            }
+        )
+    for thread, tid in lanes.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": process,
+                "tid": tid,
+                "args": {"name": thread},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(
+    target: str | Path | TextIO, spans: Sequence[SpanRecord], pid: int | None = None
+) -> int:
+    """Write the Chrome trace JSON; returns the number of span events."""
+    document = to_chrome_trace(spans, pid=pid)
+    payload = json.dumps(document, sort_keys=True)
+    if hasattr(target, "write"):
+        target.write(payload)
+    else:
+        Path(target).write_text(payload, encoding="utf-8")
+    return sum(1 for event in document["traceEvents"] if event["ph"] == "X")
 
 
 def read_jsonl_export(

@@ -24,10 +24,12 @@ a cache hit, which is what makes the concurrent read path pay off.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any
 
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
+from repro.obs.metrics import COUNT_BUCKETS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.live.engine import CommitResult
@@ -35,12 +37,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.session.spec import QuerySpec, ResultSet
 
 _OBS = get_registry()
+_TRACER = get_tracer()
 _CACHE_HITS = _OBS.counter("repro.readpath.cache.hits", "result-cache hits")
 _CACHE_MISSES = _OBS.counter("repro.readpath.cache.misses", "result-cache misses")
 _CACHE_INVALIDATIONS = _OBS.counter(
     "repro.readpath.cache.invalidations", "entries dropped by commit invalidation"
 )
 _CACHE_ENTRIES = _OBS.gauge("repro.readpath.cache.entries", "live result-cache entries")
+_CACHE_ADVANCE_SECONDS = _OBS.histogram(
+    "repro.readpath.cache.advance.seconds",
+    "per-commit cache advance latency (the invalidation scan)",
+)
+_CACHE_ADVANCE_SCANNED = _OBS.histogram(
+    "repro.readpath.cache.advance.scanned", "entries examined per advance", COUNT_BUCKETS
+)
 
 
 class _CacheEntry:
@@ -136,10 +146,27 @@ class ResultCache:
         result: "CommitResult",
     ) -> None:
         """Move to ``snapshot.version``: carry untouched entries, drop the rest."""
+        if not _OBS.enabled:
+            self._advance(previous, snapshot, result)
+            return
+        started = time.perf_counter()
+        with _TRACER.span("readpath.cache.advance"):
+            scanned = self._advance(previous, snapshot, result)
+        _CACHE_ADVANCE_SECONDS.observe(time.perf_counter() - started)
+        _CACHE_ADVANCE_SCANNED.observe(scanned)
+
+    def _advance(
+        self,
+        previous: "AggregateSnapshot",
+        snapshot: "AggregateSnapshot",
+        result: "CommitResult",
+    ) -> int:
+        """The scan itself; returns how many entries it examined."""
         with self._lock:
             self._version = snapshot.version
             if not self._entries:
-                return
+                return 0
+            scanned = len(self._entries)
             dirty_prev_ids: set[int] = set()
             dirty_new: list = []
             for cell in result.dirty_cells:
@@ -182,6 +209,7 @@ class ResultCache:
             if _OBS.enabled and dropped:
                 _CACHE_INVALIDATIONS.inc(dropped)
             _CACHE_ENTRIES.set(len(survivors))
+            return scanned
 
     # ------------------------------------------------------------------
     # Introspection

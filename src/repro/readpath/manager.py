@@ -14,17 +14,28 @@ released.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Iterator
 
 from repro.errors import ReadPathError
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
 from repro.readpath.snapshot import AggregateSnapshot
 
 _OBS = get_registry()
+_TRACER = get_tracer()
 _VERSIONS_RETAINED = _OBS.gauge(
     "repro.readpath.snapshot.versions", "snapshot versions currently retained"
+)
+_SNAPSHOT_PINS = _OBS.counter(
+    "repro.readpath.snapshot.pins", "reader pins taken on retained snapshot versions"
+)
+_SNAPSHOT_EVICTIONS = _OBS.counter(
+    "repro.readpath.snapshot.evictions", "snapshot versions evicted from the ring"
+)
+_PIN_SECONDS = _OBS.histogram(
+    "repro.readpath.pin.seconds", "how long readers hold snapshot pins"
 )
 
 
@@ -80,6 +91,7 @@ class SnapshotManager:
                 if latest is not None and version == latest.version:
                     continue
                 del self._snapshots[version]
+                _SNAPSHOT_EVICTIONS.inc()
                 break
             else:
                 # Everything old is pinned; the ring stays oversized until
@@ -113,9 +125,17 @@ class SnapshotManager:
             if snapshot is None:
                 raise ReadPathError(f"cannot pin unknown snapshot version {version}")
             self._pins[version] = self._pins.get(version, 0) + 1
+        _SNAPSHOT_PINS.inc()
+        started = time.perf_counter()
         try:
-            yield snapshot
+            # The span covers the reader's whole pinned section.  Safe despite
+            # this being a generator: ``contextmanager`` enters and exits it
+            # synchronously on the with-block's own thread.
+            with _TRACER.span("readpath.pin"):
+                yield snapshot
         finally:
+            if _OBS.enabled:
+                _PIN_SECONDS.observe(time.perf_counter() - started)
             with self._lock:
                 remaining = self._pins.get(version, 1) - 1
                 if remaining <= 0:

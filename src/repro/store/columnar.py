@@ -38,11 +38,14 @@ from __future__ import annotations
 import json
 import struct
 import sys
+import time
 from array import array
 from pathlib import Path
 from typing import Any
 
 from repro.errors import StoreError
+from repro.obs import get_registry, get_tracer
+from repro.obs.metrics import COUNT_BUCKETS
 from repro.warehouse.persistence import _column_coercer, _format, _missing_default
 from repro.warehouse.schema import DIMENSION_TABLES, FACT_TABLES, StarSchema
 from repro.warehouse.table import ColumnArray, Table, _fits, numpy_enabled
@@ -51,6 +54,24 @@ try:  # Optional dependency: the array-module fallback reads the same bytes.
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised in the no-numpy CI leg
     _np = None
+
+# ----------------------------------------------------------------------
+# Observability: the columnar write/read legs of a checkpoint cycle.  One
+# observation per table file, so the stats table shows where a checkpoint's
+# wall clock actually goes (these nest under the store.checkpoint /
+# store.restore spans when a RecoveryManager drives them).
+# ----------------------------------------------------------------------
+_OBS = get_registry()
+_TRACER = get_tracer()
+_COLUMNAR_WRITE_SECONDS = _OBS.histogram(
+    "repro.store.columnar.write.seconds", "columnar table write latency (one .fcb file)"
+)
+_COLUMNAR_READ_SECONDS = _OBS.histogram(
+    "repro.store.columnar.read.seconds", "columnar table read latency (one .fcb file)"
+)
+_COLUMNAR_ROWS = _OBS.histogram(
+    "repro.store.columnar.rows", "rows per columnar table file", COUNT_BUCKETS
+)
 
 #: File magic and the on-disk format version.
 MAGIC = b"FVCB"
@@ -95,6 +116,16 @@ def _num_values(dtype: str, data: bytes, rows: int) -> Any:
 
 def write_table(table: Table, path: str | Path) -> Path:
     """Write one table's live rows as a columnar binary file."""
+    started = time.perf_counter()
+    with _TRACER.span("store.columnar.write"):
+        path, rows = _write_table(table, path)
+    if _OBS.enabled:
+        _COLUMNAR_WRITE_SECONDS.observe(time.perf_counter() - started)
+        _COLUMNAR_ROWS.observe(rows)
+    return path
+
+
+def _write_table(table: Table, path: str | Path) -> tuple[Path, int]:
     path = Path(path)
     live = list(table.live_positions())
     rows = len(live)
@@ -148,7 +179,7 @@ def write_table(table: Table, path: str | Path) -> Path:
         ).encode("utf-8")
         handle.write(footer)
         handle.write(_TRAILER.pack(len(footer), MAGIC))
-    return path
+    return path, rows
 
 
 def _read_footer(path: Path) -> dict[str, Any]:
@@ -190,6 +221,15 @@ def read_table(path: str | Path, memmap: bool = True) -> tuple[str, int, dict[st
     otherwise — or as plain lists without numpy.  ``str`` blocks decode
     through the CSV coercers, so values match a CSV restore exactly.
     """
+    started = time.perf_counter()
+    with _TRACER.span("store.columnar.read"):
+        result = _read_table(path, memmap=memmap)
+    if _OBS.enabled:
+        _COLUMNAR_READ_SECONDS.observe(time.perf_counter() - started)
+    return result
+
+
+def _read_table(path: str | Path, memmap: bool = True) -> tuple[str, int, dict[str, Any]]:
     path = Path(path)
     footer = _read_footer(path)
     rows = int(footer["rows"])

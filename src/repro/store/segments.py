@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 from bisect import bisect_left
 from pathlib import Path
 from typing import Any, Iterable, Iterator
@@ -42,6 +43,30 @@ from repro.live.events import (
     event_to_dict,
     read_jsonl,
     write_jsonl,
+)
+from repro.obs import get_registry, get_tracer
+from repro.obs.metrics import COUNT_BUCKETS
+
+# ----------------------------------------------------------------------
+# Observability: the restore-time tail replay.  The seek counters answer
+# "is the .idx sidecar actually paying off" — a hit means the tail started
+# mid-file through the index, a miss means a full-parse fallback (missing,
+# stale or implausible sidecar).  The tail histograms cover the whole
+# stream-out, however far the consumer drained it.
+# ----------------------------------------------------------------------
+_OBS = get_registry()
+_TRACER = get_tracer()
+_SEEK_HITS = _OBS.counter(
+    "repro.store.segment.seek.hits", "tail reads that seeked through the .idx sidecar"
+)
+_SEEK_MISSES = _OBS.counter(
+    "repro.store.segment.seek.misses", "tail reads that fell back to a full segment parse"
+)
+_TAIL_SECONDS = _OBS.histogram(
+    "repro.store.segment.tail.seconds", "segment-log tail replay latency (drain to exhaustion)"
+)
+_TAIL_RECORDS = _OBS.histogram(
+    "repro.store.segment.tail.records", "events streamed per tail replay", COUNT_BUCKETS
 )
 
 _SEGMENT_PREFIX = "events-"
@@ -242,6 +267,17 @@ class SegmentStore:
         earlier records away).  Returns 0 — the full parse — whenever the
         index is missing, malformed or implausible for the current file.
         """
+        if not _OBS.enabled:
+            return self._seek_offset_inner(path, from_sequence)
+        with _TRACER.span("store.segment.seek"):
+            offset = self._seek_offset_inner(path, from_sequence)
+        if offset:
+            _SEEK_HITS.inc()
+        else:
+            _SEEK_MISSES.inc()
+        return offset
+
+    def _seek_offset_inner(self, path: Path, from_sequence: int) -> int:
         try:
             raw = self._index_path(path).read_bytes()
         except OSError:
@@ -278,6 +314,30 @@ class SegmentStore:
         past the already-checkpointed prefix — a restore parses only the
         bytes it replays.
         """
+        if not _OBS.enabled:
+            return self._tail(from_sequence)
+        return self._timed_tail(from_sequence)
+
+    def _timed_tail(self, from_sequence: int) -> Iterator[OfferEvent]:
+        """The instrumented tail: latency and record count per replay.
+
+        Deliberately **no span** in here: a generator can be dropped half
+        consumed, and a span opened inside it would then close on whatever
+        thread runs the finalizer — corrupting that thread's span stack.
+        Histograms are closed over in a ``finally`` instead, which is safe
+        at any point of consumption (including never).
+        """
+        started = time.perf_counter()
+        records = 0
+        try:
+            for event in self._tail(from_sequence):
+                records += 1
+                yield event
+        finally:
+            _TAIL_SECONDS.observe(time.perf_counter() - started)
+            _TAIL_RECORDS.observe(records)
+
+    def _tail(self, from_sequence: int = 0) -> Iterator[OfferEvent]:
         paths = self.segments()
         for position, path in enumerate(paths):
             following = position + 1
