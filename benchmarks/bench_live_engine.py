@@ -376,6 +376,64 @@ def obs_overhead(offers, rounds: int = 15, fraction: float = 0.05) -> dict:
     }
 
 
+def materialized_refresh(scenario, rounds: int = 9, fraction: float = 0.02) -> dict:
+    """Delta-maintained view update vs a full recompute of the same spec.
+
+    A standing aggregated :class:`~repro.session.materialize.MaterializedView`
+    rides a revise-and-commit workload: each round touches ``fraction`` of
+    the raw offers and commits once.  The per-commit maintenance cost comes
+    from the view's own ``maintenance_seconds`` clock (only the delta
+    application, not the engine commit around it); the comparator is a timed
+    ``view.refresh()`` — the from-scratch rebuild every dashboard redraw paid
+    before materialized views existed.  ``speedup`` is a same-process,
+    machine-independent ratio the trajectory gate holds above an absolute
+    floor (>= 3x, the ISSUE acceptance criterion).
+    """
+    from repro.session import FlexSession, QuerySpec
+
+    with FlexSession(scenario, engine="live") as session:
+        view = session.materialize(
+            QuerySpec.build(parameters=session.parameters), name="bench"
+        )
+        population = {
+            offer.id: offer
+            for offer in session.engine.offers()
+            if not offer.is_aggregate
+        }
+        ids = sorted(population)
+        touched = max(1, int(len(ids) * fraction))
+        rng = np.random.default_rng(17)
+        apply_timings: list[float] = []
+        for _ in range(rounds):
+            for position in rng.choice(len(ids), size=touched, replace=False):
+                current = population[ids[position]]
+                revised = replace(
+                    current, price_per_kwh=current.price_per_kwh * 1.01 + 0.001
+                )
+                population[revised.id] = revised
+                session.ingest(OfferUpdated(current.creation_time, revised))
+            before = view.maintenance_seconds
+            session.commit()
+            apply_timings.append(view.maintenance_seconds - before)
+        refresh_timings: list[float] = []
+        for _ in range(rounds):
+            started = time.perf_counter()
+            view.refresh()
+            refresh_timings.append(time.perf_counter() - started)
+        deltas_applied = view.deltas_applied
+    delta_apply = statistics.median(apply_timings)
+    full_refresh = statistics.median(refresh_timings)
+    return {
+        "rounds": rounds,
+        "touched_offers": touched,
+        "offer_count": len(ids),
+        "deltas_applied": deltas_applied,
+        "delta_apply_ms": round(delta_apply * 1000, 4),
+        "full_refresh_ms": round(full_refresh * 1000, 4),
+        "speedup": round(full_refresh / delta_apply, 1) if delta_apply else 0.0,
+    }
+
+
 def query_storm(
     scenario,
     readers: int = 4,
@@ -754,6 +812,16 @@ def main(argv=None) -> int:
         f"sampled {overhead['sampled_commit_ms']:.3f} ms, "
         f"ratios enabled {overhead['throughput_ratio']:.3f} / "
         f"sampled {overhead['sampled_ratio']:.3f}"
+    )
+    # Materialized views: per-commit delta maintenance vs a from-scratch
+    # refresh of the same standing spec (the PR 10 acceptance criterion).
+    materialized = materialized_refresh(scenario, rounds=rounds)
+    summary["materialized"] = materialized
+    print(
+        f"  materialized view: delta apply {materialized['delta_apply_ms']:.4f} ms vs "
+        f"full refresh {materialized['full_refresh_ms']:.4f} ms "
+        f"({materialized['speedup']:.1f}x, {materialized['touched_offers']} touched "
+        f"of {materialized['offer_count']})"
     )
     # The versioned-read-path storm: cached reads vs recomputation, reader
     # scaling, and the cache hit ratio under a region-confined writer.

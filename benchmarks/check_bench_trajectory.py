@@ -116,6 +116,11 @@ PARITY_SLACK = 0.10
 #: whole-cell re-aggregation) — the ROADMAP live (c) acceptance criterion.
 CHUNKED_FLOOR = 3.0
 
+#: Absolute floor on the materialized-view maintenance speedup (per-commit
+#: delta application vs a from-scratch ``view.refresh()`` of the same spec)
+#: — the PR 10 acceptance criterion.
+MATERIALIZED_FLOOR = 3.0
+
 #: Absolute floor on enabled/disabled commit throughput — instrumentation may
 #: cost at most 10% (same engine, same process: machine-independent ratio).
 OBS_FLOOR = 0.9
@@ -301,6 +306,34 @@ def check(current: dict, baseline: dict) -> list[str]:
             failures.append(
                 f"chunked: speedup regressed >{TOLERANCE:.0%} "
                 f"({now_c:.1f}x vs baseline {then_c:.1f}x)"
+            )
+    # Materialized views: per-commit delta maintenance must beat a full
+    # refresh of the same spec.  Same gating shape as the chunked workload —
+    # an unconditional absolute floor (same process, same spec: machine-
+    # independent) plus the baseline-relative tolerance.
+    if "materialized" not in current:
+        failures.append("materialized-view summary missing from the current sweep")
+    else:
+        now_m = float(current["materialized"]["speedup"])
+        then_m = (
+            float(baseline["materialized"]["speedup"])
+            if "materialized" in baseline
+            else None
+        )
+        print(
+            f"  materialized maintenance: {now_m:6.1f}x vs full refresh "
+            f"(baseline {then_m or 0.0:.1f}x, floor "
+            f"{max(then_m * floor if then_m else 0.0, MATERIALIZED_FLOOR):.1f}x)"
+        )
+        if now_m < MATERIALIZED_FLOOR:
+            failures.append(
+                f"materialized: delta-maintenance speedup {now_m:.1f}x fell below "
+                f"the absolute {MATERIALIZED_FLOOR:.0f}x acceptance floor"
+            )
+        elif then_m is not None and now_m < then_m * floor:
+            failures.append(
+                f"materialized: speedup regressed >{TOLERANCE:.0%} "
+                f"({now_m:.1f}x vs baseline {then_m:.1f}x)"
             )
     # The scale claim: a fixed touched set must cost the same to commit no
     # matter how many offers are resident.  Gated against the absolute

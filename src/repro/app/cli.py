@@ -235,6 +235,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "checkpoint/restore) recorded no observations",
     )
 
+    views = subparsers.add_parser(
+        "views", help="list the registered views, or demo delta-maintained materialized views"
+    )
+    views.add_argument(
+        "--materialized",
+        action="store_true",
+        help="replay a mutated stream with standing materialized views attached and "
+        "print their maintenance stats (deltas applied vs skipped, staleness, cost)",
+    )
+    views.add_argument(
+        "--engine",
+        choices=("live", "sharded", "async"),
+        default="live",
+        help="which incremental engine maintains the views (with --materialized)",
+    )
+    views.add_argument(
+        "--update", type=float, default=0.1, help="fraction of offers revised mid-stream"
+    )
+    views.add_argument(
+        "--withdraw", type=float, default=0.05, help="fraction of offers withdrawn"
+    )
+
     trace = subparsers.add_parser(
         "trace", help="print one trace from a stats --export-jsonl dump as a span tree"
     )
@@ -728,6 +750,60 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_views(args: argparse.Namespace) -> int:
+    if not args.materialized:
+        for name in _VIEW_NAMES:
+            print(name)
+        print(f"{len(_VIEW_NAMES)} registered views")
+        return 0
+    from repro.live.replay import scenario_event_stream
+    from repro.session.spec import QuerySpec
+
+    session = _make_session(args, engine=args.engine, live_preload=False)
+    regions = sorted({offer.region for offer in session.scenario.flex_offers})
+    specs = {
+        "all-aggregated": QuerySpec.build(parameters=session.parameters),
+        "assigned": QuerySpec.build(state="assigned"),
+    }
+    if regions:
+        specs[f"region-{regions[0].lower()}"] = QuerySpec.build(region=regions[0])
+    for name, spec in specs.items():
+        session.materialize(spec, name=name)
+    log = scenario_event_stream(
+        session.scenario,
+        update_fraction=args.update,
+        withdraw_fraction=args.withdraw,
+        seed=args.seed,
+    )
+    report = session.replay(log)
+    session.engine.refresh()
+    print(report.describe())
+    header = (
+        f"{'view':<18} {'version':>8} {'rows':>6} {'deltas':>7} "
+        f"{'skipped':>8} {'stale':>6} {'maint ms':>9}  fresh"
+    )
+    print(header)
+    print("-" * len(header))
+    stale = False
+    for view in session.materialized_views:
+        stats = view.stats()
+        fresh = session.query(view.spec).matches(view.result)
+        stale = stale or not fresh or stats["staleness"] != 0
+        print(
+            f"{stats['name']:<18} {stats['version']:>8} {stats['rows']:>6} "
+            f"{stats['deltas_applied']:>7} {stats['commits_skipped']:>8} "
+            f"{stats['staleness']:>6} {stats['maintenance_seconds'] * 1000:>9.3f}  "
+            f"{'ok' if fresh else 'DIVERGED'}"
+        )
+    session.close()
+    if stale:
+        print(
+            "materialized views diverged from a from-scratch query", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -744,6 +820,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "restore": _command_restore,
         "stats": _command_stats,
         "trace": _command_trace,
+        "views": _command_views,
     }
     return commands[args.command](args)
 

@@ -76,11 +76,32 @@ COUNT_BUCKETS: tuple[float, ...] = (
 )
 
 
+def escape_label_value(value: str) -> str:
+    """Escape one label value per the Prometheus text exposition format.
+
+    Backslash, double quote and newline are the three characters the format
+    reserves inside a quoted label value; each maps to a distinct two-byte
+    sequence, so the escaping is injective and :func:`instrument_key` stays
+    round-trippable (two different raw values can never collide on one key,
+    and the JSONL export re-derives identical keys from the raw labels).
+    """
+    return (
+        str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def render_labels(labels: dict[str, str] | None) -> str:
-    """Labels as the canonical ``k="v"`` list (sorted; empty string for none)."""
+    """Labels as the canonical ``k="v"`` list (sorted; empty string for none).
+
+    Values are escaped for the Prometheus text format — a value carrying a
+    quote, backslash or newline must not break the exposition line (or the
+    instrument key derived from it).
+    """
     if not labels:
         return ""
-    return ",".join(f'{key}="{value}"' for key, value in sorted(labels.items()))
+    return ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in sorted(labels.items())
+    )
 
 
 def instrument_key(name: str, labels: dict[str, str] | None) -> str:

@@ -7,6 +7,8 @@
 * :mod:`repro.session.query` — the fluent, index-aware :class:`OfferQuery`
   builder.
 * :mod:`repro.session.views` — the name → builder :data:`VIEW_REGISTRY`.
+* :mod:`repro.session.materialize` — standing specs maintained from commit
+  deltas (:class:`MaterializedView`).
 * :mod:`repro.session.facade` — :class:`FlexSession`, tying it all together.
 """
 
@@ -19,6 +21,7 @@ from repro.session.engines import (
     subscribe_spec,
 )
 from repro.session.facade import ENGINE_FACTORIES, FlexSession
+from repro.session.materialize import MaterializedDelta, MaterializedView
 from repro.session.query import OfferQuery, execute
 from repro.session.spec import FRAME_COLUMNS, QuerySpec, ResultSet
 from repro.session.views import (
@@ -37,6 +40,8 @@ __all__ = [
     "subscribe_spec",
     "ENGINE_FACTORIES",
     "FlexSession",
+    "MaterializedDelta",
+    "MaterializedView",
     "OfferQuery",
     "execute",
     "FRAME_COLUMNS",

@@ -36,6 +36,7 @@ from repro.session.engines import (
     ShardedEngine,
     subscribe_spec,
 )
+from repro.session.materialize import MaterializedView, views_gauge
 from repro.session.query import OfferQuery, execute
 from repro.session.spec import QuerySpec, ResultSet
 from repro.session.views import build_view, registered_views
@@ -77,6 +78,11 @@ class FlexSession:
         self.live_preload = live_preload
         self._engines: dict[str, AggregationBackend] = {}
         self._active = ""
+        #: Standing state that must survive engine swaps: every subscription
+        #: handed out by :meth:`subscribe` and every materialized view, both
+        #: re-attached to the new backend's hub by :meth:`use_engine`.
+        self._subscriptions: list["Subscription"] = []
+        self._materialized: dict[str, MaterializedView] = {}
         self.use_engine(engine)
 
     @classmethod
@@ -105,8 +111,8 @@ class FlexSession:
     def engine_name(self) -> str:
         return self._active
 
-    def use_engine(self, name: str) -> AggregationBackend:
-        """Switch the active engine, creating it on first use."""
+    def _create_backend(self, name: str) -> AggregationBackend:
+        """Instantiate (or fetch the cached) backend without activating it."""
         if name not in ENGINE_FACTORIES:
             raise SessionError(
                 f"unknown engine {name!r}; available: {sorted(ENGINE_FACTORIES)}"
@@ -123,8 +129,37 @@ class FlexSession:
             else:
                 backend = factory(self.scenario, self.parameters)
             self._engines[name] = backend
-        self._active = name
         return self._engines[name]
+
+    def use_engine(self, name: str) -> AggregationBackend:
+        """Switch the active engine, creating it on first use.
+
+        Each live-family backend owns its own :class:`SubscriptionHub`, so a
+        swap re-attaches every standing subscription and materialized view to
+        the new backend's hub (and detaches them from the other cached
+        live-family hubs) — ``session.subscribe(...)`` callbacks and
+        ``session.materialize(...)`` views keep firing across
+        ``use_engine()`` / ``replay(engine=...)`` switches.
+        """
+        backend = self._create_backend(name)
+        self._active = name
+        if isinstance(backend, LiveEngine):
+            self._attach_standing(backend)
+        return backend
+
+    def _attach_standing(self, backend: LiveEngine) -> None:
+        """Move standing subscriptions and materialized views onto ``backend``."""
+        others = [
+            cached
+            for cached in self._engines.values()
+            if isinstance(cached, LiveEngine) and cached is not backend
+        ]
+        for subscription in self._subscriptions:
+            for other in others:
+                other.hub.unsubscribe(subscription)
+            backend.hub.adopt(subscription)
+        for view in self._materialized.values():
+            view.attach(backend)
 
     def close(self) -> None:
         """Release every cached engine's resources (worker threads, pools).
@@ -171,12 +206,13 @@ class FlexSession:
 
     @property
     def live(self) -> LiveEngine:
-        """The live backend (created on demand), without switching to it."""
-        if "live" not in self._engines:
-            active = self._active
-            self.use_engine("live")
-            self._active = active
-        backend = self._engines["live"]
+        """The live backend (created on demand), without switching to it.
+
+        Deliberately does *not* re-attach standing subscriptions or
+        materialized views — they follow the active engine, and this accessor
+        must not move them onto a backend that is not committing.
+        """
+        backend = self._create_backend("live")
         assert isinstance(backend, LiveEngine)
         return backend
 
@@ -297,7 +333,83 @@ class FlexSession:
             raise SessionError(
                 "subscriptions need the live engine; call use_engine('live') first"
             )
-        return subscribe_spec(backend, spec, callback, name=name)
+        subscription = subscribe_spec(backend, spec, callback, name=name)
+        # Session-level registry: the swap logic in use_engine() re-attaches
+        # this handle to whichever live-family backend becomes active next.
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: "Subscription") -> bool:
+        """Retire a subscription from every cached live-family hub.
+
+        Returns whether any hub still held it.  Works regardless of which
+        engine is active — the handle may have been moved by a swap since it
+        was created.
+        """
+        removed = False
+        for backend in self._engines.values():
+            if isinstance(backend, LiveEngine):
+                removed = backend.hub.unsubscribe(subscription) or removed
+        if subscription in self._subscriptions:
+            self._subscriptions.remove(subscription)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Materialized views (see repro.session.materialize)
+    # ------------------------------------------------------------------
+    def materialize(
+        self, spec: QuerySpec | OfferQuery, name: str = ""
+    ) -> MaterializedView:
+        """Register a standing spec maintained incrementally from commit deltas.
+
+        The returned :class:`MaterializedView` holds a live
+        :class:`~repro.session.spec.ResultSet` that the session keeps
+        equivalent to ``session.query(spec)`` by applying each commit's
+        insert/update/withdraw deltas — not by re-running the query.  The
+        view follows the active engine across ``use_engine()`` /
+        ``replay(engine=...)`` swaps and its ``version`` tracks the read
+        path's snapshot versions.  Requires a live-family engine (the batch
+        snapshot never commits, so there would be no deltas to maintain from).
+        """
+        if isinstance(spec, OfferQuery):
+            spec = spec.spec
+        backend = self.engine
+        if not isinstance(backend, LiveEngine):
+            raise SessionError(
+                "materialized views need a live-family engine; "
+                "call use_engine('live') first"
+            )
+        name = name or f"view-{len(self._materialized) + 1}"
+        if name in self._materialized:
+            raise SessionError(f"materialized view {name!r} already registered")
+        view = MaterializedView(spec, name=name, grid=self.grid)
+        view.attach(backend)
+        self._materialized[name] = view
+        views_gauge(len(self._materialized))
+        return view
+
+    def materialized(self, name: str) -> MaterializedView:
+        """Fetch one registered materialized view by name."""
+        try:
+            return self._materialized[name]
+        except KeyError:
+            raise SessionError(
+                f"no materialized view {name!r}; registered: "
+                f"{sorted(self._materialized)}"
+            ) from None
+
+    @property
+    def materialized_views(self) -> tuple[MaterializedView, ...]:
+        """Every registered materialized view, in registration order."""
+        return tuple(self._materialized.values())
+
+    def drop_materialized(self, name: str) -> MaterializedView:
+        """Deregister a view and detach it from its hub; the result stays readable."""
+        view = self.materialized(name)
+        view.detach()
+        del self._materialized[name]
+        views_gauge(len(self._materialized))
+        return view
 
     def replay(
         self,
@@ -337,6 +449,12 @@ class FlexSession:
         should_reset = reset if reset is not None else events is None
         if should_reset and len(backend.engine.offers()):
             backend.reset()
+            # A reset keeps the hub (subscriptions survive) but drops the
+            # committed state the materialized mirrors were built from; a
+            # full recompute re-bases each view on the emptied engine.
+            for view in self._materialized.values():
+                if view.attached:
+                    view.refresh()
         if events is None:
             events = scenario_event_stream(
                 self.scenario,
@@ -446,6 +564,10 @@ class FlexSession:
         if readpath is not None:
             summary["snapshot_version"] = readpath.manager.latest_version
             summary["result_cache"] = readpath.cache.stats()
+        if self._materialized:
+            summary["materialized_views"] = [
+                view.stats() for view in self._materialized.values()
+            ]
         depth_stats = getattr(self.engine, "depth_stats", None)
         if depth_stats is not None:
             summary.update(depth_stats())

@@ -1,0 +1,518 @@
+"""Materialized views: standing ``QuerySpec``s maintained from commit deltas.
+
+``session.materialize(spec, name=...)`` registers a spec whose result the
+session keeps *fresh* instead of re-running it: the view subscribes to the
+live backend's :class:`~repro.live.subscriptions.SubscriptionHub` (the same
+spec-filtered subscription ``session.subscribe`` uses, with
+``deliver_empty=True`` so no commit can slip past unnoticed) and applies each
+commit's insert/update/withdraw deltas to its held rows and aggregate
+profiles.  The cost of keeping a view current therefore tracks the commit's
+dirty membership — the paper's incremental-visualization claim — not the
+population size.
+
+Maintenance is driven by the same dirty bookkeeping the read path trusts
+(see :mod:`repro.readpath.cache`): a commit's ``dirty_cells`` name every
+grid cell whose membership changed, so the view re-reads exactly those
+cells' surviving members from the committed engine state, diffs them against
+its mirror, and re-aggregates only the spec-level groups whose membership
+moved.  Commits that touch none of the view's rows only advance its
+``version`` — the analogue of a cache carry.
+
+Version stamping is consistent with the read path: an applied commit stamps
+the view (and its :class:`~repro.session.spec.ResultSet`) with the commit's
+``sequence``, which is exactly the snapshot version
+:mod:`repro.readpath` publishes for the same commit — so a materialized
+view and a ``session.query(spec)`` at the same version describe the same
+state.
+
+The differential contract (``tests/test_materialize.py``): at every commit
+point, on every live-family engine, a materialized view's result is
+equivalent to a from-scratch ``session.query(spec)`` — raw ids exactly,
+aggregate profiles bit-for-bit modulo
+:func:`~repro.live.engine.canonical_form`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.aggregation.aggregate import aggregate_group
+from repro.aggregation.grouping import GroupKey, chunk_group, group_key
+from repro.errors import SessionError
+from repro.obs import get_registry, get_tracer
+from repro.session.spec import QuerySpec, ResultSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.flexoffer.model import FlexOffer
+    from repro.live.engine import CommitResult
+    from repro.live.subscriptions import CommitNotification, Subscription
+    from repro.session.engines import LiveEngine
+
+# ----------------------------------------------------------------------
+# Observability: staleness and maintenance cost of the standing views.
+# Totals over every view — per-view figures ride MaterializedView.stats().
+# ----------------------------------------------------------------------
+_OBS = get_registry()
+_TRACER = get_tracer()
+_DELTAS = _OBS.counter(
+    "repro.session.materialize.deltas", "commit deltas applied to materialized views"
+)
+_SKIPPED = _OBS.counter(
+    "repro.session.materialize.skipped", "commits that touched no materialized row"
+)
+_REFRESHES = _OBS.counter(
+    "repro.session.materialize.refreshes", "full recomputes (refresh / re-attach)"
+)
+_APPLY_SECONDS = _OBS.histogram(
+    "repro.session.materialize.apply.seconds", "per-commit delta maintenance latency"
+)
+_STALENESS = _OBS.gauge(
+    "repro.session.materialize.staleness",
+    "commits the engine is ahead of the most recently maintained view",
+)
+_VIEWS = _OBS.gauge(
+    "repro.session.materialize.views", "materialized views currently registered"
+)
+
+
+@dataclass(frozen=True)
+class MaterializedDelta:
+    """What one applied commit changed in a view's output offers."""
+
+    version: int
+    changed_ids: tuple[int, ...]
+    removed_ids: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.changed_ids) + len(self.removed_ids)
+
+
+class MaterializedView:
+    """One standing spec with a live, delta-maintained :class:`ResultSet`.
+
+    Created through :meth:`~repro.session.facade.FlexSession.materialize`;
+    not useful free-standing (it needs a live-family backend's hub and
+    committed state to attach to).  Thread-safe: the async backend applies
+    deltas on its worker thread while readers take :attr:`result` on theirs.
+    """
+
+    def __init__(self, spec: QuerySpec, name: str, grid) -> None:
+        self.spec = spec
+        self.name = name
+        self.grid = grid
+        self._lock = threading.Lock()
+        self._backend: "LiveEngine | None" = None
+        self._subscription: "Subscription | None" = None
+        #: Matching raw rows by id — the view's held selection (pre-limit).
+        self._rows: dict[int, "FlexOffer"] = {}
+        #: Matching row ids per engine grid cell (the delta-application index).
+        self._cell_rows: dict[Any, set[int]] = {}
+        #: Matching passthrough aggregates by id (reconciled wholesale; tiny).
+        self._passthrough: dict[int, "FlexOffer"] = {}
+        #: For aggregation specs: matching row ids per *spec* group key, the
+        #: committed output offers per group and their provenance.
+        self._groups: dict[GroupKey, set[int]] = {}
+        self._outputs: dict[GroupKey, list["FlexOffer"]] = {}
+        self._constituents: dict[GroupKey, dict[int, list["FlexOffer"]]] = {}
+        #: Stable aggregate id per (group, chunk) — same discipline as the
+        #: live engine, so an unchanged chunk keeps its output identity.
+        self._chunk_ids: dict[tuple[GroupKey, int], int] = {}
+        self._next_id = 1_000_000
+        self._result: ResultSet | None = None
+        self.version = 0
+        self.last_delta: MaterializedDelta | None = None
+        # Plain counters (always maintained, observability on or off).
+        self.deltas_applied = 0
+        self.commits_skipped = 0
+        self.refreshes = 0
+        self.maintenance_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Attachment (the facade drives this on materialize / engine swap)
+    # ------------------------------------------------------------------
+    @property
+    def attached(self) -> bool:
+        return self._backend is not None
+
+    def attach(self, backend: "LiveEngine") -> None:
+        """(Re)wire the view to ``backend``'s hub and rebuild from its state.
+
+        Re-attaching to the already-attached backend is a no-op when the
+        subscription is still registered there; anything else (an engine
+        swap, a reset that rebuilt the state) detaches from the old hub,
+        subscribes on the new one and reseeds the mirror — atomically with
+        respect to commits (the async backend's commit lock is taken).
+        """
+        if (
+            backend is self._backend
+            and self._subscription is not None
+            and backend.hub.unsubscribe(self._subscription)
+        ):
+            # Still attached; re-adopt the handle we just popped for the check.
+            backend.hub.adopt(self._subscription)
+            return
+        self.detach()
+        backend.refresh()
+        lock = getattr(backend.engine, "_lock", None)
+        if lock is not None:
+            with lock:
+                self._wire(backend)
+        else:
+            self._wire(backend)
+
+    def _wire(self, backend: "LiveEngine") -> None:
+        self._backend = backend
+        grid = self.grid
+        spec = self.spec
+        self._subscription = backend.hub.subscribe(
+            self._on_commit,
+            name=f"materialize:{self.name}",
+            predicate=lambda offer: spec.matches(offer, grid),
+            deliver_empty=True,
+        )
+        self._reseed()
+
+    def detach(self) -> None:
+        """Drop the hub subscription; the held result stays readable."""
+        if self._backend is not None and self._subscription is not None:
+            self._backend.hub.unsubscribe(self._subscription)
+        self._backend = None
+        self._subscription = None
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @property
+    def result(self) -> ResultSet:
+        """The current materialized result (never ``None`` once attached)."""
+        result = self._result
+        if result is None:
+            raise SessionError(f"materialized view {self.name!r} was never attached")
+        return result
+
+    @property
+    def rows(self) -> int:
+        """Held matching rows (raw + passthrough, pre-limit)."""
+        return len(self._rows) + len(self._passthrough)
+
+    @property
+    def staleness(self) -> int:
+        """Commits the attached engine is ahead of this view (0 when fresh)."""
+        if self._backend is None:
+            return 0
+        return max(0, self._backend._state_engine.commit_count - self.version)
+
+    def stats(self) -> dict[str, Any]:
+        """Maintenance counters (always maintained, like the result cache's)."""
+        return {
+            "name": self.name,
+            "spec": self.spec.describe() or "all flex-offers",
+            "version": self.version,
+            "rows": self.rows,
+            "deltas_applied": self.deltas_applied,
+            "commits_skipped": self.commits_skipped,
+            "refreshes": self.refreshes,
+            "maintenance_seconds": self.maintenance_seconds,
+            "staleness": self.staleness,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.spec.describe() or 'all flex-offers'} @v{self.version} "
+            f"({self.rows} rows, {self.deltas_applied} deltas applied, "
+            f"{self.commits_skipped} skipped)"
+        )
+
+    # ------------------------------------------------------------------
+    # Full recompute
+    # ------------------------------------------------------------------
+    def refresh(self) -> ResultSet:
+        """Force a full recompute from the engine's committed state.
+
+        The escape hatch the differential tests compare against — delta
+        maintenance must make this call unnecessary, never wrong.
+        """
+        backend = self._backend
+        if backend is None:
+            raise SessionError(
+                f"materialized view {self.name!r} is detached; re-materialize it "
+                "on a live-family engine first"
+            )
+        backend.refresh()
+        lock = getattr(backend.engine, "_lock", None)
+        if lock is not None:
+            with lock:
+                self._reseed()
+        else:
+            self._reseed()
+        self.refreshes += 1
+        if _OBS.enabled:
+            _REFRESHES.inc()
+        return self.result
+
+    def _reseed(self) -> None:
+        """Rebuild the mirror from the attached engine's committed state."""
+        backend = self._backend
+        assert backend is not None
+        state = backend._state_engine
+        spec = self.spec
+        grid = self.grid
+        with self._lock:
+            self._rows.clear()
+            self._cell_rows.clear()
+            self._groups.clear()
+            self._outputs.clear()
+            self._constituents.clear()
+            for cell in state.cells():
+                matching = [
+                    offer
+                    for offer in state.cell_members(cell)
+                    if spec.matches(offer, grid)
+                ]
+                if not matching:
+                    continue
+                self._cell_rows[cell] = {offer.id for offer in matching}
+                for offer in matching:
+                    self._rows[offer.id] = offer
+            self._passthrough = {
+                offer.id: offer
+                for offer in state.passthrough_offers()
+                if spec.matches(offer, grid)
+            }
+            if self._maintains_groups():
+                for offer in self._rows.values():
+                    self._groups.setdefault(
+                        group_key(offer, spec.parameters), set()
+                    ).add(offer.id)
+                for key in list(self._groups):
+                    self._recompute_group(key)
+            self._finish(state.commit_count, engine_name=backend.name)
+
+    # ------------------------------------------------------------------
+    # Delta maintenance (runs on whichever thread committed)
+    # ------------------------------------------------------------------
+    def _on_commit(self, notification: "CommitNotification") -> None:
+        started = time.perf_counter()
+        with _TRACER.span("session.materialize.apply"):
+            mutated = self._apply(notification.commit)
+        elapsed = time.perf_counter() - started
+        self.maintenance_seconds += elapsed
+        if mutated:
+            self.deltas_applied += 1
+        else:
+            self.commits_skipped += 1
+        if _OBS.enabled:
+            _APPLY_SECONDS.observe(elapsed)
+            (_DELTAS if mutated else _SKIPPED).inc()
+            _STALENESS.set(self.staleness)
+
+    def _apply(self, commit: "CommitResult") -> bool:
+        """Apply one commit's deltas to the held rows; returns whether any row moved."""
+        backend = self._backend
+        if backend is None:  # a racing detach; nothing to maintain
+            return False
+        state = backend._state_engine
+        spec = self.spec
+        grid = self.grid
+        with self._lock:
+            changed_groups: set[GroupKey] = set()
+            inserted: list[int] = []
+            removed: list[int] = []
+            for cell in commit.dirty_cells:
+                old_ids = self._cell_rows.pop(cell, set())
+                matching = {
+                    offer.id: offer
+                    for offer in state.cell_members(cell)
+                    if spec.matches(offer, grid)
+                }
+                if matching:
+                    self._cell_rows[cell] = set(matching)
+                for offer_id in old_ids - matching.keys():
+                    old = self._rows.pop(offer_id)
+                    removed.append(offer_id)
+                    self._drop_from_group(old)
+                    changed_groups.update(self._group_of(old))
+                for offer_id, offer in matching.items():
+                    old = self._rows.get(offer_id)
+                    if old is offer:
+                        continue  # untouched member of a dirty cell
+                    self._rows[offer_id] = offer
+                    inserted.append(offer_id)
+                    if old is not None:
+                        self._drop_from_group(old)
+                        changed_groups.update(self._group_of(old))
+                    self._add_to_group(offer)
+                    changed_groups.update(self._group_of(offer))
+            # Passthrough aggregates carry no cell structure: reconcile the
+            # (tiny) population wholesale, exactly like the snapshot builder.
+            current = {
+                offer.id: offer
+                for offer in state.passthrough_offers()
+                if spec.matches(offer, grid)
+            }
+            passthrough_moved = current.keys() != self._passthrough.keys() or any(
+                current[offer_id] is not self._passthrough[offer_id]
+                for offer_id in current
+            )
+            pass_removed = [i for i in self._passthrough if i not in current]
+            pass_changed = [
+                i
+                for i, offer in current.items()
+                if self._passthrough.get(i) is not offer
+            ]
+            if passthrough_moved:
+                self._passthrough = current
+            if not (inserted or removed or passthrough_moved):
+                # Provably untouched: only the version moves (a cache carry).
+                self.version = commit.sequence
+                if self._result is not None:
+                    self._result.version = commit.sequence
+                return False
+            output_changed: list[int] = []
+            output_removed: list[int] = []
+            if self._maintains_groups():
+                for key in changed_groups:
+                    old_out, new_out = self._recompute_group(key)
+                    new_by_id = {offer.id: offer for offer in new_out}
+                    for offer in old_out:
+                        if offer.id not in new_by_id:
+                            output_removed.append(offer.id)
+                    for offer_id, offer in new_by_id.items():
+                        previous = next(
+                            (o for o in old_out if o.id == offer_id), None
+                        )
+                        if previous is None or previous != offer:
+                            output_changed.append(offer_id)
+                output_changed.extend(pass_changed)
+                output_removed.extend(pass_removed)
+            else:
+                output_changed = inserted + pass_changed
+                output_removed = removed + pass_removed
+            self._finish(commit.sequence, engine_name=backend.name)
+            self.last_delta = MaterializedDelta(
+                version=commit.sequence,
+                changed_ids=tuple(output_changed),
+                removed_ids=tuple(output_removed),
+            )
+            return True
+
+    # ------------------------------------------------------------------
+    # Group bookkeeping (aggregation specs without a limit)
+    # ------------------------------------------------------------------
+    def _maintains_groups(self) -> bool:
+        return self.spec.parameters is not None and self.spec.limit is None
+
+    def _group_of(self, offer: "FlexOffer") -> tuple[GroupKey, ...]:
+        if not self._maintains_groups():
+            return ()
+        return (group_key(offer, self.spec.parameters),)
+
+    def _add_to_group(self, offer: "FlexOffer") -> None:
+        if self._maintains_groups():
+            self._groups.setdefault(
+                group_key(offer, self.spec.parameters), set()
+            ).add(offer.id)
+
+    def _drop_from_group(self, offer: "FlexOffer") -> None:
+        if self._maintains_groups():
+            key = group_key(offer, self.spec.parameters)
+            members = self._groups.get(key)
+            if members is not None:
+                members.discard(offer.id)
+                if not members:
+                    del self._groups[key]
+
+    def _recompute_group(
+        self, key: GroupKey
+    ) -> tuple[list["FlexOffer"], list["FlexOffer"]]:
+        """Re-aggregate one spec-level group; returns (old outputs, new outputs).
+
+        Chunking and singleton passthrough follow the batch pipeline exactly
+        (:func:`~repro.aggregation.aggregate.aggregate`), so concatenating
+        per-group outputs is bit-identical to a from-scratch aggregation of
+        the whole selection — profiles included, ids modulo canonical form.
+        """
+        parameters = self.spec.parameters
+        assert parameters is not None
+        old = self._outputs.pop(key, [])
+        self._constituents.pop(key, None)
+        member_ids = self._groups.get(key, ())
+        members = sorted(
+            (self._rows[offer_id] for offer_id in member_ids),
+            key=lambda offer: offer.id,
+        )
+        if not members:
+            return old, []
+        outputs: list["FlexOffer"] = []
+        constituents: dict[int, list["FlexOffer"]] = {}
+        for index, chunk in enumerate(chunk_group(members, parameters.max_group_size)):
+            if len(chunk) == 1:
+                outputs.append(chunk[0])
+                continue
+            aggregate_id = self._chunk_ids.get((key, index))
+            if aggregate_id is None:
+                aggregate_id = self._next_id
+                self._next_id += 1
+                self._chunk_ids[(key, index)] = aggregate_id
+            combined = aggregate_group(chunk, aggregate_id)
+            outputs.append(combined)
+            constituents[aggregate_id] = list(chunk)
+        self._outputs[key] = outputs
+        if constituents:
+            self._constituents[key] = constituents
+        return old, outputs
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+    def _finish(self, version: int, engine_name: str) -> None:
+        """Rebuild the :class:`ResultSet` envelope from the mirror."""
+        spec = self.spec
+        passthrough = [self._passthrough[i] for i in sorted(self._passthrough)]
+        selected = sorted(
+            list(self._rows.values()) + passthrough, key=lambda offer: offer.id
+        )
+        matched = len(selected)
+        constituents: dict[int, list["FlexOffer"]] = {}
+        if spec.parameters is None:
+            offers = selected[: spec.limit] if spec.limit is not None else selected
+        elif spec.limit is not None:
+            # Limit + aggregation: the cap is global over the sorted selection,
+            # so group-local maintenance cannot apply — re-aggregate the capped
+            # mirror (still no scan: the selection itself is delta-maintained).
+            from repro.aggregation.aggregate import aggregate as batch_aggregate
+
+            computed = batch_aggregate(
+                selected[: spec.limit], spec.parameters, id_offset=self._next_id
+            )
+            offers = list(computed.offers)
+            constituents = {
+                aggregate_id: list(group)
+                for aggregate_id, group in computed.constituents.items()
+            }
+        else:
+            offers = []
+            for key in sorted(self._outputs):
+                offers.extend(self._outputs[key])
+            offers.extend(passthrough)
+            for per_group in self._constituents.values():
+                for aggregate_id, group in per_group.items():
+                    constituents[aggregate_id] = list(group)
+        self._result = ResultSet(
+            offers=offers,
+            spec=spec,
+            engine=engine_name,
+            scanned_rows=0,  # maintained from deltas, never scanned
+            matched_rows=matched,
+            constituents=constituents,
+            version=version,
+        )
+        self.version = version
+
+
+def views_gauge(count: int) -> None:
+    """Refresh the registered-views gauge (unconditional; registration is rare)."""
+    _VIEWS.set(count)

@@ -216,6 +216,11 @@ class RecoveryManager:
             # re-seed so the baseline snapshot is the checkpointed state (at
             # its restored commit sequence) and tail commits advance from it.
             backend.reseed_readpath()
+            # The restore rebuilt the committed state under the hub's feet;
+            # re-attach any standing subscriptions and materialized views so
+            # they are rebased on the checkpointed state *before* the tail
+            # replay delivers its commits through them.
+            session._attach_standing(backend)
             tail_events = 0
             if self.log.segments():
                 report = replay(self.log.tail(checkpoint.log_offset), backend)

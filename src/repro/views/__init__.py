@@ -9,7 +9,12 @@ from repro.views.aggregation_panel import (
 from repro.views.base import FlexOfferView, ViewOptions
 from repro.views.basic import BasicView, BasicViewOptions
 from repro.views.dashboard import BalanceView, BalanceViewOptions, DashboardOptions, DashboardView
-from repro.views.framework import ViewKind, ViewTab, VisualAnalysisFramework
+from repro.views.framework import (
+    MaterializedViewTab,
+    ViewKind,
+    ViewTab,
+    VisualAnalysisFramework,
+)
 from repro.views.integrated_pivot import IntegratedPivotOptions, IntegratedPivotView
 from repro.views.lanes import LaneStrategy, assign_lanes, lane_count, lanes_are_valid, offer_interval
 from repro.views.loading import LoadedDataset, LoadingWorkflow
@@ -56,6 +61,7 @@ __all__ = [
     "overlay",
     "LoadedDataset",
     "LoadingWorkflow",
+    "MaterializedViewTab",
     "ViewKind",
     "ViewTab",
     "VisualAnalysisFramework",

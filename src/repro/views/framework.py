@@ -119,6 +119,52 @@ class ViewTab:
         self.selection = SelectionModel(self.offers)
 
 
+@dataclass
+class MaterializedViewTab(ViewTab):
+    """A tab backed by a materialized view: redraws only changed aggregates.
+
+    The paper's incremental-rendering claim, closed end to end: the session
+    maintains the standing spec from commit deltas (see
+    :mod:`repro.session.materialize`), and :meth:`sync` diffs the view's
+    current result against the tab's mirror *by object identity* — offers the
+    deltas never touched are the same objects, so only aggregates that
+    actually changed come back for redraw.  ``self.offers`` is refreshed in
+    place, so the ordinary :meth:`ViewTab.view` renders the current state.
+    """
+
+    #: The delta-maintained view this tab mirrors (None only transiently
+    #: during dataclass init; set by open_materialized_tab).
+    source: "object | None" = None
+
+    def sync(self) -> tuple[list[FlexOffer], list[int]]:
+        """Pull the view's current result; returns (changed offers, removed ids).
+
+        Cheap when nothing moved: the maintained result holds the *same*
+        offer objects for untouched aggregates, so the identity diff returns
+        two empty lists and the renderer has nothing to redraw.
+        """
+        if self.source is None:
+            raise ViewError(f"tab {self.title!r} has no materialized view attached")
+        mirror = {offer.id: offer for offer in self.offers}
+        current = self.source.result.offers
+        changed = [
+            offer for offer in current if mirror.get(offer.id) is not offer
+        ]
+        current_ids = {offer.id for offer in current}
+        removed = [offer_id for offer_id in mirror if offer_id not in current_ids]
+        if changed or removed:
+            self.offers = list(current)
+            self.selection = SelectionModel(self.offers)
+        return changed, removed
+
+    @property
+    def version(self) -> int:
+        """The view's maintained version (the read path's snapshot version)."""
+        if self.source is None:
+            raise ViewError(f"tab {self.title!r} has no materialized view attached")
+        return self.source.version
+
+
 class VisualAnalysisFramework:
     """The main-window facade: warehouse connection plus view tabs.
 
@@ -190,6 +236,38 @@ class VisualAnalysisFramework:
         return self.open_tab_for_offers(
             result.offers, title=title or (result.spec.describe() or "all flex-offers"), kind=kind
         )
+
+    def open_materialized_tab(
+        self,
+        query,
+        kind: ViewKind = ViewKind.DASHBOARD,
+        title: str | None = None,
+        name: str = "",
+    ) -> MaterializedViewTab:
+        """Open a tab over a delta-maintained materialized view of ``query``.
+
+        ``query`` is an :class:`~repro.session.query.OfferQuery`, a
+        :class:`~repro.session.spec.QuerySpec`, or an already-registered
+        :class:`~repro.session.materialize.MaterializedView`.  The tab's
+        :meth:`~MaterializedViewTab.sync` then redraws only the aggregates
+        each commit actually changed — no warehouse reload, no re-query.
+        """
+        from repro.session.materialize import MaterializedView
+
+        if isinstance(query, MaterializedView):
+            view = query
+        else:
+            view = self.session.materialize(query, name=name)
+        tab = MaterializedViewTab(
+            title=title or f"{view.name} (materialized)",
+            offers=list(view.result.offers),
+            grid=self.scenario.grid,
+            kind=kind,
+            _scenario=self.scenario,
+            source=view,
+        )
+        self.tabs.append(tab)
+        return tab
 
     def open_tab_for_offers(
         self, offers: Sequence[FlexOffer], title: str, kind: ViewKind = ViewKind.BASIC

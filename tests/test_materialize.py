@@ -1,0 +1,316 @@
+"""Differential harness for materialized views (``repro.session.materialize``).
+
+The contract under test: a registered :class:`MaterializedView` — maintained
+purely from commit deltas through the hub — is equivalent to a from-scratch
+``session.query(spec)`` at *every* commit point, on every live-family engine,
+with the batch pipeline as the final oracle (the four-engine pattern of
+``tests/test_differential_engines.py``).  Raw specs must agree on exact ids,
+aggregation specs bit-for-bit on profiles (ids modulo canonical form), and
+the view's ``version`` must track the read path's snapshot versions.
+
+Also here: the regression tests for standing state across ``use_engine()``
+swaps — before this fix every engine switch silently orphaned hub
+subscriptions (and ``unsubscribe`` on the stale handle returned False).
+
+Registered in the weekly ``HYPOTHESIS_PROFILE=extended`` CI run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from datetime import timedelta
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.scenarios import ScenarioConfig, generate_scenario
+from repro.errors import SessionError
+from repro.live.events import OfferAdded, OfferUpdated, OfferWithdrawn
+from repro.live.replay import scenario_event_stream
+from repro.session import FlexSession, QuerySpec
+from tests.conftest import make_offer
+
+LIVE_ENGINES = ("live", "sharded", "async")
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    return generate_scenario(ScenarioConfig(prosumer_count=30, seed=13))
+
+
+def _mutated_events(scenario, seed: int = 5):
+    stream = scenario_event_stream(
+        scenario, update_fraction=0.3, withdraw_fraction=0.2, seed=seed
+    )
+    return list(stream.replay_order())
+
+
+def _standing_specs(session: FlexSession) -> dict[str, QuerySpec]:
+    return {
+        "raw-region": QuerySpec.build(region="Capital"),
+        "raw-prosumer": QuerySpec.build(prosumer_id=7),
+        "raw-limited": QuerySpec.build(state="assigned", limit=5),
+        "aggregated": QuerySpec.build(parameters=session.parameters),
+        "agg-limited": QuerySpec.build(parameters=session.parameters, limit=8),
+    }
+
+
+def _check_view(session: FlexSession, view) -> None:
+    """One differential probe: the maintained result vs a from-scratch query."""
+    expect = session.query(view.spec, consistency="live")
+    held = view.result
+    assert expect.matches(held), (
+        f"view {view.name!r} diverged from a from-scratch query at v{view.version}"
+    )
+    if view.spec.parameters is None:
+        assert [o.id for o in held.offers] == [o.id for o in expect.offers], (
+            f"view {view.name!r}: raw ids diverged"
+        )
+    assert held.matched_rows == expect.matched_rows
+    readpath = session.engine.readpath
+    assert view.version == readpath.manager.latest_version, (
+        f"view {view.name!r} version {view.version} is not the published "
+        f"snapshot version {readpath.manager.latest_version}"
+    )
+    assert held.version == view.version
+    assert view.staleness == 0
+
+
+# ----------------------------------------------------------------------
+# The differential harness: every commit point, every live-family engine
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", LIVE_ENGINES)
+def test_views_match_queries_at_every_commit_point(small_scenario, engine):
+    """Mutated/withdrawn stream: maintained ≡ from-scratch after each event."""
+    with FlexSession(small_scenario, engine=engine, live_preload=False) as session:
+        views = [
+            session.materialize(spec, name=name)
+            for name, spec in _standing_specs(session).items()
+        ]
+        for event in _mutated_events(small_scenario):
+            session.ingest(event)
+            session.engine.refresh()
+            for view in views:
+                _check_view(session, view)
+        # Final barrier: the batch pipeline over the surviving offers is the
+        # fourth engine's verdict on the same standing specs.
+        batch = session.snapshot()
+        session_grid = session.grid
+        from repro.session.query import execute
+
+        for view in views:
+            oracle = execute(batch, session_grid, view.spec)
+            assert oracle.matches(view.result), (
+                f"view {view.name!r} diverged from the batch oracle"
+            )
+
+
+def test_maintenance_is_delta_driven_not_recompute(small_scenario):
+    """Foreign-region commits are skipped; the view never refreshes itself."""
+    with FlexSession(small_scenario, engine="live", live_preload=False) as session:
+        view = session.materialize(QuerySpec.build(region="Capital"), name="capital")
+        applied_baseline = view.deltas_applied
+        for event in _mutated_events(small_scenario):
+            session.ingest(event)
+            session.engine.refresh()
+        assert view.refreshes == 0, "delta maintenance fell back to recompute"
+        assert view.commits_skipped > 0, (
+            "a region view should skip commits that only touched other regions"
+        )
+        assert view.deltas_applied > applied_baseline
+        stats = view.stats()
+        assert stats["staleness"] == 0
+        assert view.result.scanned_rows == 0, "a maintained view never scans"
+
+
+# ----------------------------------------------------------------------
+# Random interleavings (hypothesis op scripts, mirroring the engine harness)
+# ----------------------------------------------------------------------
+INSERT, MUTATE, WITHDRAW, COMMIT = range(4)
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from((INSERT, INSERT, MUTATE, MUTATE, WITHDRAW, COMMIT, COMMIT)),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=200),
+    ),
+    min_size=4,
+    max_size=40,
+)
+
+
+@pytest.mark.parametrize("engine", LIVE_ENGINES)
+@given(ops=_ops)
+@settings(deadline=None, max_examples=20)
+def test_random_interleavings_keep_views_fresh(small_scenario, engine, ops):
+    """Scripted insert/mutate/withdraw interleavings: checked at every commit."""
+    with FlexSession(small_scenario, engine=engine, live_preload=False) as session:
+        views = [
+            session.materialize(QuerySpec.build(parameters=session.parameters), name="agg"),
+            session.materialize(QuerySpec.build(prosumer_id=2), name="p2"),
+        ]
+        population: dict[int, object] = {}
+        order: list[int] = []
+        next_id = 1
+        for op, selector, magnitude in ops:
+            if op == COMMIT:
+                session.engine.refresh()
+                for view in views:
+                    _check_view(session, view)
+                continue
+            if op == INSERT or not order:
+                offer = make_offer(
+                    offer_id=next_id,
+                    earliest_start=36 + selector % 12,
+                    time_flexibility=4 + selector % 6,
+                    prosumer_id=selector % 5 + 1,
+                )
+                next_id += 1
+                population[offer.id] = offer
+                order.append(offer.id)
+                event = OfferAdded(offer.creation_time, offer)
+            elif op == MUTATE:
+                target = order[selector % len(order)]
+                current = population[target]
+                revised = replace(
+                    current,
+                    price_per_kwh=current.price_per_kwh + magnitude / 100.0,
+                    earliest_start_slot=current.earliest_start_slot + magnitude % 3,
+                    latest_start_slot=current.latest_start_slot + magnitude % 3,
+                )
+                population[target] = revised
+                event = OfferUpdated(current.creation_time, revised)
+            else:  # WITHDRAW
+                target = order.pop(selector % len(order))
+                offer = population.pop(target)
+                event = OfferWithdrawn(
+                    offer.assignment_deadline + timedelta(minutes=15), target
+                )
+            session.ingest(event)
+        session.engine.refresh()
+        for view in views:
+            _check_view(session, view)
+
+
+# ----------------------------------------------------------------------
+# Standing state across engine swaps (the subscription-orphaning bugfix)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("target", LIVE_ENGINES)
+def test_subscriptions_survive_engine_swaps(small_scenario, target):
+    """A session.subscribe callback keeps firing after use_engine() swaps."""
+    with FlexSession(small_scenario, engine="live") as session:
+        notifications = []
+        subscription = session.subscribe(
+            QuerySpec(), notifications.append, name="standing"
+        )
+        session.use_engine(target)
+        before = len(notifications)
+        fresh = make_offer(offer_id=990_001, earliest_start=40, time_flexibility=6)
+        session.ingest(OfferAdded(fresh.creation_time, fresh))
+        session.commit()
+        assert len(notifications) > before, (
+            f"subscription went silent after swapping to {target!r}"
+        )
+        # The un-registration bug: before the fix this returned False because
+        # the handle lived in the abandoned engine's hub.
+        assert session.unsubscribe(subscription) is True
+        mark = len(notifications)
+        another = make_offer(offer_id=990_002, earliest_start=41, time_flexibility=6)
+        session.ingest(OfferAdded(another.creation_time, another))
+        session.commit()
+        assert len(notifications) == mark, "unsubscribed callback still fired"
+        assert session.unsubscribe(subscription) is False
+
+
+def test_views_follow_engine_swaps_and_replay(small_scenario):
+    """Materialized views stay fresh across swaps and replay(engine=...)."""
+    with FlexSession(small_scenario, engine="live") as session:
+        spec = QuerySpec.build(parameters=session.parameters)
+        view = session.materialize(spec, name="agg")
+        for target in ("sharded", "async", "live"):
+            session.use_engine(target)
+            session.engine.refresh()
+            _check_view(session, view)
+            victim = next(o for o in session.engine.offers() if not o.is_aggregate)
+            session.ingest(OfferWithdrawn(victim.assignment_deadline, victim.id))
+            session.commit()
+            _check_view(session, view)
+        # replay(engine=...) resets the live state: the view must re-base on
+        # the emptied engine and then track the replayed stream.
+        session.replay(update_fraction=0.2, withdraw_fraction=0.1, engine="sharded")
+        session.engine.refresh()
+        _check_view(session, view)
+        assert view.refreshes >= 1, "a reset replay must re-base the view"
+
+
+def test_live_accessor_does_not_steal_views(small_scenario):
+    """session.live must not move standing views off the active engine."""
+    with FlexSession(small_scenario, engine="sharded") as session:
+        view = session.materialize(
+            QuerySpec.build(parameters=session.parameters), name="agg"
+        )
+        backend = session.engine
+        _ = session.live  # creates the live backend without switching
+        assert session.engine is backend
+        assert view._backend is backend
+
+
+def test_materialize_registry_api(small_scenario):
+    with FlexSession(small_scenario, engine="live") as session:
+        spec = QuerySpec.build(region="Capital")
+        view = session.materialize(spec, name="capital")
+        assert session.materialized("capital") is view
+        assert view in session.materialized_views
+        assert "materialized_views" in session.summary()
+        with pytest.raises(SessionError):
+            session.materialize(spec, name="capital")  # duplicate name
+        dropped = session.drop_materialized("capital")
+        assert dropped is view
+        assert not view.attached
+        with pytest.raises(SessionError):
+            session.materialized("capital")
+        # Detached views keep their last result but refuse to refresh.
+        assert dropped.result is not None
+        with pytest.raises(SessionError):
+            dropped.refresh()
+
+
+def test_materialize_requires_live_family(small_scenario):
+    with FlexSession(small_scenario, engine="batch") as session:
+        with pytest.raises(SessionError):
+            session.materialize(QuerySpec())
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / restore mid-stream
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ("live", "sharded"))
+def test_restore_mid_stream_rebases_views(tmp_path, small_scenario, engine):
+    """Views materialized on a restored session track the tail, versions intact."""
+    from repro.store import RecoveryManager
+
+    events = _mutated_events(small_scenario)
+    cut = len(events) // 2
+    manager = RecoveryManager(tmp_path / "ckpt")
+    manager.record(events)
+    with FlexSession(small_scenario, engine=engine, live_preload=False) as session:
+        session.replay(events[:cut], reset=False)
+        manager.checkpoint(session, offset=cut)
+
+    restored = FlexSession.restore(tmp_path / "ckpt", engine=engine)
+    try:
+        spec = QuerySpec.build(parameters=restored.parameters)
+        view = restored.materialize(spec, name="agg")
+        # The view re-based on the restored state, which already includes the
+        # replayed tail; its version must be the read path's published one.
+        _check_view(restored, view)
+        # Keep streaming past the restore: still maintained, versions advance.
+        v0 = view.version
+        victim = next(o for o in restored.engine.offers() if not o.is_aggregate)
+        restored.ingest(OfferWithdrawn(victim.assignment_deadline, victim.id))
+        restored.commit()
+        assert view.version > v0
+        _check_view(restored, view)
+    finally:
+        restored.close()

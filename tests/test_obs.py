@@ -266,10 +266,14 @@ def test_jsonl_export_accepts_file_objects(registry):
 
 _HELP_RE = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* \S.*$")
 _TYPE_RE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$")
+# A label value is any run of non-reserved characters or the three escape
+# sequences the text format defines: \\, \" and \n.
+_LABEL_VALUE = r'(?:[^"\\\n]|\\\\|\\"|\\n)*'
+_LABEL_PAIR = r'[a-zA-Z_][a-zA-Z0-9_]*="' + _LABEL_VALUE + r'"'
 _SAMPLE_RE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
-    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
-    r" (\+Inf|-Inf|-?[0-9][0-9eE.+-]*)$"
+    + r"(\{" + _LABEL_PAIR + r"(," + _LABEL_PAIR + r")*\})?"
+    + r" (\+Inf|-Inf|-?[0-9][0-9eE.+-]*)$"
 )
 
 
@@ -447,6 +451,82 @@ def test_jsonl_round_trip_keeps_labels(registry):
     key = 'repro.test.fanout{shard="5"}'
     assert metrics[key]["value"] == 4
     assert metrics[key]["labels"] == {"shard": "5"}
+
+
+#: Label values that used to corrupt the exposition text / instrument keys:
+#: a raw quote terminates the quoted value early, a raw backslash forges an
+#: escape, a raw newline splits the sample line in two.
+_ADVERSARIAL_VALUES = (
+    'say "hi"',
+    "back\\slash",
+    "line\nbreak",
+    'all \\ of "them"\nat once',
+    "trailing backslash\\",
+)
+
+
+@pytest.mark.parametrize("value", _ADVERSARIAL_VALUES)
+def test_prometheus_text_escapes_adversarial_label_values(registry, value):
+    counter = registry.counter("repro.test.hostile", "hostile labels", labels={"q": value})
+    counter.inc(2)
+    text = to_prometheus_text(registry)
+    lines = text.rstrip("\n").splitlines()
+    for line in lines:
+        assert (
+            _HELP_RE.match(line) or _TYPE_RE.match(line) or _SAMPLE_RE.match(line)
+        ), f"not valid exposition format: {line!r}"
+    # Exactly one sample line — a raw newline in the value must not split it.
+    samples = [line for line in lines if line.startswith("repro_test_hostile{")]
+    assert len(samples) == 1
+    assert "\n" not in samples[0]
+
+
+def test_histogram_bucket_lines_escape_labels(registry):
+    histogram = registry.histogram(
+        "repro.test.hostile.seconds", "hostile labels", labels={"q": 'a"b\\c\nd'}
+    )
+    histogram.observe(0.003)
+    text = to_prometheus_text(registry)
+    for line in text.rstrip("\n").splitlines():
+        assert (
+            _HELP_RE.match(line) or _TYPE_RE.match(line) or _SAMPLE_RE.match(line)
+        ), f"not valid exposition format: {line!r}"
+    # The le= label merges after the escaped label body, still well-formed.
+    assert 'repro_test_hostile_seconds_bucket{q="a\\"b\\\\c\\nd",le="' in text
+
+
+def test_escaping_is_injective_keys_never_collide(registry):
+    """Two values that rendered identically before escaping stay distinct."""
+    from repro.obs.metrics import escape_label_value, instrument_key
+
+    # ('a\nb' raw newline) vs ('a\\nb' literal backslash-n): unescaped both
+    # rendered as the same two-line text; escaped they differ.
+    pairs = (("a\nb", "a\\nb"), ('x"y', 'x\\"y'), ("p\\", "p\\\\"))
+    for left, right in pairs:
+        assert escape_label_value(left) != escape_label_value(right)
+        assert instrument_key("n", {"k": left}) != instrument_key("n", {"k": right})
+        one = registry.counter("repro.test.pair", labels={"k": left})
+        two = registry.counter("repro.test.pair", labels={"k": right})
+        assert one is not two, f"{left!r} and {right!r} collided on one series"
+
+
+@pytest.mark.parametrize("value", _ADVERSARIAL_VALUES)
+def test_jsonl_keys_round_trip_adversarial_labels(registry, value):
+    """read_jsonl_export re-derives the same instrument key from raw labels."""
+    labels = {"q": value, "shard": "3"}
+    counter = registry.counter("repro.test.hostile", "hostile labels", labels=labels)
+    counter.inc(7)
+    buffer = StringIO()
+    export_jsonl(buffer, registry)
+    metrics, _ = read_jsonl_export(buffer.getvalue().splitlines())
+    assert counter.key in metrics, (
+        "JSONL export corrupted the instrument key for an adversarial label"
+    )
+    assert metrics[counter.key]["value"] == 7
+    # The payload carries the *raw* label values, unescaped.
+    assert metrics[counter.key]["labels"] == labels
+    # And the registry snapshot agrees with the export on every key.
+    assert set(metrics) == set(registry.snapshot())
 
 
 def test_sharded_commit_records_per_shard_fanout_series(global_obs, scenario):

@@ -187,6 +187,57 @@ def test_untouched_cells_survive_commits_as_hits(small_scenario):
         assert stats["hits"] >= 2 and stats["misses"] >= 2
 
 
+def test_withdraw_from_fully_skipped_chunk_invalidates_entry(small_scenario):
+    """A withdrawal whose cell re-aggregated *zero* chunks must still drop
+    the cached entry — never carry/re-stamp it to the new version.
+
+    Deterministic setup: five identical-cell offers under
+    ``max_group_size=2`` chunk as [1,2], [3,4], [5].  Withdrawing id 5
+    retires its singleton chunk alone — the surviving chunks are untouched,
+    so the commit reports ``chunks_reaggregated == 0`` — yet the entry's
+    matched set contained id 5, so carrying it would serve a withdrawn offer
+    at the new version.  The invalidation scan builds its dirty-id set from
+    the *previous* snapshot's cell members (which still held id 5), which is
+    exactly what makes this sound; this test pins that behaviour.
+    """
+    from repro.aggregation.parameters import AggregationParameters
+    from repro.live.events import OfferAdded
+    from tests.conftest import make_offer
+
+    scenario = small_scenario.replace_offers([])
+    parameters = AggregationParameters(max_group_size=2)
+    with FlexSession(
+        scenario, engine="live", parameters=parameters, live_preload=False
+    ) as session:
+        offers = [
+            make_offer(offer_id=i, earliest_start=40, time_flexibility=8)
+            for i in range(1, 6)
+        ]
+        for offer in offers:
+            session.ingest(OfferAdded(offer.creation_time, offer))
+        session.commit()
+        cache = session.engine.readpath.cache
+        spec = QuerySpec()
+        first = session.query(spec)  # miss + fill
+        assert session.query(spec) is first  # cached
+        assert 5 in {o.id for o in first.offers}
+        invalidations_before = cache.invalidations
+        result = session.ingest(
+            OfferWithdrawn(offers[-1].assignment_deadline, 5)
+        ) or session.commit()
+        # The precondition that makes this the dangerous case: the withdrawal
+        # retired the [5] chunk alone, nothing was re-aggregated.
+        assert result.chunks_reaggregated == 0
+        assert result.chunks_skipped > 0
+        assert [o.id for o in result.removed] == [5]
+        # The entry must have been invalidated, not carried/re-stamped.
+        assert cache.invalidations == invalidations_before + 1
+        recomputed = session.query(spec)
+        assert recomputed is not first
+        assert recomputed.version == session.engine.readpath.manager.latest_version
+        assert sorted(o.id for o in recomputed.offers) == [1, 2, 3, 4]
+
+
 def test_cache_entry_version_follows_carries(small_scenario):
     """A carried entry serves the *new* version — stats agree with the facade."""
     with FlexSession(small_scenario, engine="live") as session:
